@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: exact 3-NN interpolation vs the Morton
+//! stride-window up-sampler (paper Sec. 5.1.2, the FP-stage optimization).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgepc_data::bunny_with_points;
+use edgepc_geom::FeatureMatrix;
+use edgepc_sample::{MortonInterpolator, MortonSampler, Sampler, ThreeNnInterpolator};
+
+fn bench_interpolators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpolation");
+    group.sample_size(10);
+    for n in [1024usize, 8192] {
+        let cloud = bunny_with_points(n, 17);
+        let samples = n / 8;
+        let r = MortonSampler::paper_default().sample(&cloud, samples);
+        let s = r.structurized.as_ref().unwrap();
+        let dense_sorted = s.cloud().points().to_vec();
+        let inv = s.inverse_permutation();
+        let mut positions: Vec<usize> = r.indices.iter().map(|&i| inv[i]).collect();
+        positions.sort_unstable();
+        let sparse: Vec<_> = positions.iter().map(|&p| dense_sorted[p]).collect();
+        let feats = FeatureMatrix::zeros(samples, 16);
+
+        group.bench_with_input(BenchmarkId::new("three_nn", n), &(), |b, _| {
+            b.iter(|| {
+                ThreeNnInterpolator::new().interpolate(
+                    black_box(&dense_sorted),
+                    black_box(&sparse),
+                    &feats,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("morton_stride", n), &(), |b, _| {
+            b.iter(|| {
+                MortonInterpolator::new().interpolate(
+                    black_box(&dense_sorted),
+                    black_box(&positions),
+                    &feats,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpolators);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: Morton vs Hilbert ordering (the DESIGN.md design-choice
+//! study). The paper chooses Morton for its branch-free parallel encode;
+//! Hilbert preserves locality strictly better. This bench quantifies the
+//! encode-cost side; the locality side is asserted in
+//! `crates/morton/tests/ordering_ablation.rs`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgepc_morton::hilbert::hilbert_encode;
+use edgepc_morton::encode;
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering_ablation/encode");
+    let coords: Vec<(u32, u32, u32)> = (0..4096u32)
+        .map(|i| (i.wrapping_mul(2654435761) % 1024, i * 7 % 1024, i * 13 % 1024))
+        .collect();
+    group.bench_with_input(BenchmarkId::new("morton", coords.len()), &coords, |b, cs| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in cs {
+                acc ^= encode(black_box(x), y, z);
+            }
+            acc
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("hilbert", coords.len()), &coords, |b, cs| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in cs {
+                acc ^= hilbert_encode(black_box(x), y, z, 10);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion macro-benchmark: a full (reduced-size) PointNet++ inference
+//! under baseline vs EdgePC strategies — the wall-clock analogue of the
+//! device-model comparison in `fig13_speedup`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgepc_data::{scannet_like, DatasetConfig};
+use edgepc_models::{PipelineStrategy, PointNetPpConfig, PointNetPpSeg};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/pointnetpp_2048");
+    group.sample_size(10);
+    let ds = scannet_like(&DatasetConfig {
+        classes: 1,
+        train_per_class: 1,
+        test_per_class: 1,
+        points_per_cloud: Some(2048),
+        seed: 19,
+    });
+    let cloud = ds.test[0].cloud.clone();
+
+    let mut baseline = PointNetPpSeg::new(
+        &PointNetPpConfig::paper(2048, PipelineStrategy::baseline()),
+        6,
+    );
+    group.bench_function("baseline", |b| {
+        b.iter(|| baseline.forward(black_box(&cloud)))
+    });
+
+    let mut edgepc = PointNetPpSeg::new(
+        &PointNetPpConfig::paper(2048, PipelineStrategy::edgepc_pointnetpp(4, 128)),
+        6,
+    );
+    group.bench_function("edgepc", |b| b.iter(|| edgepc.forward(black_box(&cloud))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

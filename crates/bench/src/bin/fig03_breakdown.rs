@@ -1,0 +1,52 @@
+//! Regenerates paper Fig. 3: end-to-end latency breakdown of the baseline
+//! pipelines into "sample & neighbor search" vs "feature compute (+rest)",
+//! for PointNet++ and DGCNN across the four datasets.
+//!
+//! Paper: S+N takes 38-80 % of end-to-end latency, growing with the number
+//! of points (ModelNet 1024 pts at the low end, ScanNet 8192 at the high
+//! end).
+//!
+//! Run with `cargo run --release -p edgepc-bench --bin fig03_breakdown`.
+
+use edgepc::prelude::*;
+use edgepc::{characterize, EdgePcConfig, Variant, Workload};
+use edgepc_bench::{banner, pct, row};
+
+fn main() {
+    banner(
+        "Figure 3: baseline latency breakdown",
+        "sample & neighbor search = 38-80% of E2E latency, growing with N",
+    );
+    let cfg = EdgePcConfig::paper_default();
+    // Paper-reported S+N shares read off Fig. 3 (approximate).
+    let paper_fraction = [
+        (Workload::W1, 0.55),
+        (Workload::W2, 0.80),
+        (Workload::W3, 0.38),
+        (Workload::W4, 0.45),
+        (Workload::W5, 0.52),
+        (Workload::W6, 0.60),
+    ];
+    let mut fractions = Vec::new();
+    for (w, paper) in paper_fraction {
+        let spec = w.spec();
+        let cost = characterize(w, Variant::Baseline, &cfg, spec.points);
+        let frac = cost.sample_and_neighbor_fraction();
+        fractions.push(frac);
+        row(
+            &format!("{w} {} {} pts, B={}", spec.dataset, spec.points, spec.batch),
+            pct(paper),
+            format!(
+                "{} of {:.1} ms/batch (S+N {:.1} ms, FC {:.1} ms, group {:.1} ms)",
+                pct(frac),
+                cost.total_ms(),
+                cost.sample_and_neighbor_ms(),
+                cost.time_of(StageKind::FeatureCompute),
+                cost.time_of(StageKind::Grouping),
+            ),
+        );
+    }
+    let min = fractions.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = fractions.iter().cloned().fold(0.0, f64::max);
+    row("range across workloads", "38%..80%", format!("{}..{}", pct(min), pct(max)));
+}

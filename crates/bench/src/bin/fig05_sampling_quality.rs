@@ -1,0 +1,80 @@
+//! Regenerates paper Fig. 5 + the Sec. 4.2 profiling anchors: sampling
+//! quality of FPS vs uniform-in-raw-order vs uniform-on-Morton-order on the
+//! (bunny-like) 40 256-point model, plus the 81.7 ms vs ~1 ms timing gap.
+//!
+//! The paper shows this visually; we quantify coverage with the covering
+//! radius (max distance from any input point to its nearest sample — the
+//! quantity FPS greedily minimizes) and the chamfer distance.
+//!
+//! Run with `cargo run --release -p edgepc-bench --bin fig05_sampling_quality`.
+
+use edgepc::prelude::*;
+use edgepc_bench::{banner, ms, row};
+
+fn main() {
+    banner(
+        "Figure 5 + Sec 4.2: sampling quality and cost on the Bunny model",
+        "Morton-uniform coverage ~ FPS coverage; raw uniform visibly worse; \
+         FPS 81.7 ms vs uniform ~1 ms",
+    );
+    let cloud = bunny();
+    let n = 1024;
+    println!("model: bunny-like, {} points, sampling {n}", cloud.len());
+
+    let device = XavierModel::jetson_agx_xavier();
+
+    let fps = FarthestPointSampler::new().sample(&cloud, n);
+    let raw = UniformSampler::new().sample(&cloud, n);
+    let mc = MortonSampler::paper_default().sample(&cloud, n);
+
+    let eval = |name: &str, r: &edgepc_sample::SampleResult| {
+        let sampled = r.extract(&cloud);
+        let cover = coverage_radius(cloud.points(), sampled.points());
+        let chamfer = chamfer_distance(cloud.points(), sampled.points());
+        let spacing = sample_spacing(sampled.points());
+        let t = device.stage_time_ms(&r.ops, ExecMode::Standalone);
+        (name.to_string(), cover, chamfer, spacing, t)
+    };
+
+    let results = [eval("fps (exact SOTA)", &fps), eval("uniform raw order", &raw), eval("uniform morton order", &mc)];
+
+    println!(
+        "\n{:<24} {:>14} {:>12} {:>12} {:>12}",
+        "sampler", "cover radius", "chamfer", "spacing", "model time"
+    );
+    for (name, cover, chamfer, spacing, t) in &results {
+        println!("{name:<24} {cover:>14.4} {chamfer:>12.4} {spacing:>12.4} {:>12}", ms(*t));
+    }
+
+    let (_, c_fps, ch_fps, sp_fps, t_fps) = &results[0];
+    let (_, c_raw, ch_raw, sp_raw, _) = &results[1];
+    let (_, c_mc, ch_mc, sp_mc, t_mc) = &results[2];
+    println!();
+    row("FPS standalone latency", "81.7 ms", ms(*t_fps));
+    row("uniform sampling latency", "~1 ms", ms(*t_mc));
+    row(
+        "morton vs fps chamfer ratio",
+        "~1 (visually equivalent)",
+        format!("{:.2}", ch_mc / ch_fps),
+    );
+    row(
+        "raw vs morton chamfer ratio",
+        "> 1 (uneven distribution)",
+        format!("{:.2}", ch_raw / ch_mc),
+    );
+    row(
+        "morton vs fps cover-radius ratio",
+        "~1",
+        format!("{:.2}", c_mc / c_fps),
+    );
+    row(
+        "raw vs morton cover-radius ratio",
+        "> 1 (visible gaps)",
+        format!("{:.2}", c_raw / c_mc),
+    );
+    row(
+        "sample spacing (fps / mc / raw)",
+        "fps >= mc >> raw (clumping)",
+        format!("{sp_fps:.4} / {sp_mc:.4} / {sp_raw:.4}"),
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates paper Fig. 9: per-layer down-sample (SA) and up-sample (FP)
+//! latency of PointNet++(s) on the ScanNet-like workload, baseline vs
+//! Morton-code sampler.
+//!
+//! Paper: the first SA down-sampling layer and the last FP up-sampling
+//! layer dominate; the Morton sampler accelerates them by 10.6x and 5.2x
+//! respectively.
+//!
+//! Run with `cargo run --release -p edgepc-bench --bin fig09_layer_latency`.
+
+use edgepc::prelude::*;
+use edgepc::{analysis::run_records, EdgePcConfig, Variant, Workload};
+use edgepc_bench::{banner, ms, row, speedup};
+
+fn main() {
+    banner(
+        "Figure 9: per-layer sampling latency, PointNet++(s) / ScanNet",
+        "layer sa1 down-sample 10.6x faster, fp4 up-sample 5.2x faster with Morton",
+    );
+    let points = Workload::W2.spec().points;
+    // Baseline everywhere vs Morton on every sampling layer (to read off
+    // per-layer effects like the paper's figure does).
+    let cfg_all = EdgePcConfig { optimized_layers: 4, ..EdgePcConfig::paper_default() };
+    let base = run_records(Workload::W2, Variant::Baseline, &cfg_all, points);
+    let edge = run_records(Workload::W2, Variant::SN, &cfg_all, points);
+    let device = XavierModel::jetson_agx_xavier();
+
+    let time_of = |records: &[StageRecord], name_part: &str| -> f64 {
+        price_stages(records, &device, false)
+            .stages()
+            .iter()
+            .filter(|s| s.kind == StageKind::Sample && s.name.contains(name_part))
+            .map(|s| s.time_ms)
+            .sum()
+    };
+
+    println!(
+        "\n{:<18} {:>14} {:>14} {:>10}",
+        "layer", "baseline", "morton", "speedup"
+    );
+    let mut sa1 = 0.0;
+    let mut fp_last = 0.0;
+    for layer in ["sa1.", "sa2.", "sa3.", "sa4.", "fp1.", "fp2.", "fp3.", "fp4."] {
+        let b = time_of(&base, layer);
+        let e = time_of(&edge, layer);
+        if b == 0.0 {
+            continue;
+        }
+        let s = b / e.max(1e-9);
+        if layer == "sa1." {
+            sa1 = s;
+        }
+        if layer == "fp4." {
+            fp_last = s;
+        }
+        println!("{layer:<18} {:>14} {:>14} {:>10}", ms(b), ms(e), speedup(s));
+    }
+    println!();
+    row("sa1 down-sample speedup", "10.6x", speedup(sa1));
+    row("fp4 up-sample speedup", "5.2x", speedup(fp_last));
+}

@@ -1,0 +1,72 @@
+//! Regenerates paper Fig. 13: per-workload (a) sample+neighbor-search
+//! speedup, (b) end-to-end speedup for S+N and S+N+F, and (c) energy
+//! savings, for all six Table 1 workloads.
+//!
+//! Paper: S+N speedup 3.68x mean (up to 5.21x on W1), E2E 1.55x mean
+//! (up to 2.25x on W6 with tensor cores), energy saving 33% mean (+13%
+//! more from tensor cores).
+//!
+//! Run with `cargo run --release -p edgepc-bench --bin fig13_speedup`.
+
+use edgepc::{compare, EdgePcConfig, Workload};
+use edgepc_bench::{banner, geomean, pct, row, speedup};
+
+fn main() {
+    banner(
+        "Figure 13: per-workload speedups and energy savings",
+        "S+N 3.68x mean (<=5.21x); E2E 1.55x mean (<=2.25x with TC); energy -33%",
+    );
+    let cfg = EdgePcConfig::paper_default();
+    // Paper per-workload values read off Fig. 13 (approximate).
+    let paper = [
+        (Workload::W1, 5.21, 1.6, 0.38),
+        (Workload::W2, 3.44, 1.5, 0.31),
+        (Workload::W3, 3.7, 1.32, 0.16),
+        (Workload::W4, 3.7, 1.5, 0.30),
+        (Workload::W5, 3.3, 1.6, 0.35),
+        (Workload::W6, 3.8, 1.7, 0.40),
+    ];
+
+    let mut sn = Vec::new();
+    let mut e2e = Vec::new();
+    let mut e2e_tc = Vec::new();
+    let mut energy = Vec::new();
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "wl", "S+N spdup", "E2E (S+N)", "E2E (S+N+F)", "energy -%", "energy+TC -%"
+    );
+    for (w, p_sn, p_e2e, p_energy) in paper {
+        let spec = w.spec();
+        let c = compare(w, &cfg, spec.points);
+        sn.push(c.sn_stage_speedup);
+        e2e.push(c.e2e_speedup_sn);
+        e2e_tc.push(c.e2e_speedup_snf);
+        energy.push(c.energy_saving_sn);
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}   (paper: {:.2}x / {:.2}x / {:.0}%)",
+            w.to_string(),
+            speedup(c.sn_stage_speedup),
+            speedup(c.e2e_speedup_sn),
+            speedup(c.e2e_speedup_snf),
+            pct(c.energy_saving_sn),
+            pct(c.energy_saving_snf),
+            p_sn,
+            p_e2e,
+            100.0 * p_energy,
+        );
+    }
+    println!();
+    row("mean S+N stage speedup", "3.68x", speedup(geomean(&sn)));
+    row("max S+N stage speedup", "5.21x (W1)", speedup(sn.iter().cloned().fold(0.0, f64::max)));
+    row("mean E2E speedup (S+N)", "1.55x", speedup(geomean(&e2e)));
+    row(
+        "max E2E speedup (S+N+F)",
+        "2.25x (W6)",
+        speedup(e2e_tc.iter().cloned().fold(0.0, f64::max)),
+    );
+    row(
+        "mean energy saving (S+N)",
+        "33%",
+        pct(energy.iter().sum::<f64>() / energy.len() as f64),
+    );
+}

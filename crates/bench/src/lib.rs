@@ -1,0 +1,77 @@
+//! Shared helpers for the figure-regeneration harnesses (`src/bin/fig*.rs`)
+//! and Criterion micro-benchmarks (`benches/`).
+//!
+//! Every binary in this crate regenerates one of the paper's tables or
+//! figures: it runs the real Rust implementations, prices them on the
+//! Xavier device model, and prints the measured values next to the numbers
+//! the paper reports. See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+
+use std::fmt::Display;
+
+/// Prints a harness banner naming the figure being regenerated.
+pub fn banner(figure: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{figure}");
+    println!("paper claim: {claim}");
+    println!("==============================================================");
+}
+
+/// Prints one row of a paper-vs-measured comparison.
+pub fn row(label: &str, paper: impl Display, measured: impl Display) {
+    println!("{label:<34} paper: {paper:<16} measured: {measured}");
+}
+
+/// Formats a speedup factor.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats milliseconds.
+pub fn ms(x: f64) -> String {
+    format!("{x:.2} ms")
+}
+
+/// Geometric mean of factors (the conventional mean for speedups).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive factors");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_factors() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixed() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(speedup(1.554), "1.55x");
+        assert_eq!(pct(0.33), "33.0%");
+        assert_eq!(ms(12.345), "12.35 ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of empty")]
+    fn empty_geomean_panics() {
+        let _ = geomean(&[]);
+    }
+}

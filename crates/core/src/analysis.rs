@@ -1,0 +1,295 @@
+//! End-to-end workload analysis: run a workload's model with baseline or
+//! EdgePC strategies, price the measured work on the Xavier model, and
+//! compute the speedups and energy savings of Fig. 3 / Fig. 13.
+
+use edgepc_models::{
+    price_stages, DgcnnClassifier, DgcnnConfig, DgcnnSeg, PipelineStrategy, PointNetPpConfig,
+    PointNetPpSeg, StageRecord,
+};
+use edgepc_sim::{EnergyModel, PipelineCost, PowerState, XavierModel};
+
+use crate::workloads::{ModelKind, Workload};
+
+/// The EdgePC design-point knobs (paper Sec. 5.1.3, 5.2.3, 6.1.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgePcConfig {
+    /// Morton grid resolution in bits per axis (paper: 10, i.e. 32-bit
+    /// codes).
+    pub morton_bits: u32,
+    /// Search window as a multiple of `k` (`W = window_factor * k`;
+    /// Fig. 15a sweeps 1x..16x).
+    pub window_factor: usize,
+    /// How many leading PointNet++ modules get the Morton treatment
+    /// (paper design point: 1; Fig. 15b sweeps 1..4).
+    pub optimized_layers: usize,
+}
+
+impl EdgePcConfig {
+    /// The paper's evaluated design point.
+    pub fn paper_default() -> Self {
+        EdgePcConfig { morton_bits: 10, window_factor: 4, optimized_layers: 1 }
+    }
+}
+
+impl Default for EdgePcConfig {
+    fn default() -> Self {
+        EdgePcConfig::paper_default()
+    }
+}
+
+/// The three evaluated configurations of Sec. 6.1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// SOTA samplers and searchers, CUDA cores only.
+    Baseline,
+    /// Morton approximations for sample + neighbor search ("S+N").
+    SN,
+    /// S+N plus tensor cores for feature compute ("S+N+F").
+    SNF,
+}
+
+impl Variant {
+    /// Whether the variant prices feature compute on tensor cores.
+    pub fn tensor_cores(self) -> bool {
+        matches!(self, Variant::SNF)
+    }
+
+    /// The power state the energy model uses for this variant.
+    pub fn power_state(self, reuses_neighbors: bool) -> PowerState {
+        match self {
+            Variant::Baseline => PowerState::default(),
+            Variant::SN | Variant::SNF => PowerState {
+                morton_approx: true,
+                neighbor_reuse: reuses_neighbors,
+            },
+        }
+    }
+}
+
+/// Runs workload `w` at cloud size `points` under `variant` and returns the
+/// per-batch stage records (already scaled by the workload's batch size).
+///
+/// The model executes for real (every sample pick, window search and MAC is
+/// performed); only the time/energy mapping is modeled. `points` normally
+/// comes from `w.spec().points`; tests pass smaller values.
+///
+/// # Panics
+///
+/// Panics if `points` is too small for the model's sampling pyramid
+/// (PointNet++ needs `points >= 512`ish at paper shape).
+pub fn run_records(
+    w: Workload,
+    variant: Variant,
+    cfg: &EdgePcConfig,
+    points: usize,
+) -> Vec<StageRecord> {
+    let spec = w.spec();
+    let ds = w.dataset(0x0edc ^ points as u64);
+    let cloud = &ds.test[0].cloud;
+    let cloud = if cloud.len() == points {
+        cloud.clone()
+    } else {
+        // Reduced run: take a prefix (scan order keeps it a coherent scene).
+        cloud.permuted(&(0..points.min(cloud.len())).collect::<Vec<_>>())
+    };
+    let num_classes = ds.num_classes.max(2);
+
+    let records = match spec.model {
+        ModelKind::PointNetPpSeg => {
+            let depth = 4;
+            let strategy = match variant {
+                Variant::Baseline => PipelineStrategy::baseline(),
+                Variant::SN | Variant::SNF => {
+                    // Window scales with k = 32 at paper shape.
+                    PipelineStrategy::edgepc_layers(
+                        depth,
+                        cfg.optimized_layers.clamp(1, depth),
+                        cfg.window_factor * 32,
+                    )
+                }
+            };
+            let config = PointNetPpConfig::paper(points, strategy);
+            let mut model = PointNetPpSeg::new(&config, num_classes);
+            let (_, records) = model.forward(&cloud);
+            records
+        }
+        ModelKind::DgcnnClassifier | ModelKind::DgcnnPartSeg | ModelKind::DgcnnSeg => {
+            let modules = 4;
+            let k = 20;
+            let strategy = match variant {
+                Variant::Baseline => PipelineStrategy::baseline_dgcnn(modules),
+                Variant::SN | Variant::SNF => {
+                    PipelineStrategy::edgepc_dgcnn(modules, cfg.window_factor * k)
+                }
+            };
+            let config = DgcnnConfig::paper(strategy);
+            if spec.model == ModelKind::DgcnnClassifier {
+                let mut model = DgcnnClassifier::new(&config, num_classes);
+                let (_, records) = model.forward(&cloud);
+                records
+            } else {
+                let mut model = DgcnnSeg::new(&config, num_classes);
+                let (_, records) = model.forward(&cloud);
+                records
+            }
+        }
+    };
+    records.iter().map(|r| r.scaled(spec.batch)).collect()
+}
+
+/// Prices one variant of a workload (Fig. 3-style breakdown).
+pub fn characterize(
+    w: Workload,
+    variant: Variant,
+    cfg: &EdgePcConfig,
+    points: usize,
+) -> PipelineCost {
+    let records = run_records(w, variant, cfg, points);
+    let device = XavierModel::jetson_agx_xavier();
+    price_stages(&records, &device, variant.tensor_cores())
+}
+
+/// The Fig. 13 numbers for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadComparison {
+    /// Which workload.
+    pub workload: Workload,
+    /// Priced baseline pipeline.
+    pub baseline: PipelineCost,
+    /// Priced S+N pipeline.
+    pub sn: PipelineCost,
+    /// Priced S+N+F pipeline.
+    pub snf: PipelineCost,
+    /// Sample+neighbor-search stage speedup (Fig. 13a).
+    pub sn_stage_speedup: f64,
+    /// End-to-end speedup of S+N (Fig. 13b).
+    pub e2e_speedup_sn: f64,
+    /// End-to-end speedup of S+N+F (Fig. 13b).
+    pub e2e_speedup_snf: f64,
+    /// Fractional energy saving of S+N (Fig. 13c).
+    pub energy_saving_sn: f64,
+    /// Fractional energy saving of S+N+F (Fig. 13c).
+    pub energy_saving_snf: f64,
+}
+
+/// Runs the full Fig. 13 comparison for one workload at cloud size
+/// `points` (pass `w.spec().points` for the paper's setting).
+pub fn compare(w: Workload, cfg: &EdgePcConfig, points: usize) -> WorkloadComparison {
+    let device = XavierModel::jetson_agx_xavier();
+    let energy = EnergyModel::jetson_agx_xavier();
+    let reuses = w.spec().model != ModelKind::PointNetPpSeg;
+
+    let base_records = run_records(w, Variant::Baseline, cfg, points);
+    let sn_records = run_records(w, Variant::SN, cfg, points);
+
+    let baseline = price_stages(&base_records, &device, false);
+    let sn = price_stages(&sn_records, &device, false);
+    let snf = price_stages(&sn_records, &device, true);
+
+    let e_base = energy.energy_mj(baseline.total_ms(), Variant::Baseline.power_state(false));
+    let e_sn = energy.energy_mj(sn.total_ms(), Variant::SN.power_state(reuses));
+    let e_snf = energy.energy_mj(snf.total_ms(), Variant::SNF.power_state(reuses));
+
+    WorkloadComparison {
+        workload: w,
+        sn_stage_speedup: baseline.sample_and_neighbor_ms() / sn.sample_and_neighbor_ms(),
+        e2e_speedup_sn: baseline.total_ms() / sn.total_ms(),
+        e2e_speedup_snf: baseline.total_ms() / snf.total_ms(),
+        energy_saving_sn: 1.0 - e_sn / e_base,
+        energy_saving_snf: 1.0 - e_snf / e_base,
+        baseline,
+        sn,
+        snf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Unit tests run reduced point counts in debug mode: S+N work scales
+    // O(N^2) while feature compute scales O(N), so the paper-magnitude
+    // fractions/speedups only appear at the full Table 1 sizes, which the
+    // release-mode bench harnesses check. Here we assert the
+    // scale-appropriate facts and the growth *trend* the paper describes
+    // ("as the number of points increases, these stages take even more
+    // time", Sec. 3.1).
+    const TEST_POINTS: usize = 1024;
+
+    #[test]
+    fn sample_neighbor_work_outgrows_feature_compute() {
+        // The quadratic-vs-linear scaling argument of Sec. 3: S+N distance
+        // work grows O(N^2) while FC MAC work grows O(N), so their ratio
+        // must increase with the cloud size. (At small N the *priced*
+        // fraction is launch/dependency-dominated, so we compare raw work,
+        // which is scale-clean.)
+        let cfg = EdgePcConfig::paper_default();
+        let ratio = |points: usize| -> f64 {
+            let records = run_records(Workload::W2, Variant::Baseline, &cfg, points);
+            let dist: u64 = records
+                .iter()
+                .filter(|r| r.kind.is_sample_or_neighbor())
+                .map(|r| r.ops.dist3)
+                .sum();
+            let mac: u64 = records.iter().map(|r| r.ops.mac).sum();
+            dist as f64 / mac as f64
+        };
+        let small = ratio(512);
+        let large = ratio(TEST_POINTS);
+        assert!(
+            large > 1.5 * small,
+            "S+N work must outgrow FC work: {small} -> {large}"
+        );
+        // And the priced fraction is non-trivial even at reduced scale.
+        let frac = characterize(Workload::W2, Variant::Baseline, &cfg, TEST_POINTS)
+            .sample_and_neighbor_fraction();
+        assert!(frac > 0.08, "S+N fraction {frac} too small even at reduced scale");
+    }
+
+    #[test]
+    fn edgepc_accelerates_pointnetpp_workload() {
+        let cmp = compare(Workload::W2, &EdgePcConfig::paper_default(), TEST_POINTS);
+        assert!(
+            cmp.sn_stage_speedup > 1.2,
+            "S+N speedup {} should exceed 1 even at reduced scale",
+            cmp.sn_stage_speedup
+        );
+        assert!(cmp.e2e_speedup_sn > 1.0, "E2E {}", cmp.e2e_speedup_sn);
+        assert!(cmp.e2e_speedup_snf >= cmp.e2e_speedup_sn);
+        assert!(cmp.energy_saving_sn > 0.0);
+        assert!(cmp.energy_saving_snf >= cmp.energy_saving_sn - 1e-9);
+    }
+
+    #[test]
+    fn edgepc_accelerates_dgcnn_workload() {
+        let cmp = compare(Workload::W3, &EdgePcConfig::paper_default(), 512);
+        assert!(
+            cmp.sn_stage_speedup > 2.0,
+            "DGCNN NS speedup {} (paper: up to 29x at full size)",
+            cmp.sn_stage_speedup
+        );
+        assert!(cmp.e2e_speedup_sn > 1.0);
+    }
+
+    #[test]
+    fn records_scale_with_batch() {
+        let w = Workload::W3; // batch 32
+        let records = run_records(w, Variant::Baseline, &EdgePcConfig::paper_default(), 512);
+        // Find a distance-bearing record: its count must be a multiple of
+        // the batch size.
+        let r = records.iter().find(|r| r.ops.dist3 > 0).unwrap();
+        assert_eq!(r.ops.dist3 % 32, 0);
+    }
+
+    #[test]
+    fn snf_only_changes_feature_compute_cost() {
+        let cmp = compare(Workload::W5, &EdgePcConfig::paper_default(), 512);
+        let sn_sn = cmp.sn.sample_and_neighbor_ms();
+        let snf_sn = cmp.snf.sample_and_neighbor_ms();
+        assert!((sn_sn - snf_sn).abs() < 1e-9, "S+N stages unaffected by tensor cores");
+        assert!(
+            cmp.snf.time_of(edgepc_sim::StageKind::FeatureCompute)
+                < cmp.sn.time_of(edgepc_sim::StageKind::FeatureCompute)
+        );
+    }
+}

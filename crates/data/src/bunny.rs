@@ -1,0 +1,186 @@
+//! A procedural "bunny-like" model standing in for the Stanford Bunny
+//! (paper Fig. 5 and the Sec. 4.2 profiling anchors).
+//!
+//! The real Bunny has 40 256 points with strongly non-uniform surface
+//! density (scan stripes overlap near the head). This generator produces a
+//! blobby body-head-ears composition with the same point count, scan-stripe
+//! emission order, and deliberate density variation, which is all the
+//! Fig. 5 sampling-coverage experiment depends on.
+
+use edgepc_geom::{Point3, PointCloud};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shapes::{sample_shape, ShapeFamily, ShapeParams};
+
+/// Point count of the Stanford Bunny model used in the paper.
+pub const BUNNY_POINTS: usize = 40_256;
+
+/// Generates the bunny-like model with exactly `n` points.
+///
+/// # Panics
+///
+/// Panics if `n < 20` (every body part needs at least one point).
+pub fn bunny_with_points(n: usize, seed: u64) -> PointCloud {
+    assert!(n >= 20, "bunny needs at least 20 points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Budget: body 55%, head 25% (over-scanned: denser), ears 2 x 7%, tail 6%.
+    let n_body = n * 55 / 100;
+    let n_head = n * 25 / 100;
+    let n_ear = n * 7 / 100;
+    let n_tail = n - n_body - n_head - 2 * n_ear;
+
+    let mut pts: Vec<Point3> = Vec::with_capacity(n);
+
+    let body = sample_shape(
+        ShapeFamily::Ellipsoid,
+        &ShapeParams {
+            scale: Point3::new(1.0, 0.8, 0.75),
+            jitter: 0.01,
+            density_skew: 0.5,
+        },
+        n_body,
+        &mut rng,
+    );
+    pts.extend(body);
+
+    let head = sample_shape(
+        ShapeFamily::Ellipsoid,
+        &ShapeParams {
+            scale: Point3::new(0.45, 0.4, 0.42),
+            jitter: 0.008,
+            density_skew: 0.6,
+        },
+        n_head,
+        &mut rng,
+    );
+    pts.extend(head.into_iter().map(|p| p + Point3::new(0.85, 0.0, 0.7)));
+
+    for side in [-1.0f32, 1.0] {
+        let ear = sample_shape(
+            ShapeFamily::Cone,
+            &ShapeParams {
+                scale: Point3::new(0.12, 0.08, 0.45),
+                jitter: 0.006,
+                density_skew: 0.3,
+            },
+            n_ear,
+            &mut rng,
+        );
+        pts.extend(
+            ear.into_iter()
+                .map(|p| p + Point3::new(0.85, side * 0.18, 1.45)),
+        );
+    }
+
+    let tail = sample_shape(
+        ShapeFamily::Ellipsoid,
+        &ShapeParams {
+            scale: Point3::splat(0.18),
+            jitter: 0.01,
+            density_skew: 0.2,
+        },
+        n_tail,
+        &mut rng,
+    );
+    pts.extend(tail.into_iter().map(|p| p + Point3::new(-1.0, 0.0, 0.1)));
+
+    // Light scan noise on top of everything.
+    for p in pts.iter_mut() {
+        *p = *p
+            + Point3::new(
+                rng.gen_range(-0.002..=0.002),
+                rng.gen_range(-0.002..=0.002),
+                rng.gen_range(-0.002..=0.002),
+            );
+    }
+    debug_assert_eq!(pts.len(), n);
+
+    // Fragment the frame order the way a real scanned model is ordered:
+    // the Stanford Bunny is a merge of many range scans whose points end
+    // up as small contiguous surface patches in essentially arbitrary
+    // global order. Emit the cloud as shuffled ~patch-sized runs; this is
+    // the "irregular and unstructured" raw order the paper's Fig. 4/5
+    // argument rests on (a benign raster order would make uniform sampling
+    // look artificially good).
+    let patch = 37usize;
+    let n_patches = n.div_ceil(patch);
+    let mut order: Vec<usize> = (0..n_patches).collect();
+    for i in (1..n_patches).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut shuffled = Vec::with_capacity(n);
+    for p_idx in order {
+        let start = p_idx * patch;
+        let end = (start + patch).min(n);
+        shuffled.extend_from_slice(&pts[start..end]);
+    }
+    debug_assert_eq!(shuffled.len(), n);
+    PointCloud::from_points(shuffled)
+}
+
+/// Generates the paper-sized bunny: [`BUNNY_POINTS`] points, fixed seed.
+pub fn bunny() -> PointCloud {
+    bunny_with_points(BUNNY_POINTS, 0xb0_0b5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_count() {
+        assert_eq!(bunny().len(), BUNNY_POINTS);
+    }
+
+    #[test]
+    fn custom_point_counts_are_exact() {
+        for n in [20usize, 100, 1234] {
+            assert_eq!(bunny_with_points(n, 1).len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = bunny_with_points(500, 3);
+        let b = bunny_with_points(500, 3);
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn has_distinct_body_parts() {
+        // Head region (x ~ 0.85, z ~ 0.7) and tail region (x ~ -1.0) are
+        // both populated.
+        let b = bunny_with_points(4000, 5);
+        let head = b
+            .iter()
+            .filter(|p| p.x > 0.5 && p.z > 0.4 && p.z < 1.2)
+            .count();
+        let tail = b.iter().filter(|p| p.x < -0.8).count();
+        assert!(head > 100, "head has {head} points");
+        assert!(tail > 20, "tail has {tail} points");
+    }
+
+    #[test]
+    fn density_is_non_uniform() {
+        // The head is scanned denser than the body: compare point counts in
+        // equal-volume probes.
+        let b = bunny();
+        let probe = |center: Point3, r: f32| {
+            b.iter().filter(|p| p.distance_squared(center) < r * r).count()
+        };
+        let head_density = probe(Point3::new(0.85, 0.0, 1.1), 0.15);
+        let body_density = probe(Point3::new(0.0, 0.0, 0.74), 0.15);
+        assert!(
+            head_density > body_density,
+            "head {head_density} vs body {body_density}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 20")]
+    fn too_small_panics() {
+        let _ = bunny_with_points(4, 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Minimal point-cloud file I/O: ASCII PLY and XYZ.
+//!
+//! Enough to round-trip the synthetic datasets to disk and to load real
+//! scans (e.g. the actual Stanford Bunny) into the pipeline when available.
+//! Only the point-cloud subset of PLY is supported: ASCII format, a vertex
+//! element with float `x y z` properties (extra properties are skipped).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use edgepc_geom::{Point3, PointCloud};
+
+/// Errors raised by the readers.
+#[derive(Debug)]
+pub enum ReadCloudError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file violates the supported subset; the message says where.
+    Parse(String),
+}
+
+impl std::fmt::Display for ReadCloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadCloudError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadCloudError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadCloudError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadCloudError::Io(e) => Some(e),
+            ReadCloudError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadCloudError {
+    fn from(e: std::io::Error) -> Self {
+        ReadCloudError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> ReadCloudError {
+    ReadCloudError::Parse(msg.into())
+}
+
+/// Reads an XYZ file: one `x y z` triple per line, `#` comments and blank
+/// lines skipped. A mutable reference to any [`Read`] works.
+///
+/// # Errors
+///
+/// Returns [`ReadCloudError`] on I/O failure or malformed lines.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_data::io::read_xyz;
+///
+/// let text = "0 0 0\n1.5 2 3 # a comment\n";
+/// let cloud = read_xyz(&mut text.as_bytes()).unwrap();
+/// assert_eq!(cloud.len(), 2);
+/// ```
+pub fn read_xyz<R: Read>(reader: &mut R) -> Result<PointCloud, ReadCloudError> {
+    let buf = BufReader::new(reader);
+    let mut points = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut it = content.split_whitespace();
+        let mut coord = || -> Result<f32, ReadCloudError> {
+            it.next()
+                .ok_or_else(|| parse_err(format!("line {}: missing coordinate", lineno + 1)))?
+                .parse::<f32>()
+                .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))
+        };
+        points.push(Point3::new(coord()?, coord()?, coord()?));
+    }
+    Ok(PointCloud::from_points(points))
+}
+
+/// Writes an XYZ file, one point per line.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_xyz<W: Write>(writer: &mut W, cloud: &PointCloud) -> std::io::Result<()> {
+    let mut out = String::new();
+    for p in cloud.iter() {
+        let _ = writeln!(out, "{} {} {}", p.x, p.y, p.z);
+    }
+    writer.write_all(out.as_bytes())
+}
+
+/// Reads an ASCII PLY file's vertex positions (extra vertex properties and
+/// non-vertex elements are skipped).
+///
+/// # Errors
+///
+/// Returns [`ReadCloudError`] for binary PLY, missing x/y/z properties, or
+/// malformed data.
+pub fn read_ply<R: Read>(reader: &mut R) -> Result<PointCloud, ReadCloudError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+
+    let magic = lines.next().ok_or_else(|| parse_err("empty file"))??;
+    if magic.trim() != "ply" {
+        return Err(parse_err("missing 'ply' magic"));
+    }
+
+    // --- Header ---
+    #[derive(Default)]
+    struct Element {
+        name: String,
+        count: usize,
+        properties: Vec<String>,
+    }
+    let mut elements: Vec<Element> = Vec::new();
+    let mut ascii = false;
+    loop {
+        let line = lines.next().ok_or_else(|| parse_err("unterminated header"))??;
+        let line = line.trim().to_string();
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("format") => {
+                ascii = tok.next() == Some("ascii");
+            }
+            Some("element") => {
+                let name = tok.next().ok_or_else(|| parse_err("element without name"))?;
+                let count: usize = tok
+                    .next()
+                    .ok_or_else(|| parse_err("element without count"))?
+                    .parse()
+                    .map_err(|e| parse_err(format!("element count: {e}")))?;
+                elements.push(Element {
+                    name: name.to_string(),
+                    count,
+                    properties: Vec::new(),
+                });
+            }
+            Some("property") => {
+                let el = elements
+                    .last_mut()
+                    .ok_or_else(|| parse_err("property before any element"))?;
+                if tok.next() == Some("list") {
+                    // consume the two list type tokens
+                    tok.next();
+                    tok.next();
+                }
+                let name = tok.next().ok_or_else(|| parse_err("property without name"))?;
+                el.properties.push(name.to_string());
+            }
+            Some("end_header") => break,
+            Some("comment") | Some("obj_info") | None => {}
+            Some(other) => return Err(parse_err(format!("unknown header line '{other}'"))),
+        }
+    }
+    if !ascii {
+        return Err(parse_err("only ascii PLY is supported"));
+    }
+
+    // --- Body ---
+    let mut points = Vec::new();
+    for el in &elements {
+        if el.name == "vertex" {
+            let xi = el.properties.iter().position(|p| p == "x");
+            let yi = el.properties.iter().position(|p| p == "y");
+            let zi = el.properties.iter().position(|p| p == "z");
+            let (xi, yi, zi) = match (xi, yi, zi) {
+                (Some(a), Some(b), Some(c)) => (a, b, c),
+                _ => return Err(parse_err("vertex element lacks x/y/z")),
+            };
+            points.reserve(el.count);
+            for row in 0..el.count {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| parse_err(format!("vertex {row}: unexpected EOF")))??;
+                let vals: Vec<&str> = line.split_whitespace().collect();
+                let get = |i: usize| -> Result<f32, ReadCloudError> {
+                    vals.get(i)
+                        .ok_or_else(|| parse_err(format!("vertex {row}: too few values")))?
+                        .parse::<f32>()
+                        .map_err(|e| parse_err(format!("vertex {row}: {e}")))
+                };
+                points.push(Point3::new(get(xi)?, get(yi)?, get(zi)?));
+            }
+        } else {
+            // Skip other elements line by line.
+            for _ in 0..el.count {
+                lines.next();
+            }
+        }
+    }
+    Ok(PointCloud::from_points(points))
+}
+
+/// Writes an ASCII PLY file with just vertex positions.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_ply<W: Write>(writer: &mut W, cloud: &PointCloud) -> std::io::Result<()> {
+    let mut out = String::new();
+    let _ = writeln!(out, "ply");
+    let _ = writeln!(out, "format ascii 1.0");
+    let _ = writeln!(out, "comment generated by the edgepc reproduction");
+    let _ = writeln!(out, "element vertex {}", cloud.len());
+    let _ = writeln!(out, "property float x");
+    let _ = writeln!(out, "property float y");
+    let _ = writeln!(out, "property float z");
+    let _ = writeln!(out, "end_header");
+    for p in cloud.iter() {
+        let _ = writeln!(out, "{} {} {}", p.x, p.y, p.z);
+    }
+    writer.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(0.0, 1.0, 2.0),
+            Point3::new(-1.5, 0.25, 3.75),
+        ])
+    }
+
+    #[test]
+    fn xyz_round_trip() {
+        let cloud = sample();
+        let mut buf = Vec::new();
+        write_xyz(&mut buf, &cloud).unwrap();
+        let back = read_xyz(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.points(), cloud.points());
+    }
+
+    #[test]
+    fn xyz_skips_comments_and_blanks() {
+        let text = "# header\n\n1 2 3\n  # another\n4 5 6 # trailing\n";
+        let cloud = read_xyz(&mut text.as_bytes()).unwrap();
+        assert_eq!(cloud.len(), 2);
+        assert_eq!(cloud.point(1), Point3::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn xyz_rejects_garbage() {
+        let err = read_xyz(&mut "1 2 banana\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn ply_round_trip() {
+        let cloud = sample();
+        let mut buf = Vec::new();
+        write_ply(&mut buf, &cloud).unwrap();
+        let back = read_ply(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.points(), cloud.points());
+    }
+
+    #[test]
+    fn ply_with_extra_properties_and_elements() {
+        let text = "ply\nformat ascii 1.0\ncomment hi\n\
+                    element vertex 2\nproperty float x\nproperty float y\n\
+                    property float z\nproperty uchar red\n\
+                    element face 1\nproperty list uchar int vertex_indices\n\
+                    end_header\n\
+                    1 2 3 255\n4 5 6 0\n3 0 1 0\n";
+        let cloud = read_ply(&mut text.as_bytes()).unwrap();
+        assert_eq!(cloud.len(), 2);
+        assert_eq!(cloud.point(0), Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn ply_rejects_binary() {
+        let text = "ply\nformat binary_little_endian 1.0\nend_header\n";
+        assert!(read_ply(&mut text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn ply_rejects_missing_coordinates() {
+        let text = "ply\nformat ascii 1.0\nelement vertex 1\n\
+                    property float x\nproperty float y\nend_header\n1 2\n";
+        let err = read_ply(&mut text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("x/y/z"));
+    }
+
+    #[test]
+    fn ply_error_is_a_real_error_type() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(read_ply(&mut "nope".as_bytes()).unwrap_err());
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,341 @@
+//! Indoor-scene generators: S3DIS-like and ScanNet-like semantic
+//! segmentation workloads (paper Table 1, W1/W2/W5/W6).
+//!
+//! A scene is a room (floor, ceiling, four walls) furnished with boxes
+//! ("furniture"), a table-like slab, and scattered clutter. Points are
+//! emitted in scan-stripe order per surface, as a real RGB-D / LiDAR sweep
+//! would produce them. Labels follow a compact semantic scheme:
+//!
+//! | label | meaning   |
+//! |-------|-----------|
+//! | 0     | floor     |
+//! | 1     | ceiling   |
+//! | 2     | wall      |
+//! | 3     | furniture |
+//! | 4     | table     |
+//! | 5     | clutter   |
+
+use edgepc_geom::{Point3, PointCloud};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, DatasetConfig, Sample, Task};
+
+/// Number of semantic classes in the scene datasets.
+pub const SCENE_CLASSES: usize = 6;
+
+/// Emits `n` scan-ordered points across a rectangle spanned by `origin`,
+/// `u_edge`, `v_edge`, with jitter.
+fn scan_rect(
+    origin: Point3,
+    u_edge: Point3,
+    v_edge: Point3,
+    n: usize,
+    jitter: f32,
+    rng: &mut StdRng,
+    out: &mut Vec<Point3>,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = ((n as f32).sqrt().ceil() as usize).max(1);
+    let cols = n.div_ceil(rows);
+    let mut emitted = 0;
+    for r in 0..rows {
+        for c in 0..cols {
+            if emitted == n {
+                return;
+            }
+            let fu = (c as f32 + rng.gen_range(0.0..1.0)) / cols as f32;
+            let fv = (r as f32 + rng.gen_range(0.0..1.0)) / rows as f32;
+            let p = origin
+                + u_edge * fu
+                + v_edge * fv
+                + Point3::new(
+                    rng.gen_range(-jitter..=jitter),
+                    rng.gen_range(-jitter..=jitter),
+                    rng.gen_range(-jitter..=jitter),
+                );
+            out.push(p);
+            emitted += 1;
+        }
+    }
+}
+
+/// Emits the 5 visible faces of an axis-aligned box (no bottom).
+fn scan_box(
+    min: Point3,
+    max: Point3,
+    n: usize,
+    rng: &mut StdRng,
+    out: &mut Vec<Point3>,
+) {
+    let e = max - min;
+    let per = n / 5;
+    let rem = n - per * 4;
+    // Top face gets the remainder: most visible to a scanner.
+    scan_rect(
+        Point3::new(min.x, min.y, max.z),
+        Point3::new(e.x, 0.0, 0.0),
+        Point3::new(0.0, e.y, 0.0),
+        rem,
+        0.005,
+        rng,
+        out,
+    );
+    let faces = [
+        (min, Point3::new(e.x, 0.0, 0.0), Point3::new(0.0, 0.0, e.z)),
+        (
+            Point3::new(min.x, max.y, min.z),
+            Point3::new(e.x, 0.0, 0.0),
+            Point3::new(0.0, 0.0, e.z),
+        ),
+        (min, Point3::new(0.0, e.y, 0.0), Point3::new(0.0, 0.0, e.z)),
+        (
+            Point3::new(max.x, min.y, min.z),
+            Point3::new(0.0, e.y, 0.0),
+            Point3::new(0.0, 0.0, e.z),
+        ),
+    ];
+    for (o, u, v) in faces {
+        scan_rect(o, u, v, per, 0.005, rng, out);
+    }
+}
+
+/// Builds one room scene with `n` points. `clutter_level` in `[0, 1]`
+/// controls how much of the budget becomes irregular clutter (ScanNet-like
+/// scans are messier than S3DIS-like ones).
+fn room_scene(n: usize, clutter_level: f32, rng: &mut StdRng) -> PointCloud {
+    let w = rng.gen_range(4.0..8.0f32);
+    let d = rng.gen_range(4.0..8.0f32);
+    let h = rng.gen_range(2.5..3.5f32);
+
+    let clutter_n = ((n as f32) * 0.08 * (1.0 + clutter_level)) as usize;
+    let furn_n = n / 4;
+    let table_n = n / 12;
+    let struct_n = n - clutter_n - furn_n - table_n;
+    let floor_n = struct_n * 3 / 10;
+    let ceil_n = struct_n * 2 / 10;
+    let wall_n = struct_n - floor_n - ceil_n;
+
+    let mut pts: Vec<Point3> = Vec::with_capacity(n);
+    let mut labels: Vec<u32> = Vec::with_capacity(n);
+    let tag = |pts: &Vec<Point3>, labels: &mut Vec<u32>, label: u32| {
+        labels.resize(pts.len(), label);
+    };
+
+    scan_rect(
+        Point3::ORIGIN,
+        Point3::new(w, 0.0, 0.0),
+        Point3::new(0.0, d, 0.0),
+        floor_n,
+        0.01,
+        rng,
+        &mut pts,
+    );
+    tag(&pts, &mut labels, 0);
+    scan_rect(
+        Point3::new(0.0, 0.0, h),
+        Point3::new(w, 0.0, 0.0),
+        Point3::new(0.0, d, 0.0),
+        ceil_n,
+        0.01,
+        rng,
+        &mut pts,
+    );
+    tag(&pts, &mut labels, 1);
+    // Four walls.
+    let per_wall = wall_n / 4;
+    let walls = [
+        (Point3::ORIGIN, Point3::new(w, 0.0, 0.0)),
+        (Point3::new(0.0, d, 0.0), Point3::new(w, 0.0, 0.0)),
+        (Point3::ORIGIN, Point3::new(0.0, d, 0.0)),
+        (Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0)),
+    ];
+    for (i, (o, u)) in walls.into_iter().enumerate() {
+        let count = if i == 3 { wall_n - 3 * per_wall } else { per_wall };
+        scan_rect(o, u, Point3::new(0.0, 0.0, h), count, 0.01, rng, &mut pts);
+    }
+    tag(&pts, &mut labels, 2);
+
+    // Furniture: 2-4 boxes on the floor.
+    let n_boxes = rng.gen_range(2..=4usize);
+    let per_box = furn_n / n_boxes;
+    for b in 0..n_boxes {
+        let count = if b == n_boxes - 1 { furn_n - per_box * (n_boxes - 1) } else { per_box };
+        let bw = rng.gen_range(0.5..1.5f32);
+        let bd = rng.gen_range(0.5..1.5f32);
+        let bh = rng.gen_range(0.4..1.2f32);
+        let bx = rng.gen_range(0.2..(w - bw - 0.2));
+        let by = rng.gen_range(0.2..(d - bd - 0.2));
+        scan_box(
+            Point3::new(bx, by, 0.0),
+            Point3::new(bx + bw, by + bd, bh),
+            count,
+            rng,
+            &mut pts,
+        );
+    }
+    tag(&pts, &mut labels, 3);
+
+    // A table: a raised slab.
+    let tx = rng.gen_range(0.5..(w - 1.7));
+    let ty = rng.gen_range(0.5..(d - 1.2));
+    scan_box(
+        Point3::new(tx, ty, 0.7),
+        Point3::new(tx + 1.2, ty + 0.7, 0.78),
+        table_n,
+        rng,
+        &mut pts,
+    );
+    tag(&pts, &mut labels, 4);
+
+    // Clutter: uniform random points in the room volume.
+    for _ in 0..clutter_n {
+        pts.push(Point3::new(
+            rng.gen_range(0.0..w),
+            rng.gen_range(0.0..d),
+            rng.gen_range(0.0..h),
+        ));
+    }
+    tag(&pts, &mut labels, 5);
+
+    debug_assert_eq!(pts.len(), n);
+    PointCloud::from_points(pts).with_labels(labels)
+}
+
+fn scene_dataset(
+    name: &'static str,
+    default_points: usize,
+    clutter_level: f32,
+    config: &DatasetConfig,
+) -> Dataset {
+    let points = config.points_per_cloud.unwrap_or(default_points);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ default_points as u64);
+    // Scenes have no class axis; interpret per-class counts as room counts.
+    let n_train = config.train_per_class.max(1) * config.classes.clamp(1, 4);
+    let n_test = config.test_per_class.max(1) * config.classes.clamp(1, 2);
+    let make = |count: usize, rng: &mut StdRng| -> Vec<Sample> {
+        (0..count)
+            .map(|_| Sample { cloud: room_scene(points, clutter_level, rng), class: None })
+            .collect()
+    };
+    let train = make(n_train, &mut rng);
+    let test = make(n_test, &mut rng);
+    let ds = Dataset {
+        name,
+        task: Task::SemanticSegmentation,
+        num_classes: SCENE_CLASSES,
+        points_per_cloud: points,
+        train,
+        test,
+    };
+    ds.validate();
+    ds
+}
+
+/// Generates the S3DIS-like dataset: tidy office rooms, 8192 points per
+/// cloud by default (Table 1, W1; 4096 for the DGCNN(s) W5 configuration).
+pub fn s3dis_like(config: &DatasetConfig) -> Dataset {
+    scene_dataset("s3dis-like", 8192, 0.2, config)
+}
+
+/// Generates the ScanNet-like dataset: messier scans with more clutter,
+/// 8192 points per cloud by default (Table 1, W2/W6).
+pub fn scannet_like(config: &DatasetConfig) -> Dataset {
+    scene_dataset("scannet-like", 8192, 1.0, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DatasetConfig {
+        DatasetConfig {
+            classes: 1,
+            train_per_class: 2,
+            test_per_class: 1,
+            points_per_cloud: Some(2048),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn s3dis_defaults_match_table1() {
+        let cfg = DatasetConfig { points_per_cloud: None, ..tiny() };
+        let ds = s3dis_like(&cfg);
+        assert_eq!(ds.points_per_cloud, 8192);
+        assert_eq!(ds.num_classes, SCENE_CLASSES);
+        assert_eq!(ds.task, Task::SemanticSegmentation);
+    }
+
+    #[test]
+    fn every_scene_contains_all_structural_classes() {
+        let ds = s3dis_like(&tiny());
+        for s in &ds.train {
+            let labels = s.cloud.labels().unwrap();
+            for class in 0..5u32 {
+                assert!(labels.contains(&class), "class {class} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn floor_below_ceiling() {
+        let ds = scannet_like(&tiny());
+        let s = &ds.train[0];
+        let labels = s.cloud.labels().unwrap();
+        let mean_z = |want: u32| {
+            let mut sum = 0.0f32;
+            let mut n = 0usize;
+            for (p, &l) in s.cloud.iter().zip(labels) {
+                if l == want {
+                    sum += p.z;
+                    n += 1;
+                }
+            }
+            sum / n.max(1) as f32
+        };
+        assert!(mean_z(0) < 0.3, "floor near z=0");
+        assert!(mean_z(1) > 2.0, "ceiling near z=h");
+    }
+
+    #[test]
+    fn scannet_has_more_clutter_than_s3dis() {
+        let a = s3dis_like(&tiny());
+        let b = scannet_like(&tiny());
+        let clutter = |ds: &Dataset| {
+            ds.train[0]
+                .cloud
+                .labels()
+                .unwrap()
+                .iter()
+                .filter(|&&l| l == 5)
+                .count()
+        };
+        assert!(clutter(&b) > clutter(&a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = s3dis_like(&tiny());
+        let b = s3dis_like(&tiny());
+        assert_eq!(a.train[0].cloud.points(), b.train[0].cloud.points());
+        assert_eq!(a.train[0].cloud.labels(), b.train[0].cloud.labels());
+    }
+
+    #[test]
+    fn points_are_in_scan_order_not_sorted() {
+        // Consecutive points of a stripe are close together: mean step
+        // distance must be far below the room diagonal.
+        let ds = s3dis_like(&tiny());
+        let pts = ds.train[0].cloud.points();
+        let mean_step: f32 = pts
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum::<f32>()
+            / (pts.len() - 1) as f32;
+        let diag = ds.train[0].cloud.bounding_box().extent().norm();
+        assert!(mean_step < diag / 4.0, "step {mean_step} vs diag {diag}");
+    }
+}

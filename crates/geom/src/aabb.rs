@@ -1,0 +1,177 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point3;
+
+/// An axis-aligned bounding box, used by the Morton-code voxelizer to map
+/// floating-point coordinates onto the `2^b x 2^b x 2^b` small-cube grid
+/// (paper Sec. 4.1).
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Aabb, Point3};
+///
+/// let b = Aabb::from_points([Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 4.0, 8.0)]).unwrap();
+/// assert_eq!(b.extent(), Point3::new(2.0, 4.0, 8.0));
+/// assert_eq!(b.max_extent(), 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    min: Point3,
+    max: Point3,
+}
+
+impl Aabb {
+    /// Creates a bounding box from its corner points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `min` exceeds the matching component of
+    /// `max`.
+    pub fn new(min: Point3, max: Point3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "invalid Aabb: min {min} exceeds max {max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Computes the tightest box containing every point of `points`, or
+    /// `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (min, max) = it.fold((first, first), |(lo, hi), p| (lo.min(p), hi.max(p)));
+        Some(Aabb { min, max })
+    }
+
+    /// The minimum corner (the `{x_min, y_min, z_min}` array of Algo. 1).
+    #[inline]
+    pub fn min(&self) -> Point3 {
+        self.min
+    }
+
+    /// The maximum corner.
+    #[inline]
+    pub fn max(&self) -> Point3 {
+        self.max
+    }
+
+    /// Edge lengths along each axis (`L x W x H` in the paper).
+    #[inline]
+    pub fn extent(&self) -> Point3 {
+        self.max - self.min
+    }
+
+    /// The longest edge, the `D` used to derive the grid size
+    /// `r = D / 2^(a/3)` in Sec. 5.1.3.
+    #[inline]
+    pub fn max_extent(&self) -> f32 {
+        let e = self.extent();
+        e.x.max(e.y).max(e.z)
+    }
+
+    /// The center of the box.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) / 2.0
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Returns the smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Grows the box by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative `margin` would invert the box.
+    pub fn inflated(&self, margin: f32) -> Aabb {
+        Aabb::new(self.min - Point3::splat(margin), self.max + Point3::splat(margin))
+    }
+
+    /// Squared distance from `p` to the closest point of the box
+    /// (zero when inside). Used for ball-query pruning in the k-d tree.
+    pub fn distance_squared_to(&self, p: Point3) -> f32 {
+        let clamped = p.max(self.min).min(self.max);
+        p.distance_squared(clamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_is_tight() {
+        let b = Aabb::from_points([
+            Point3::new(1.0, -1.0, 0.0),
+            Point3::new(-2.0, 3.0, 5.0),
+            Point3::new(0.0, 0.0, -4.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min(), Point3::new(-2.0, -1.0, -4.0));
+        assert_eq!(b.max(), Point3::new(1.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        assert!(b.contains(Point3::ORIGIN));
+        assert!(b.contains(Point3::splat(1.0)));
+        assert!(b.contains(Point3::splat(0.5)));
+        assert!(!b.contains(Point3::new(1.1, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        let b = Aabb::new(Point3::splat(2.0), Point3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Point3::splat(0.5)));
+        assert!(u.contains(Point3::splat(2.5)));
+    }
+
+    #[test]
+    fn max_extent_picks_longest_axis() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(1.0, 9.0, 4.0));
+        assert_eq!(b.max_extent(), 9.0);
+    }
+
+    #[test]
+    fn distance_squared_to_outside_point() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        assert_eq!(b.distance_squared_to(Point3::new(2.0, 0.5, 0.5)), 1.0);
+        assert_eq!(b.distance_squared_to(Point3::splat(0.5)), 0.0);
+    }
+
+    #[test]
+    fn inflated_grows_every_side() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::splat(1.0)).inflated(0.5);
+        assert_eq!(b.min(), Point3::splat(-0.5));
+        assert_eq!(b.max(), Point3::splat(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Aabb")]
+    fn inverted_box_panics() {
+        let _ = Aabb::new(Point3::splat(1.0), Point3::ORIGIN);
+    }
+}

@@ -1,0 +1,284 @@
+//! The point-cloud container.
+
+use crate::{Aabb, FeatureMatrix, Point3};
+
+/// An owned point cloud: coordinates plus optional per-point features and
+/// labels.
+///
+/// A `PointCloud` is the unit of work of every EdgePC stage. Points are
+/// stored in a flat `Vec` in *frame order*; "structurizing" the cloud
+/// (paper Sec. 4.1) produces a permutation that can be applied with
+/// [`PointCloud::permuted`].
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, PointCloud};
+///
+/// let cloud = PointCloud::from_points(vec![
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(1.0, 1.0, 1.0),
+///     Point3::new(2.0, 2.0, 2.0),
+/// ]);
+/// let reversed = cloud.permuted(&[2, 1, 0]);
+/// assert_eq!(reversed.point(0), Point3::new(2.0, 2.0, 2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointCloud {
+    points: Vec<Point3>,
+    features: Option<FeatureMatrix>,
+    labels: Option<Vec<u32>>,
+}
+
+impl PointCloud {
+    /// Creates an empty cloud.
+    pub fn new() -> Self {
+        PointCloud::default()
+    }
+
+    /// Creates a cloud from bare coordinates.
+    pub fn from_points(points: Vec<Point3>) -> Self {
+        PointCloud { points, features: None, labels: None }
+    }
+
+    /// Attaches per-point features (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.rows() != self.len()`.
+    pub fn with_features(mut self, features: FeatureMatrix) -> Self {
+        assert_eq!(
+            features.rows(),
+            self.points.len(),
+            "feature rows must match point count"
+        );
+        self.features = Some(features);
+        self
+    }
+
+    /// Attaches per-point labels (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.len()`.
+    pub fn with_labels(mut self, labels: Vec<u32>) -> Self {
+        assert_eq!(labels.len(), self.points.len(), "label count must match point count");
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Number of points (`N` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the cloud has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Borrows the coordinate array.
+    #[inline]
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Returns point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> Point3 {
+        self.points[i]
+    }
+
+    /// Borrows the per-point features, if any.
+    #[inline]
+    pub fn features(&self) -> Option<&FeatureMatrix> {
+        self.features.as_ref()
+    }
+
+    /// Borrows the per-point labels, if any.
+    #[inline]
+    pub fn labels(&self) -> Option<&[u32]> {
+        self.labels.as_deref()
+    }
+
+    /// Iterates over the coordinates.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Point3>> {
+        self.points.iter().copied()
+    }
+
+    /// The tightest bounding box of the cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is empty. Call [`PointCloud::try_bounding_box`]
+    /// for a non-panicking variant.
+    pub fn bounding_box(&self) -> Aabb {
+        self.try_bounding_box().expect("bounding_box of empty cloud")
+    }
+
+    /// The tightest bounding box, or `None` for an empty cloud.
+    pub fn try_bounding_box(&self) -> Option<Aabb> {
+        Aabb::from_points(self.iter())
+    }
+
+    /// Builds a new cloud whose entry `i` is this cloud's entry `index[i]`,
+    /// carrying features and labels along (gather semantics: indices may
+    /// repeat, and `index.len()` may differ from `len()`).
+    ///
+    /// Both Morton re-ordering (a permutation) and sampling (a strided
+    /// subset) are expressed through this one operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn permuted(&self, index: &[usize]) -> PointCloud {
+        let points = index.iter().map(|&i| self.points[i]).collect();
+        PointCloud {
+            points,
+            features: self.features.as_ref().map(|f| f.gather(index)),
+            labels: self
+                .labels
+                .as_ref()
+                .map(|l| index.iter().map(|&i| l[i]).collect()),
+        }
+    }
+
+    /// The centroid (mean) of the coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is empty.
+    pub fn centroid(&self) -> Point3 {
+        assert!(!self.is_empty(), "centroid of empty cloud");
+        let sum = self.iter().fold(Point3::ORIGIN, |acc, p| acc + p);
+        sum / self.points.len() as f32
+    }
+
+    /// Normalizes coordinates into the unit cube `[0, 1]^3`, preserving
+    /// aspect ratio, and returns the transformed cloud. Useful before
+    /// quantizing with a fixed-size Morton grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is empty.
+    pub fn normalized_unit_cube(&self) -> PointCloud {
+        let bb = self.bounding_box();
+        let scale = bb.max_extent();
+        let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+        let min = bb.min();
+        let points = self.iter().map(|p| (p - min) * inv).collect();
+        PointCloud { points, features: self.features.clone(), labels: self.labels.clone() }
+    }
+}
+
+impl FromIterator<Point3> for PointCloud {
+    fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
+        PointCloud::from_points(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Point3> for PointCloud {
+    /// Appends points to the cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud carries features or labels, which would fall out
+    /// of sync with the appended points.
+    fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
+        assert!(
+            self.features.is_none() && self.labels.is_none(),
+            "cannot extend a cloud that carries features or labels"
+        );
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cloud() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 2.0, 0.0),
+            Point3::new(0.0, 0.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn len_and_access() {
+        let c = sample_cloud();
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.point(2), Point3::new(0.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let bb = sample_cloud().bounding_box();
+        assert_eq!(bb.min(), Point3::ORIGIN);
+        assert_eq!(bb.max(), Point3::new(1.0, 2.0, 4.0));
+    }
+
+    #[test]
+    fn centroid_is_mean() {
+        let c = sample_cloud();
+        assert_eq!(c.centroid(), Point3::new(0.25, 0.5, 1.0));
+    }
+
+    #[test]
+    fn permuted_carries_features_and_labels() {
+        let c = sample_cloud()
+            .with_features(FeatureMatrix::from_vec((0..8).map(|v| v as f32).collect(), 4, 2))
+            .with_labels(vec![10, 11, 12, 13]);
+        let p = c.permuted(&[3, 1]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.point(0), Point3::new(0.0, 0.0, 4.0));
+        assert_eq!(p.features().unwrap().row(0), &[6.0, 7.0]);
+        assert_eq!(p.labels().unwrap(), &[13, 11]);
+    }
+
+    #[test]
+    fn permuted_allows_repeats() {
+        let c = sample_cloud();
+        let p = c.permuted(&[0, 0, 0]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.point(2), Point3::ORIGIN);
+    }
+
+    #[test]
+    fn normalized_unit_cube_bounds() {
+        let n = sample_cloud().normalized_unit_cube();
+        let bb = n.bounding_box();
+        assert_eq!(bb.min(), Point3::ORIGIN);
+        // Longest original extent was 4 (z); aspect ratio preserved.
+        assert_eq!(bb.max(), Point3::new(0.25, 0.5, 1.0));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut c: PointCloud = (0..3).map(|i| Point3::splat(i as f32)).collect();
+        c.extend([Point3::splat(9.0)]);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend")]
+    fn extend_with_labels_panics() {
+        let mut c = PointCloud::from_points(vec![Point3::ORIGIN]).with_labels(vec![0]);
+        c.extend([Point3::splat(1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn mismatched_features_panic() {
+        let _ = sample_cloud().with_features(FeatureMatrix::zeros(3, 2));
+    }
+}

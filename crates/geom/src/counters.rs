@@ -1,0 +1,194 @@
+//! Operation-count instrumentation.
+//!
+//! Every algorithm in this workspace (samplers, neighbor searchers, feature
+//! compute) reports what it *did* — distance kernels executed, elements
+//! sorted, bytes gathered, multiply-accumulates issued — plus the length of
+//! its unavoidable sequential dependency chain. The device cost model in
+//! `edgepc-sim` converts these counts into Jetson-Xavier time and energy.
+//!
+//! This split is the heart of the hardware substitution documented in
+//! DESIGN.md: the *work* is measured from real executions of the real Rust
+//! implementations; only the work→time mapping is modelled.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Additive record of the operations an algorithm performed.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::OpCounts;
+///
+/// let mut ops = OpCounts::default();
+/// ops.dist3 += 100;
+/// ops.seq_rounds = 10;
+/// let more = OpCounts { dist3: 50, seq_rounds: 4, ..OpCounts::default() };
+/// let total = ops + more;
+/// assert_eq!(total.dist3, 150);
+/// // Sequential chains concatenate when stages run back to back.
+/// assert_eq!(total.seq_rounds, 14);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct OpCounts {
+    /// 3-D point-to-point squared-distance evaluations (FPS, ball query,
+    /// k-NN, k-d tree leaves).
+    pub dist3: u64,
+    /// Feature-space distance work in scalar FLOPs (DGCNN feature k-NN);
+    /// each pair costs `3 * C` FLOPs for a `C`-channel feature.
+    pub feat_flops: u64,
+    /// Scalar comparisons (max reductions, heap sifts, window top-k).
+    pub cmp: u64,
+    /// Morton-code encodes (voxelize + interleave) performed.
+    pub morton_encodes: u64,
+    /// Elements passed through a sort.
+    pub sorted_elems: u64,
+    /// Bytes moved by gather/scatter stages (grouping, permutation).
+    pub gathered_bytes: u64,
+    /// Multiply-accumulate operations in feature compute (matrix multiply).
+    pub mac: u64,
+    /// Length of the algorithm's longest unavoidable sequential dependency
+    /// chain, in "rounds" (e.g. `n` for FPS because each sampled point
+    /// depends on the previous; ~`log2 N` for a parallel sort; `1` for a
+    /// fully parallel uniform pick). The cost model uses this to bound how
+    /// much the GPU's parallelism can help.
+    pub seq_rounds: u64,
+}
+
+impl OpCounts {
+    /// A record with every counter at zero.
+    pub const ZERO: OpCounts = OpCounts {
+        dist3: 0,
+        feat_flops: 0,
+        cmp: 0,
+        morton_encodes: 0,
+        sorted_elems: 0,
+        gathered_bytes: 0,
+        mac: 0,
+        seq_rounds: 0,
+    };
+
+    /// Creates a zeroed record (alias for [`OpCounts::default`]).
+    pub fn new() -> Self {
+        OpCounts::ZERO
+    }
+
+    /// Total scalar floating-point work, using the conventional weights:
+    /// a 3-D squared distance is 8 FLOPs (3 subs, 3 muls, 2 adds), a MAC is
+    /// 2 FLOPs, a comparison 1.
+    pub fn total_flops(&self) -> u64 {
+        self.dist3 * 8 + self.feat_flops + self.mac * 2 + self.cmp
+    }
+
+    /// Returns `self` with the sequential chain replaced, for algorithms
+    /// whose depth is not the sum of their parts (e.g. overlap/pipelining).
+    pub fn with_seq_rounds(mut self, rounds: u64) -> Self {
+        self.seq_rounds = rounds;
+        self
+    }
+
+    /// Merges a stage that ran *concurrently* with `self` (depths take the
+    /// max instead of summing).
+    pub fn merge_parallel(mut self, other: OpCounts) -> OpCounts {
+        let depth = self.seq_rounds.max(other.seq_rounds);
+        self += other;
+        self.seq_rounds = depth;
+        self
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(mut self, rhs: OpCounts) -> OpCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for OpCounts {
+    /// Accumulates `rhs` into `self`; sequential chains concatenate, which
+    /// models stages executing back to back.
+    fn add_assign(&mut self, rhs: OpCounts) {
+        self.dist3 += rhs.dist3;
+        self.feat_flops += rhs.feat_flops;
+        self.cmp += rhs.cmp;
+        self.morton_encodes += rhs.morton_encodes;
+        self.sorted_elems += rhs.sorted_elems;
+        self.gathered_bytes += rhs.gathered_bytes;
+        self.mac += rhs.mac;
+        self.seq_rounds += rhs.seq_rounds;
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dist3={} featFLOP={} cmp={} morton={} sorted={} gatherB={} mac={} depth={}",
+            self.dist3,
+            self.feat_flops,
+            self.cmp,
+            self.morton_encodes,
+            self.sorted_elems,
+            self.gathered_bytes,
+            self.mac,
+            self.seq_rounds
+        )
+    }
+}
+
+impl std::iter::Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(OpCounts::ZERO, OpCounts::default());
+        assert_eq!(OpCounts::new(), OpCounts::ZERO);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = OpCounts { dist3: 1, cmp: 2, mac: 3, seq_rounds: 4, ..OpCounts::ZERO };
+        let b = OpCounts { dist3: 10, cmp: 20, mac: 30, seq_rounds: 40, ..OpCounts::ZERO };
+        let c = a + b;
+        assert_eq!(c.dist3, 11);
+        assert_eq!(c.cmp, 22);
+        assert_eq!(c.mac, 33);
+        assert_eq!(c.seq_rounds, 44);
+    }
+
+    #[test]
+    fn merge_parallel_takes_max_depth() {
+        let a = OpCounts { dist3: 5, seq_rounds: 10, ..OpCounts::ZERO };
+        let b = OpCounts { dist3: 7, seq_rounds: 3, ..OpCounts::ZERO };
+        let m = a.merge_parallel(b);
+        assert_eq!(m.dist3, 12);
+        assert_eq!(m.seq_rounds, 10);
+    }
+
+    #[test]
+    fn total_flops_weights() {
+        let ops = OpCounts { dist3: 2, mac: 3, cmp: 4, feat_flops: 5, ..OpCounts::ZERO };
+        assert_eq!(ops.total_flops(), 2 * 8 + 3 * 2 + 4 + 5);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: OpCounts = (0..4)
+            .map(|i| OpCounts { dist3: i, ..OpCounts::ZERO })
+            .sum();
+        assert_eq!(total.dist3, 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(OpCounts::ZERO.to_string().contains("dist3=0"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Dense per-point feature storage.
+
+use std::fmt;
+
+/// A dense row-major `N x C` matrix of per-point features.
+///
+/// This is the `N x C` input matrix of a SetAbstraction module (paper
+/// Sec. 3.1): row `i` holds the `C` feature channels of point `i`.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::FeatureMatrix;
+///
+/// let mut f = FeatureMatrix::zeros(3, 2);
+/// f.row_mut(1).copy_from_slice(&[5.0, 6.0]);
+/// assert_eq!(f.row(1), &[5.0, 6.0]);
+/// assert_eq!(f.rows(), 3);
+/// assert_eq!(f.channels(), 2);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f32>,
+    rows: usize,
+    channels: usize,
+}
+
+impl FeatureMatrix {
+    /// Creates an `rows x channels` matrix filled with zeros.
+    pub fn zeros(rows: usize, channels: usize) -> Self {
+        FeatureMatrix { data: vec![0.0; rows * channels], rows, channels }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * channels`.
+    pub fn from_vec(data: Vec<f32>, rows: usize, channels: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * channels,
+            "feature data length {} does not match {rows} x {channels}",
+            data.len()
+        );
+        FeatureMatrix { data, rows, channels }
+    }
+
+    /// Number of rows (points).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of channels per point (`C`).
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Returns `true` if the matrix has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.channels..(i + 1) * self.channels]
+    }
+
+    /// Mutably borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.channels..(i + 1) * self.channels]
+    }
+
+    /// The raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Builds a new matrix whose row `i` is `self.row(perm[i])`.
+    ///
+    /// This is how a Morton re-ordering permutation is applied to features
+    /// alongside the coordinates. Indices may repeat (gather semantics), so
+    /// the result can also be a sampled subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `perm` is out of range.
+    pub fn gather(&self, perm: &[usize]) -> FeatureMatrix {
+        let mut out = FeatureMatrix::zeros(perm.len(), self.channels);
+        for (dst, &src) in perm.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Squared Euclidean distance between rows `i` and `j`.
+    ///
+    /// DGCNN's later EdgeConv modules run k-NN in *feature* space
+    /// (paper Sec. 5.2.3); this is that kernel.
+    pub fn row_distance_squared(&self, i: usize, j: usize) -> f32 {
+        self.row(i)
+            .iter()
+            .zip(self.row(j))
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+}
+
+impl fmt::Debug for FeatureMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FeatureMatrix")
+            .field("rows", &self.rows)
+            .field("channels", &self.channels)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let f = FeatureMatrix::zeros(4, 3);
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.channels(), 3);
+        assert!(f.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let f = FeatureMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(f.row(0), &[1.0, 2.0]);
+        assert_eq!(f.row(1), &[3.0, 4.0]);
+        assert_eq!(f.clone().into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_shape_panics() {
+        let _ = FeatureMatrix::from_vec(vec![1.0; 5], 2, 2);
+    }
+
+    #[test]
+    fn gather_reorders_and_repeats() {
+        let f = FeatureMatrix::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], 3, 2);
+        let g = f.gather(&[2, 0, 2]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), &[4.0, 5.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn row_distance_squared_matches_hand_computation() {
+        let f = FeatureMatrix::from_vec(vec![0.0, 0.0, 3.0, 4.0], 2, 2);
+        assert_eq!(f.row_distance_squared(0, 1), 25.0);
+        assert_eq!(f.row_distance_squared(1, 1), 0.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", FeatureMatrix::zeros(1, 1));
+        assert!(s.contains("FeatureMatrix"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Sampling-quality metrics.
+//!
+//! Paper Fig. 5 argues visually that uniform sampling on Morton-sorted
+//! points covers the cloud almost as well as farthest point sampling, while
+//! uniform sampling in raw frame order leaves regions empty. These metrics
+//! make that argument quantitative:
+//!
+//! * [`coverage_radius`] — the largest distance from any original point to
+//!   its closest sample (lower = better coverage; FPS greedily minimizes
+//!   exactly this),
+//! * [`mean_nearest_sample_distance`] — the average of the same quantity,
+//! * [`chamfer_distance`] — the symmetric point-set distance used widely in
+//!   the point-cloud literature.
+
+use crate::Point3;
+
+fn nearest_distance_squared(p: Point3, set: &[Point3]) -> f32 {
+    set.iter()
+        .map(|&s| p.distance_squared(s))
+        .fold(f32::INFINITY, f32::min)
+}
+
+/// Largest distance from any point of `cloud` to its nearest point of
+/// `samples` (the "covering radius" of the sample set).
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{coverage_radius, Point3};
+///
+/// let cloud = [Point3::new(0.0, 0.0, 0.0), Point3::new(4.0, 0.0, 0.0)];
+/// let samples = [Point3::new(0.0, 0.0, 0.0)];
+/// assert_eq!(coverage_radius(&cloud, &samples), 4.0);
+/// ```
+pub fn coverage_radius(cloud: &[Point3], samples: &[Point3]) -> f32 {
+    assert!(!cloud.is_empty() && !samples.is_empty(), "coverage_radius of empty set");
+    cloud
+        .iter()
+        .map(|&p| nearest_distance_squared(p, samples))
+        .fold(0.0_f32, f32::max)
+        .sqrt()
+}
+
+/// Mean distance from each point of `cloud` to its nearest sample.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+pub fn mean_nearest_sample_distance(cloud: &[Point3], samples: &[Point3]) -> f32 {
+    assert!(!cloud.is_empty() && !samples.is_empty(), "mean distance of empty set");
+    let sum: f32 = cloud
+        .iter()
+        .map(|&p| nearest_distance_squared(p, samples).sqrt())
+        .sum();
+    sum / cloud.len() as f32
+}
+
+/// Mean distance from each sample to its nearest *other* sample — the
+/// spread of a sample set. Clumped samples (the "continuous lines" of the
+/// paper's Fig. 5b raw-uniform picture) score low; well-separated samples
+/// (FPS, Morton-stratified) score high.
+///
+/// # Panics
+///
+/// Panics if `samples` has fewer than 2 points.
+pub fn sample_spacing(samples: &[Point3]) -> f32 {
+    assert!(samples.len() >= 2, "sample_spacing needs at least 2 samples");
+    let sum: f32 = samples
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            samples
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &q)| p.distance_squared(q))
+                .fold(f32::INFINITY, f32::min)
+                .sqrt()
+        })
+        .sum();
+    sum / samples.len() as f32
+}
+
+/// Symmetric chamfer distance between two point sets: the sum of the mean
+/// nearest-neighbor distances in both directions.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{chamfer_distance, Point3};
+///
+/// let a = [Point3::new(0.0, 0.0, 0.0)];
+/// let b = [Point3::new(3.0, 4.0, 0.0)];
+/// assert_eq!(chamfer_distance(&a, &b), 10.0); // 5.0 each way
+/// ```
+pub fn chamfer_distance(a: &[Point3], b: &[Point3]) -> f32 {
+    mean_nearest_sample_distance(a, b) + mean_nearest_sample_distance(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<Point3> {
+        (0..n).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn coverage_radius_zero_when_samples_equal_cloud() {
+        let c = line(8);
+        assert_eq!(coverage_radius(&c, &c), 0.0);
+    }
+
+    #[test]
+    fn coverage_radius_detects_gap() {
+        // Sampling only the left half of a 0..=9 line leaves point 9 at
+        // distance 5 from the nearest sample (index 4).
+        let cloud = line(10);
+        let samples = &cloud[..5];
+        assert_eq!(coverage_radius(&cloud, samples), 5.0);
+    }
+
+    #[test]
+    fn spread_samples_cover_better_than_clustered() {
+        let cloud = line(100);
+        let clustered: Vec<Point3> = cloud[..10].to_vec();
+        let spread: Vec<Point3> = cloud.iter().step_by(10).copied().collect();
+        assert!(
+            coverage_radius(&cloud, &spread) < coverage_radius(&cloud, &clustered),
+            "evenly spread samples must have a smaller covering radius"
+        );
+    }
+
+    #[test]
+    fn mean_distance_is_below_radius() {
+        let cloud = line(20);
+        let samples: Vec<Point3> = cloud.iter().step_by(5).copied().collect();
+        let mean = mean_nearest_sample_distance(&cloud, &samples);
+        let radius = coverage_radius(&cloud, &samples);
+        assert!(mean <= radius);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn chamfer_is_symmetric() {
+        let a = line(5);
+        let b: Vec<Point3> = (0..5).map(|i| Point3::new(i as f32, 1.0, 0.0)).collect();
+        assert_eq!(chamfer_distance(&a, &b), chamfer_distance(&b, &a));
+    }
+
+    #[test]
+    fn chamfer_zero_on_identical_sets() {
+        let a = line(6);
+        assert_eq!(chamfer_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn coverage_radius_empty_panics() {
+        let _ = coverage_radius(&[], &[Point3::ORIGIN]);
+    }
+
+    #[test]
+    fn spacing_prefers_spread_samples() {
+        let spread: Vec<Point3> =
+            (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let clumped: Vec<Point3> =
+            (0..10).map(|i| Point3::new(i as f32 * 0.1, 0.0, 0.0)).collect();
+        assert!(sample_spacing(&spread) > sample_spacing(&clumped));
+        assert_eq!(sample_spacing(&spread), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn spacing_needs_two_samples() {
+        let _ = sample_spacing(&[Point3::ORIGIN]);
+    }
+}

@@ -1,0 +1,280 @@
+//! 3-D point type and distance kernels.
+
+use std::fmt;
+use std::ops::{Add, Div, Index, Mul, Neg, Sub};
+
+/// A point (or vector) in 3-D space with `f32` coordinates.
+///
+/// `f32` matches what point-cloud pipelines ship to GPUs; the paper's
+/// Morton-code quantizer also assumes 32-bit floating-point inputs.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::Point3;
+///
+/// let a = Point3::new(1.0, 2.0, 3.0);
+/// let b = Point3::new(1.0, 2.0, 7.0);
+/// assert_eq!(a.distance_squared(b), 16.0);
+/// assert_eq!(a.distance(b), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+    /// Z coordinate.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// The origin, `(0, 0, 0)`.
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its three coordinates.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Creates a point with all three coordinates equal to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Point3 { x: v, y: v, z: v }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// This is the kernel both farthest-point sampling and brute-force
+    /// neighbor search execute `O(N^2)` times; keeping it square-root-free
+    /// mirrors the CUDA kernels the paper profiles.
+    #[inline]
+    pub fn distance_squared(self, other: Point3) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point3) -> f32 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Euclidean norm of the point treated as a vector.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.distance(Point3::ORIGIN)
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Point3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product with `other`.
+    #[inline]
+    pub fn cross(self, other: Point3) -> Point3 {
+        Point3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Returns the unit-length vector pointing the same way, or the origin
+    /// if the norm is zero.
+    pub fn normalized(self) -> Point3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Point3::ORIGIN
+        } else {
+            self / n
+        }
+    }
+
+    /// Returns the coordinates as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Returns `true` if every coordinate is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl From<[f32; 3]> for Point3 {
+    fn from(a: [f32; 3]) -> Self {
+        Point3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Point3> for [f32; 3] {
+    fn from(p: Point3) -> Self {
+        p.to_array()
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f32;
+
+    /// Accesses a coordinate by axis index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > 2`.
+    fn index(&self, axis: usize) -> &f32 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Point3 axis index out of range: {axis}"),
+        }
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn mul(self, s: f32) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f32> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn div(self, s: f32) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point3::new(1.0, -2.0, 0.5);
+        let b = Point3::new(-3.0, 4.0, 2.5);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn squared_distance_matches_example_from_paper_fig8() {
+        // Fig. 8(a): distances from P0 become {0, 14, 10, 49, 33} for the
+        // 5-point example. Reconstruct one pair: d^2(P0, P3) = 49.
+        let p0 = Point3::new(0.0, 0.0, 0.0);
+        let p3 = Point3::new(6.0, 3.0, 2.0);
+        assert_eq!(p0.distance_squared(p3), 49.0);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Point3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Point3::splat(3.0));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 2.0, Point3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Point3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Point3::new(1.0, 0.0, 0.0);
+        let y = Point3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), Point3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Point3::new(1.0, 5.0, -2.0);
+        let b = Point3::new(3.0, 4.0, -1.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 4.0, -2.0));
+        assert_eq!(a.max(b), Point3::new(3.0, 5.0, -1.0));
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Point3::new(3.0, 4.0, 0.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        assert_eq!(Point3::ORIGIN.normalized(), Point3::ORIGIN);
+    }
+
+    #[test]
+    fn indexing_by_axis() {
+        let p = Point3::new(7.0, 8.0, 9.0);
+        assert_eq!(p[0], 7.0);
+        assert_eq!(p[1], 8.0);
+        assert_eq!(p[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index out of range")]
+    fn indexing_out_of_range_panics() {
+        let _ = Point3::ORIGIN[3];
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let p = Point3::new(1.5, 2.5, 3.5);
+        let a: [f32; 3] = p.into();
+        assert_eq!(Point3::from(a), p);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Point3::new(1.0, 2.0, 3.0).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,184 @@
+//! Rigid and similarity transforms on clouds — the augmentation substrate
+//! the training recipes of PointNet++/DGCNN rely on (random rotation about
+//! the gravity axis, anisotropic scaling, jitter).
+
+use crate::{Point3, PointCloud};
+
+/// A similarity transform: rotation about the z (gravity) axis, per-axis
+/// scaling, and translation, applied as `scale * rotate(p) + offset`.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, Transform};
+///
+/// let t = Transform::rotation_z(std::f32::consts::FRAC_PI_2);
+/// let p = t.apply(Point3::new(1.0, 0.0, 0.0));
+/// assert!((p.y - 1.0).abs() < 1e-6);
+/// assert!(p.x.abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transform {
+    /// Rotation angle about z, radians.
+    pub angle_z: f32,
+    /// Per-axis scale factors.
+    pub scale: Point3,
+    /// Translation added after rotation and scaling.
+    pub offset: Point3,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Transform { angle_z: 0.0, scale: Point3::splat(1.0), offset: Point3::ORIGIN }
+    }
+
+    /// A pure rotation about the z axis.
+    pub fn rotation_z(angle: f32) -> Self {
+        Transform { angle_z: angle, ..Transform::identity() }
+    }
+
+    /// A pure uniform scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaling(factor: f32) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale must be positive");
+        Transform { scale: Point3::splat(factor), ..Transform::identity() }
+    }
+
+    /// A pure translation.
+    pub fn translation(offset: Point3) -> Self {
+        Transform { offset, ..Transform::identity() }
+    }
+
+    /// Applies the transform to one point.
+    pub fn apply(&self, p: Point3) -> Point3 {
+        let (s, c) = self.angle_z.sin_cos();
+        let rotated = Point3::new(c * p.x - s * p.y, s * p.x + c * p.y, p.z);
+        Point3::new(
+            rotated.x * self.scale.x + self.offset.x,
+            rotated.y * self.scale.y + self.offset.y,
+            rotated.z * self.scale.z + self.offset.z,
+        )
+    }
+
+    /// Applies the transform to a whole cloud, preserving features and
+    /// labels.
+    pub fn apply_cloud(&self, cloud: &PointCloud) -> PointCloud {
+        let pts: Vec<Point3> = cloud.iter().map(|p| self.apply(p)).collect();
+        let mut out = PointCloud::from_points(pts);
+        if let Some(f) = cloud.features() {
+            out = out.with_features(f.clone());
+        }
+        if let Some(l) = cloud.labels() {
+            out = out.with_labels(l.to_vec());
+        }
+        out
+    }
+
+    /// The inverse transform (undoes rotation, scale and offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scale component is zero.
+    pub fn inverse(&self) -> Transform {
+        assert!(
+            self.scale.x != 0.0 && self.scale.y != 0.0 && self.scale.z != 0.0,
+            "singular transform"
+        );
+        // apply: q = S R p + t  =>  p = R^-1 S^-1 (q - t).
+        // Our representation is (rotate, then scale, then offset), so the
+        // inverse is expressible only when the scale is isotropic in x/y
+        // (rotation and anisotropic xy-scale do not commute); we support
+        // the common augmentation case.
+        Transform {
+            angle_z: -self.angle_z,
+            scale: Point3::new(1.0 / self.scale.x, 1.0 / self.scale.y, 1.0 / self.scale.z),
+            offset: {
+                // -R^-1 S^-1 t
+                let (s, c) = (-self.angle_z).sin_cos();
+                let v = Point3::new(
+                    -self.offset.x / self.scale.x,
+                    -self.offset.y / self.scale.y,
+                    -self.offset.z / self.scale.z,
+                );
+                Point3::new(c * v.x - s * v.y, s * v.x + c * v.y, v.z)
+            },
+        }
+    }
+}
+
+impl Default for Transform {
+    fn default() -> Self {
+        Transform::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Point3, b: Point3) -> bool {
+        a.distance(b) < 1e-4
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let p = Point3::new(1.5, -2.0, 3.0);
+        assert_eq!(Transform::identity().apply(p), p);
+    }
+
+    #[test]
+    fn quarter_turn_rotates_axes() {
+        let t = Transform::rotation_z(std::f32::consts::FRAC_PI_2);
+        assert!(close(t.apply(Point3::new(1.0, 0.0, 5.0)), Point3::new(0.0, 1.0, 5.0)));
+        assert!(close(t.apply(Point3::new(0.0, 1.0, 0.0)), Point3::new(-1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn rotation_preserves_distances() {
+        let t = Transform::rotation_z(0.7);
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-2.0, 0.5, 1.0);
+        assert!((t.apply(a).distance(t.apply(b)) - a.distance(b)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scaling_scales_distances() {
+        let t = Transform::scaling(3.0);
+        let a = Point3::ORIGIN;
+        let b = Point3::new(1.0, 0.0, 0.0);
+        assert!((t.apply(a).distance(t.apply(b)) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_round_trips_for_isotropic_transforms() {
+        let t = Transform {
+            angle_z: 0.9,
+            scale: Point3::splat(2.5),
+            offset: Point3::new(1.0, -2.0, 0.5),
+        };
+        let inv = t.inverse();
+        for p in [Point3::ORIGIN, Point3::new(1.0, 2.0, 3.0), Point3::new(-4.0, 0.1, 2.0)] {
+            assert!(close(inv.apply(t.apply(p)), p), "{p}");
+        }
+    }
+
+    #[test]
+    fn apply_cloud_preserves_labels() {
+        let cloud = PointCloud::from_points(vec![Point3::ORIGIN, Point3::splat(1.0)])
+            .with_labels(vec![7, 8]);
+        let t = Transform::translation(Point3::new(0.0, 0.0, 2.0));
+        let moved = t.apply_cloud(&cloud);
+        assert_eq!(moved.labels().unwrap(), &[7, 8]);
+        assert_eq!(moved.point(0), Point3::new(0.0, 0.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = Transform::scaling(0.0);
+    }
+}

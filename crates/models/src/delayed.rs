@@ -1,0 +1,132 @@
+//! The Mesorasi delayed-aggregation comparison (paper Sec. 6.4).
+//!
+//! Mesorasi [18] reorders the SA module: instead of grouping neighbor
+//! features *then* running the MLP on the `(n*k) x C` grouped matrix, it
+//! runs the MLP on the `N` *input* points first and groups (aggregates)
+//! afterwards. That shrinks feature-compute work by roughly `n*k / N` but
+//! moves the grouping stage *after* the MLP, where features are wider —
+//! the paper measures FC 2.1x faster and grouping 2.73x slower, for only
+//! 1.12x end to end, because the sampling stage is untouched.
+//!
+//! This module computes both schedules' stage records for an SA-module
+//! shape so the `sec64_prior_work` harness can reproduce the comparison.
+
+use edgepc_geom::OpCounts;
+use edgepc_sim::StageKind;
+
+use crate::strategy::StageRecord;
+
+/// The shape of one SA module for schedule analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaShape {
+    /// Input points (`N`).
+    pub n_in: usize,
+    /// Sampled points (`n`).
+    pub n_out: usize,
+    /// Neighbors per sampled point (`k`).
+    pub k: usize,
+    /// Input feature channels (`C`).
+    pub c_in: usize,
+    /// MLP output channels (`C'`), treating the MLP as one dense layer for
+    /// schedule purposes.
+    pub c_out: usize,
+}
+
+/// Stage records of the conventional schedule: group (narrow features),
+/// then MLP over `n*k` grouped rows.
+pub fn conventional_schedule(shape: &SaShape, name: &str) -> Vec<StageRecord> {
+    let SaShape { n_out, k, c_in, c_out, .. } = *shape;
+    let group_bytes = (n_out * k * c_in * 4) as u64;
+    let mac = (n_out * k * c_in * c_out) as u64;
+    vec![
+        StageRecord::new(
+            StageKind::Grouping,
+            format!("{name}.group"),
+            OpCounts { gathered_bytes: group_bytes, seq_rounds: 1, ..OpCounts::ZERO },
+        ),
+        fc_record(name, mac, c_in),
+    ]
+}
+
+/// Stage records of the delayed-aggregation schedule: MLP over the `N`
+/// input rows first, then group the (wider) transformed features.
+pub fn delayed_aggregation_schedule(shape: &SaShape, name: &str) -> Vec<StageRecord> {
+    let SaShape { n_in, n_out, k, c_in, c_out } = *shape;
+    let mac = (n_in * c_in * c_out) as u64;
+    let group_bytes = (n_out * k * c_out * 4) as u64;
+    vec![
+        fc_record(name, mac, c_in),
+        StageRecord::new(
+            StageKind::Grouping,
+            format!("{name}.aggregate"),
+            OpCounts { gathered_bytes: group_bytes, seq_rounds: 1, ..OpCounts::ZERO },
+        ),
+    ]
+}
+
+fn fc_record(name: &str, mac: u64, k_channels: usize) -> StageRecord {
+    let mut rec = StageRecord::new(
+        StageKind::FeatureCompute,
+        format!("{name}.fc"),
+        OpCounts { mac, seq_rounds: 2, ..OpCounts::ZERO },
+    );
+    rec.fc_k = Some(k_channels);
+    rec
+}
+
+/// The PointNet++(s) layer-1 shape on an 8192-point cloud, the setting of
+/// the paper's Sec. 6.4 measurement.
+pub fn paper_sa1_shape() -> SaShape {
+    SaShape { n_in: 8192, n_out: 1024, k: 32, c_in: 64, c_out: 128 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::price_stages;
+    use edgepc_sim::XavierModel;
+
+    #[test]
+    fn delayed_aggregation_shrinks_fc_and_inflates_grouping() {
+        let shape = paper_sa1_shape();
+        let conv = conventional_schedule(&shape, "sa1");
+        let da = delayed_aggregation_schedule(&shape, "sa1");
+        let fc = |rs: &[StageRecord]| {
+            rs.iter().find(|r| r.kind == StageKind::FeatureCompute).unwrap().ops.mac
+        };
+        let grp = |rs: &[StageRecord]| {
+            rs.iter().find(|r| r.kind == StageKind::Grouping).unwrap().ops.gathered_bytes
+        };
+        // n*k = 32768 = 4N: FC work drops 4x under DA.
+        assert_eq!(fc(&conv) / fc(&da), 4);
+        // Grouping moves C'=128-wide rows instead of C=64: 2x the bytes.
+        assert_eq!(grp(&da) / grp(&conv), 2);
+    }
+
+    #[test]
+    fn priced_ratios_match_paper_direction() {
+        let shape = paper_sa1_shape();
+        let dev = XavierModel::jetson_agx_xavier();
+        let conv = price_stages(&conventional_schedule(&shape, "sa1"), &dev, false);
+        let da = price_stages(&delayed_aggregation_schedule(&shape, "sa1"), &dev, false);
+        let conv_fc = conv.time_of(StageKind::FeatureCompute);
+        let da_fc = da.time_of(StageKind::FeatureCompute);
+        assert!(conv_fc / da_fc > 1.5, "FC should speed up ~2x: {conv_fc} vs {da_fc}");
+        let conv_grp = conv.time_of(StageKind::Grouping);
+        let da_grp = da.time_of(StageKind::Grouping);
+        assert!(da_grp > conv_grp, "grouping slows down under DA");
+    }
+
+    #[test]
+    fn schedules_do_the_same_logical_work() {
+        // Both schedules produce n_out x k x c_out grouped features; the
+        // records only reorder where the MAC work happens.
+        let shape = SaShape { n_in: 100, n_out: 10, k: 4, c_in: 8, c_out: 16 };
+        let conv = conventional_schedule(&shape, "m");
+        let da = delayed_aggregation_schedule(&shape, "m");
+        assert_eq!(conv.len(), 2);
+        assert_eq!(da.len(), 2);
+        assert_eq!(conv[0].kind, StageKind::Grouping);
+        assert_eq!(da[0].kind, StageKind::FeatureCompute);
+    }
+}

@@ -1,0 +1,293 @@
+//! Executes a (sample, neighbor-search) strategy pair for one SA module,
+//! recording the work of each stage.
+//!
+//! This is where the paper's "reuse the Morton codes for the neighbor
+//! searcher without any extra overhead" (Sec. 5.2.3) is implemented: when
+//! both strategies are Morton-based, the sampler's structurization is
+//! handed to the window searcher instead of being recomputed.
+
+use edgepc_geom::{Point3, PointCloud};
+use edgepc_morton::Structurizer;
+use edgepc_neighbor::{BallQuery, BruteKnn, MortonWindowSearcher, NeighborSearcher};
+use edgepc_sample::{FarthestPointSampler, MortonSampler, Sampler};
+use edgepc_sim::StageKind;
+
+use crate::strategy::{SampleStrategy, SearchStrategy, StageRecord};
+
+/// The output of one sample + neighbor-search execution.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Indices of the sampled points into the module's input cloud.
+    pub sample_indices: Vec<usize>,
+    /// Per sampled point, `k` neighbor indices into the input cloud.
+    pub neighbor_indices: Vec<Vec<usize>>,
+    /// For Morton sampling: the sorted positions at which the samples were
+    /// picked (ascending), needed by the Morton up-sampler, plus the
+    /// inverse permutation of the structurization.
+    pub morton_context: Option<MortonContext>,
+}
+
+/// The reusable by-product of a Morton-sampled module.
+#[derive(Debug, Clone)]
+pub struct MortonContext {
+    /// Sorted positions of the samples along the Z-curve (ascending).
+    pub positions: Vec<usize>,
+    /// `inverse_permutation[original_index] = sorted_position`.
+    pub inverse_permutation: Vec<usize>,
+    /// `permutation[sorted_position] = original_index`.
+    pub permutation: Vec<usize>,
+}
+
+/// Runs the sampling stage then the neighbor-search stage for one module.
+///
+/// `name` prefixes the stage records (e.g. `"sa1"`). Queries of the search
+/// stage are the sampled points; candidates are all input points.
+///
+/// # Panics
+///
+/// Panics on invalid sizes (`n > points.len()`, `k >= points.len()`) or a
+/// `SearchStrategy::Reuse`/`FeatureKnn`, which are DGCNN-level policies
+/// handled by the caller.
+pub fn select(
+    points: &[Point3],
+    n: usize,
+    k: usize,
+    sample_strategy: SampleStrategy,
+    search_strategy: SearchStrategy,
+    name: &str,
+    records: &mut Vec<StageRecord>,
+) -> Selection {
+    let cloud = PointCloud::from_points(points.to_vec());
+
+    // --- Sample stage ---
+    let (sample_indices, structurized) = match sample_strategy {
+        SampleStrategy::Fps => {
+            let r = FarthestPointSampler::new().sample(&cloud, n);
+            records.push(StageRecord::new(
+                StageKind::Sample,
+                format!("{name}.sample(fps)"),
+                r.ops,
+            ));
+            (r.indices, None)
+        }
+        SampleStrategy::Morton { bits } => {
+            let r = MortonSampler::new(bits).sample(&cloud, n);
+            records.push(StageRecord::new(
+                StageKind::Sample,
+                format!("{name}.sample(morton)"),
+                r.ops,
+            ));
+            (r.indices, r.structurized)
+        }
+    };
+
+    // --- Neighbor-search stage ---
+    let (neighbor_indices, morton_context) = match search_strategy {
+        SearchStrategy::BallQuery { radius2 } => {
+            let r = BallQuery::new(radius2).search(&cloud, &sample_indices, k);
+            records.push(StageRecord::new(
+                StageKind::NeighborSearch,
+                format!("{name}.search(ballquery)"),
+                r.ops,
+            ));
+            (r.neighbors, morton_ctx_from(structurized.as_ref(), &sample_indices))
+        }
+        SearchStrategy::Knn => {
+            let r = BruteKnn::new().search(&cloud, &sample_indices, k);
+            records.push(StageRecord::new(
+                StageKind::NeighborSearch,
+                format!("{name}.search(knn)"),
+                r.ops,
+            ));
+            (r.neighbors, morton_ctx_from(structurized.as_ref(), &sample_indices))
+        }
+        SearchStrategy::MortonWindow { window } => {
+            let searcher = MortonWindowSearcher::new(window, 10);
+            // Reuse the sampler's structurization when available; otherwise
+            // structurize here (and pay for it).
+            let (s, extra_ops) = match structurized {
+                Some(s) => (s, None),
+                None => {
+                    let s = Structurizer::paper_default().structurize(&cloud);
+                    let ops = s.ops();
+                    (s, Some(ops))
+                }
+            };
+            let inv = s.inverse_permutation();
+            let query_positions: Vec<usize> =
+                sample_indices.iter().map(|&i| inv[i]).collect();
+            let mut r = searcher.search_structurized(&s, &query_positions, k);
+            if let Some(ops) = extra_ops {
+                r.ops += ops;
+            }
+            // Map neighbor sorted-positions back to original indices.
+            for list in &mut r.neighbors {
+                for p in list.iter_mut() {
+                    *p = s.permutation()[*p];
+                }
+            }
+            records.push(StageRecord::new(
+                StageKind::NeighborSearch,
+                format!("{name}.search(window)"),
+                r.ops,
+            ));
+            let mut positions = query_positions;
+            positions.sort_unstable();
+            let ctx = MortonContext {
+                positions,
+                inverse_permutation: inv,
+                permutation: s.permutation().to_vec(),
+            };
+            (r.neighbors, Some(ctx))
+        }
+        SearchStrategy::FeatureKnn | SearchStrategy::Reuse => {
+            panic!("FeatureKnn/Reuse are DGCNN module policies, not SA strategies")
+        }
+    };
+
+    Selection { sample_indices, neighbor_indices, morton_context }
+}
+
+/// Builds a [`MortonContext`] if the sampler structurized the cloud (even
+/// when the searcher did not need it, the FP stage may).
+fn morton_ctx_from(
+    structurized: Option<&edgepc_morton::Structurized>,
+    sample_indices: &[usize],
+) -> Option<MortonContext> {
+    structurized.map(|s| {
+        let inv = s.inverse_permutation();
+        let mut positions: Vec<usize> = sample_indices.iter().map(|&i| inv[i]).collect();
+        positions.sort_unstable();
+        MortonContext {
+            positions,
+            inverse_permutation: inv,
+            permutation: s.permutation().to_vec(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scattered(n: usize) -> Vec<Point3> {
+        let mut state = 0x7777_1234_5678_9999u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(5);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn baseline_selection_shapes() {
+        let pts = scattered(128);
+        let mut records = Vec::new();
+        let sel = select(
+            &pts,
+            32,
+            8,
+            SampleStrategy::Fps,
+            SearchStrategy::BallQuery { radius2: 0.1 },
+            "sa1",
+            &mut records,
+        );
+        assert_eq!(sel.sample_indices.len(), 32);
+        assert_eq!(sel.neighbor_indices.len(), 32);
+        assert!(sel.neighbor_indices.iter().all(|l| l.len() == 8));
+        assert!(sel.morton_context.is_none());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, StageKind::Sample);
+        assert_eq!(records[1].kind, StageKind::NeighborSearch);
+    }
+
+    #[test]
+    fn morton_selection_reuses_structurization() {
+        let pts = scattered(256);
+        let mut records = Vec::new();
+        let sel = select(
+            &pts,
+            64,
+            8,
+            SampleStrategy::Morton { bits: 10 },
+            SearchStrategy::MortonWindow { window: 32 },
+            "sa1",
+            &mut records,
+        );
+        // The search stage must NOT pay for a second structurization:
+        // zero morton encodes in its record.
+        let search = &records[1];
+        assert_eq!(search.ops.morton_encodes, 0, "codes reused from sampler");
+        assert!(search.ops.dist3 <= 64 * 32);
+        let ctx = sel.morton_context.expect("context for FP reuse");
+        assert_eq!(ctx.positions.len(), 64);
+        assert!(ctx.positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn window_search_without_morton_sampling_pays_structurization() {
+        let pts = scattered(256);
+        let mut records = Vec::new();
+        let _ = select(
+            &pts,
+            64,
+            8,
+            SampleStrategy::Fps,
+            SearchStrategy::MortonWindow { window: 32 },
+            "sa2",
+            &mut records,
+        );
+        let search = &records[1];
+        assert_eq!(search.ops.morton_encodes, 256, "had to structurize itself");
+    }
+
+    #[test]
+    fn morton_sampling_with_baseline_search_still_exposes_context() {
+        let pts = scattered(128);
+        let mut records = Vec::new();
+        let sel = select(
+            &pts,
+            32,
+            4,
+            SampleStrategy::Morton { bits: 10 },
+            SearchStrategy::Knn,
+            "sa1",
+            &mut records,
+        );
+        assert!(sel.morton_context.is_some());
+    }
+
+    #[test]
+    fn neighbors_exclude_their_query() {
+        let pts = scattered(64);
+        let mut records = Vec::new();
+        let sel = select(
+            &pts,
+            16,
+            4,
+            SampleStrategy::Morton { bits: 10 },
+            SearchStrategy::MortonWindow { window: 16 },
+            "sa1",
+            &mut records,
+        );
+        for (q, ns) in sel.sample_indices.iter().zip(&sel.neighbor_indices) {
+            assert!(!ns.contains(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DGCNN module policies")]
+    fn reuse_policy_rejected_here() {
+        let pts = scattered(32);
+        let mut records = Vec::new();
+        let _ = select(
+            &pts,
+            8,
+            2,
+            SampleStrategy::Fps,
+            SearchStrategy::Reuse,
+            "sa1",
+            &mut records,
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! Per-layer strategy choices and stage-cost records.
+//!
+//! EdgePC is not all-or-nothing: the paper applies its approximations only
+//! to the layers where they pay (Sec. 5.1.3 and 5.2.3). These types express
+//! that per-layer choice, and [`StageRecord`] carries the measured work of
+//! every executed stage so harnesses can price it on the device model.
+
+use edgepc_geom::OpCounts;
+use edgepc_sim::{ExecMode, PipelineCost, StageCost, StageKind, XavierModel};
+
+/// How a down-sampling layer selects its points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleStrategy {
+    /// Exact farthest point sampling (SOTA baseline).
+    Fps,
+    /// Morton structurize + uniform pick (Algo. 1), with the grid
+    /// resolution in bits per axis (paper default 10, i.e. 32-bit codes).
+    Morton {
+        /// Morton grid resolution, bits per axis.
+        bits: u32,
+    },
+}
+
+/// How a neighbor-search layer finds neighborhoods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchStrategy {
+    /// Fixed-radius ball query with the given squared radius (PointNet++
+    /// default).
+    BallQuery {
+        /// Squared search radius.
+        radius2: f32,
+    },
+    /// Exact k-nearest neighbors in coordinate space (DGCNN module 1).
+    Knn,
+    /// Exact k-nearest neighbors in *feature* space (later DGCNN modules).
+    FeatureKnn,
+    /// The EdgePC index-window search with window size `W >= k`.
+    MortonWindow {
+        /// Search window size `W`.
+        window: usize,
+    },
+    /// Reuse the neighbor indices of the previous module (the paper's
+    /// interleaved reuse for DGCNN, Sec. 5.2.3). Costs nothing but a cached
+    /// read.
+    Reuse,
+}
+
+/// How an up-sampling (FeaturePropagation) layer interpolates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsampleStrategy {
+    /// Exact 3-nearest-neighbor inverse-distance interpolation (SOTA).
+    ThreeNn,
+    /// Stride-window interpolation on the Morton ordering (Sec. 5.1.2).
+    Morton,
+}
+
+/// Per-layer strategy assignment for a whole pipeline. Vectors are indexed
+/// by module; a shorter vector repeats its last element, so
+/// `PipelineStrategy::baseline()` works for any depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStrategy {
+    /// Per SA module (or DGCNN's single implicit full-set "sample").
+    pub sample: Vec<SampleStrategy>,
+    /// Per neighbor-search module.
+    pub search: Vec<SearchStrategy>,
+    /// Per FP module.
+    pub upsample: Vec<UpsampleStrategy>,
+}
+
+impl PipelineStrategy {
+    /// All-SOTA configuration: FPS + ball query + exact interpolation.
+    pub fn baseline() -> Self {
+        PipelineStrategy {
+            sample: vec![SampleStrategy::Fps],
+            search: vec![SearchStrategy::BallQuery { radius2: 0.04 }],
+            upsample: vec![UpsampleStrategy::ThreeNn],
+        }
+    }
+
+    /// All-exact configuration for accuracy studies: FPS + exact k-NN +
+    /// exact interpolation. Unlike [`PipelineStrategy::baseline`], this has
+    /// no radius parameter to mis-tune, so accuracy comparisons are not
+    /// confounded by ball-query padding on sparsely sampled clouds.
+    pub fn baseline_exact() -> Self {
+        PipelineStrategy {
+            sample: vec![SampleStrategy::Fps],
+            search: vec![SearchStrategy::Knn],
+            upsample: vec![UpsampleStrategy::ThreeNn],
+        }
+    }
+
+    /// The paper's chosen design point for PointNet++ (Sec. 5.1.3/5.2.3):
+    /// Morton sampling + window search on the *first* SA module, Morton
+    /// interpolation on the *last* FP module, SOTA everywhere else.
+    /// `depth` is the number of SA modules; `window` the search window.
+    pub fn edgepc_pointnetpp(depth: usize, window: usize) -> Self {
+        assert!(depth >= 1, "need at least one SA module");
+        let mut sample = vec![SampleStrategy::Morton { bits: 10 }];
+        sample.extend(std::iter::repeat(SampleStrategy::Fps).take(depth - 1));
+        let mut search = vec![SearchStrategy::MortonWindow { window }];
+        // Non-optimized layers use the exact searcher (cost-equivalent to a
+        // tuned ball query, with no radius to mis-scale).
+        search.extend(std::iter::repeat(SearchStrategy::Knn).take(depth - 1));
+        // FP modules run in reverse depth order; the *last* executed FP
+        // up-samples to the full cloud and is the one the paper optimizes.
+        let mut upsample = vec![UpsampleStrategy::ThreeNn; depth.saturating_sub(1)];
+        upsample.push(UpsampleStrategy::Morton);
+        PipelineStrategy { sample, search, upsample }
+    }
+
+    /// The Fig. 15b sweep point: apply the Morton approximations to the
+    /// first `optimized` of `depth` modules (sampling + search + the
+    /// matching FP modules).
+    pub fn edgepc_layers(depth: usize, optimized: usize, window: usize) -> Self {
+        assert!(depth >= 1 && optimized >= 1 && optimized <= depth);
+        let sample = (0..depth)
+            .map(|i| {
+                if i < optimized {
+                    SampleStrategy::Morton { bits: 10 }
+                } else {
+                    SampleStrategy::Fps
+                }
+            })
+            .collect();
+        let search = (0..depth)
+            .map(|i| {
+                if i < optimized {
+                    SearchStrategy::MortonWindow { window }
+                } else {
+                    SearchStrategy::Knn
+                }
+            })
+            .collect();
+        // FP module j up-samples level depth-j -> depth-j-1; the FP paired
+        // with SA module i is FP module depth-1-i.
+        let upsample = (0..depth)
+            .map(|j| {
+                if depth - 1 - j < optimized {
+                    UpsampleStrategy::Morton
+                } else {
+                    UpsampleStrategy::ThreeNn
+                }
+            })
+            .collect();
+        PipelineStrategy { sample, search, upsample }
+    }
+
+    /// The paper's DGCNN design point: Morton window on the first EdgeConv
+    /// (the only coordinate-space one), then alternate reuse / exact
+    /// feature k-NN with reuse distance 1 (Sec. 5.2.3).
+    pub fn edgepc_dgcnn(modules: usize, window: usize) -> Self {
+        let search = (0..modules)
+            .map(|i| match i {
+                0 => SearchStrategy::MortonWindow { window },
+                _ if i % 2 == 1 => SearchStrategy::Reuse,
+                _ => SearchStrategy::FeatureKnn,
+            })
+            .collect();
+        PipelineStrategy {
+            sample: vec![],
+            search,
+            upsample: vec![],
+        }
+    }
+
+    /// The baseline DGCNN configuration: exact k-NN on coordinates for the
+    /// first module, exact feature-space k-NN afterwards.
+    pub fn baseline_dgcnn(modules: usize) -> Self {
+        let search = (0..modules)
+            .map(|i| if i == 0 { SearchStrategy::Knn } else { SearchStrategy::FeatureKnn })
+            .collect();
+        PipelineStrategy { sample: vec![], search, upsample: vec![] }
+    }
+
+    /// The sample strategy for module `i` (repeating the last entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sample strategies are configured.
+    pub fn sample_at(&self, i: usize) -> SampleStrategy {
+        *self
+            .sample
+            .get(i)
+            .or_else(|| self.sample.last())
+            .expect("no sample strategies configured")
+    }
+
+    /// The search strategy for module `i` (repeating the last entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no search strategies are configured.
+    pub fn search_at(&self, i: usize) -> SearchStrategy {
+        *self
+            .search
+            .get(i)
+            .or_else(|| self.search.last())
+            .expect("no search strategies configured")
+    }
+
+    /// The upsample strategy for FP module `j` (repeating the last entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no upsample strategies are configured.
+    pub fn upsample_at(&self, j: usize) -> UpsampleStrategy {
+        *self
+            .upsample
+            .get(j)
+            .or_else(|| self.upsample.last())
+            .expect("no upsample strategies configured")
+    }
+}
+
+/// The measured work of one executed pipeline stage, before pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Which breakdown bucket the stage belongs to.
+    pub kind: StageKind,
+    /// Stage name, e.g. `"sa1.sample"`.
+    pub name: String,
+    /// Measured operation counts.
+    pub ops: OpCounts,
+    /// For feature-compute stages: the inner (channel) dimension, which
+    /// decides tensor-core eligibility (Sec. 5.4.1).
+    pub fc_k: Option<usize>,
+}
+
+impl StageRecord {
+    /// Creates a record.
+    pub fn new(kind: StageKind, name: impl Into<String>, ops: OpCounts) -> Self {
+        StageRecord { kind, name: name.into(), ops, fc_k: None }
+    }
+
+    /// Scales the *work* fields by a batch factor, leaving the dependency
+    /// chain unchanged — clouds in a batch execute in parallel on the GPU,
+    /// so only work multiplies (Sec. 6.2's batch-level discussion).
+    pub fn scaled(&self, batch: usize) -> StageRecord {
+        let b = batch as u64;
+        StageRecord {
+            kind: self.kind,
+            name: self.name.clone(),
+            ops: OpCounts {
+                dist3: self.ops.dist3 * b,
+                feat_flops: self.ops.feat_flops * b,
+                cmp: self.ops.cmp * b,
+                morton_encodes: self.ops.morton_encodes * b,
+                sorted_elems: self.ops.sorted_elems * b,
+                gathered_bytes: self.ops.gathered_bytes * b,
+                mac: self.ops.mac * b,
+                seq_rounds: self.ops.seq_rounds,
+            },
+            fc_k: self.fc_k,
+        }
+    }
+}
+
+/// Prices a list of stage records on the device model, producing the
+/// pipeline cost the figures are built from. Feature-compute stages go
+/// through the tensor-core decision; everything else through the generic
+/// throughput model in pipeline mode.
+pub fn price_stages(
+    records: &[StageRecord],
+    device: &XavierModel,
+    tensor_cores: bool,
+) -> PipelineCost {
+    let mut cost = PipelineCost::new();
+    for r in records {
+        let time_ms = match (r.kind, r.fc_k) {
+            (StageKind::FeatureCompute, Some(k)) => device.fc_time_ms(r.ops.mac, k, tensor_cores),
+            _ => device.stage_time_ms(&r.ops, ExecMode::Pipeline),
+        };
+        cost.push(StageCost { kind: r.kind, name: r.name.clone(), time_ms, ops: r.ops });
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_repeats_for_any_depth() {
+        let s = PipelineStrategy::baseline();
+        assert_eq!(s.sample_at(0), SampleStrategy::Fps);
+        assert_eq!(s.sample_at(7), SampleStrategy::Fps);
+        assert!(matches!(s.search_at(3), SearchStrategy::BallQuery { .. }));
+    }
+
+    #[test]
+    fn edgepc_pointnetpp_optimizes_first_and_last() {
+        let s = PipelineStrategy::edgepc_pointnetpp(4, 64);
+        assert!(matches!(s.sample_at(0), SampleStrategy::Morton { .. }));
+        assert_eq!(s.sample_at(1), SampleStrategy::Fps);
+        assert!(matches!(s.search_at(0), SearchStrategy::MortonWindow { .. }));
+        assert!(matches!(s.search_at(3), SearchStrategy::Knn));
+        // FP module 3 (executed last, up to the full cloud) is Morton.
+        assert_eq!(s.upsample_at(3), UpsampleStrategy::Morton);
+        assert_eq!(s.upsample_at(0), UpsampleStrategy::ThreeNn);
+    }
+
+    #[test]
+    fn edgepc_layers_sweep() {
+        let s = PipelineStrategy::edgepc_layers(4, 2, 32);
+        assert!(matches!(s.sample_at(1), SampleStrategy::Morton { .. }));
+        assert_eq!(s.sample_at(2), SampleStrategy::Fps);
+        // SA module 1 pairs with FP module 2 (depth-1-i).
+        assert_eq!(s.upsample_at(2), UpsampleStrategy::Morton);
+        assert_eq!(s.upsample_at(1), UpsampleStrategy::ThreeNn);
+    }
+
+    #[test]
+    fn edgepc_dgcnn_interleaves_reuse() {
+        let s = PipelineStrategy::edgepc_dgcnn(4, 32);
+        assert!(matches!(s.search_at(0), SearchStrategy::MortonWindow { .. }));
+        assert_eq!(s.search_at(1), SearchStrategy::Reuse);
+        assert_eq!(s.search_at(2), SearchStrategy::FeatureKnn);
+        assert_eq!(s.search_at(3), SearchStrategy::Reuse);
+    }
+
+    #[test]
+    fn scaled_multiplies_work_not_depth() {
+        let r = StageRecord::new(
+            StageKind::Sample,
+            "s",
+            OpCounts { dist3: 10, seq_rounds: 5, gathered_bytes: 8, ..OpCounts::ZERO },
+        );
+        let s = r.scaled(4);
+        assert_eq!(s.ops.dist3, 40);
+        assert_eq!(s.ops.gathered_bytes, 32);
+        assert_eq!(s.ops.seq_rounds, 5);
+    }
+
+    #[test]
+    fn price_stages_routes_fc_through_tensor_core_rule() {
+        let dev = XavierModel::jetson_agx_xavier();
+        let mut fc = StageRecord::new(
+            StageKind::FeatureCompute,
+            "fc",
+            OpCounts { mac: 100_000_000, ..OpCounts::ZERO },
+        );
+        fc.fc_k = Some(64);
+        let with_tc = price_stages(&[fc.clone()], &dev, true).total_ms();
+        let without_tc = price_stages(&[fc], &dev, false).total_ms();
+        assert!(with_tc < without_tc);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sample strategies")]
+    fn empty_sample_strategy_panics() {
+        let s = PipelineStrategy::baseline_dgcnn(3);
+        let _ = s.sample_at(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Bit-interleaving Morton encode/decode kernels.
+//!
+//! Uses the branch-free "magic bits" spreading technique, the same approach
+//! the paper cites for GPU implementations: each coordinate's bits are
+//! spread three apart and OR-ed together, so a point `(x, y, z)` becomes
+//! `... z2 y2 x2 z1 y1 x1 z0 y0 x0`.
+
+/// Maximum bits per axis supported by the 64-bit kernels (3 x 21 = 63 bits).
+pub const MAX_BITS_PER_AXIS: u32 = 21;
+
+/// Spreads the low 21 bits of `x` so that bit `i` moves to bit `3 * i`.
+#[inline]
+fn part_1_by_2(x: u64) -> u64 {
+    let mut x = x & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`part_1_by_2`]: gathers bits `0, 3, 6, ...` back into the low
+/// 21 bits.
+#[inline]
+fn compact_1_by_2(x: u64) -> u64 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x
+}
+
+/// Interleaves three integer coordinates into a Morton code.
+///
+/// Bit `i` of `x` lands at code bit `3i`, of `y` at `3i + 1`, of `z` at
+/// `3i + 2`, matching the paper's example where `(2, 3, 4) =
+/// (010, 011, 100)b` maps to `100_011_010b = 282`.
+///
+/// Coordinates are masked to [`MAX_BITS_PER_AXIS`] bits; the paper's default
+/// configuration (`a = 32` total bits) uses 10 bits per axis, well inside
+/// the supported range.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_morton::encode;
+///
+/// assert_eq!(encode(2, 3, 4), 282);
+/// assert_eq!(encode(0, 0, 0), 0);
+/// ```
+#[inline]
+pub fn encode(x: u32, y: u32, z: u32) -> u64 {
+    part_1_by_2(x as u64) | (part_1_by_2(y as u64) << 1) | (part_1_by_2(z as u64) << 2)
+}
+
+/// Recovers the integer coordinates `(x, y, z)` from a Morton code.
+///
+/// Inverse of [`encode`] for codes below `2^63`.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_morton::decode;
+///
+/// assert_eq!(decode(282), (2, 3, 4));
+/// ```
+#[inline]
+pub fn decode(code: u64) -> (u32, u32, u32) {
+    (
+        compact_1_by_2(code) as u32,
+        compact_1_by_2(code >> 1) as u32,
+        compact_1_by_2(code >> 2) as u32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_2_3_4_is_282() {
+        assert_eq!(encode(2, 3, 4), 282);
+    }
+
+    #[test]
+    fn paper_fig8_codes_decode_to_consistent_points() {
+        // Fig. 8(b): 5 points with grid_size r = 1 produce Morton codes
+        // {185, 23, 114, 0, 67}. Decoding gives the example's coordinates,
+        // which also reproduce the FPS distance array {0, 14, 10, 49, 33}
+        // of Fig. 8(a).
+        assert_eq!(decode(185), (3, 6, 2));
+        assert_eq!(decode(23), (1, 3, 1));
+        assert_eq!(decode(114), (4, 3, 2));
+        assert_eq!(decode(0), (0, 0, 0));
+        assert_eq!(decode(67), (5, 1, 0));
+    }
+
+    #[test]
+    fn encode_decode_round_trip_sweep() {
+        for &v in &[0u32, 1, 2, 3, 7, 100, 1023, 1 << 20, (1 << 21) - 1] {
+            assert_eq!(decode(encode(v, 0, 0)), (v, 0, 0));
+            assert_eq!(decode(encode(0, v, 0)), (0, v, 0));
+            assert_eq!(decode(encode(0, 0, v)), (0, 0, v));
+            assert_eq!(decode(encode(v, v, v)), (v, v, v));
+        }
+    }
+
+    #[test]
+    fn encode_masks_to_21_bits() {
+        // Bits above 21 are dropped, not wrapped into other axes.
+        assert_eq!(encode(1 << 21, 0, 0), 0);
+        assert_eq!(encode((1 << 21) | 1, 0, 0), encode(1, 0, 0));
+    }
+
+    #[test]
+    fn code_is_monotone_in_each_axis_within_same_cell_row() {
+        // Along a single axis with others fixed at zero, the Morton code is
+        // strictly increasing: the Z-curve visits cells in axis order.
+        let mut prev = encode(0, 0, 0);
+        for x in 1..100 {
+            let c = encode(x, 0, 0);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn axes_do_not_collide() {
+        // Unit steps along different axes produce distinct codes with the
+        // documented bit positions.
+        assert_eq!(encode(1, 0, 0), 1);
+        assert_eq!(encode(0, 1, 0), 2);
+        assert_eq!(encode(0, 0, 1), 4);
+        assert_eq!(encode(1, 1, 1), 7);
+    }
+
+    #[test]
+    fn locality_nearby_cells_have_nearby_codes_at_block_boundaries() {
+        // Within an aligned 2x2x2 block the 8 codes are consecutive.
+        let base = encode(4, 4, 4);
+        let mut codes: Vec<u64> = Vec::new();
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    codes.push(encode(4 + dx, 4 + dy, 4 + dz));
+                }
+            }
+        }
+        codes.sort_unstable();
+        for (i, c) in codes.iter().enumerate() {
+            assert_eq!(*c, base + i as u64);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Voxel quantization of floating-point coordinates (paper Sec. 4.1).
+
+use edgepc_geom::{Aabb, Point3};
+
+/// Maps floating-point coordinates onto integer small-cube (voxel) indexes.
+///
+/// The paper divides the cloud's bounding cuboid into cubes of edge
+/// `grid_size r`, so that a point's coordinates quantize to
+/// `((p - min) / r)` per axis (Algo. 1, line 4). With `a` total Morton bits
+/// the grid has `2^(a/3)` cells per axis and `r = D / 2^(a/3)` where `D` is
+/// the bounding-box dimension (Sec. 5.1.3). The paper's default is `a = 32`,
+/// i.e. 10 bits per axis.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Aabb, Point3};
+/// use edgepc_morton::VoxelGrid;
+///
+/// let bb = Aabb::new(Point3::ORIGIN, Point3::splat(8.0));
+/// let grid = VoxelGrid::with_cell_size(bb.min(), 1.0, 3); // 8 cells/axis
+/// assert_eq!(grid.quantize(Point3::new(2.5, 3.0, 4.9)), (2, 3, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoxelGrid {
+    origin: Point3,
+    cell_size: f32,
+    bits_per_axis: u32,
+}
+
+impl VoxelGrid {
+    /// Creates a grid anchored at `origin` with the given `cell_size`
+    /// (`grid_size r` in the paper) and `bits_per_axis` resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and positive, or if
+    /// `bits_per_axis` is zero or exceeds
+    /// [`MAX_BITS_PER_AXIS`](crate::MAX_BITS_PER_AXIS).
+    pub fn with_cell_size(origin: Point3, cell_size: f32, bits_per_axis: u32) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        assert!(
+            (1..=crate::MAX_BITS_PER_AXIS).contains(&bits_per_axis),
+            "bits_per_axis must be in 1..={}, got {bits_per_axis}",
+            crate::MAX_BITS_PER_AXIS
+        );
+        VoxelGrid { origin, cell_size, bits_per_axis }
+    }
+
+    /// Creates the grid the paper derives from a bounding box: the cell size
+    /// is chosen so that `2^bits_per_axis` cells span the box's longest edge
+    /// (`r = D / 2^(a/3)`, Sec. 5.1.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_axis` is out of range. A degenerate box (zero
+    /// extent) gets a minimal positive cell size so every point maps to
+    /// voxel `(0, 0, 0)`.
+    pub fn from_aabb(bb: &Aabb, bits_per_axis: u32) -> Self {
+        let cells = (1u64 << bits_per_axis) as f32;
+        let d = bb.max_extent();
+        let cell_size = if d > 0.0 { d / cells } else { f32::MIN_POSITIVE };
+        VoxelGrid::with_cell_size(bb.min(), cell_size, bits_per_axis)
+    }
+
+    /// The grid origin (the `{x_min, y_min, z_min}` input of Algo. 1).
+    #[inline]
+    pub fn origin(&self) -> Point3 {
+        self.origin
+    }
+
+    /// The voxel edge length (`grid_size r`).
+    #[inline]
+    pub fn cell_size(&self) -> f32 {
+        self.cell_size
+    }
+
+    /// Resolution in bits per axis (`a / 3` for an `a`-bit Morton code).
+    #[inline]
+    pub fn bits_per_axis(&self) -> u32 {
+        self.bits_per_axis
+    }
+
+    /// Number of cells along each axis (`2^bits_per_axis`).
+    #[inline]
+    pub fn cells_per_axis(&self) -> u64 {
+        1u64 << self.bits_per_axis
+    }
+
+    /// Quantizes a point to its voxel index, clamping to the grid bounds so
+    /// points marginally outside the anchoring box (or exactly on its max
+    /// face) stay representable.
+    pub fn quantize(&self, p: Point3) -> (u32, u32, u32) {
+        let max_cell = (self.cells_per_axis() - 1) as f32;
+        let q = |v: f32, o: f32| -> u32 {
+            let cell = ((v - o) / self.cell_size).floor();
+            cell.clamp(0.0, max_cell) as u32
+        };
+        (q(p.x, self.origin.x), q(p.y, self.origin.y), q(p.z, self.origin.z))
+    }
+
+    /// Quantizes and Morton-encodes a point in one step (Algo. 1 lines 4-5).
+    #[inline]
+    pub fn morton_code(&self, p: Point3) -> u64 {
+        let (x, y, z) = self.quantize(p);
+        crate::encode(x, y, z)
+    }
+
+    /// The center of voxel `(i, j, k)`, the inverse of [`quantize`] up to
+    /// quantization error.
+    ///
+    /// [`quantize`]: VoxelGrid::quantize
+    pub fn cell_center(&self, i: u32, j: u32, k: u32) -> Point3 {
+        self.origin
+            + Point3::new(
+                (i as f32 + 0.5) * self.cell_size,
+                (j as f32 + 0.5) * self.cell_size,
+                (k as f32 + 0.5) * self.cell_size,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_unit_cells() {
+        let g = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 8);
+        assert_eq!(g.quantize(Point3::new(0.0, 0.0, 0.0)), (0, 0, 0));
+        assert_eq!(g.quantize(Point3::new(0.99, 1.0, 2.5)), (0, 1, 2));
+    }
+
+    #[test]
+    fn quantize_respects_origin() {
+        let g = VoxelGrid::with_cell_size(Point3::new(-4.0, -4.0, -4.0), 2.0, 4);
+        assert_eq!(g.quantize(Point3::ORIGIN), (2, 2, 2));
+        assert_eq!(g.quantize(Point3::new(-4.0, -3.9, 3.9)), (0, 0, 3));
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let g = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 2); // 4 cells
+        assert_eq!(g.quantize(Point3::new(100.0, -5.0, 3.999)), (3, 0, 3));
+    }
+
+    #[test]
+    fn from_aabb_spans_longest_axis() {
+        let bb = Aabb::new(Point3::ORIGIN, Point3::new(1.0, 2.0, 16.0));
+        let g = VoxelGrid::from_aabb(&bb, 4); // 16 cells over extent 16
+        assert_eq!(g.cell_size(), 1.0);
+        // The max corner's z clamps into the last valid cell; x and y fall
+        // at exact cell boundaries 1.0 and 2.0.
+        assert_eq!(g.quantize(bb.max()), (1, 2, 15));
+    }
+
+    #[test]
+    fn from_aabb_degenerate_box() {
+        let bb = Aabb::new(Point3::splat(2.0), Point3::splat(2.0));
+        let g = VoxelGrid::from_aabb(&bb, 10);
+        assert_eq!(g.quantize(Point3::splat(2.0)), (0, 0, 0));
+    }
+
+    #[test]
+    fn coarser_grid_merges_cells() {
+        // The paper's r = 4 example: coordinates {(3,6,2), (1,3,1), (4,3,2),
+        // (0,0,0), (5,1,0)} quantize to codes {2, 0, 1, 0, 1}.
+        let pts = [
+            Point3::new(3.0, 6.0, 2.0),
+            Point3::new(1.0, 3.0, 1.0),
+            Point3::new(4.0, 3.0, 2.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(5.0, 1.0, 0.0),
+        ];
+        let g = VoxelGrid::with_cell_size(Point3::ORIGIN, 4.0, 8);
+        let codes: Vec<u64> = pts.iter().map(|&p| g.morton_code(p)).collect();
+        assert_eq!(codes, vec![2, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn fine_grid_reproduces_paper_codes() {
+        // Same points with r = 1 give the Fig. 8(b) codes {185,23,114,0,67}.
+        let pts = [
+            Point3::new(3.0, 6.0, 2.0),
+            Point3::new(1.0, 3.0, 1.0),
+            Point3::new(4.0, 3.0, 2.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(5.0, 1.0, 0.0),
+        ];
+        let g = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 10);
+        let codes: Vec<u64> = pts.iter().map(|&p| g.morton_code(p)).collect();
+        assert_eq!(codes, vec![185, 23, 114, 0, 67]);
+    }
+
+    #[test]
+    fn cell_center_inverts_quantize() {
+        let g = VoxelGrid::with_cell_size(Point3::ORIGIN, 0.5, 6);
+        let (i, j, k) = g.quantize(Point3::new(1.3, 2.2, 0.1));
+        let c = g.cell_center(i, j, k);
+        assert_eq!(g.quantize(c), (i, j, k));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = VoxelGrid::with_cell_size(Point3::ORIGIN, 0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits_per_axis")]
+    fn oversized_bits_panics() {
+        let _ = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 22);
+    }
+}

@@ -1,0 +1,155 @@
+//! Quantitative structuredness metrics (paper Sec. 4.3).
+//!
+//! The paper motivates Morton ordering by showing that, once sorted, a
+//! point's true spatial neighbors sit at nearby *indexes*. These metrics
+//! measure exactly that for any ordering, so raw frame order and Morton
+//! order can be compared number-to-number:
+//!
+//! * [`window_hit_rate`] — the fraction of each point's true k nearest
+//!   neighbors that fall inside the index window `{i-W/2 .. i+W/2}`
+//!   (its complement is the paper's *false neighbor ratio* when the window
+//!   is used as the neighbor list),
+//! * [`mean_index_displacement`] — how far, in index space, the true
+//!   nearest neighbors live on average.
+
+use edgepc_geom::Point3;
+
+/// Indices of the `k` nearest neighbors of `points[i]` (excluding itself),
+/// by brute force. Ground truth for the metrics below; `O(N^2)`.
+fn true_knn(points: &[Point3], i: usize, k: usize) -> Vec<usize> {
+    let mut d: Vec<(f32, usize)> = points
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(j, &p)| (points[i].distance_squared(p), j))
+        .collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.truncate(k);
+    d.into_iter().map(|(_, j)| j).collect()
+}
+
+/// Fraction of true k-nearest neighbors that lie within an index window of
+/// half-width `window / 2` around each point, averaged over all points.
+///
+/// `points` must already be in the ordering under evaluation (e.g. the
+/// Morton-sorted cloud). Returns a value in `[0, 1]`; higher is more
+/// structured. `1.0 - window_hit_rate(..)` is the false-neighbor ratio the
+/// paper plots in Fig. 6 (for `window == k`) and Fig. 15a.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `window == 0`, or `points.len() <= k`.
+pub fn window_hit_rate(points: &[Point3], k: usize, window: usize) -> f64 {
+    assert!(k > 0 && window > 0, "k and window must be positive");
+    assert!(points.len() > k, "need more than k points");
+    let half = window / 2;
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for i in 0..points.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half).min(points.len() - 1);
+        for j in true_knn(points, i, k) {
+            total += 1;
+            if (lo..=hi).contains(&j) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / total as f64
+}
+
+/// Mean absolute index distance from each point to its true k nearest
+/// neighbors, normalized by the cloud size (so 0 = neighbors adjacent in
+/// the ordering, and ~1/3 = neighbors scattered uniformly at random).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `points.len() <= k`.
+pub fn mean_index_displacement(points: &[Point3], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(points.len() > k, "need more than k points");
+    let n = points.len();
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in true_knn(points, i, k) {
+            sum += (i as f64 - j as f64).abs();
+            count += 1;
+        }
+    }
+    sum / count as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Structurizer;
+    use edgepc_geom::PointCloud;
+
+    /// Deterministic pseudo-random cloud on a 3-D grid with jitter.
+    fn scattered_cloud(n: usize) -> Vec<Point3> {
+        // Simple LCG so the test needs no external RNG.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn perfect_line_has_full_hit_rate() {
+        let pts: Vec<Point3> = (0..32).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        // Neighbors of a line point are its index neighbors.
+        let rate = window_hit_rate(&pts, 2, 4);
+        assert!(rate > 0.95, "got {rate}");
+    }
+
+    #[test]
+    fn morton_order_beats_random_order() {
+        let raw = scattered_cloud(128);
+        let cloud = PointCloud::from_points(raw.clone());
+        let sorted = Structurizer::new(10).structurize(&cloud).into_cloud();
+        let raw_rate = window_hit_rate(&raw, 4, 16);
+        let sorted_rate = window_hit_rate(sorted.points(), 4, 16);
+        assert!(
+            sorted_rate > raw_rate + 0.1,
+            "morton {sorted_rate} should clearly beat raw {raw_rate}"
+        );
+    }
+
+    #[test]
+    fn morton_order_reduces_index_displacement() {
+        let raw = scattered_cloud(128);
+        let cloud = PointCloud::from_points(raw.clone());
+        let sorted = Structurizer::new(10).structurize(&cloud).into_cloud();
+        let raw_disp = mean_index_displacement(&raw, 4);
+        let sorted_disp = mean_index_displacement(sorted.points(), 4);
+        assert!(
+            sorted_disp < raw_disp * 0.7,
+            "morton {sorted_disp} should be well below raw {raw_disp}"
+        );
+    }
+
+    #[test]
+    fn widening_the_window_monotonically_improves_hits() {
+        let raw = scattered_cloud(96);
+        let sorted = Structurizer::new(10)
+            .structurize(&PointCloud::from_points(raw))
+            .into_cloud();
+        let r1 = window_hit_rate(sorted.points(), 4, 4);
+        let r2 = window_hit_rate(sorted.points(), 4, 16);
+        let r3 = window_hit_rate(sorted.points(), 4, 64);
+        assert!(r1 <= r2 && r2 <= r3, "{r1} {r2} {r3}");
+        // Window spanning the whole cloud catches everything.
+        let all = window_hit_rate(sorted.points(), 4, 2 * 96);
+        assert_eq!(all, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let pts = scattered_cloud(8);
+        let _ = window_hit_rate(&pts, 0, 4);
+    }
+}

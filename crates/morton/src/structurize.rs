@@ -1,0 +1,282 @@
+//! The structurization pipeline: voxelize → encode → sort (paper Sec. 4.1,
+//! Algo. 1 lines 1-10).
+
+use edgepc_geom::{OpCounts, PointCloud};
+
+use crate::VoxelGrid;
+
+/// Configuration for structurizing clouds: how many Morton bits to spend.
+///
+/// The paper's design point is a 32-bit code — 10 bits per axis — chosen in
+/// Sec. 5.1.3/6.1.3 as the accuracy/memory sweet spot; [`Structurizer::new`]
+/// takes bits *per axis* to keep the grid cubic.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, PointCloud};
+/// use edgepc_morton::Structurizer;
+///
+/// let cloud: PointCloud = (0..16)
+///     .map(|i| Point3::new((i % 4) as f32, (i / 4) as f32, 0.0))
+///     .collect();
+/// let s = Structurizer::paper_default().structurize(&cloud);
+/// assert_eq!(s.cloud().len(), 16);
+/// assert!(s.codes().windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Structurizer {
+    bits_per_axis: u32,
+}
+
+impl Structurizer {
+    /// Creates a structurizer with the given grid resolution per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_axis` is zero or exceeds
+    /// [`MAX_BITS_PER_AXIS`](crate::MAX_BITS_PER_AXIS).
+    pub fn new(bits_per_axis: u32) -> Self {
+        assert!(
+            (1..=crate::MAX_BITS_PER_AXIS).contains(&bits_per_axis),
+            "bits_per_axis must be in 1..={}, got {bits_per_axis}",
+            crate::MAX_BITS_PER_AXIS
+        );
+        Structurizer { bits_per_axis }
+    }
+
+    /// The paper's evaluated configuration: a 32-bit Morton code, i.e.
+    /// 10 bits per axis (Sec. 6.1.3).
+    pub fn paper_default() -> Self {
+        Structurizer::new(10)
+    }
+
+    /// Grid resolution in bits per axis.
+    pub fn bits_per_axis(&self) -> u32 {
+        self.bits_per_axis
+    }
+
+    /// Total Morton code width in bits (`a` in the paper, `3 *
+    /// bits_per_axis`).
+    pub fn code_bits(&self) -> u32 {
+        3 * self.bits_per_axis
+    }
+
+    /// Extra memory the Morton codes occupy for an `n`-point cloud, in
+    /// bytes (`N * a / 8`, Sec. 5.1.3). Codes are byte-aligned per point.
+    pub fn code_overhead_bytes(&self, n_points: usize) -> usize {
+        n_points * (self.code_bits() as usize).div_ceil(8)
+    }
+
+    /// Structurizes `cloud`: computes each point's Morton code on a grid
+    /// spanning the cloud's bounding box, sorts by code (stable, matching
+    /// Algo. 1's merge sort), and returns the re-ordered cloud together
+    /// with the permutation, the sorted codes, and the operation counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cloud` is empty (a bounding box is required).
+    pub fn structurize(&self, cloud: &PointCloud) -> Structurized {
+        let grid = VoxelGrid::from_aabb(&cloud.bounding_box(), self.bits_per_axis);
+        self.structurize_with_grid(cloud, grid)
+    }
+
+    /// Structurizes with a caller-provided grid, for when several clouds
+    /// (or batches) must share one quantization.
+    pub fn structurize_with_grid(&self, cloud: &PointCloud, grid: VoxelGrid) -> Structurized {
+        let n = cloud.len();
+        // Algo. 1 lines 3-5: fully parallel code generation.
+        let mut keyed: Vec<(u64, u32)> = cloud
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (grid.morton_code(p), i as u32))
+            .collect();
+        // Algo. 1 line 10: merge_sort(MC). Sorting (code, original index)
+        // pairs makes the unstable sort deterministic and stable-equivalent.
+        keyed.sort_unstable();
+
+        let permutation: Vec<usize> = keyed.iter().map(|&(_, i)| i as usize).collect();
+        let codes: Vec<u64> = keyed.iter().map(|&(c, _)| c).collect();
+        let reordered = cloud.permuted(&permutation);
+
+        let mut ops = OpCounts::ZERO;
+        ops.morton_encodes = n as u64;
+        ops.sorted_elems = n as u64;
+        // 12 bytes of coordinates move per point during the re-order gather.
+        ops.gathered_bytes = 12 * n as u64;
+        // Encode is one parallel round; a parallel merge/bitonic sort is
+        // O(log N) rounds deep.
+        ops.seq_rounds = 1 + (n.max(2) as f64).log2().ceil() as u64;
+
+        Structurized { cloud: reordered, permutation, codes, grid, ops }
+    }
+}
+
+impl Default for Structurizer {
+    /// Same as [`Structurizer::paper_default`].
+    fn default() -> Self {
+        Structurizer::paper_default()
+    }
+}
+
+/// The output of [`Structurizer::structurize`]: the Morton-ordered cloud and
+/// everything needed to exploit or undo the ordering.
+#[derive(Debug, Clone)]
+pub struct Structurized {
+    cloud: PointCloud,
+    permutation: Vec<usize>,
+    codes: Vec<u64>,
+    grid: VoxelGrid,
+    ops: OpCounts,
+}
+
+impl Structurized {
+    /// The re-ordered ("structurized") cloud.
+    pub fn cloud(&self) -> &PointCloud {
+        &self.cloud
+    }
+
+    /// The permutation `I' = [i_0 ... i_{N-1}]`: entry `j` is the *original*
+    /// index of the point now at sorted position `j`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.permutation
+    }
+
+    /// The sorted Morton codes, parallel to [`Structurized::cloud`].
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// The voxel grid the codes were generated on.
+    pub fn grid(&self) -> VoxelGrid {
+        self.grid
+    }
+
+    /// Operation counts of the structurization itself.
+    pub fn ops(&self) -> OpCounts {
+        self.ops
+    }
+
+    /// Returns the inverse permutation: entry `i` is the sorted position of
+    /// original point `i`.
+    pub fn inverse_permutation(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.permutation.len()];
+        for (sorted_pos, &orig) in self.permutation.iter().enumerate() {
+            inv[orig] = sorted_pos;
+        }
+        inv
+    }
+
+    /// Consumes `self`, returning the re-ordered cloud.
+    pub fn into_cloud(self) -> PointCloud {
+        self.cloud
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgepc_geom::Point3;
+
+    /// The 5-point example of paper Fig. 8.
+    fn paper_points() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(3.0, 6.0, 2.0),
+            Point3::new(1.0, 3.0, 1.0),
+            Point3::new(4.0, 3.0, 2.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(5.0, 1.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn paper_fig8_sorted_index_array() {
+        // With r = 1 the codes are {185, 23, 114, 0, 67}; sorting yields the
+        // new index array {3, 1, 4, 2, 0} (Sec. 5.1.2).
+        let cloud = paper_points();
+        let grid = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 10);
+        let s = Structurizer::new(10).structurize_with_grid(&cloud, grid);
+        assert_eq!(s.permutation(), &[3, 1, 4, 2, 0]);
+        assert_eq!(s.codes(), &[0, 23, 67, 114, 185]);
+    }
+
+    #[test]
+    fn paper_fig8_coarse_grid_index_array() {
+        // With r = 4 the codes are {2, 0, 1, 0, 1}; the stable sort yields
+        // {1, 3, 2, 4, 0} (Sec. 5.1.2).
+        let cloud = paper_points();
+        let grid = VoxelGrid::with_cell_size(Point3::ORIGIN, 4.0, 10);
+        let s = Structurizer::new(10).structurize_with_grid(&cloud, grid);
+        assert_eq!(s.permutation(), &[1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn codes_are_sorted_and_cloud_reordered() {
+        let cloud = paper_points();
+        let s = Structurizer::new(10).structurize(&cloud);
+        assert!(s.codes().windows(2).all(|w| w[0] <= w[1]));
+        for (pos, &orig) in s.permutation().iter().enumerate() {
+            assert_eq!(s.cloud().point(pos), cloud.point(orig));
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let cloud = paper_points();
+        let s = Structurizer::new(4).structurize(&cloud);
+        let mut seen = vec![false; cloud.len()];
+        for &i in s.permutation() {
+            assert!(!seen[i], "index {i} repeated");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn inverse_permutation_round_trips() {
+        let cloud = paper_points();
+        let s = Structurizer::new(10).structurize(&cloud);
+        let inv = s.inverse_permutation();
+        for orig in 0..cloud.len() {
+            assert_eq!(s.permutation()[inv[orig]], orig);
+        }
+    }
+
+    #[test]
+    fn op_counts_reflect_workload() {
+        let cloud = paper_points();
+        let s = Structurizer::new(10).structurize(&cloud);
+        let ops = s.ops();
+        assert_eq!(ops.morton_encodes, 5);
+        assert_eq!(ops.sorted_elems, 5);
+        assert!(ops.seq_rounds >= 2, "encode round + log-depth sort");
+        assert_eq!(ops.dist3, 0, "structurization computes no distances");
+    }
+
+    #[test]
+    fn code_overhead_matches_sec_5_1_3() {
+        // 32-bit codes over N points cost N * 4 bytes.
+        let s = Structurizer::paper_default();
+        assert_eq!(s.code_bits(), 30);
+        assert_eq!(s.code_overhead_bytes(8192), 8192 * 4);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(Structurizer::default(), Structurizer::paper_default());
+    }
+
+    #[test]
+    fn structurize_preserves_labels() {
+        let cloud = paper_points().with_labels(vec![0, 1, 2, 3, 4]);
+        let grid = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 10);
+        let s = Structurizer::new(10).structurize_with_grid(&cloud, grid);
+        assert_eq!(s.cloud().labels().unwrap(), &[3, 1, 4, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_cloud_panics() {
+        let _ = Structurizer::new(10).structurize(&PointCloud::new());
+    }
+}

@@ -1,0 +1,79 @@
+//! Ablation study: Morton vs Hilbert ordering quality.
+//!
+//! Quantifies the paper's implicit design choice (Sec. 4.1): the Morton
+//! curve is cheaper to compute but allows locality "jumps"; the Hilbert
+//! curve never jumps. On realistic clouds the neighbor-hit-rate difference
+//! is small, which is exactly why the paper can afford the cheaper curve.
+
+use edgepc_geom::{Point3, PointCloud};
+use edgepc_morton::hilbert::hilbert_sort_indices;
+use edgepc_morton::locality::window_hit_rate;
+use edgepc_morton::{Structurizer, VoxelGrid};
+
+fn scattered(n: usize, seed: u64) -> PointCloud {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(3);
+        ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+    };
+    (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+}
+
+fn hilbert_order(cloud: &PointCloud, bits: u32) -> PointCloud {
+    let grid = VoxelGrid::from_aabb(&cloud.bounding_box(), bits);
+    let coords: Vec<(u32, u32, u32)> = cloud.iter().map(|p| grid.quantize(p)).collect();
+    let order = hilbert_sort_indices(&coords, bits);
+    cloud.permuted(&order)
+}
+
+#[test]
+fn both_curves_beat_random_order_substantially() {
+    let cloud = scattered(192, 0xab1e);
+    let raw = window_hit_rate(cloud.points(), 4, 16);
+    let morton = Structurizer::new(10).structurize(&cloud).into_cloud();
+    let hilbert = hilbert_order(&cloud, 10);
+    let m = window_hit_rate(morton.points(), 4, 16);
+    let h = window_hit_rate(hilbert.points(), 4, 16);
+    assert!(m > raw + 0.1, "morton {m} vs raw {raw}");
+    assert!(h > raw + 0.1, "hilbert {h} vs raw {raw}");
+}
+
+#[test]
+fn hilbert_is_at_least_as_local_as_morton_on_average() {
+    // Averaged over several clouds, Hilbert's no-jump property should give
+    // an equal-or-better window hit rate.
+    let mut m_total = 0.0;
+    let mut h_total = 0.0;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let cloud = scattered(160, seed);
+        let morton = Structurizer::new(10).structurize(&cloud).into_cloud();
+        let hilbert = hilbert_order(&cloud, 10);
+        m_total += window_hit_rate(morton.points(), 4, 16);
+        h_total += window_hit_rate(hilbert.points(), 4, 16);
+    }
+    assert!(
+        h_total >= m_total - 0.05,
+        "hilbert {h_total} unexpectedly far below morton {m_total}"
+    );
+    // ... and the gap is small: the paper's cheap-curve choice is sound.
+    assert!(
+        (h_total - m_total).abs() / 5.0 < 0.15,
+        "quality gap per cloud {} is larger than the ablation expects",
+        (h_total - m_total).abs() / 5.0
+    );
+}
+
+#[test]
+fn hilbert_sort_is_deterministic_and_bijective() {
+    let cloud = scattered(96, 7);
+    let a = hilbert_order(&cloud, 8);
+    let b = hilbert_order(&cloud, 8);
+    assert_eq!(a.points(), b.points());
+    // Same multiset of points.
+    let key = |p: Point3| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits());
+    let mut xs: Vec<_> = cloud.iter().map(key).collect();
+    let mut ys: Vec<_> = a.iter().map(key).collect();
+    xs.sort_unstable();
+    ys.sort_unstable();
+    assert_eq!(xs, ys);
+}

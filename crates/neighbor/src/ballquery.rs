@@ -1,0 +1,167 @@
+//! Ball query — fixed-radius neighbor search, PointNet++'s default.
+
+use edgepc_geom::{OpCounts, PointCloud};
+
+use crate::{validate_search_args, NeighborResult, NeighborSearcher};
+
+/// Fixed-radius ("ball") neighbor search: return up to `k` candidates whose
+/// squared distance to the query is at most `radius_squared`, in candidate
+/// order, padding with the first hit when fewer than `k` fall inside — the
+/// exact semantics of the PointNet++ CUDA kernel and of paper Fig. 10(a),
+/// where `R = 11` (squared) selects `{P0, P1, P4}` for `P2`.
+///
+/// Like the brute k-NN, a full scan costs `O(N)` per query.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, PointCloud};
+/// use edgepc_neighbor::{BallQuery, NeighborSearcher};
+///
+/// let cloud = PointCloud::from_points(vec![
+///     Point3::new(3.0, 6.0, 2.0),
+///     Point3::new(1.0, 3.0, 1.0),
+///     Point3::new(4.0, 3.0, 2.0),
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(5.0, 1.0, 0.0),
+/// ]);
+/// let r = BallQuery::new(11.0).search(&cloud, &[2], 3);
+/// assert_eq!(r.neighbors[0], vec![0, 1, 4]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BallQuery {
+    radius_squared: f32,
+}
+
+impl BallQuery {
+    /// Creates a ball query with the given *squared* search radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius_squared` is not finite and positive.
+    pub fn new(radius_squared: f32) -> Self {
+        assert!(
+            radius_squared.is_finite() && radius_squared > 0.0,
+            "radius_squared must be positive and finite, got {radius_squared}"
+        );
+        BallQuery { radius_squared }
+    }
+
+    /// The squared search radius.
+    pub fn radius_squared(&self) -> f32 {
+        self.radius_squared
+    }
+}
+
+impl NeighborSearcher for BallQuery {
+    fn name(&self) -> &'static str {
+        "ballquery"
+    }
+
+    /// Scans all candidates and keeps the first `k` within the ball
+    /// (self excluded). Queries with no candidate in the ball fall back to
+    /// the overall nearest candidate, repeated `k` times, so downstream
+    /// grouping always receives a full neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k >= cloud.len()`, or a query is out of range.
+    fn search(&self, cloud: &PointCloud, queries: &[usize], k: usize) -> NeighborResult {
+        validate_search_args(cloud, queries, k);
+        let points = cloud.points();
+        let mut ops = OpCounts::ZERO;
+        let neighbors: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|&q| {
+                let qp = points[q];
+                let mut hits: Vec<usize> = Vec::with_capacity(k);
+                let mut nearest = (f32::INFINITY, usize::MAX);
+                for (j, &p) in points.iter().enumerate() {
+                    if j == q {
+                        continue;
+                    }
+                    let d = qp.distance_squared(p);
+                    ops.cmp += 1;
+                    if d <= self.radius_squared && hits.len() < k {
+                        hits.push(j);
+                    }
+                    if d < nearest.0 {
+                        nearest = (d, j);
+                    }
+                }
+                if hits.is_empty() {
+                    hits.push(nearest.1);
+                }
+                let first = hits[0];
+                while hits.len() < k {
+                    hits.push(first);
+                }
+                hits
+            })
+            .collect();
+        ops.dist3 = (queries.len() * (points.len() - 1)) as u64;
+        ops.seq_rounds = (points.len().max(2) as f64).log2().ceil() as u64;
+        NeighborResult { neighbors, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgepc_geom::Point3;
+
+    fn paper_points() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(3.0, 6.0, 2.0),
+            Point3::new(1.0, 3.0, 1.0),
+            Point3::new(4.0, 3.0, 2.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(5.0, 1.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn paper_fig10a_ball_query_for_p2() {
+        let r = BallQuery::new(11.0).search(&paper_points(), &[2], 3);
+        assert_eq!(r.neighbors[0], vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn pads_when_ball_is_sparse() {
+        // Only P0 is within squared radius 10.5 of P2... P0 (10) and P1
+        // (10) both are; radius 9.5 admits only P4 (9).
+        let r = BallQuery::new(9.5).search(&paper_points(), &[2], 3);
+        assert_eq!(r.neighbors[0], vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn empty_ball_falls_back_to_nearest() {
+        let r = BallQuery::new(0.5).search(&paper_points(), &[2], 2);
+        // Nearest is P4 at squared distance 9.
+        assert_eq!(r.neighbors[0], vec![4, 4]);
+    }
+
+    #[test]
+    fn excludes_self_even_at_distance_zero() {
+        let cloud = PointCloud::from_points(vec![
+            Point3::ORIGIN,
+            Point3::ORIGIN, // duplicate of the query
+            Point3::splat(1.0),
+        ]);
+        let r = BallQuery::new(4.0).search(&cloud, &[0], 2);
+        assert_eq!(r.neighbors[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn cost_matches_full_scan() {
+        let cloud: PointCloud = (0..40).map(|i| Point3::splat(i as f32)).collect();
+        let r = BallQuery::new(1.5).search(&cloud, &[0, 1], 3);
+        assert_eq!(r.ops.dist3, 2 * 39);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius_squared must be positive")]
+    fn non_positive_radius_panics() {
+        let _ = BallQuery::new(0.0);
+    }
+}

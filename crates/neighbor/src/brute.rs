@@ -1,0 +1,138 @@
+//! Brute-force exact k-NN — the SOTA kernel the paper profiles.
+
+use edgepc_geom::{OpCounts, PointCloud};
+
+use crate::{select_k_nearest, validate_search_args, NeighborResult, NeighborSearcher};
+
+/// Exact k-nearest-neighbor search by scanning every candidate for every
+/// query — the distance-matrix approach of paper Sec. 5.2.1, `O(N)` per
+/// query and `O(N^2)` for all-points queries. Fully parallel across
+/// queries, which is why GPU point-cloud stacks use it despite the
+/// complexity (the paper's footnote 1 explains why k-d trees don't win on
+/// GPUs).
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, PointCloud};
+/// use edgepc_neighbor::{BruteKnn, NeighborSearcher};
+///
+/// // The paper's Fig. 10(a): the 3 nearest neighbors of P2 are P4, P0, P1.
+/// let cloud = PointCloud::from_points(vec![
+///     Point3::new(3.0, 6.0, 2.0),
+///     Point3::new(1.0, 3.0, 1.0),
+///     Point3::new(4.0, 3.0, 2.0),
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(5.0, 1.0, 0.0),
+/// ]);
+/// let r = BruteKnn::new().search(&cloud, &[2], 3);
+/// assert_eq!(r.neighbors[0], vec![4, 0, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BruteKnn;
+
+impl BruteKnn {
+    /// Creates the exact searcher.
+    pub fn new() -> Self {
+        BruteKnn
+    }
+}
+
+impl NeighborSearcher for BruteKnn {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    /// Finds the `k` nearest candidates of each query (self excluded),
+    /// nearest first; ties broken by lower index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k >= cloud.len()`, or a query is out of range.
+    fn search(&self, cloud: &PointCloud, queries: &[usize], k: usize) -> NeighborResult {
+        validate_search_args(cloud, queries, k);
+        let points = cloud.points();
+        let mut ops = OpCounts::ZERO;
+        let mut cmp = 0u64;
+        let neighbors: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|&q| {
+                let qp = points[q];
+                select_k_nearest(
+                    points
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != q)
+                        .map(|(j, &p)| (qp.distance_squared(p), j)),
+                    k,
+                    &mut cmp,
+                )
+            })
+            .collect();
+        ops.dist3 = (queries.len() * (points.len() - 1)) as u64;
+        ops.cmp = cmp;
+        // Parallel across queries; per-query scan reduces in ~log N depth.
+        ops.seq_rounds = (points.len().max(2) as f64).log2().ceil() as u64;
+        NeighborResult { neighbors, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgepc_geom::Point3;
+
+    fn paper_points() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(3.0, 6.0, 2.0),
+            Point3::new(1.0, 3.0, 1.0),
+            Point3::new(4.0, 3.0, 2.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(5.0, 1.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn paper_fig10a_knn_for_p2() {
+        // Squared distances from P2: P0=10, P1=10, P3=29, P4=9.
+        let r = BruteKnn::new().search(&paper_points(), &[2], 3);
+        assert_eq!(r.neighbors[0], vec![4, 0, 1]);
+    }
+
+    #[test]
+    fn excludes_self() {
+        let r = BruteKnn::new().search(&paper_points(), &[0, 1, 2, 3, 4], 2);
+        for (q, ns) in r.neighbors.iter().enumerate() {
+            assert!(!ns.contains(&q), "query {q} listed itself");
+            assert_eq!(ns.len(), 2);
+        }
+    }
+
+    #[test]
+    fn nearest_first_ordering() {
+        let cloud: PointCloud = (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let r = BruteKnn::new().search(&cloud, &[0], 3);
+        assert_eq!(r.neighbors[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn op_counts_are_quadratic_for_all_queries() {
+        let cloud: PointCloud = (0..50).map(|i| Point3::splat(i as f32)).collect();
+        let queries: Vec<usize> = (0..50).collect();
+        let r = BruteKnn::new().search(&cloud, &queries, 4);
+        assert_eq!(r.ops.dist3, 50 * 49);
+    }
+
+    #[test]
+    fn subset_queries_cost_proportionally_less() {
+        let cloud: PointCloud = (0..50).map(|i| Point3::splat(i as f32)).collect();
+        let r = BruteKnn::new().search(&cloud, &[0, 1, 2, 3, 4], 4);
+        assert_eq!(r.ops.dist3, 5 * 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = BruteKnn::new().search(&paper_points(), &[0], 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! k-d tree neighbor search — the classic `O(N log N)` comparator.
+//!
+//! The paper's footnote 1 notes that k-d-tree searchers have better
+//! asymptotic complexity than brute force but limited parallelism (both
+//! construction and traversal are pointer-chasing), which is why Crescent
+//! [17] had to split trees to tame their memory irregularity. We implement
+//! the standard median-split tree so the benchmark harness can show that
+//! trade-off: far fewer distance evaluations, far deeper sequential chains.
+
+use edgepc_geom::{OpCounts, Point3, PointCloud};
+
+use crate::{validate_search_args, NeighborResult, NeighborSearcher};
+
+const NO_CHILD: i32 = -1;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    point: u32,
+    axis: u8,
+    left: i32,
+    right: i32,
+}
+
+/// A median-split k-d tree over a point cloud.
+///
+/// Build once with [`KdTree::build`], then run [`KdTree::knn`] or
+/// [`KdTree::within_radius`] queries. The [`NeighborSearcher`] impl builds
+/// a fresh tree per call and *includes the construction cost* in the
+/// reported [`OpCounts`] — exactly the overhead the paper holds against
+/// tree-based approaches.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, PointCloud};
+/// use edgepc_neighbor::KdTree;
+///
+/// let cloud: PointCloud = (0..32).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+/// let tree = KdTree::build(&cloud);
+/// let mut ops = Default::default();
+/// // Excluding point 3 itself, the nearest neighbors of x = 3.1 are 4 and 2.
+/// assert_eq!(tree.knn(Point3::new(3.1, 0.0, 0.0), 2, Some(3), &mut ops), vec![4, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    points: Vec<Point3>,
+    root: i32,
+    build_ops: OpCounts,
+}
+
+impl KdTree {
+    /// Builds a tree over the points of `cloud` by recursive median split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is empty.
+    pub fn build(cloud: &PointCloud) -> Self {
+        assert!(!cloud.is_empty(), "cannot build a k-d tree over an empty cloud");
+        let points = cloud.points().to_vec();
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let mut build_ops = OpCounts::ZERO;
+        let root = Self::build_rec(&points, &mut order, 0, &mut nodes, &mut build_ops);
+        // Construction touches each level once; depth ~log N sequential
+        // rounds, each with O(N) median-partition comparisons.
+        build_ops.seq_rounds = (points.len().max(2) as f64).log2().ceil() as u64;
+        KdTree { nodes, points, root, build_ops }
+    }
+
+    fn build_rec(
+        points: &[Point3],
+        order: &mut [u32],
+        depth: u32,
+        nodes: &mut Vec<Node>,
+        ops: &mut OpCounts,
+    ) -> i32 {
+        if order.is_empty() {
+            return NO_CHILD;
+        }
+        let axis = (depth % 3) as usize;
+        let mid = order.len() / 2;
+        order.select_nth_unstable_by(mid, |&a, &b| {
+            points[a as usize][axis]
+                .partial_cmp(&points[b as usize][axis])
+                .unwrap()
+        });
+        ops.cmp += order.len() as u64;
+        let point = order[mid];
+        let (lo, rest) = order.split_at_mut(mid);
+        let (_, hi) = rest.split_at_mut(1);
+        let left = Self::build_rec(points, lo, depth + 1, nodes, ops);
+        let right = Self::build_rec(points, hi, depth + 1, nodes, ops);
+        nodes.push(Node { point, axis: axis as u8, left, right });
+        (nodes.len() - 1) as i32
+    }
+
+    /// Operation counts of building this tree.
+    pub fn build_ops(&self) -> OpCounts {
+        self.build_ops
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the tree is empty (never true for a built tree).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the indices of the `k` nearest points to `query`, nearest
+    /// first, optionally excluding one index (`exclude`, for
+    /// self-exclusion). Distance evaluations and node visits are
+    /// accumulated into `ops`.
+    pub fn knn(
+        &self,
+        query: Point3,
+        k: usize,
+        exclude: Option<usize>,
+        ops: &mut OpCounts,
+    ) -> Vec<usize> {
+        let mut best: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+        self.knn_rec(self.root, query, k, exclude, &mut best, ops);
+        best.into_iter().map(|(_, i)| i as usize).collect()
+    }
+
+    fn knn_rec(
+        &self,
+        node: i32,
+        query: Point3,
+        k: usize,
+        exclude: Option<usize>,
+        best: &mut Vec<(f32, u32)>,
+        ops: &mut OpCounts,
+    ) {
+        if node == NO_CHILD {
+            return;
+        }
+        let n = self.nodes[node as usize];
+        let p = self.points[n.point as usize];
+        ops.dist3 += 1;
+        ops.cmp += 1;
+        let d = query.distance_squared(p);
+        if exclude != Some(n.point as usize) {
+            let pos = best.partition_point(|&(bd, _)| bd <= d);
+            if pos < k {
+                best.insert(pos, (d, n.point));
+                best.truncate(k);
+            }
+        }
+        let axis = n.axis as usize;
+        let diff = query[axis] - p[axis];
+        let (near, far) = if diff <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
+        self.knn_rec(near, query, k, exclude, best, ops);
+        // Prune the far side unless the splitting plane is closer than the
+        // current k-th best.
+        let worst = best.last().map_or(f32::INFINITY, |&(d, _)| d);
+        if best.len() < k || diff * diff < worst {
+            self.knn_rec(far, query, k, exclude, best, ops);
+        }
+    }
+
+    /// Returns all indices within squared distance `radius_squared` of
+    /// `query` (candidate order unspecified), excluding `exclude`.
+    pub fn within_radius(
+        &self,
+        query: Point3,
+        radius_squared: f32,
+        exclude: Option<usize>,
+        ops: &mut OpCounts,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.radius_rec(self.root, query, radius_squared, exclude, &mut out, ops);
+        out
+    }
+
+    fn radius_rec(
+        &self,
+        node: i32,
+        query: Point3,
+        r2: f32,
+        exclude: Option<usize>,
+        out: &mut Vec<usize>,
+        ops: &mut OpCounts,
+    ) {
+        if node == NO_CHILD {
+            return;
+        }
+        let n = self.nodes[node as usize];
+        let p = self.points[n.point as usize];
+        ops.dist3 += 1;
+        if query.distance_squared(p) <= r2 && exclude != Some(n.point as usize) {
+            out.push(n.point as usize);
+        }
+        let axis = n.axis as usize;
+        let diff = query[axis] - p[axis];
+        let (near, far) = if diff <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
+        self.radius_rec(near, query, r2, exclude, out, ops);
+        ops.cmp += 1;
+        if diff * diff <= r2 {
+            self.radius_rec(far, query, r2, exclude, out, ops);
+        }
+    }
+}
+
+impl NeighborSearcher for KdTree {
+    fn name(&self) -> &'static str {
+        "kdtree"
+    }
+
+    /// Builds a tree over `cloud` and answers all queries; construction
+    /// cost is included. Traversals contribute a deep sequential chain
+    /// (`log^2 N`-ish) reflecting their limited GPU parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k >= cloud.len()`, or a query is out of range.
+    fn search(&self, cloud: &PointCloud, queries: &[usize], k: usize) -> NeighborResult {
+        validate_search_args(cloud, queries, k);
+        let tree = KdTree::build(cloud);
+        let mut ops = tree.build_ops();
+        let points = cloud.points();
+        let neighbors: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|&q| {
+                let mut got = tree.knn(points[q], k, Some(q), &mut ops);
+                if let Some(&first) = got.first() {
+                    while got.len() < k {
+                        got.push(first);
+                    }
+                }
+                got
+            })
+            .collect();
+        // Pointer-chasing traversal: the paper's argument against trees on
+        // GPUs. Model each query's traversal as a sequential chain of tree
+        // depth, with queries parallel across lanes.
+        let depth = (cloud.len().max(2) as f64).log2().ceil() as u64;
+        ops.seq_rounds += 3 * depth;
+        NeighborResult { neighbors, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteKnn;
+
+    fn scattered(n: usize) -> PointCloud {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let cloud = scattered(200);
+        let queries: Vec<usize> = (0..200).step_by(7).collect();
+        let exact = BruteKnn::new().search(&cloud, &queries, 5);
+        let tree = KdTree::build(&cloud).search(&cloud, &queries, 5);
+        for (a, b) in tree.neighbors.iter().zip(&exact.neighbors) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn tree_does_far_fewer_distance_evals() {
+        let cloud = scattered(1000);
+        let queries: Vec<usize> = (0..1000).collect();
+        let exact = BruteKnn::new().search(&cloud, &queries, 8);
+        let tree = KdTree::build(&cloud).search(&cloud, &queries, 8);
+        assert!(
+            tree.ops.dist3 < exact.ops.dist3 / 3,
+            "tree {} vs brute {}",
+            tree.ops.dist3,
+            exact.ops.dist3
+        );
+        // ... at the price of a deeper sequential chain.
+        assert!(tree.ops.seq_rounds > exact.ops.seq_rounds);
+    }
+
+    #[test]
+    fn within_radius_matches_linear_scan() {
+        let cloud = scattered(300);
+        let tree = KdTree::build(&cloud);
+        let q = cloud.point(17);
+        let r2 = 0.05f32;
+        let mut ops = OpCounts::ZERO;
+        let mut got = tree.within_radius(q, r2, Some(17), &mut ops);
+        got.sort_unstable();
+        let mut want: Vec<usize> = cloud
+            .iter()
+            .enumerate()
+            .filter(|&(j, p)| j != 17 && q.distance_squared(p) <= r2)
+            .map(|(j, _)| j)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_on_duplicate_points() {
+        let pts = vec![Point3::ORIGIN; 5]
+            .into_iter()
+            .chain([Point3::splat(1.0)])
+            .collect::<Vec<_>>();
+        let cloud = PointCloud::from_points(pts);
+        let tree = KdTree::build(&cloud);
+        let mut ops = OpCounts::ZERO;
+        let got = tree.knn(Point3::ORIGIN, 3, Some(0), &mut ops);
+        assert_eq!(got.len(), 3);
+        assert!(!got.contains(&0));
+        assert!(!got.contains(&5), "far point must not beat duplicates");
+    }
+
+    #[test]
+    fn build_ops_are_n_log_n_ish() {
+        let cloud = scattered(1024);
+        let tree = KdTree::build(&cloud);
+        let ops = tree.build_ops();
+        // Each of ~log2(1024)=10 levels partitions ~1024 elements.
+        assert!(ops.cmp >= 1024);
+        assert!(ops.cmp < 1024 * 30);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let cloud = PointCloud::from_points(vec![Point3::splat(2.0)]);
+        let tree = KdTree::build(&cloud);
+        let mut ops = OpCounts::ZERO;
+        assert_eq!(tree.knn(Point3::ORIGIN, 1, None, &mut ops), vec![0]);
+        assert_eq!(tree.len(), 1);
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cloud")]
+    fn empty_build_panics() {
+        let _ = KdTree::build(&PointCloud::new());
+    }
+}

@@ -1,0 +1,60 @@
+//! A small dense neural-network library with full backpropagation — the
+//! substrate under the PointNet++ / DGCNN reproductions.
+//!
+//! The paper retrains its CNN models with the Morton approximations baked
+//! in (Sec. 5.3); reproducing that requires actual training, so this crate
+//! implements:
+//!
+//! * [`Tensor2`] — a row-major 2-D `f32` tensor with the linear algebra the
+//!   models need,
+//! * [`Linear`], [`ReLU`], [`BatchNorm1d`], [`Sequential`] — layers with
+//!   forward/backward passes (a `Linear` applied row-wise over points is
+//!   exactly the shared-MLP / 1x1 convolution of point-cloud CNNs),
+//! * [`pool`] — grouped max-pooling over neighborhoods with backward,
+//! * [`loss`] — softmax cross-entropy,
+//! * [`Sgd`] / [`Adam`] — optimizers over any [`Layer`]'s parameters,
+//! * [`gradcheck`] — numerical gradient checking used by the test suite.
+//!
+//! Feature-compute work is reported through [`OpCounts::mac`] so the device
+//! model can price the FC stage (and its tensor-core variant).
+//!
+//! # Example
+//!
+//! ```
+//! use edgepc_nn::{loss, Adam, Layer, Linear, Optimizer, ReLU, Sequential, Tensor2};
+//! use edgepc_geom::OpCounts;
+//!
+//! // Learn y = x > 0 with a tiny MLP.
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Linear::new(1, 8, 0)),
+//!     Box::new(ReLU::new()),
+//!     Box::new(Linear::new(8, 2, 1)),
+//! ]);
+//! let mut opt = Adam::new(0.05);
+//! let x = Tensor2::from_vec(vec![-1.0, -0.5, 0.5, 1.0], 4, 1);
+//! let t = [0u32, 0, 1, 1];
+//! let mut ops = OpCounts::default();
+//! for _ in 0..200 {
+//!     let logits = net.forward(&x, &mut ops);
+//!     let (_, dlogits) = loss::softmax_cross_entropy(&logits, &t);
+//!     net.zero_grads();
+//!     net.backward(&dlogits);
+//!     opt.step(&mut net);
+//! }
+//! let logits = net.forward(&x, &mut ops);
+//! assert!(logits.get(0, 0) > logits.get(0, 1)); // negative -> class 0
+//! assert!(logits.get(3, 1) > logits.get(3, 0)); // positive -> class 1
+//! ```
+
+pub mod gradcheck;
+pub mod layer;
+pub mod loss;
+pub mod optim;
+pub mod pool;
+pub mod tensor;
+
+pub use layer::{BatchNorm1d, Dropout, Layer, Linear, ReLU, Sequential};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor2;
+
+pub use edgepc_geom::OpCounts;

@@ -1,0 +1,126 @@
+//! Losses.
+
+use crate::Tensor2;
+
+/// Softmax cross-entropy over rows: row `i` of `logits` is scored against
+/// class `targets[i]`. Returns the mean loss and the gradient w.r.t. the
+/// logits (already divided by the batch size, ready for `backward`).
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()`, or any target is out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_nn::{loss, Tensor2};
+///
+/// let logits = Tensor2::from_vec(vec![10.0, -10.0], 1, 2);
+/// let (l, grad) = loss::softmax_cross_entropy(&logits, &[0]);
+/// assert!(l < 1e-6);            // confidently correct: near-zero loss
+/// assert!(grad.get(0, 0) < 0.0 || grad.get(0, 0).abs() < 1e-6);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor2, targets: &[u32]) -> (f32, Tensor2) {
+    assert_eq!(targets.len(), logits.rows(), "one target per row");
+    let classes = logits.cols();
+    assert!(
+        targets.iter().all(|&t| (t as usize) < classes),
+        "target class out of range"
+    );
+    let n = logits.rows() as f32;
+    let mut grad = Tensor2::zeros(logits.rows(), classes);
+    let mut loss = 0.0f32;
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let t = targets[r] as usize;
+        loss += -(exps[t] / sum).max(f32::MIN_POSITIVE).ln();
+        for c in 0..classes {
+            let p = exps[c] / sum;
+            grad.set(r, c, (p - if c == t { 1.0 } else { 0.0 }) / n);
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Row-wise argmax: the predicted class per row.
+pub fn argmax_rows(logits: &Tensor2) -> Vec<u32> {
+    (0..logits.rows())
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i as u32)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of rows whose argmax equals the target.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `targets` is empty.
+pub fn accuracy(logits: &Tensor2, targets: &[u32]) -> f64 {
+    assert_eq!(targets.len(), logits.rows(), "one target per row");
+    assert!(!targets.is_empty(), "empty targets");
+    let preds = argmax_rows(logits);
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor2::zeros(4, 3);
+        let (l, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 0]);
+        assert!((l - (3.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor2::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], 2, 3);
+        let (_, g) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_pushes_toward_target() {
+        let logits = Tensor2::from_vec(vec![0.0, 0.0], 1, 2);
+        let (_, g) = softmax_cross_entropy(&logits, &[1]);
+        assert!(g.get(0, 1) < 0.0, "target grad negative (raises logit)");
+        assert!(g.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor2::from_vec(vec![1e4, -1e4], 1, 2);
+        let (l, g) = softmax_cross_entropy(&logits, &[0]);
+        assert!(l.is_finite());
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_and_argmax() {
+        let logits = Tensor2::from_vec(vec![1.0, 2.0, 5.0, 0.0], 2, 2);
+        assert_eq!(argmax_rows(&logits), vec![1, 0]);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "target class out of range")]
+    fn bad_target_panics() {
+        let _ = softmax_cross_entropy(&Tensor2::zeros(1, 2), &[5]);
+    }
+}

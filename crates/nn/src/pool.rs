@@ -1,0 +1,204 @@
+//! Grouped max pooling over neighborhoods.
+//!
+//! Point-cloud CNNs aggregate each sampled point's neighborhood with a
+//! channel-wise max (the symmetric function of PointNet). The forward pass
+//! takes a `(groups * group_size) x C` tensor laid out group-major and
+//! returns a `groups x C` tensor plus the argmax positions needed for the
+//! backward pass.
+
+use crate::Tensor2;
+
+/// Result of a grouped max pool: the pooled tensor and, per output element,
+/// the row of the input that won the max (for routing gradients back).
+#[derive(Debug, Clone)]
+pub struct PooledGroups {
+    /// `groups x C` pooled features.
+    pub output: Tensor2,
+    /// `groups * C` winning input-row indices (row-major over the output).
+    pub argmax: Vec<usize>,
+    group_size: usize,
+    input_rows: usize,
+}
+
+/// Max-pools `x` over consecutive groups of `group_size` rows.
+///
+/// # Panics
+///
+/// Panics if `group_size == 0` or `x.rows()` is not a multiple of
+/// `group_size`.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_nn::{pool, Tensor2};
+///
+/// // Two groups of two rows.
+/// let x = Tensor2::from_vec(vec![1.0, 5.0, 3.0, 2.0, 9.0, 0.0, 4.0, 8.0], 4, 2);
+/// let p = pool::max_pool_groups(&x, 2);
+/// assert_eq!(p.output.row(0), &[3.0, 5.0]);
+/// assert_eq!(p.output.row(1), &[9.0, 8.0]);
+/// ```
+pub fn max_pool_groups(x: &Tensor2, group_size: usize) -> PooledGroups {
+    assert!(group_size > 0, "group_size must be positive");
+    assert_eq!(
+        x.rows() % group_size,
+        0,
+        "rows {} not a multiple of group size {group_size}",
+        x.rows()
+    );
+    let groups = x.rows() / group_size;
+    let cols = x.cols();
+    let mut output = Tensor2::zeros(groups, cols);
+    let mut argmax = vec![0usize; groups * cols];
+    for g in 0..groups {
+        for c in 0..cols {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_row = g * group_size;
+            for r in g * group_size..(g + 1) * group_size {
+                let v = x.get(r, c);
+                if v > best {
+                    best = v;
+                    best_row = r;
+                }
+            }
+            output.set(g, c, best);
+            argmax[g * cols + c] = best_row;
+        }
+    }
+    PooledGroups { output, argmax, group_size, input_rows: x.rows() }
+}
+
+impl PooledGroups {
+    /// Routes the pooled gradient back to the winning rows: the backward
+    /// pass of [`max_pool_groups`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy`'s shape does not match the pooled output.
+    pub fn backward(&self, dy: &Tensor2) -> Tensor2 {
+        assert_eq!(
+            (dy.rows(), dy.cols()),
+            (self.output.rows(), self.output.cols()),
+            "pool backward shape mismatch"
+        );
+        let cols = dy.cols();
+        let mut dx = Tensor2::zeros(self.input_rows, cols);
+        for g in 0..dy.rows() {
+            for c in 0..cols {
+                let r = self.argmax[g * cols + c];
+                dx.set(r, c, dx.get(r, c) + dy.get(g, c));
+            }
+        }
+        dx
+    }
+
+    /// The group size the pool was computed with.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+}
+
+/// Global (all-rows) max pool, used at the end of classification heads.
+/// Equivalent to [`max_pool_groups`] with one group spanning the tensor.
+pub fn global_max_pool(x: &Tensor2) -> PooledGroups {
+    max_pool_groups(x, x.rows())
+}
+
+/// Mean-pools `x` over consecutive groups of `group_size` rows (no cache
+/// needed; the backward is a uniform spread, see [`mean_pool_backward`]).
+///
+/// # Panics
+///
+/// Panics if `group_size == 0` or `x.rows()` is not a multiple of it.
+pub fn mean_pool_groups(x: &Tensor2, group_size: usize) -> Tensor2 {
+    assert!(group_size > 0, "group_size must be positive");
+    assert_eq!(x.rows() % group_size, 0, "rows not a multiple of group size");
+    let groups = x.rows() / group_size;
+    let mut out = Tensor2::zeros(groups, x.cols());
+    for g in 0..groups {
+        for r in g * group_size..(g + 1) * group_size {
+            for (o, &v) in out.row_mut(g).iter_mut().zip(x.row(r)) {
+                *o += v;
+            }
+        }
+        for o in out.row_mut(g) {
+            *o /= group_size as f32;
+        }
+    }
+    out
+}
+
+/// Backward of [`mean_pool_groups`]: spreads each group gradient uniformly
+/// over its `group_size` input rows.
+pub fn mean_pool_backward(dy: &Tensor2, group_size: usize) -> Tensor2 {
+    let mut dx = Tensor2::zeros(dy.rows() * group_size, dy.cols());
+    let inv = 1.0 / group_size as f32;
+    for g in 0..dy.rows() {
+        for r in g * group_size..(g + 1) * group_size {
+            for (o, &v) in dx.row_mut(r).iter_mut().zip(dy.row(g)) {
+                *o = v * inv;
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_selects_channelwise_maxima() {
+        let x = Tensor2::from_vec(vec![1.0, 9.0, 7.0, 2.0, 5.0, 5.0], 3, 2);
+        let p = max_pool_groups(&x, 3);
+        assert_eq!(p.output.row(0), &[7.0, 9.0]);
+        assert_eq!(p.argmax, vec![1, 0]);
+    }
+
+    #[test]
+    fn backward_routes_to_winners_only() {
+        let x = Tensor2::from_vec(vec![1.0, 9.0, 7.0, 2.0], 2, 2);
+        let p = max_pool_groups(&x, 2);
+        let dx = p.backward(&Tensor2::from_vec(vec![10.0, 20.0], 1, 2));
+        assert_eq!(dx.as_slice(), &[0.0, 20.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn ties_go_to_first_row() {
+        let x = Tensor2::from_vec(vec![5.0, 5.0], 2, 1);
+        let p = max_pool_groups(&x, 2);
+        assert_eq!(p.argmax, vec![0]);
+    }
+
+    #[test]
+    fn negative_values_pool_correctly() {
+        let x = Tensor2::from_vec(vec![-3.0, -1.0, -2.0], 3, 1);
+        let p = max_pool_groups(&x, 3);
+        assert_eq!(p.output.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn global_pool_is_single_group() {
+        let x = Tensor2::from_vec((0..12).map(|v| v as f32).collect(), 4, 3);
+        let p = global_max_pool(&x);
+        assert_eq!(p.output.rows(), 1);
+        assert_eq!(p.output.row(0), &[9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn mean_pool_round_trip_shapes() {
+        let x = Tensor2::from_vec(vec![2.0, 4.0, 6.0, 8.0], 4, 1);
+        let y = mean_pool_groups(&x, 2);
+        assert_eq!(y.as_slice(), &[3.0, 7.0]);
+        let dx = mean_pool_backward(&y, 2);
+        assert_eq!(dx.rows(), 4);
+        assert_eq!(dx.as_slice(), &[1.5, 1.5, 3.5, 3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_groups_panic() {
+        let x = Tensor2::zeros(5, 2);
+        let _ = max_pool_groups(&x, 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Farthest point sampling — the SOTA baseline (paper Sec. 5.1.1, Fig. 7/8a).
+
+use edgepc_geom::{OpCounts, PointCloud};
+
+use crate::{SampleResult, Sampler};
+
+/// Exact farthest point sampling (FPS).
+///
+/// Starting from a seed point, FPS repeatedly adds the point farthest from
+/// the already-sampled set, maintaining a distance array `D` that is updated
+/// in `O(N)` per added point — `O(nN)` total, and *strictly sequential*:
+/// each pick depends on the previous one, which is why the paper reports it
+/// cannot exploit GPU parallelism across samples.
+///
+/// The paper's example (Fig. 8a) seeds with point 0 deterministically; that
+/// is this type's default. Use [`FarthestPointSampler::with_start`] to seed
+/// elsewhere.
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, PointCloud};
+/// use edgepc_sample::{FarthestPointSampler, Sampler};
+///
+/// // The paper's 5-point example: sampling 3 points picks P0, P3, P4.
+/// let cloud = PointCloud::from_points(vec![
+///     Point3::new(3.0, 6.0, 2.0),
+///     Point3::new(1.0, 3.0, 1.0),
+///     Point3::new(4.0, 3.0, 2.0),
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(5.0, 1.0, 0.0),
+/// ]);
+/// let result = FarthestPointSampler::new().sample(&cloud, 3);
+/// assert_eq!(result.indices, vec![0, 3, 4]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FarthestPointSampler {
+    start: usize,
+}
+
+impl FarthestPointSampler {
+    /// Creates an FPS sampler seeded at point index 0.
+    pub fn new() -> Self {
+        FarthestPointSampler { start: 0 }
+    }
+
+    /// Creates an FPS sampler seeded at `start`.
+    pub fn with_start(start: usize) -> Self {
+        FarthestPointSampler { start }
+    }
+}
+
+impl Sampler for FarthestPointSampler {
+    fn name(&self) -> &'static str {
+        "fps"
+    }
+
+    /// Runs farthest point sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > cloud.len()` or if the seed index is out of range
+    /// (for `n > 0`).
+    fn sample(&self, cloud: &PointCloud, n: usize) -> SampleResult {
+        let points = cloud.points();
+        let total = points.len();
+        assert!(n <= total, "cannot sample {n} from {total} points");
+        let mut ops = OpCounts::ZERO;
+        let mut indices = Vec::with_capacity(n);
+        if n == 0 {
+            return SampleResult { indices, ops, structurized: None };
+        }
+        assert!(self.start < total, "seed index {} out of range", self.start);
+
+        // D[i]: squared distance from point i to the sampled set.
+        let mut dist = vec![f32::INFINITY; total];
+        let mut current = self.start;
+        indices.push(current);
+
+        for _ in 1..n {
+            // Update D with the latest sample and find the farthest point
+            // in one pass (the O(N) Update() of Fig. 7).
+            let latest = points[current];
+            let mut best = 0usize;
+            let mut best_d = f32::NEG_INFINITY;
+            for (i, &p) in points.iter().enumerate() {
+                let d = latest.distance_squared(p);
+                if d < dist[i] {
+                    dist[i] = d;
+                }
+                if dist[i] > best_d {
+                    best_d = dist[i];
+                    best = i;
+                }
+            }
+            ops.dist3 += total as u64;
+            ops.cmp += 2 * total as u64;
+            current = best;
+            indices.push(current);
+        }
+        // One sequential round per sampled point: the data dependence the
+        // paper identifies as the parallelism killer.
+        ops.seq_rounds = n as u64;
+        SampleResult { indices, ops, structurized: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgepc_geom::Point3;
+
+    fn paper_points() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(3.0, 6.0, 2.0),
+            Point3::new(1.0, 3.0, 1.0),
+            Point3::new(4.0, 3.0, 2.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(5.0, 1.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn reproduces_paper_fig8a_walkthrough() {
+        // After seeding P0, D = {0, 14, 10, 49, 33} -> P3 sampled;
+        // D becomes {0, 11, 10, 0, 26} -> P4 sampled.
+        let r = FarthestPointSampler::new().sample(&paper_points(), 3);
+        assert_eq!(r.indices, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn sampling_all_points_returns_a_permutation() {
+        let cloud = paper_points();
+        let r = FarthestPointSampler::new().sample(&cloud, 5);
+        let mut sorted = r.indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn n_zero_and_one() {
+        let cloud = paper_points();
+        assert!(FarthestPointSampler::new().sample(&cloud, 0).indices.is_empty());
+        assert_eq!(FarthestPointSampler::new().sample(&cloud, 1).indices, vec![0]);
+        assert_eq!(
+            FarthestPointSampler::with_start(2).sample(&cloud, 1).indices,
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn op_counts_are_quadratic_and_sequential() {
+        let cloud: PointCloud = (0..100)
+            .map(|i| Point3::new((i * 7 % 13) as f32, (i * 3 % 11) as f32, i as f32))
+            .collect();
+        let r = FarthestPointSampler::new().sample(&cloud, 50);
+        assert_eq!(r.ops.dist3, 49 * 100, "O(nN) distance updates");
+        assert_eq!(r.ops.seq_rounds, 50, "one dependent round per sample");
+    }
+
+    #[test]
+    fn samples_are_distinct_and_spread() {
+        // On a line, FPS with n=3 from the left end picks both extremes.
+        let cloud: PointCloud = (0..11).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let r = FarthestPointSampler::new().sample(&cloud, 3);
+        assert!(r.indices.contains(&0));
+        assert!(r.indices.contains(&10));
+        assert!(r.indices.contains(&5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let _ = FarthestPointSampler::new().sample(&paper_points(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_seed_panics() {
+        let _ = FarthestPointSampler::with_start(9).sample(&paper_points(), 2);
+    }
+}

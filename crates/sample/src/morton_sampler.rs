@@ -1,0 +1,232 @@
+//! The Morton-code-based sampler (paper Algo. 1, Sec. 5.1.2).
+
+use edgepc_geom::PointCloud;
+use edgepc_morton::Structurizer;
+
+use crate::{linspace_indices, SampleResult, Sampler};
+
+/// The paper's approximate down-sampler: structurize the cloud along the
+/// Z-curve, then uniformly pick along the sorted order.
+///
+/// Complexity is `O(N log N)` (the sort) instead of FPS's `O(nN)`, the code
+/// generation and pick stages are fully parallel, and the structurization
+/// by-product (permutation + codes) is kept in the [`SampleResult`] so the
+/// neighbor-search stage can reuse it at no extra cost (Sec. 5.2.3).
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{Point3, PointCloud};
+/// use edgepc_sample::{MortonSampler, Sampler};
+///
+/// // The paper's 5-point example (Fig. 8b): three points are picked with
+/// // zero distance evaluations, and the structurization is kept for reuse.
+/// let cloud = PointCloud::from_points(vec![
+///     Point3::new(3.0, 6.0, 2.0),
+///     Point3::new(1.0, 3.0, 1.0),
+///     Point3::new(4.0, 3.0, 2.0),
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(5.0, 1.0, 0.0),
+/// ]);
+/// let r = MortonSampler::new(10).sample(&cloud, 3);
+/// assert_eq!(r.indices.len(), 3);
+/// assert_eq!(r.ops.dist3, 0);
+/// assert!(r.structurized.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MortonSampler {
+    structurizer: Structurizer,
+}
+
+impl MortonSampler {
+    /// Creates a Morton sampler with the given grid resolution (bits per
+    /// axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_axis` is out of the range supported by
+    /// [`Structurizer::new`].
+    pub fn new(bits_per_axis: u32) -> Self {
+        MortonSampler { structurizer: Structurizer::new(bits_per_axis) }
+    }
+
+    /// The paper's evaluated configuration: 32-bit codes, 10 bits per axis.
+    pub fn paper_default() -> Self {
+        MortonSampler { structurizer: Structurizer::paper_default() }
+    }
+
+    /// The structurizer this sampler uses.
+    pub fn structurizer(&self) -> Structurizer {
+        self.structurizer
+    }
+}
+
+impl Default for MortonSampler {
+    fn default() -> Self {
+        MortonSampler::paper_default()
+    }
+}
+
+impl Sampler for MortonSampler {
+    fn name(&self) -> &'static str {
+        "morton"
+    }
+
+    /// Runs Algo. 1: Morton-code generation, sort, uniform pick.
+    ///
+    /// The returned indices refer to the *original* cloud order and follow
+    /// the Z-curve walk; `structurized` carries the full re-ordering for
+    /// downstream reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is empty or `n > cloud.len()`.
+    fn sample(&self, cloud: &PointCloud, n: usize) -> SampleResult {
+        assert!(n <= cloud.len(), "cannot sample {n} from {} points", cloud.len());
+        let s = self.structurizer.structurize(cloud);
+        let positions = linspace_indices(cloud.len(), n);
+        let indices: Vec<usize> = positions.iter().map(|&p| s.permutation()[p]).collect();
+        let mut ops = s.ops();
+        // Pick stage: one fully parallel round of index arithmetic.
+        ops.seq_rounds += u64::from(n > 0);
+        ops.gathered_bytes += 12 * n as u64;
+        SampleResult { indices, ops, structurized: Some(s) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FarthestPointSampler;
+    use edgepc_geom::{coverage_radius, Point3};
+    use edgepc_morton::VoxelGrid;
+
+    fn paper_points() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(3.0, 6.0, 2.0),
+            Point3::new(1.0, 3.0, 1.0),
+            Point3::new(4.0, 3.0, 2.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(5.0, 1.0, 0.0),
+        ])
+    }
+
+    /// Deterministic jittered cloud.
+    fn scattered(n: usize) -> PointCloud {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn fine_grid_matches_fps_on_paper_example() {
+        // Fig. 8(b): with r = 1 the Morton sampler picks sorted positions
+        // {0, 2, 4} of permutation {3, 1, 4, 2, 0} => points {3, 4, 0},
+        // the same set FPS samples.
+        let cloud = paper_points();
+        let r = MortonSampler::new(10).sample(&cloud, 3);
+        // The structurizer chooses the grid from the bounding box, so the
+        // permutation may differ from the unit-grid walkthrough; verify the
+        // selected *set* instead with an explicit unit grid below.
+        assert_eq!(r.indices.len(), 3);
+
+        let s = Structurizer::new(10)
+            .structurize_with_grid(&cloud, VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 10));
+        let picks: Vec<usize> = crate::linspace_indices(5, 3)
+            .into_iter()
+            .map(|p| s.permutation()[p])
+            .collect();
+        assert_eq!(picks, vec![3, 4, 0]);
+        let fps = FarthestPointSampler::new().sample(&cloud, 3);
+        let mut a = picks;
+        a.sort_unstable();
+        let mut b = fps.indices;
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coarse_grid_diverges_from_fps() {
+        // Sec. 5.1.2: with r = 4 the sampled set {1, 2, 0} differs from the
+        // FPS baseline — the approximation error that motivates retraining.
+        let cloud = paper_points();
+        let grid = VoxelGrid::with_cell_size(Point3::ORIGIN, 4.0, 10);
+        let s = Structurizer::new(10).structurize_with_grid(&cloud, grid);
+        assert_eq!(s.permutation(), &[1, 3, 2, 4, 0]);
+        let picks: Vec<usize> = crate::linspace_indices(5, 3)
+            .into_iter()
+            .map(|p| s.permutation()[p])
+            .collect();
+        assert_eq!(picks, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn coverage_close_to_fps_and_far_from_raw_uniform() {
+        // The Fig. 5 claim, quantified: Morton-uniform coverage is within a
+        // small factor of FPS, while uniform sampling in raw *scan* order
+        // degenerates — with a 32x32 raster-ordered surface and n = 32 the
+        // stride resonates with the row length, so the picks collapse onto
+        // a single diagonal line (the "continuous line" of Fig. 5b).
+        let mut pts: Vec<Point3> = Vec::new();
+        for row in 0..32 {
+            for col in 0..32 {
+                pts.push(Point3::new(col as f32, row as f32, 0.0));
+            }
+        }
+        let cloud = PointCloud::from_points(pts);
+        let n = 32;
+
+        let fps = FarthestPointSampler::new().sample(&cloud, n).extract(&cloud);
+        let mc = MortonSampler::paper_default().sample(&cloud, n).extract(&cloud);
+        let raw = crate::UniformSampler::new().sample(&cloud, n).extract(&cloud);
+
+        let c_fps = coverage_radius(cloud.points(), fps.points());
+        let c_mc = coverage_radius(cloud.points(), mc.points());
+        let c_raw = coverage_radius(cloud.points(), raw.points());
+
+        assert!(c_mc < 3.0 * c_fps, "morton {c_mc} vs fps {c_fps}");
+        // Raw uniform sampling misses one whole cluster (cross-cluster
+        // distance ~17) unless it happens to span both; with interleaved
+        // frame order, strided picks of even stride hit only one cluster.
+        assert!(c_raw > 2.0 * c_mc, "raw {c_raw} vs morton {c_mc}");
+    }
+
+    #[test]
+    fn ops_are_sort_dominated_not_distance_dominated() {
+        let cloud = scattered(4096);
+        let r = MortonSampler::paper_default().sample(&cloud, 512);
+        assert_eq!(r.ops.dist3, 0);
+        assert_eq!(r.ops.morton_encodes, 4096);
+        assert_eq!(r.ops.sorted_elems, 4096);
+        // log2(4096) = 12 sort rounds + encode + pick.
+        assert!(r.ops.seq_rounds <= 20);
+    }
+
+    #[test]
+    fn structurized_byproduct_is_returned() {
+        let cloud = scattered(64);
+        let r = MortonSampler::paper_default().sample(&cloud, 8);
+        let s = r.structurized.as_ref().expect("structurization kept for reuse");
+        assert_eq!(s.permutation().len(), 64);
+        assert!(s.codes().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn indices_follow_z_curve_order() {
+        let cloud = scattered(128);
+        let r = MortonSampler::paper_default().sample(&cloud, 16);
+        let s = r.structurized.as_ref().unwrap();
+        let inv = s.inverse_permutation();
+        let sorted_positions: Vec<usize> = r.indices.iter().map(|&i| inv[i]).collect();
+        assert!(sorted_positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversample_panics() {
+        let _ = MortonSampler::paper_default().sample(&paper_points(), 6);
+    }
+}

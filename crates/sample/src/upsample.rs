@@ -1,0 +1,393 @@
+//! Up-sampling / interpolation (FeaturePropagation), baseline and Morton
+//! variants (paper Sec. 5.1.2, "Optimizing Up-sampling").
+//!
+//! Both interpolators first build an [`InterpPlan`] — per dense point, the
+//! 3 sampled points to blend and their inverse-distance weights — and then
+//! apply it. The plan is exposed publicly because the FeaturePropagation
+//! modules in `edgepc-models` need it to backpropagate through the
+//! interpolation (gradients scatter along the same indices and weights).
+
+use edgepc_geom::{FeatureMatrix, OpCounts, Point3};
+
+/// A computed interpolation: for each dense point, which 3 sparse samples
+/// contribute and with what (already normalized) weights.
+#[derive(Debug, Clone)]
+pub struct InterpPlan {
+    /// Per dense point, the indices of the 3 contributing samples.
+    pub indices: Vec<[usize; 3]>,
+    /// Per dense point, the normalized blend weights (sum to 1).
+    pub weights: Vec<[f32; 3]>,
+    /// Operation counts of computing the plan.
+    pub ops: OpCounts,
+}
+
+impl InterpPlan {
+    /// Applies the plan to per-sample features, producing per-dense-point
+    /// features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any planned index is out of range for `feats`.
+    pub fn apply(&self, feats: &FeatureMatrix) -> FeatureMatrix {
+        let mut out = FeatureMatrix::zeros(self.indices.len(), feats.channels());
+        for (j, (idx, w)) in self.indices.iter().zip(&self.weights).enumerate() {
+            let row = out.row_mut(j);
+            for (&s, &wv) in idx.iter().zip(w) {
+                for (o, &f) in row.iter_mut().zip(feats.row(s)) {
+                    *o += wv * f;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of dense points the plan covers.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` if the plan covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+const EPS: f32 = 1e-8;
+
+/// Builds the `[indices; weights]` entry for one dense point from its
+/// candidate `(d2, sample_index)` list (at least 3, nearest unranked).
+fn plan_entry(mut cand: Vec<(f32, usize)>) -> ([usize; 3], [f32; 3]) {
+    cand.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cand.truncate(3);
+    let mut idx = [0usize; 3];
+    let mut w = [0f32; 3];
+    let mut total = 0.0f32;
+    for (slot, &(d2, s)) in cand.iter().enumerate() {
+        idx[slot] = s;
+        w[slot] = 1.0 / (d2.sqrt() + EPS);
+        total += w[slot];
+    }
+    // Fewer than 3 candidates never happens (callers require >= 3 samples),
+    // but guard the normalization anyway.
+    for v in w.iter_mut() {
+        *v /= total.max(EPS);
+    }
+    (idx, w)
+}
+
+/// The outcome of an interpolation stage: per-dense-point features plus the
+/// operation counts of computing them.
+#[derive(Debug, Clone)]
+pub struct Interpolated {
+    /// One feature row per dense point.
+    pub features: FeatureMatrix,
+    /// Operation counts of the interpolation.
+    pub ops: OpCounts,
+}
+
+/// The SOTA interpolator: for every dense point, search *all* sampled
+/// points for the 3 nearest and blend their features with inverse-distance
+/// weights — `O(N n)` distance work (the `g[f(s_i), f(s_j), f(s_k)]` of
+/// Sec. 5.1.2).
+///
+/// # Example
+///
+/// ```
+/// use edgepc_geom::{FeatureMatrix, Point3};
+/// use edgepc_sample::ThreeNnInterpolator;
+///
+/// let dense = [Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0)];
+/// let sparse = [Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0),
+///               Point3::new(9.0, 0.0, 0.0)];
+/// let feats = FeatureMatrix::from_vec(vec![1.0, 2.0, 100.0], 3, 1);
+/// let out = ThreeNnInterpolator::new().interpolate(&dense, &sparse, &feats);
+/// // Dense point 0 coincides with sample 0, so its feature is ~1.0.
+/// assert!((out.features.row(0)[0] - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreeNnInterpolator;
+
+impl ThreeNnInterpolator {
+    /// Creates the baseline interpolator.
+    pub fn new() -> Self {
+        ThreeNnInterpolator
+    }
+
+    /// Computes the interpolation plan by exhaustive search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparse.len() < 3`.
+    pub fn plan(&self, dense: &[Point3], sparse: &[Point3]) -> InterpPlan {
+        assert!(sparse.len() >= 3, "need at least 3 samples to interpolate");
+        let mut ops = OpCounts::ZERO;
+        let mut indices = Vec::with_capacity(dense.len());
+        let mut weights = Vec::with_capacity(dense.len());
+        for &p in dense {
+            // Track the 3 nearest samples.
+            let mut best = [(f32::INFINITY, usize::MAX); 3];
+            for (j, &s) in sparse.iter().enumerate() {
+                let d = p.distance_squared(s);
+                if d < best[2].0 {
+                    best[2] = (d, j);
+                    if best[2].0 < best[1].0 {
+                        best.swap(1, 2);
+                    }
+                    if best[1].0 < best[0].0 {
+                        best.swap(0, 1);
+                    }
+                }
+            }
+            let (idx, w) = plan_entry(best.to_vec());
+            indices.push(idx);
+            weights.push(w);
+        }
+        ops.dist3 = (dense.len() * sparse.len()) as u64;
+        ops.cmp = (dense.len() * sparse.len()) as u64;
+        // Parallel over dense points; per-point reduction depth ~log n.
+        ops.seq_rounds = (sparse.len().max(2) as f64).log2().ceil() as u64;
+        InterpPlan { indices, weights, ops }
+    }
+
+    /// Interpolates features from `sparse` samples onto `dense` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparse.len() < 3`, or if `feats.rows() != sparse.len()`.
+    pub fn interpolate(
+        &self,
+        dense: &[Point3],
+        sparse: &[Point3],
+        feats: &FeatureMatrix,
+    ) -> Interpolated {
+        assert_eq!(feats.rows(), sparse.len(), "one feature row per sample");
+        let mut plan = self.plan(dense, sparse);
+        plan.ops.gathered_bytes = (dense.len() * 3 * feats.channels() * 4) as u64;
+        Interpolated { features: plan.apply(feats), ops: plan.ops }
+    }
+}
+
+/// The Morton-code up-sampler: because samples were taken at uniform
+/// positions along the Z-curve, the nearest samples of a dense point at
+/// sorted position `j` sit at stride offsets — only the 4 candidate slots
+/// `{q-1, q, q+1, q+2}` with `q = j * n / N` need checking, cutting the
+/// search from `O(n)` to `O(1)` per point (the `O(n)` complexity reduction
+/// of Sec. 5.1.2).
+///
+/// The dense points must be in *Morton-sorted* order and `positions` must
+/// hold the sorted-order positions at which the samples were picked
+/// (available from the [`MortonSampler`](crate::MortonSampler) by-product).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MortonInterpolator;
+
+impl MortonInterpolator {
+    /// Creates the Morton interpolator.
+    pub fn new() -> Self {
+        MortonInterpolator
+    }
+
+    /// Computes the stride-window interpolation plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 samples or any position is out of range.
+    pub fn plan(&self, dense_sorted: &[Point3], positions: &[usize]) -> InterpPlan {
+        let n = positions.len();
+        assert!(n >= 3, "need at least 3 samples to interpolate");
+        assert!(
+            positions.iter().all(|&p| p < dense_sorted.len()),
+            "sample position out of range"
+        );
+        let big_n = dense_sorted.len();
+        let mut ops = OpCounts::ZERO;
+        let mut indices = Vec::with_capacity(big_n);
+        let mut weights = Vec::with_capacity(big_n);
+        for (j, &p) in dense_sorted.iter().enumerate() {
+            // Nearest sample slot by index arithmetic.
+            let q = (j * n) / big_n;
+            let lo = q.saturating_sub(1);
+            let hi = (q + 2).min(n - 1);
+            let cand: Vec<(f32, usize)> = (lo..=hi)
+                .map(|s| (p.distance_squared(dense_sorted[positions[s]]), s))
+                .collect();
+            ops.dist3 += cand.len() as u64;
+            ops.cmp += 4;
+            let (idx, w) = plan_entry(cand);
+            indices.push(idx);
+            weights.push(w);
+        }
+        // Constant work per point, fully parallel.
+        ops.seq_rounds = 1;
+        InterpPlan { indices, weights, ops }
+    }
+
+    /// Interpolates features from samples at `positions` (sorted-order
+    /// positions, strictly increasing) onto all `dense_sorted` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 samples, if `feats.rows() != positions.len()`,
+    /// or if any position is out of range.
+    pub fn interpolate(
+        &self,
+        dense_sorted: &[Point3],
+        positions: &[usize],
+        feats: &FeatureMatrix,
+    ) -> Interpolated {
+        assert_eq!(feats.rows(), positions.len(), "one feature row per sample");
+        let mut plan = self.plan(dense_sorted, positions);
+        plan.ops.gathered_bytes = (dense_sorted.len() * 3 * feats.channels() * 4) as u64;
+        Interpolated { features: plan.apply(feats), ops: plan.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MortonSampler, Sampler};
+    use edgepc_geom::PointCloud;
+
+    fn scattered(n: usize) -> Vec<Point3> {
+        let mut state = 0xabcdef1234567890u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn baseline_exact_on_coincident_points() {
+        let sparse = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+        ];
+        let feats = FeatureMatrix::from_vec(vec![1.0, 2.0, 3.0], 3, 1);
+        let out = ThreeNnInterpolator::new().interpolate(&sparse, &sparse, &feats);
+        for i in 0..3 {
+            assert!((out.features.row(i)[0] - feats.row(i)[0]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn baseline_blends_between_samples() {
+        let sparse = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 0.0),
+            Point3::new(100.0, 0.0, 0.0),
+        ];
+        let feats = FeatureMatrix::from_vec(vec![0.0, 10.0, 999.0], 3, 1);
+        let dense = [Point3::new(1.0, 0.0, 0.0)];
+        let out = ThreeNnInterpolator::new().interpolate(&dense, &sparse, &feats);
+        let v = out.features.row(0)[0];
+        // Equidistant from samples 0 and 1; the far sample contributes ~1%.
+        assert!(v > 4.0 && v < 16.0, "got {v}");
+    }
+
+    #[test]
+    fn plan_weights_are_normalized() {
+        let dense = scattered(64);
+        let sparse = scattered(16);
+        let plan = ThreeNnInterpolator::new().plan(&dense, &sparse);
+        assert_eq!(plan.len(), 64);
+        assert!(!plan.is_empty());
+        for w in &plan.weights {
+            let s: f32 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "weights sum to {s}");
+        }
+    }
+
+    #[test]
+    fn morton_interpolator_close_to_baseline() {
+        // Build a Morton-sampled scenario and check the approximate
+        // interpolation tracks the exact one.
+        let cloud = PointCloud::from_points(scattered(256));
+        let r = MortonSampler::paper_default().sample(&cloud, 64);
+        let s = r.structurized.as_ref().unwrap();
+        let dense_sorted = s.cloud().points().to_vec();
+        let inv = s.inverse_permutation();
+        let mut positions: Vec<usize> = r.indices.iter().map(|&i| inv[i]).collect();
+        positions.sort_unstable();
+        let sparse: Vec<Point3> = positions.iter().map(|&p| dense_sorted[p]).collect();
+        // Feature = x-coordinate: spatially smooth, so good interpolation
+        // should reproduce it.
+        let feats = FeatureMatrix::from_vec(sparse.iter().map(|p| p.x).collect(), 64, 1);
+
+        let exact = ThreeNnInterpolator::new().interpolate(&dense_sorted, &sparse, &feats);
+        let approx = MortonInterpolator::new().interpolate(&dense_sorted, &positions, &feats);
+
+        let mut err_exact = 0.0f32;
+        let mut err_approx = 0.0f32;
+        for (j, p) in dense_sorted.iter().enumerate() {
+            err_exact += (exact.features.row(j)[0] - p.x).abs();
+            err_approx += (approx.features.row(j)[0] - p.x).abs();
+        }
+        err_exact /= 256.0;
+        err_approx /= 256.0;
+        assert!(
+            err_approx < 3.0 * err_exact + 0.05,
+            "approx err {err_approx} vs exact err {err_exact}"
+        );
+    }
+
+    #[test]
+    fn morton_interpolator_is_linear_work() {
+        let cloud = PointCloud::from_points(scattered(1024));
+        let r = MortonSampler::paper_default().sample(&cloud, 256);
+        let s = r.structurized.as_ref().unwrap();
+        let dense_sorted = s.cloud().points().to_vec();
+        let inv = s.inverse_permutation();
+        let mut positions: Vec<usize> = r.indices.iter().map(|&i| inv[i]).collect();
+        positions.sort_unstable();
+        let feats = FeatureMatrix::zeros(256, 4);
+
+        let out = MortonInterpolator::new().interpolate(&dense_sorted, &positions, &feats);
+        // At most 4 candidate distances per dense point, vs n = 256 for the
+        // baseline: the O(n/4) reduction of Sec. 5.1.2.
+        assert!(out.ops.dist3 <= 4 * 1024);
+        let exact = ThreeNnInterpolator::new().interpolate(
+            &dense_sorted,
+            &positions.iter().map(|&p| dense_sorted[p]).collect::<Vec<_>>(),
+            &feats,
+        );
+        assert_eq!(exact.ops.dist3, 1024 * 256);
+    }
+
+    #[test]
+    fn output_shapes_match() {
+        let dense = scattered(50);
+        let sparse = scattered(10);
+        let feats = FeatureMatrix::zeros(10, 7);
+        let out = ThreeNnInterpolator::new().interpolate(&dense, &sparse, &feats);
+        assert_eq!(out.features.rows(), 50);
+        assert_eq!(out.features.channels(), 7);
+    }
+
+    #[test]
+    fn apply_plan_matches_interpolate() {
+        let dense = scattered(40);
+        let sparse = scattered(8);
+        let feats = FeatureMatrix::from_vec((0..16).map(|v| v as f32).collect(), 8, 2);
+        let it = ThreeNnInterpolator::new();
+        let direct = it.interpolate(&dense, &sparse, &feats);
+        let plan = it.plan(&dense, &sparse);
+        assert_eq!(plan.apply(&feats), direct.features);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn too_few_samples_panics() {
+        let pts = scattered(5);
+        let feats = FeatureMatrix::zeros(2, 1);
+        let _ = ThreeNnInterpolator::new().interpolate(&pts, &pts[..2], &feats);
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of range")]
+    fn bad_positions_panic() {
+        let pts = scattered(5);
+        let feats = FeatureMatrix::zeros(3, 1);
+        let _ = MortonInterpolator::new().interpolate(&pts, &[0, 2, 9], &feats);
+    }
+}

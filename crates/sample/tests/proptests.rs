@@ -1,0 +1,125 @@
+//! Property-based tests for the samplers and interpolators.
+
+use edgepc_geom::{FeatureMatrix, Point3, PointCloud};
+use edgepc_sample::{
+    FarthestPointSampler, MortonSampler, RandomSampler, Sampler, ThreeNnInterpolator,
+    UniformSampler,
+};
+use proptest::prelude::*;
+
+fn arb_cloud(min: usize, max: usize) -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec(
+        (-5.0f32..5.0, -5.0f32..5.0, -5.0f32..5.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
+        min..=max,
+    )
+    .prop_map(PointCloud::from_points)
+}
+
+proptest! {
+    #[test]
+    fn all_samplers_return_n_valid_indices(cloud in arb_cloud(8, 96), frac in 1usize..8) {
+        let n = (cloud.len() * frac / 8).max(1);
+        let samplers: Vec<Box<dyn Sampler>> = vec![
+            Box::new(FarthestPointSampler::new()),
+            Box::new(MortonSampler::paper_default()),
+            Box::new(UniformSampler::new()),
+            Box::new(RandomSampler::with_seed(1)),
+        ];
+        for s in samplers {
+            let r = s.sample(&cloud, n);
+            prop_assert_eq!(r.indices.len(), n, "{}", s.name());
+            prop_assert!(r.indices.iter().all(|&i| i < cloud.len()), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn fps_samples_are_distinct(cloud in arb_cloud(8, 96)) {
+        let n = cloud.len() / 2;
+        let r = FarthestPointSampler::new().sample(&cloud, n);
+        let unique: std::collections::HashSet<_> = r.indices.iter().collect();
+        prop_assert_eq!(unique.len(), n);
+    }
+
+    #[test]
+    fn fps_min_gap_sequence_is_non_increasing(cloud in arb_cloud(8, 48)) {
+        // The greedy max-min property: the distance of each newly sampled
+        // point to the already-sampled set never increases.
+        let n = cloud.len().min(12);
+        let r = FarthestPointSampler::new().sample(&cloud, n);
+        let mut gaps = Vec::new();
+        for (i, &idx) in r.indices.iter().enumerate().skip(1) {
+            let d = r.indices[..i]
+                .iter()
+                .map(|&j| cloud.point(idx).distance_squared(cloud.point(j)))
+                .fold(f32::INFINITY, f32::min);
+            gaps.push(d);
+        }
+        for w in gaps.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-4, "gaps grew: {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn morton_samples_are_distinct_and_zordered(cloud in arb_cloud(8, 96)) {
+        let n = cloud.len() / 2;
+        let r = MortonSampler::paper_default().sample(&cloud, n.max(1));
+        let unique: std::collections::HashSet<_> = r.indices.iter().collect();
+        prop_assert_eq!(unique.len(), r.indices.len());
+        let s = r.structurized.as_ref().unwrap();
+        let inv = s.inverse_permutation();
+        let positions: Vec<usize> = r.indices.iter().map(|&i| inv[i]).collect();
+        prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sampling_everything_is_a_permutation(cloud in arb_cloud(4, 48)) {
+        for r in [
+            FarthestPointSampler::new().sample(&cloud, cloud.len()),
+            MortonSampler::paper_default().sample(&cloud, cloud.len()),
+            UniformSampler::new().sample(&cloud, cloud.len()),
+        ] {
+            let mut idx = r.indices.clone();
+            idx.sort_unstable();
+            let want: Vec<usize> = (0..cloud.len()).collect();
+            prop_assert_eq!(idx, want);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_a_convex_blend(
+        dense in arb_cloud(4, 32),
+        sparse in arb_cloud(3, 16),
+    ) {
+        // Output features stay inside the [min, max] envelope of the
+        // sample features (weights are a convex combination).
+        let n = sparse.len();
+        let feats = FeatureMatrix::from_vec(
+            (0..n).map(|v| (v as f32) - 3.0).collect(),
+            n,
+            1,
+        );
+        let out = ThreeNnInterpolator::new()
+            .interpolate(dense.points(), sparse.points(), &feats);
+        let lo = feats.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = feats.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for j in 0..out.features.rows() {
+            let v = out.features.row(j)[0];
+            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn interpolation_reproduces_constant_fields(
+        dense in arb_cloud(4, 32),
+        sparse in arb_cloud(3, 16),
+        value in -10.0f32..10.0,
+    ) {
+        let n = sparse.len();
+        let feats = FeatureMatrix::from_vec(vec![value; n], n, 1);
+        let out = ThreeNnInterpolator::new()
+            .interpolate(dense.points(), sparse.points(), &feats);
+        for j in 0..out.features.rows() {
+            prop_assert!((out.features.row(j)[0] - value).abs() < 1e-3);
+        }
+    }
+}

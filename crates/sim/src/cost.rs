@@ -1,0 +1,187 @@
+//! Per-stage cost records and pipeline aggregation — the structure behind
+//! the paper's latency-breakdown and speedup figures.
+
+use std::fmt;
+
+use edgepc_geom::OpCounts;
+
+/// The pipeline stage a cost belongs to, matching the paper's breakdown
+/// categories (Fig. 3 groups the first three as "sample & neighbor
+/// search").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Down-sampling (FPS or Morton) and up-sampling/interpolation.
+    Sample,
+    /// Neighbor search (ball query, k-NN, Morton window).
+    NeighborSearch,
+    /// Feature gathering into the grouped matrix.
+    Grouping,
+    /// Convolutions / shared MLPs.
+    FeatureCompute,
+    /// Anything else (heads, losses, glue).
+    Other,
+}
+
+impl StageKind {
+    /// Whether this stage counts into the paper's "sample & neighbor
+    /// search" latency bucket.
+    pub fn is_sample_or_neighbor(self) -> bool {
+        matches!(self, StageKind::Sample | StageKind::NeighborSearch)
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StageKind::Sample => "sample",
+            StageKind::NeighborSearch => "neighbor-search",
+            StageKind::Grouping => "grouping",
+            StageKind::FeatureCompute => "feature-compute",
+            StageKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The priced cost of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCost {
+    /// Which bucket the stage belongs to.
+    pub kind: StageKind,
+    /// A human-readable stage name, e.g. `"sa1.downsample"`.
+    pub name: String,
+    /// Modeled latency in milliseconds.
+    pub time_ms: f64,
+    /// The measured operation counts the latency was derived from.
+    pub ops: OpCounts,
+}
+
+/// An ordered collection of stage costs for one inference.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineCost {
+    stages: Vec<StageCost>,
+}
+
+impl PipelineCost {
+    /// Creates an empty cost record.
+    pub fn new() -> Self {
+        PipelineCost::default()
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, stage: StageCost) {
+        self.stages.push(stage);
+    }
+
+    /// All stages, in execution order.
+    pub fn stages(&self) -> &[StageCost] {
+        &self.stages
+    }
+
+    /// Total modeled latency.
+    pub fn total_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.time_ms).sum()
+    }
+
+    /// Latency of one bucket.
+    pub fn time_of(&self, kind: StageKind) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.time_ms)
+            .sum()
+    }
+
+    /// The paper's "sample & neighbor search" bucket (Fig. 3).
+    pub fn sample_and_neighbor_ms(&self) -> f64 {
+        self.time_of(StageKind::Sample) + self.time_of(StageKind::NeighborSearch)
+    }
+
+    /// Fraction of total latency spent in sample + neighbor search — the
+    /// Fig. 3 headline number (38-80 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline is empty (total latency zero).
+    pub fn sample_and_neighbor_fraction(&self) -> f64 {
+        let total = self.total_ms();
+        assert!(total > 0.0, "empty pipeline has no breakdown");
+        self.sample_and_neighbor_ms() / total
+    }
+
+    /// Sum of all operation counts.
+    pub fn total_ops(&self) -> OpCounts {
+        self.stages.iter().map(|s| s.ops).sum()
+    }
+
+    /// Merges another pipeline's stages after this one (e.g. multiple
+    /// modules of a model).
+    pub fn extend(&mut self, other: PipelineCost) {
+        self.stages.extend(other.stages);
+    }
+}
+
+impl fmt::Display for PipelineCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<28} {:>12} {:>10}", "stage", "kind", "ms")?;
+        for s in &self.stages {
+            writeln!(f, "{:<28} {:>12} {:>10.3}", s.name, s.kind.to_string(), s.time_ms)?;
+        }
+        write!(f, "{:<28} {:>12} {:>10.3}", "TOTAL", "", self.total_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(kind: StageKind, ms: f64) -> StageCost {
+        StageCost { kind, name: format!("{kind}"), time_ms: ms, ops: OpCounts::ZERO }
+    }
+
+    #[test]
+    fn totals_and_buckets() {
+        let mut p = PipelineCost::new();
+        p.push(stage(StageKind::Sample, 10.0));
+        p.push(stage(StageKind::NeighborSearch, 20.0));
+        p.push(stage(StageKind::FeatureCompute, 30.0));
+        p.push(stage(StageKind::Grouping, 5.0));
+        assert_eq!(p.total_ms(), 65.0);
+        assert_eq!(p.sample_and_neighbor_ms(), 30.0);
+        assert!((p.sample_and_neighbor_fraction() - 30.0 / 65.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_bucket_membership() {
+        assert!(StageKind::Sample.is_sample_or_neighbor());
+        assert!(StageKind::NeighborSearch.is_sample_or_neighbor());
+        assert!(!StageKind::FeatureCompute.is_sample_or_neighbor());
+        assert!(!StageKind::Grouping.is_sample_or_neighbor());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = PipelineCost::new();
+        a.push(stage(StageKind::Sample, 1.0));
+        let mut b = PipelineCost::new();
+        b.push(stage(StageKind::Other, 2.0));
+        a.extend(b);
+        assert_eq!(a.stages().len(), 2);
+        assert_eq!(a.total_ms(), 3.0);
+    }
+
+    #[test]
+    fn display_contains_stage_names() {
+        let mut p = PipelineCost::new();
+        p.push(stage(StageKind::FeatureCompute, 1.5));
+        let s = p.to_string();
+        assert!(s.contains("feature-compute"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pipeline")]
+    fn empty_fraction_panics() {
+        let _ = PipelineCost::new().sample_and_neighbor_fraction();
+    }
+}

@@ -1,0 +1,334 @@
+//! Throughput, latency, and power constants of the Jetson AGX Xavier.
+
+use edgepc_geom::OpCounts;
+
+/// How a stage executes on the device, selecting the per-dependent-round
+/// latency.
+///
+/// The paper's Sec. 4.2 standalone profiling (FPS on the Bunny) launches a
+/// kernel per sampled point — ~80 µs per dependent round — while the
+/// in-pipeline fused kernels synchronize within a kernel at ~3 µs per
+/// round. Both are real measured regimes; the distinction is what
+/// reconciles the paper's 81.7 ms Bunny anchor with its 33-76 ms/batch
+/// full-pipeline numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Kernel launch per dependent round (standalone profiling loops).
+    Standalone,
+    /// Fused kernel with in-kernel synchronization (pipeline execution).
+    Pipeline,
+}
+
+/// The device model: aggregate throughputs per operation category plus
+/// dependency and launch latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XavierModel {
+    /// 3-D squared-distance evaluations per millisecond (memory-bound
+    /// irregular kernel; ~8 % of peak FP32).
+    pub dist_per_ms: f64,
+    /// Scalar comparisons per millisecond.
+    pub cmp_per_ms: f64,
+    /// Feature-space scalar FLOPs per millisecond.
+    pub feat_flops_per_ms: f64,
+    /// Morton encodes per millisecond (voxelize + interleave).
+    pub encode_per_ms: f64,
+    /// Sort throughput in elements per millisecond (radix sort; the log
+    /// factor is folded into the constant at workload sizes).
+    pub sort_elems_per_ms: f64,
+    /// Effective LPDDR4x bandwidth for gather/scatter, bytes per
+    /// millisecond.
+    pub mem_bytes_per_ms: f64,
+    /// Multiply-accumulates per millisecond on CUDA cores.
+    pub mac_per_ms_cuda: f64,
+    /// Speedup of the tensor-core path over CUDA cores for eligible
+    /// matmuls (the paper's reshape experiment measures 40.4/18.3 ≈ 2.2x).
+    pub tensor_core_speedup: f64,
+    /// Minimum inner (channel) dimension for the tensor cores to be
+    /// invoked at all (Sec. 5.4.1: below a threshold, utilization is zero).
+    pub tensor_core_min_k: usize,
+    /// Per-dependent-round latency in pipeline mode (in-kernel sync),
+    /// milliseconds.
+    pub round_ms_pipeline: f64,
+    /// Per-dependent-round latency in standalone mode (kernel launch),
+    /// milliseconds.
+    pub round_ms_standalone: f64,
+    /// Fixed per-stage overhead (launch + argument setup), milliseconds.
+    pub launch_ms: f64,
+}
+
+impl XavierModel {
+    /// The calibrated Jetson AGX Xavier model (see crate docs for the
+    /// anchor measurements).
+    pub fn jetson_agx_xavier() -> Self {
+        XavierModel {
+            dist_per_ms: 13.0e6,
+            cmp_per_ms: 2.0e8,
+            feat_flops_per_ms: 4.0e8,
+            encode_per_ms: 2.0e5,
+            sort_elems_per_ms: 3.0e5,
+            mem_bytes_per_ms: 1.0e8,
+            mac_per_ms_cuda: 4.0e8,
+            tensor_core_speedup: 2.2,
+            tensor_core_min_k: 16,
+            round_ms_pipeline: 0.003,
+            round_ms_standalone: 0.079,
+            launch_ms: 0.05,
+        }
+    }
+
+    /// Time for a stage described by `ops`: the maximum of its compute
+    /// time, its memory time, and its dependency-chain time, plus launch
+    /// overhead. MAC work is priced on CUDA cores; use
+    /// [`XavierModel::fc_time_ms`] for the tensor-core decision.
+    pub fn stage_time_ms(&self, ops: &OpCounts, mode: ExecMode) -> f64 {
+        let compute = ops.dist3 as f64 / self.dist_per_ms
+            + ops.cmp as f64 / self.cmp_per_ms
+            + ops.feat_flops as f64 / self.feat_flops_per_ms
+            + ops.morton_encodes as f64 / self.encode_per_ms
+            + ops.sorted_elems as f64 / self.sort_elems_per_ms
+            + ops.mac as f64 / self.mac_per_ms_cuda;
+        let memory = ops.gathered_bytes as f64 / self.mem_bytes_per_ms;
+        let round = match mode {
+            ExecMode::Standalone => self.round_ms_standalone,
+            ExecMode::Pipeline => self.round_ms_pipeline,
+        };
+        let dependency = ops.seq_rounds as f64 * round;
+        compute.max(memory).max(dependency) + self.launch_ms
+    }
+
+    /// Feature-compute (matrix-multiply) time for `mac` multiply-
+    /// accumulates whose inner dimension is `k_channels`.
+    ///
+    /// The tensor cores are only invoked at `k >= tensor_core_min_k`
+    /// (Sec. 5.4.1: below the channel threshold, utilization is zero) and
+    /// then deliver [`XavierModel::tensor_core_speedup`] over the CUDA
+    /// path — the 40.4 ms → 18.3 ms ratio of the paper's reshape
+    /// experiment. Absolute times are the CUDA-rate mapping; see
+    /// EXPERIMENTS.md for the calibration discussion.
+    pub fn fc_time_ms(&self, mac: u64, k_channels: usize, use_tensor_cores: bool) -> f64 {
+        let mut rate = self.mac_per_ms_cuda;
+        if use_tensor_cores && k_channels >= self.tensor_core_min_k {
+            // In-network layers interleave the GEMM with bias/activation
+            // epilogues, small awkward tiles and layout shuffles, so they
+            // realize only ~55% of the isolated-GEMM tensor-core benefit:
+            // a typical wide layer lands around 1.65x, which is what
+            // reproduces the paper's ~27% network-level gain (Sec. 5.4.1)
+            // rather than the isolated 2.2x.
+            let saturation =
+                Self::TC_PIPELINE_EFFICIENCY * (k_channels as f64 / 120.0).min(1.0);
+            rate *= 1.0 + (self.tensor_core_speedup - 1.0) * saturation;
+        }
+        mac as f64 / rate + self.launch_ms
+    }
+
+    /// Fraction of the isolated-GEMM tensor-core benefit an in-network FC
+    /// stage realizes (see [`XavierModel::fc_time_ms`]).
+    pub const TC_PIPELINE_EFFICIENCY: f64 = 0.55;
+
+    /// Time for an *isolated* matrix multiply of the given shape — the
+    /// regime of the paper's Sec. 5.4.1 reshape experiment, where a fully
+    /// saturating 120-channel GEMM realizes the whole 2.2x tensor-core
+    /// speedup.
+    pub fn fc_time_ideal_ms(&self, mac: u64, k_channels: usize, use_tensor_cores: bool) -> f64 {
+        let mut rate = self.mac_per_ms_cuda;
+        if use_tensor_cores && k_channels >= self.tensor_core_min_k {
+            let saturation = (k_channels as f64 / 120.0).min(1.0);
+            rate *= 1.0 + (self.tensor_core_speedup - 1.0) * saturation;
+        }
+        mac as f64 / rate + self.launch_ms
+    }
+
+    /// Tensor-core utilization reported for a matmul with inner dimension
+    /// `k_channels` (Sec. 5.4.1: zero below the threshold, ~40 % above it).
+    pub fn tensor_core_utilization(&self, k_channels: usize, use_tensor_cores: bool) -> f64 {
+        if use_tensor_cores && k_channels >= self.tensor_core_min_k {
+            0.40 * (k_channels as f64 / 120.0).min(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Default for XavierModel {
+    fn default() -> Self {
+        XavierModel::jetson_agx_xavier()
+    }
+}
+
+/// Power-state inputs for the energy model: which optimizations are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PowerState {
+    /// Morton approximations active (compute power drops 4.5 W → 4.2 W,
+    /// Sec. 6.2).
+    pub morton_approx: bool,
+    /// Neighbor-index reuse active (memory power rises 1.35 W → 1.63 W for
+    /// the cached index array, Sec. 6.2).
+    pub neighbor_reuse: bool,
+}
+
+/// The tegrastats-style energy model: energy = time x (compute power +
+/// memory power), with the power levels the paper measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// GPU compute-rail power with the baseline kernels, watts.
+    pub compute_w_baseline: f64,
+    /// GPU compute-rail power with the Morton approximations, watts.
+    pub compute_w_morton: f64,
+    /// Memory-rail power without index reuse, watts.
+    pub mem_w_baseline: f64,
+    /// Memory-rail power with the reused neighbor-index array cached,
+    /// watts.
+    pub mem_w_reuse: f64,
+}
+
+impl EnergyModel {
+    /// The paper's measured power levels.
+    pub fn jetson_agx_xavier() -> Self {
+        EnergyModel {
+            compute_w_baseline: 4.5,
+            compute_w_morton: 4.2,
+            mem_w_baseline: 1.35,
+            mem_w_reuse: 1.63,
+        }
+    }
+
+    /// Total board power for the given state, watts.
+    pub fn power_w(&self, state: PowerState) -> f64 {
+        let c = if state.morton_approx { self.compute_w_morton } else { self.compute_w_baseline };
+        let m = if state.neighbor_reuse { self.mem_w_reuse } else { self.mem_w_baseline };
+        c + m
+    }
+
+    /// Energy in millijoules for `time_ms` of execution in `state`.
+    pub fn energy_mj(&self, time_ms: f64, state: PowerState) -> f64 {
+        self.power_w(state) * time_ms
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::jetson_agx_xavier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xavier() -> XavierModel {
+        XavierModel::jetson_agx_xavier()
+    }
+
+    #[test]
+    fn bunny_fps_anchor_standalone() {
+        // Sec. 4.2: FPS sampling 1024 from 40 256 points takes ~81.7 ms in
+        // the standalone profiling regime (launch per round).
+        let ops = OpCounts {
+            dist3: 1023 * 40_256,
+            cmp: 2 * 1023 * 40_256,
+            seq_rounds: 1024,
+            ..OpCounts::ZERO
+        };
+        let t = xavier().stage_time_ms(&ops, ExecMode::Standalone);
+        assert!((t - 81.7).abs() < 8.0, "got {t} ms, want ~81.7 ms");
+    }
+
+    #[test]
+    fn bunny_uniform_anchor() {
+        // Sec. 4.2: uniform sampling ~1 ms.
+        let ops = OpCounts {
+            gathered_bytes: 12 * 1024,
+            seq_rounds: 1,
+            ..OpCounts::ZERO
+        };
+        let t = xavier().stage_time_ms(&ops, ExecMode::Standalone);
+        assert!(t < 1.0, "uniform sampling {t} ms should be ~0.1-1 ms");
+    }
+
+    #[test]
+    fn morton_codegen_anchor() {
+        // Sec. 5.1.2: generating Morton codes for 8192 points ~0.1 ms.
+        let ops = OpCounts { morton_encodes: 8192, seq_rounds: 1, ..OpCounts::ZERO };
+        let t = xavier().stage_time_ms(&ops, ExecMode::Pipeline);
+        assert!((t - 0.1).abs() < 0.05, "got {t} ms, want ~0.1 ms");
+    }
+
+    #[test]
+    fn pipeline_fps_batch_anchors() {
+        // Sec. 6.2: SMP+NS ~76 ms/batch on S3DIS (B=32) and ~33 ms/batch
+        // on ScanNet (B=14). Approximate the dominant work: ~26M distance
+        // evals per cloud across FPS + ball query + interpolation.
+        let per_cloud = 36.0e6;
+        for (batch, expect) in [(32.0f64, 76.0f64), (14.0, 33.0)] {
+            let ops = OpCounts {
+                dist3: (per_cloud * batch) as u64,
+                seq_rounds: 1024,
+                ..OpCounts::ZERO
+            };
+            let t = xavier().stage_time_ms(&ops, ExecMode::Pipeline);
+            assert!(
+                (t - expect).abs() < expect * 0.25,
+                "batch {batch}: got {t} ms, want ~{expect} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_chain_dominates_when_deep() {
+        let deep = OpCounts { dist3: 1000, seq_rounds: 10_000, ..OpCounts::ZERO };
+        let wide = OpCounts { dist3: 1000, seq_rounds: 1, ..OpCounts::ZERO };
+        let m = xavier();
+        assert!(
+            m.stage_time_ms(&deep, ExecMode::Pipeline)
+                > 5.0 * m.stage_time_ms(&wide, ExecMode::Pipeline)
+        );
+    }
+
+    #[test]
+    fn standalone_rounds_cost_more_than_pipeline_rounds() {
+        let ops = OpCounts { seq_rounds: 1000, ..OpCounts::ZERO };
+        let m = xavier();
+        assert!(
+            m.stage_time_ms(&ops, ExecMode::Standalone)
+                > 10.0 * m.stage_time_ms(&ops, ExecMode::Pipeline)
+        );
+    }
+
+    #[test]
+    fn tensor_core_reshape_ratio_anchor() {
+        // Sec. 5.4.1: a 12-channel convolution runs with zero tensor-core
+        // utilization; reshaped to 120 channels the same MAC count runs at
+        // 40 % utilization and 40.4/18.3 ≈ 2.2x faster. The ratio is the
+        // reproduced object.
+        let mac: u64 = 32 * 1000 * 32 * 12 * 64;
+        let m = xavier();
+        let t_narrow = m.fc_time_ideal_ms(mac, 12, true);
+        let t_wide = m.fc_time_ideal_ms(mac, 120, true);
+        assert_eq!(m.tensor_core_utilization(12, true), 0.0);
+        assert_eq!(m.tensor_core_utilization(120, true), 0.40);
+        let ratio = t_narrow / t_wide;
+        assert!((1.7..2.9).contains(&ratio), "ratio {ratio}, want ~2.2");
+        // Disabling tensor cores removes the advantage entirely.
+        assert_eq!(m.fc_time_ideal_ms(mac, 120, false), t_narrow);
+    }
+
+    #[test]
+    fn energy_model_matches_paper_power_levels() {
+        let e = EnergyModel::jetson_agx_xavier();
+        let base = PowerState::default();
+        let edge = PowerState { morton_approx: true, neighbor_reuse: true };
+        assert_eq!(e.power_w(base), 4.5 + 1.35);
+        assert_eq!(e.power_w(edge), 4.2 + 1.63);
+        // A 1.55x latency reduction translates to ~1/3 energy saving
+        // (Fig. 13c) even though EdgePC's memory power is higher.
+        let saving = 1.0 - e.energy_mj(100.0 / 1.55, edge) / e.energy_mj(100.0, base);
+        assert!((saving - 0.33).abs() < 0.05, "saving {saving}");
+    }
+
+    #[test]
+    fn memory_bound_stage_uses_bandwidth_term() {
+        let ops = OpCounts { gathered_bytes: 1_000_000_000, seq_rounds: 1, ..OpCounts::ZERO };
+        let t = xavier().stage_time_ms(&ops, ExecMode::Pipeline);
+        assert!((t - 10.05).abs() < 0.1, "1 GB at 100 GB/s is 10 ms, got {t}");
+    }
+}

@@ -1,0 +1,51 @@
+//! The NVIDIA Jetson AGX Xavier device cost model.
+//!
+//! The paper measures latency and energy on real hardware. This crate is
+//! the reproduction's substitute (see DESIGN.md): all *work* is measured
+//! from real executions of the Rust algorithm implementations
+//! ([`OpCounts`]), and this crate maps work → time and energy with
+//! throughput, dependency-chain, and power constants calibrated against
+//! every absolute number the paper reports:
+//!
+//! * FPS on the 40 256-point Bunny = 81.7 ms vs ~1 ms uniform (Sec. 4.2,
+//!   standalone profiling with per-round kernel launches),
+//! * Morton-code generation for 8 192 points = 0.1 ms (Sec. 5.1.2),
+//! * SMP+NS = 33 ms/batch (ScanNet, B=14) to 76 ms/batch (S3DIS, B=32)
+//!   (Sec. 6.2),
+//! * compute power 4.5 W → 4.2 W and memory power 1.35 W → 1.63 W
+//!   (Sec. 6.2),
+//! * the tensor-core reshape experiment 40.4 ms → 18.3 ms (Sec. 5.4.1).
+//!
+//! The model deliberately stays simple — per-category throughputs, a
+//! dependent-round latency, a memory-bandwidth term, and a launch
+//! overhead — because the paper's claims are about *relative* costs
+//! (speedups, crossovers), which survive any monotone re-calibration.
+//!
+//! # Example
+//!
+//! ```
+//! use edgepc_geom::OpCounts;
+//! use edgepc_sim::{ExecMode, XavierModel};
+//!
+//! let xavier = XavierModel::jetson_agx_xavier();
+//! // FPS-like work: 8.4M distance evals over 1024 dependent rounds.
+//! let fps = OpCounts { dist3: 8_400_000, seq_rounds: 1024, ..OpCounts::default() };
+//! // Morton-like work: encode + sort, 14 dependent rounds.
+//! let mc = OpCounts {
+//!     morton_encodes: 8192, sorted_elems: 8192, seq_rounds: 14,
+//!     ..OpCounts::default()
+//! };
+//! let t_fps = xavier.stage_time_ms(&fps, ExecMode::Pipeline);
+//! let t_mc = xavier.stage_time_ms(&mc, ExecMode::Pipeline);
+//! assert!(t_fps > 5.0 * t_mc);
+//! ```
+
+pub mod cache;
+pub mod cost;
+pub mod device;
+
+pub use cache::{CacheSim, CacheStats};
+pub use cost::{PipelineCost, StageCost, StageKind};
+pub use device::{EnergyModel, ExecMode, PowerState, XavierModel};
+
+pub use edgepc_geom::OpCounts;

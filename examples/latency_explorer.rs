@@ -1,0 +1,68 @@
+//! Design-space explorer for the EdgePC knobs (paper Sec. 5.1.3/5.2.3):
+//! sweep the Morton code width and the search window size and print the
+//! three-way trade-off among neighbor quality (FNR), modeled latency, and
+//! memory overhead — the exploration the paper uses to pick 32-bit codes
+//! and its per-application window.
+//!
+//! Run with `cargo run --release --example latency_explorer`.
+
+use edgepc::prelude::*;
+
+fn main() {
+    let cloud = scannet_like(&DatasetConfig {
+        classes: 1,
+        train_per_class: 1,
+        test_per_class: 1,
+        points_per_cloud: Some(4096),
+        seed: 3,
+    })
+    .test[0]
+        .cloud
+        .clone();
+    let k = 16;
+    let queries: Vec<usize> = (0..cloud.len()).step_by(4).collect();
+    let device = XavierModel::jetson_agx_xavier();
+    let exact = BruteKnn::new().search(&cloud, &queries, k);
+    let t_exact = device.stage_time_ms(&exact.ops, ExecMode::Pipeline);
+    println!(
+        "{} points, {} queries, k = {k}; exact k-NN costs {t_exact:.2} ms\n",
+        cloud.len(),
+        queries.len()
+    );
+
+    println!("-- Morton code width sweep (window W = 4k) --");
+    println!("{:<12} {:>12} {:>10} {:>14}", "bits/axis", "code bytes", "FNR", "latency");
+    for bits in [4u32, 6, 8, 10, 12, 14] {
+        let s = Structurizer::new(bits);
+        let r = MortonWindowSearcher::new(4 * k, bits).search(&cloud, &queries, k);
+        let fnr = false_neighbor_ratio(&r.neighbors, &exact.neighbors);
+        let t = device.stage_time_ms(&r.ops, ExecMode::Pipeline);
+        println!(
+            "{:<12} {:>12} {:>9.1}% {:>11.2} ms{}",
+            bits,
+            s.code_overhead_bytes(cloud.len()),
+            100.0 * fnr,
+            t,
+            if bits == 10 { "   <- paper design point (32-bit codes)" } else { "" }
+        );
+    }
+
+    println!("\n-- window sweep (10 bits/axis) --");
+    println!("{:<12} {:>10} {:>14} {:>12}", "W", "FNR", "latency", "speedup");
+    for factor in [1usize, 2, 4, 8, 16, 32] {
+        let r = MortonWindowSearcher::new(factor * k, 10).search(&cloud, &queries, k);
+        let fnr = false_neighbor_ratio(&r.neighbors, &exact.neighbors);
+        let t = device.stage_time_ms(&r.ops, ExecMode::Pipeline);
+        println!(
+            "{:<12} {:>9.1}% {:>11.2} ms {:>11.2}x",
+            format!("{factor}k"),
+            100.0 * fnr,
+            t,
+            t_exact / t
+        );
+    }
+    println!(
+        "\nAccuracy-sensitive applications pick wide windows; throughput-bound \
+         ones pick W = k (pure index pick). See Fig. 15a in EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: structurize a point cloud with Morton codes, compare the
+//! EdgePC sampler / neighbor searcher against the SOTA baselines, and price
+//! both on the Jetson AGX Xavier device model.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use edgepc::prelude::*;
+
+fn main() {
+    // A scanned-looking cloud: the 40 256-point bunny-like model.
+    let cloud = bunny();
+    println!("cloud: {} points, bbox extent {}", cloud.len(), cloud.bounding_box().extent());
+
+    // --- Structurize: sort along the Z-order curve ---
+    let structurized = Structurizer::paper_default().structurize(&cloud);
+    println!(
+        "structurized with {}-bit Morton codes ({} extra bytes)",
+        Structurizer::paper_default().code_bits(),
+        Structurizer::paper_default().code_overhead_bytes(cloud.len()),
+    );
+
+    // --- Down-sample 1024 points: FPS vs the Morton sampler ---
+    let n = 1024;
+    let fps = FarthestPointSampler::new().sample(&cloud, n);
+    let morton = MortonSampler::paper_default().sample(&cloud, n);
+    let device = XavierModel::jetson_agx_xavier();
+    println!("\nsampling {n} points:");
+    for (name, r) in [("farthest point sampling", &fps), ("morton sampler", &morton)] {
+        let t = device.stage_time_ms(&r.ops, ExecMode::Pipeline);
+        let quality = coverage_radius(cloud.points(), r.extract(&cloud).points());
+        println!(
+            "  {name:<26} {:>10.2} ms on-device   covering radius {quality:.4}   ({})",
+            t, r.ops
+        );
+    }
+
+    // --- Neighbor search: brute k-NN vs the Morton window ---
+    let k = 16;
+    let queries: Vec<usize> = fps.indices.clone();
+    let exact = BruteKnn::new().search(&cloud, &queries, k);
+    let window = MortonWindowSearcher::new(4 * k, 10).search(&cloud, &queries, k);
+    let fnr = false_neighbor_ratio(&window.neighbors, &exact.neighbors);
+    println!("\nneighbor search, {} queries, k = {k}:", queries.len());
+    for (name, r) in [("brute-force k-NN", &exact), ("morton window (W = 4k)", &window)] {
+        let t = device.stage_time_ms(&r.ops, ExecMode::Pipeline);
+        println!("  {name:<26} {t:>10.2} ms on-device");
+    }
+    println!("  false neighbor ratio of the approximation: {:.1}%", 100.0 * fnr);
+}

@@ -1,0 +1,53 @@
+//! Semantic segmentation of an indoor scene with PointNet++ — the paper's
+//! motivating autonomous-perception workload (W1) — with a full per-stage
+//! latency/energy report from the device model.
+//!
+//! Run with `cargo run --release --example segment_room`.
+
+use edgepc::prelude::*;
+
+fn main() {
+    let ds = s3dis_like(&DatasetConfig {
+        classes: 1,
+        train_per_class: 1,
+        test_per_class: 1,
+        points_per_cloud: Some(4096),
+        seed: 7,
+    });
+    let cloud = &ds.test[0].cloud;
+    println!("scene: {} points, {} semantic classes", cloud.len(), ds.num_classes);
+
+    let device = XavierModel::jetson_agx_xavier();
+    let energy = EnergyModel::jetson_agx_xavier();
+
+    let mut run = |label: &str, strategy: PipelineStrategy, state: PowerState| {
+        let config = PointNetPpConfig::paper(cloud.len(), strategy);
+        let mut model = PointNetPpSeg::new(&config, ds.num_classes);
+        let (logits, records) = model.forward(cloud);
+        let cost = price_stages(&records, &device, false);
+        println!("\n== {label} ==");
+        println!("{cost}");
+        println!(
+            "energy: {:.1} mJ at {:.2} W",
+            energy.energy_mj(cost.total_ms(), state),
+            energy.power_w(state)
+        );
+        // Show the segmentation output is real: per-class prediction counts.
+        let preds = edgepc_nn::loss::argmax_rows(&logits);
+        let mut counts = vec![0usize; ds.num_classes];
+        for &p in &preds {
+            counts[p as usize] += 1;
+        }
+        println!("predicted class histogram: {counts:?}");
+        cost.total_ms()
+    };
+
+    let base = run("baseline (FPS + ball query + exact interp)",
+        PipelineStrategy::baseline(), PowerState::default());
+    let edge = run(
+        "EdgePC (Morton sample + window search + stride interp)",
+        PipelineStrategy::edgepc_pointnetpp(4, 128),
+        PowerState { morton_approx: true, neighbor_reuse: false },
+    );
+    println!("\nend-to-end speedup: {:.2}x", base / edge);
+}

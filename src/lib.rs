@@ -1,0 +1,3 @@
+//! Workspace umbrella crate: hosts cross-crate integration tests (in
+//! `tests/`) and runnable examples (in `examples/`) for the EdgePC
+//! reproduction. See the `edgepc` crate for the public API.

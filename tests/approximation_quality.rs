@@ -1,0 +1,143 @@
+//! Cross-crate integration: the quality of the Morton approximations on
+//! every synthetic dataset — the empirical backbone of the paper's
+//! accuracy claims.
+
+use edgepc::prelude::*;
+
+fn datasets() -> Vec<(&'static str, PointCloud)> {
+    let cfg = DatasetConfig {
+        classes: 1,
+        train_per_class: 1,
+        test_per_class: 1,
+        points_per_cloud: Some(1024),
+        seed: 99,
+    };
+    vec![
+        ("modelnet-like", modelnet_like(&cfg).test[0].cloud.clone()),
+        ("shapenet-like", shapenet_like(&cfg).test[0].cloud.clone()),
+        ("s3dis-like", s3dis_like(&cfg).test[0].cloud.clone()),
+        ("scannet-like", scannet_like(&cfg).test[0].cloud.clone()),
+    ]
+}
+
+#[test]
+fn morton_sampling_coverage_tracks_fps_on_all_datasets() {
+    for (name, cloud) in datasets() {
+        let n = 128;
+        let fps = FarthestPointSampler::new().sample(&cloud, n).extract(&cloud);
+        let mc = MortonSampler::paper_default().sample(&cloud, n).extract(&cloud);
+        let ch_fps = chamfer_distance(cloud.points(), fps.points());
+        let ch_mc = chamfer_distance(cloud.points(), mc.points());
+        assert!(
+            ch_mc < 1.8 * ch_fps,
+            "{name}: morton chamfer {ch_mc} vs fps {ch_fps}"
+        );
+    }
+}
+
+#[test]
+fn window_search_fnr_is_bounded_and_monotone_on_all_datasets() {
+    let k = 16;
+    for (name, cloud) in datasets() {
+        let queries: Vec<usize> = (0..cloud.len()).step_by(8).collect();
+        let exact = BruteKnn::new().search(&cloud, &queries, k);
+        let mut last = 1.1f64;
+        for factor in [1usize, 4, 16] {
+            let r = MortonWindowSearcher::new(factor * k, 10).search(&cloud, &queries, k);
+            let fnr = false_neighbor_ratio(&r.neighbors, &exact.neighbors);
+            assert!(
+                fnr <= last + 0.03,
+                "{name}: FNR not monotone at W={factor}k: {fnr} after {last}"
+            );
+            assert!(fnr < 0.8, "{name}: FNR {fnr} at W={factor}k is uselessly high");
+            last = fnr;
+        }
+    }
+}
+
+#[test]
+fn all_exact_searchers_agree_on_all_datasets() {
+    let k = 8;
+    for (name, cloud) in datasets() {
+        let queries: Vec<usize> = (0..cloud.len()).step_by(64).collect();
+        let brute = BruteKnn::new().search(&cloud, &queries, k);
+        let kd = KdTree::build(&cloud).search(&cloud, &queries, k);
+        let grid = GridSearcher::new().search(&cloud, &queries, k);
+        for (qi, ((b, t), g)) in brute
+            .neighbors
+            .iter()
+            .zip(&kd.neighbors)
+            .zip(&grid.neighbors)
+            .enumerate()
+        {
+            let sort = |v: &Vec<usize>| {
+                let mut v = v.clone();
+                v.sort_unstable();
+                v
+            };
+            // Distance ties can legitimately reorder membership; compare
+            // the realized distance multisets instead of raw indices.
+            let q = cloud.point(queries[qi]);
+            let dists = |v: &Vec<usize>| {
+                let mut d: Vec<f32> =
+                    v.iter().map(|&j| q.distance_squared(cloud.point(j))).collect();
+                d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                d
+            };
+            assert_eq!(dists(&sort(b)), dists(&sort(t)), "{name} q{qi}: kdtree");
+            assert_eq!(dists(&sort(b)), dists(&sort(g)), "{name} q{qi}: grid");
+        }
+    }
+}
+
+#[test]
+fn morton_interpolation_tracks_exact_on_scene_data() {
+    let cloud = s3dis_like(&DatasetConfig {
+        classes: 1,
+        train_per_class: 1,
+        test_per_class: 1,
+        points_per_cloud: Some(1024),
+        seed: 5,
+    })
+    .test[0]
+        .cloud
+        .clone();
+    let r = MortonSampler::paper_default().sample(&cloud, 256);
+    let s = r.structurized.as_ref().unwrap();
+    let dense_sorted = s.cloud().points().to_vec();
+    let inv = s.inverse_permutation();
+    let mut positions: Vec<usize> = r.indices.iter().map(|&i| inv[i]).collect();
+    positions.sort_unstable();
+    let sparse: Vec<Point3> = positions.iter().map(|&p| dense_sorted[p]).collect();
+    // Smooth spatial feature: height.
+    let feats = FeatureMatrix::from_vec(sparse.iter().map(|p| p.z).collect(), 256, 1);
+
+    let exact = ThreeNnInterpolator::new().interpolate(&dense_sorted, &sparse, &feats);
+    let approx = MortonInterpolator::new().interpolate(&dense_sorted, &positions, &feats);
+    let mut err_exact = 0.0f32;
+    let mut err_approx = 0.0f32;
+    for (j, p) in dense_sorted.iter().enumerate() {
+        err_exact += (exact.features.row(j)[0] - p.z).abs();
+        err_approx += (approx.features.row(j)[0] - p.z).abs();
+    }
+    assert!(
+        err_approx < 2.5 * err_exact + 1.0,
+        "approx {err_approx} vs exact {err_exact}"
+    );
+}
+
+#[test]
+fn structuredness_improves_on_every_dataset() {
+    use edgepc_morton::locality::window_hit_rate;
+    for (name, cloud) in datasets() {
+        // Sub-sample for the O(N^2) ground-truth computation.
+        let small = cloud.permuted(&(0..cloud.len()).step_by(4).collect::<Vec<_>>());
+        let sorted = Structurizer::paper_default().structurize(&small).into_cloud();
+        let raw_rate = window_hit_rate(small.points(), 4, 32);
+        let sorted_rate = window_hit_rate(sorted.points(), 4, 32);
+        assert!(
+            sorted_rate >= raw_rate,
+            "{name}: sorting reduced structuredness ({raw_rate} -> {sorted_rate})"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Reproducibility: everything downstream of a seed is bit-identical,
+//! which the experiment harnesses rely on.
+
+use edgepc::prelude::*;
+use edgepc::{compare, EdgePcConfig, Workload};
+
+#[test]
+fn datasets_are_deterministic() {
+    let cfg = DatasetConfig::tiny(3).with_seed(77);
+    let a = modelnet_like(&cfg);
+    let b = modelnet_like(&cfg);
+    for (x, y) in a.train.iter().zip(&b.train) {
+        assert_eq!(x.cloud.points(), y.cloud.points());
+        assert_eq!(x.class, y.class);
+    }
+}
+
+#[test]
+fn structurization_is_deterministic() {
+    let cloud = bunny_cloud();
+    let a = Structurizer::paper_default().structurize(&cloud);
+    let b = Structurizer::paper_default().structurize(&cloud);
+    assert_eq!(a.permutation(), b.permutation());
+    assert_eq!(a.codes(), b.codes());
+}
+
+#[test]
+fn samplers_are_deterministic() {
+    let cloud = bunny_cloud();
+    assert_eq!(
+        FarthestPointSampler::new().sample(&cloud, 64).indices,
+        FarthestPointSampler::new().sample(&cloud, 64).indices
+    );
+    assert_eq!(
+        MortonSampler::paper_default().sample(&cloud, 64).indices,
+        MortonSampler::paper_default().sample(&cloud, 64).indices
+    );
+    assert_eq!(
+        RandomSampler::with_seed(5).sample(&cloud, 64).indices,
+        RandomSampler::with_seed(5).sample(&cloud, 64).indices
+    );
+}
+
+#[test]
+fn model_forward_is_deterministic() {
+    let cloud = bunny_cloud();
+    let config = PointNetPpConfig::tiny(3, PipelineStrategy::edgepc_pointnetpp(2, 16));
+    let mut m1 = PointNetPpSeg::new(&config, 3);
+    let mut m2 = PointNetPpSeg::new(&config, 3);
+    let (l1, r1) = m1.forward(&cloud);
+    let (l2, r2) = m2.forward(&cloud);
+    assert_eq!(l1.as_slice(), l2.as_slice());
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.ops, b.ops, "{}", a.name);
+    }
+}
+
+#[test]
+fn workload_comparisons_are_deterministic() {
+    let cfg = EdgePcConfig::paper_default();
+    let a = compare(Workload::W3, &cfg, 512);
+    let b = compare(Workload::W3, &cfg, 512);
+    assert_eq!(a.sn_stage_speedup, b.sn_stage_speedup);
+    assert_eq!(a.e2e_speedup_snf, b.e2e_speedup_snf);
+    assert_eq!(a.energy_saving_sn, b.energy_saving_sn);
+}
+
+fn bunny_cloud() -> PointCloud {
+    edgepc_data::bunny_with_points(512, 9)
+}

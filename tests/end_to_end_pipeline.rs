@@ -1,0 +1,114 @@
+//! Cross-crate integration: datasets -> models -> stage records -> device
+//! pricing -> energy, for both model families and both strategy sets.
+
+use edgepc::prelude::*;
+use edgepc::{analysis::run_records, characterize, compare, EdgePcConfig, Variant, Workload};
+use edgepc_sim::StageKind;
+
+const POINTS: usize = 384;
+
+#[test]
+fn every_workload_characterizes() {
+    let cfg = EdgePcConfig::paper_default();
+    for w in Workload::ALL {
+        let cost = characterize(w, Variant::Baseline, &cfg, POINTS.min(w.spec().points));
+        assert!(cost.total_ms() > 0.0, "{w}: empty cost");
+        assert!(cost.sample_and_neighbor_ms() > 0.0, "{w}: no S+N stages");
+        assert!(cost.time_of(StageKind::FeatureCompute) > 0.0, "{w}: no FC stages");
+    }
+}
+
+#[test]
+fn edgepc_never_loses_on_sample_and_neighbor_stages() {
+    let cfg = EdgePcConfig::paper_default();
+    // One workload per model family / task keeps the debug-mode runtime
+    // reasonable; the release-mode fig13 harness covers all six.
+    for w in [Workload::W1, Workload::W3, Workload::W6] {
+        let c = compare(w, &cfg, POINTS.min(w.spec().points));
+        assert!(
+            c.sn_stage_speedup > 1.0,
+            "{w}: S+N speedup {} not > 1",
+            c.sn_stage_speedup
+        );
+        assert!(c.e2e_speedup_sn > 0.95, "{w}: E2E {}", c.e2e_speedup_sn);
+        assert!(
+            c.e2e_speedup_snf >= c.e2e_speedup_sn - 1e-9,
+            "{w}: tensor cores made things worse"
+        );
+    }
+}
+
+#[test]
+fn stage_records_carry_consistent_batches() {
+    let cfg = EdgePcConfig::paper_default();
+    for w in [Workload::W1, Workload::W3] {
+        let spec = w.spec();
+        let records = run_records(w, Variant::Baseline, &cfg, POINTS);
+        for r in &records {
+            // Work counters were scaled by the batch size.
+            if r.ops.dist3 > 0 {
+                assert_eq!(r.ops.dist3 % spec.batch as u64, 0, "{w}/{}", r.name);
+            }
+            if r.ops.mac > 0 {
+                assert_eq!(r.ops.mac % spec.batch as u64, 0, "{w}/{}", r.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn fc_stages_have_channel_annotations() {
+    let cfg = EdgePcConfig::paper_default();
+    let records = run_records(Workload::W1, Variant::SN, &cfg, POINTS);
+    for r in records.iter().filter(|r| r.kind == StageKind::FeatureCompute) {
+        assert!(r.fc_k.is_some(), "{} lacks fc_k", r.name);
+        assert!(r.ops.mac > 0, "{} has no MAC work", r.name);
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent_with_latency() {
+    let cfg = EdgePcConfig::paper_default();
+    let c = compare(Workload::W5, &cfg, POINTS);
+    let energy = EnergyModel::jetson_agx_xavier();
+    // EdgePC energy = time x its (lower compute, higher memory) power; the
+    // saving must be bounded by the latency ratio times the power ratio.
+    let p_base = energy.power_w(PowerState::default());
+    let p_edge = energy.power_w(PowerState { morton_approx: true, neighbor_reuse: true });
+    let bound = 1.0 - (p_edge / p_base) / c.e2e_speedup_sn;
+    assert!(
+        (c.energy_saving_sn - bound).abs() < 1e-9,
+        "saving {} vs bound {bound}",
+        c.energy_saving_sn
+    );
+}
+
+#[test]
+fn morton_variant_eliminates_fps_distance_work_in_first_layer() {
+    let cfg = EdgePcConfig::paper_default();
+    let base = run_records(Workload::W2, Variant::Baseline, &cfg, POINTS);
+    let edge = run_records(Workload::W2, Variant::SN, &cfg, POINTS);
+    let sa1_sample = |rs: &[StageRecord]| {
+        rs.iter()
+            .find(|r| r.name.starts_with("sa1.sample"))
+            .expect("sa1 sample record")
+            .ops
+    };
+    assert!(sa1_sample(&base).dist3 > 0);
+    assert_eq!(sa1_sample(&edge).dist3, 0, "Morton sampling needs no distances");
+    assert!(sa1_sample(&edge).morton_encodes > 0);
+}
+
+#[test]
+fn window_factor_trades_quality_for_speed_at_pipeline_level() {
+    let narrow = EdgePcConfig { window_factor: 1, ..EdgePcConfig::paper_default() };
+    let wide = EdgePcConfig { window_factor: 8, ..EdgePcConfig::paper_default() };
+    let c_narrow = compare(Workload::W2, &narrow, POINTS);
+    let c_wide = compare(Workload::W2, &wide, POINTS);
+    assert!(
+        c_narrow.sn_stage_speedup >= c_wide.sn_stage_speedup,
+        "narrow {} vs wide {}",
+        c_narrow.sn_stage_speedup,
+        c_wide.sn_stage_speedup
+    );
+}

@@ -1,0 +1,97 @@
+//! The paper's worked examples, end to end across crates: the 5-point cloud
+//! of Fig. 8/10 flows through encoding, structurization, both samplers and
+//! all searchers, landing on exactly the numbers printed in the paper.
+
+use edgepc::prelude::*;
+
+/// The example points of paper Fig. 8/10 (recovered by decoding the Morton
+/// codes the paper lists).
+fn paper_points() -> PointCloud {
+    PointCloud::from_points(vec![
+        Point3::new(3.0, 6.0, 2.0), // P0 -> code 185
+        Point3::new(1.0, 3.0, 1.0), // P1 -> code 23
+        Point3::new(4.0, 3.0, 2.0), // P2 -> code 114
+        Point3::new(0.0, 0.0, 0.0), // P3 -> code 0
+        Point3::new(5.0, 1.0, 0.0), // P4 -> code 67
+    ])
+}
+
+#[test]
+fn sec41_morton_code_example() {
+    // "(2, 3, 4) = (010, 011, 100)b translates to Morton code 282".
+    assert_eq!(encode(2, 3, 4), 282);
+    assert_eq!(decode(282), (2, 3, 4));
+}
+
+#[test]
+fn fig8b_codes_sort_and_samples() {
+    let cloud = paper_points();
+    let grid = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 10);
+    let codes: Vec<u64> = cloud.iter().map(|p| grid.morton_code(p)).collect();
+    assert_eq!(codes, vec![185, 23, 114, 0, 67]);
+
+    let s = Structurizer::new(10).structurize_with_grid(&cloud, grid);
+    assert_eq!(s.permutation(), &[3, 1, 4, 2, 0]);
+}
+
+#[test]
+fn fig8a_fps_walkthrough() {
+    // FPS seeded at P0 samples {P0, P3, P4}.
+    let r = FarthestPointSampler::new().sample(&paper_points(), 3);
+    assert_eq!(r.indices, vec![0, 3, 4]);
+}
+
+#[test]
+fn fig8_morton_sampler_matches_fps_at_fine_grid() {
+    // At r = 1 the Morton sampler picks the same set {P3, P4, P0} FPS does.
+    let cloud = paper_points();
+    let grid = VoxelGrid::with_cell_size(Point3::ORIGIN, 1.0, 10);
+    let s = Structurizer::new(10).structurize_with_grid(&cloud, grid);
+    let picks: Vec<usize> = [0usize, 2, 4].iter().map(|&p| s.permutation()[p]).collect();
+    assert_eq!(picks, vec![3, 4, 0]);
+}
+
+#[test]
+fn fig10a_exact_searchers() {
+    let cloud = paper_points();
+    // Ball query with (squared) radius 11 picks {P0, P1, P4} for P2.
+    let bq = BallQuery::new(11.0).search(&cloud, &[2], 3);
+    assert_eq!(bq.neighbors[0], vec![0, 1, 4]);
+    // k-NN picks the same set (P4 nearest at d2 = 9).
+    let knn = BruteKnn::new().search(&cloud, &[2], 3);
+    let mut got = knn.neighbors[0].clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 4]);
+}
+
+#[test]
+fn fig10b_window_search() {
+    // With W = k + 1 = 4 the index window around P2 selects {P1, P4, P0}.
+    let cloud = paper_points();
+    let r = MortonWindowSearcher::new(4, 10).search(&cloud, &[2], 3);
+    let mut got = r.neighbors[0].clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 4]);
+}
+
+#[test]
+fn sec513_memory_overhead_formula() {
+    // "N * a / 8 bytes": 32-bit codes over 8192 points = 32 KiB, matching
+    // the paper's "up to 32KB" per batch figure.
+    let s = Structurizer::paper_default();
+    assert_eq!(s.code_overhead_bytes(8192), 32 * 1024);
+}
+
+#[test]
+fn sec42_timing_anchors_on_bunny() {
+    // FPS ~81.7 ms vs uniform ~1 ms in the standalone profiling regime.
+    let cloud = bunny();
+    let device = XavierModel::jetson_agx_xavier();
+    let fps = FarthestPointSampler::new().sample(&cloud, 1024);
+    let uni = UniformSampler::new().sample(&cloud, 1024);
+    let t_fps = device.stage_time_ms(&fps.ops, ExecMode::Standalone);
+    let t_uni = device.stage_time_ms(&uni.ops, ExecMode::Standalone);
+    assert!((t_fps - 81.7).abs() < 10.0, "FPS anchor {t_fps} ms");
+    assert!(t_uni < 1.5, "uniform anchor {t_uni} ms");
+    assert!(t_fps / t_uni > 50.0, "the gap the paper motivates with");
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: the retraining story (paper Sec. 5.3) on every
+//! task family, at unit-test scale.
+
+use edgepc::prelude::*;
+use edgepc_models::trainer::{
+    train_dgcnn_classifier, train_dgcnn_seg, train_pointnetpp_seg,
+};
+
+#[test]
+fn dgcnn_classifier_trains_with_edgepc_graphs() {
+    let ds = modelnet_like(&DatasetConfig {
+        classes: 2,
+        train_per_class: 4,
+        test_per_class: 2,
+        points_per_cloud: Some(128),
+        seed: 21,
+    });
+    let mut model =
+        DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 24)), 2);
+    let rep = train_dgcnn_classifier(&mut model, &ds, 10, 0.002);
+    assert!(
+        rep.epoch_losses.last().unwrap() < rep.epoch_losses.first().unwrap(),
+        "loss should fall: {:?}",
+        rep.epoch_losses
+    );
+    assert!(rep.test_accuracy >= 0.5, "accuracy {}", rep.test_accuracy);
+}
+
+#[test]
+fn dgcnn_segmenter_trains_on_part_labels() {
+    let ds = shapenet_like(&DatasetConfig {
+        classes: 2,
+        train_per_class: 3,
+        test_per_class: 1,
+        points_per_cloud: Some(128),
+        seed: 22,
+    });
+    let mut model = DgcnnSeg::new(
+        &DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 24)),
+        ds.num_classes,
+    );
+    let rep = train_dgcnn_seg(&mut model, &ds, 6, 0.01);
+    // Parts are 50/25/25; beating the majority class shows real learning.
+    assert!(rep.test_accuracy > 0.55, "accuracy {}", rep.test_accuracy);
+}
+
+#[test]
+fn pointnetpp_trains_under_both_strategy_sets() {
+    let ds = s3dis_like(&DatasetConfig {
+        classes: 1,
+        train_per_class: 3,
+        test_per_class: 2,
+        points_per_cloud: Some(256),
+        seed: 23,
+    });
+    for (label, strategy) in [
+        ("baseline", PipelineStrategy::baseline_exact()),
+        ("edgepc", PipelineStrategy::edgepc_pointnetpp(2, 24)),
+    ] {
+        let mut model = PointNetPpSeg::new(
+            &PointNetPpConfig::tiny(6, strategy),
+            ds.num_classes,
+        );
+        let rep = train_pointnetpp_seg(&mut model, &ds, 6, 0.005);
+        assert!(
+            rep.epoch_losses.last().unwrap() < rep.epoch_losses.first().unwrap(),
+            "{label}: loss should fall: {:?}",
+            rep.epoch_losses
+        );
+        assert!(
+            rep.test_accuracy > 1.0 / 6.0,
+            "{label}: accuracy {} below chance",
+            rep.test_accuracy
+        );
+    }
+}
+
+#[test]
+fn retraining_closes_the_transplant_gap() {
+    // The Sec. 5.3 story in one test: approximation without retraining
+    // loses accuracy relative to the retrained EdgePC model.
+    let ds = modelnet_like(&DatasetConfig {
+        classes: 3,
+        train_per_class: 6,
+        test_per_class: 3,
+        points_per_cloud: Some(128),
+        seed: 24,
+    });
+    let mut baseline =
+        DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::baseline_dgcnn(3)), 3);
+    let base_rep = train_dgcnn_classifier(&mut baseline, &ds, 16, 0.002);
+
+    // Transplant baseline weights into an approximate-graph model.
+    let mut stash: Vec<Vec<f32>> = Vec::new();
+    baseline.visit_params(&mut |p, _| stash.push(p.to_vec()));
+    let mut transplanted =
+        DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 16)), 3);
+    let mut it = stash.into_iter();
+    transplanted.visit_params(&mut |p, _| p.copy_from_slice(&it.next().unwrap()));
+    let transplant_acc =
+        edgepc_models::trainer::eval_dgcnn_classifier(&mut transplanted, &ds);
+
+    // Retrained EdgePC model.
+    let mut retrained =
+        DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 16)), 3);
+    let edge_rep = train_dgcnn_classifier(&mut retrained, &ds, 16, 0.002);
+
+    assert!(
+        edge_rep.test_accuracy >= transplant_acc,
+        "retrained {} must not trail transplanted {}",
+        edge_rep.test_accuracy,
+        transplant_acc
+    );
+    assert!(
+        edge_rep.test_accuracy >= base_rep.test_accuracy - 0.25,
+        "retrained {} too far below baseline {}",
+        edge_rep.test_accuracy,
+        base_rep.test_accuracy
+    );
+}
