@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate for the EdgePC workspace. Runs entirely offline:
+#   1. formatting          cargo fmt --check
+#   2. lints               cargo clippy -D warnings (all targets)
+#   3. tier-1              release build + test suite
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests: cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -1,14 +1,13 @@
-//! Criterion micro-benchmarks: exact 3-NN interpolation vs the Morton
-//! stride-window up-sampler (paper Sec. 5.1.2, the FP-stage optimization).
+//! Micro-benchmarks: exact 3-NN interpolation vs the Morton stride-window
+//! up-sampler (paper Sec. 5.1.2, the FP-stage optimization). Std-only
+//! harness, `harness = false`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgepc_bench::micro::{bench, black_box};
 use edgepc_data::bunny_with_points;
 use edgepc_geom::FeatureMatrix;
 use edgepc_sample::{MortonInterpolator, MortonSampler, Sampler, ThreeNnInterpolator};
 
-fn bench_interpolators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interpolation");
-    group.sample_size(10);
+fn main() {
     for n in [1024usize, 8192] {
         let cloud = bunny_with_points(n, 17);
         let samples = n / 8;
@@ -21,27 +20,19 @@ fn bench_interpolators(c: &mut Criterion) {
         let sparse: Vec<_> = positions.iter().map(|&p| dense_sorted[p]).collect();
         let feats = FeatureMatrix::zeros(samples, 16);
 
-        group.bench_with_input(BenchmarkId::new("three_nn", n), &(), |b, _| {
-            b.iter(|| {
-                ThreeNnInterpolator::new().interpolate(
-                    black_box(&dense_sorted),
-                    black_box(&sparse),
-                    &feats,
-                )
-            })
+        bench(&format!("interpolation/three_nn/{n}"), || {
+            ThreeNnInterpolator::new().interpolate(
+                black_box(&dense_sorted),
+                black_box(&sparse),
+                &feats,
+            )
         });
-        group.bench_with_input(BenchmarkId::new("morton_stride", n), &(), |b, _| {
-            b.iter(|| {
-                MortonInterpolator::new().interpolate(
-                    black_box(&dense_sorted),
-                    black_box(&positions),
-                    &feats,
-                )
-            })
+        bench(&format!("interpolation/morton_stride/{n}"), || {
+            MortonInterpolator::new().interpolate(
+                black_box(&dense_sorted),
+                black_box(&positions),
+                &feats,
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_interpolators);
-criterion_main!(benches);

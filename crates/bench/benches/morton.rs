@@ -1,29 +1,22 @@
-//! Criterion micro-benchmarks for the Morton encode/sort kernels.
+//! Micro-benchmarks for the Morton encode/sort kernels (std-only harness,
+//! `harness = false`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgepc_bench::micro::{bench, black_box};
 use edgepc_data::bunny_with_points;
 use edgepc_morton::{decode, encode, Structurizer};
 
-fn bench_encode(c: &mut Criterion) {
-    c.bench_function("morton/encode_single", |b| {
-        b.iter(|| encode(black_box(123), black_box(456), black_box(789)))
+fn main() {
+    bench("morton/encode_single", || {
+        encode(black_box(123), black_box(456), black_box(789))
     });
-    c.bench_function("morton/decode_single", |b| {
-        b.iter(|| decode(black_box(0x1249_2492_4924u64)))
+    bench("morton/decode_single", || {
+        decode(black_box(0x1249_2492_4924u64))
     });
-}
 
-fn bench_structurize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("morton/structurize");
-    group.sample_size(20);
     for n in [1024usize, 8192, 40_256] {
         let cloud = bunny_with_points(n, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &cloud, |b, cloud| {
-            b.iter(|| Structurizer::paper_default().structurize(black_box(cloud)))
+        bench(&format!("morton/structurize/{n}"), || {
+            Structurizer::paper_default().structurize(black_box(&cloud))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_encode, bench_structurize);
-criterion_main!(benches);

@@ -1,37 +1,31 @@
-//! Criterion micro-benchmarks: brute k-NN / ball query / k-d tree / grid vs
-//! the Morton window searcher.
+//! Micro-benchmarks: brute k-NN / ball query / k-d tree / grid vs the
+//! Morton window searcher. Std-only harness, `harness = false`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgepc_bench::micro::{bench, black_box};
 use edgepc_data::bunny_with_points;
 use edgepc_neighbor::{
     BallQuery, BruteKnn, GridSearcher, KdTree, MortonWindowSearcher, NeighborSearcher,
 };
 
-fn bench_searchers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("neighbor_search");
-    group.sample_size(10);
+fn main() {
     let k = 16;
     for n in [1024usize, 4096] {
         let cloud = bunny_with_points(n, 13);
         let queries: Vec<usize> = (0..n).step_by(8).collect();
-        group.bench_with_input(BenchmarkId::new("brute_knn", n), &cloud, |b, cloud| {
-            b.iter(|| BruteKnn::new().search(black_box(cloud), &queries, k))
+        bench(&format!("neighbor_search/brute_knn/{n}"), || {
+            BruteKnn::new().search(black_box(&cloud), &queries, k)
         });
-        group.bench_with_input(BenchmarkId::new("ball_query", n), &cloud, |b, cloud| {
-            b.iter(|| BallQuery::new(0.01).search(black_box(cloud), &queries, k))
+        bench(&format!("neighbor_search/ball_query/{n}"), || {
+            BallQuery::new(0.01).search(black_box(&cloud), &queries, k)
         });
-        group.bench_with_input(BenchmarkId::new("kdtree", n), &cloud, |b, cloud| {
-            b.iter(|| KdTree::build(cloud).search(black_box(cloud), &queries, k))
+        bench(&format!("neighbor_search/kdtree/{n}"), || {
+            KdTree::build(&cloud).search(black_box(&cloud), &queries, k)
         });
-        group.bench_with_input(BenchmarkId::new("grid", n), &cloud, |b, cloud| {
-            b.iter(|| GridSearcher::new().search(black_box(cloud), &queries, k))
+        bench(&format!("neighbor_search/grid/{n}"), || {
+            GridSearcher::new().search(black_box(&cloud), &queries, k)
         });
-        group.bench_with_input(BenchmarkId::new("morton_window", n), &cloud, |b, cloud| {
-            b.iter(|| MortonWindowSearcher::new(4 * k, 10).search(black_box(cloud), &queries, k))
+        bench(&format!("neighbor_search/morton_window/{n}"), || {
+            MortonWindowSearcher::new(4 * k, 10).search(black_box(&cloud), &queries, k)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_searchers);
-criterion_main!(benches);

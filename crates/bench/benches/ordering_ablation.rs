@@ -2,37 +2,35 @@
 //! study). The paper chooses Morton for its branch-free parallel encode;
 //! Hilbert preserves locality strictly better. This bench quantifies the
 //! encode-cost side; the locality side is asserted in
-//! `crates/morton/tests/ordering_ablation.rs`.
+//! `crates/morton/tests/ordering_ablation.rs`. Std-only harness,
+//! `harness = false`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use edgepc_morton::hilbert::hilbert_encode;
+use edgepc_bench::micro::{bench, black_box};
 use edgepc_morton::encode;
+use edgepc_morton::hilbert::hilbert_encode;
 
-fn bench_encoders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ordering_ablation/encode");
+fn main() {
     let coords: Vec<(u32, u32, u32)> = (0..4096u32)
-        .map(|i| (i.wrapping_mul(2654435761) % 1024, i * 7 % 1024, i * 13 % 1024))
+        .map(|i| {
+            (
+                i.wrapping_mul(2654435761) % 1024,
+                i * 7 % 1024,
+                i * 13 % 1024,
+            )
+        })
         .collect();
-    group.bench_with_input(BenchmarkId::new("morton", coords.len()), &coords, |b, cs| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &(x, y, z) in cs {
-                acc ^= encode(black_box(x), y, z);
-            }
-            acc
-        })
+    bench("ordering_ablation/encode/morton/4096", || {
+        let mut acc = 0u64;
+        for &(x, y, z) in &coords {
+            acc ^= encode(black_box(x), y, z);
+        }
+        acc
     });
-    group.bench_with_input(BenchmarkId::new("hilbert", coords.len()), &coords, |b, cs| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &(x, y, z) in cs {
-                acc ^= hilbert_encode(black_box(x), y, z, 10);
-            }
-            acc
-        })
+    bench("ordering_ablation/encode/hilbert/4096", || {
+        let mut acc = 0u64;
+        for &(x, y, z) in &coords {
+            acc ^= hilbert_encode(black_box(x), y, z, 10);
+        }
+        acc
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_encoders);
-criterion_main!(benches);

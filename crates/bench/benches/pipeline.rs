@@ -1,14 +1,13 @@
-//! Criterion macro-benchmark: a full (reduced-size) PointNet++ inference
-//! under baseline vs EdgePC strategies — the wall-clock analogue of the
-//! device-model comparison in `fig13_speedup`.
+//! Macro-benchmark: a full (reduced-size) PointNet++ inference under
+//! baseline vs EdgePC strategies — the wall-clock analogue of the
+//! device-model comparison in `fig13_speedup`. Std-only harness,
+//! `harness = false`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgepc_bench::micro::{bench, black_box};
 use edgepc_data::{scannet_like, DatasetConfig};
 use edgepc_models::{PipelineStrategy, PointNetPpConfig, PointNetPpSeg};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/pointnetpp_2048");
-    group.sample_size(10);
+fn main() {
     let ds = scannet_like(&DatasetConfig {
         classes: 1,
         train_per_class: 1,
@@ -22,17 +21,15 @@ fn bench_pipeline(c: &mut Criterion) {
         &PointNetPpConfig::paper(2048, PipelineStrategy::baseline()),
         6,
     );
-    group.bench_function("baseline", |b| {
-        b.iter(|| baseline.forward(black_box(&cloud)))
+    bench("pipeline/pointnetpp_2048/baseline", || {
+        baseline.forward(black_box(&cloud))
     });
 
     let mut edgepc = PointNetPpSeg::new(
         &PointNetPpConfig::paper(2048, PipelineStrategy::edgepc_pointnetpp(4, 128)),
         6,
     );
-    group.bench_function("edgepc", |b| b.iter(|| edgepc.forward(black_box(&cloud))));
-    group.finish();
+    bench("pipeline/pointnetpp_2048/edgepc", || {
+        edgepc.forward(black_box(&cloud))
+    });
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

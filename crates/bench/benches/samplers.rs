@@ -1,28 +1,23 @@
-//! Criterion micro-benchmarks: FPS vs the Morton sampler (the paper's
-//! central complexity claim, O(nN) vs O(N log N)).
+//! Micro-benchmarks: FPS vs the Morton sampler (the paper's central
+//! complexity claim, O(nN) vs O(N log N)). Std-only harness,
+//! `harness = false`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgepc_bench::micro::{bench, black_box};
 use edgepc_data::bunny_with_points;
 use edgepc_sample::{FarthestPointSampler, MortonSampler, Sampler, UniformSampler};
 
-fn bench_samplers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("samplers");
-    group.sample_size(10);
+fn main() {
     for n in [1024usize, 4096, 16_384] {
         let cloud = bunny_with_points(n, 11);
         let target = n / 8;
-        group.bench_with_input(BenchmarkId::new("fps", n), &cloud, |b, cloud| {
-            b.iter(|| FarthestPointSampler::new().sample(black_box(cloud), target))
+        bench(&format!("samplers/fps/{n}"), || {
+            FarthestPointSampler::new().sample(black_box(&cloud), target)
         });
-        group.bench_with_input(BenchmarkId::new("morton", n), &cloud, |b, cloud| {
-            b.iter(|| MortonSampler::paper_default().sample(black_box(cloud), target))
+        bench(&format!("samplers/morton/{n}"), || {
+            MortonSampler::paper_default().sample(black_box(&cloud), target)
         });
-        group.bench_with_input(BenchmarkId::new("uniform", n), &cloud, |b, cloud| {
-            b.iter(|| UniformSampler::new().sample(black_box(cloud), target))
+        bench(&format!("samplers/uniform/{n}"), || {
+            UniformSampler::new().sample(black_box(&cloud), target)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_samplers);
-criterion_main!(benches);

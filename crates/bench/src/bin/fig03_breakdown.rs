@@ -10,7 +10,7 @@
 
 use edgepc::prelude::*;
 use edgepc::{characterize, EdgePcConfig, Variant, Workload};
-use edgepc_bench::{banner, pct, row};
+use edgepc_bench::{banner, pct, report, row};
 
 fn main() {
     banner(
@@ -27,10 +27,14 @@ fn main() {
         (Workload::W5, 0.52),
         (Workload::W6, 0.60),
     ];
+    report::capture("fig03_breakdown", || run(&cfg, &paper_fraction));
+}
+
+fn run(cfg: &EdgePcConfig, paper_fraction: &[(Workload, f64)]) {
     let mut fractions = Vec::new();
-    for (w, paper) in paper_fraction {
+    for &(w, paper) in paper_fraction {
         let spec = w.spec();
-        let cost = characterize(w, Variant::Baseline, &cfg, spec.points);
+        let cost = characterize(w, Variant::Baseline, cfg, spec.points);
         let frac = cost.sample_and_neighbor_fraction();
         fractions.push(frac);
         row(
@@ -48,5 +52,9 @@ fn main() {
     }
     let min = fractions.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = fractions.iter().cloned().fold(0.0, f64::max);
-    row("range across workloads", "38%..80%", format!("{}..{}", pct(min), pct(max)));
+    row(
+        "range across workloads",
+        "38%..80%",
+        format!("{}..{}", pct(min), pct(max)),
+    );
 }

@@ -36,14 +36,21 @@ fn main() {
         (name.to_string(), cover, chamfer, spacing, t)
     };
 
-    let results = [eval("fps (exact SOTA)", &fps), eval("uniform raw order", &raw), eval("uniform morton order", &mc)];
+    let results = [
+        eval("fps (exact SOTA)", &fps),
+        eval("uniform raw order", &raw),
+        eval("uniform morton order", &mc),
+    ];
 
     println!(
         "\n{:<24} {:>14} {:>12} {:>12} {:>12}",
         "sampler", "cover radius", "chamfer", "spacing", "model time"
     );
     for (name, cover, chamfer, spacing, t) in &results {
-        println!("{name:<24} {cover:>14.4} {chamfer:>12.4} {spacing:>12.4} {:>12}", ms(*t));
+        println!(
+            "{name:<24} {cover:>14.4} {chamfer:>12.4} {spacing:>12.4} {:>12}",
+            ms(*t)
+        );
     }
 
     let (_, c_fps, ch_fps, sp_fps, t_fps) = &results[0];

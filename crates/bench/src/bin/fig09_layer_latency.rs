@@ -10,7 +10,7 @@
 
 use edgepc::prelude::*;
 use edgepc::{analysis::run_records, EdgePcConfig, Variant, Workload};
-use edgepc_bench::{banner, ms, row, speedup};
+use edgepc_bench::{banner, ms, report, row, speedup};
 
 fn main() {
     banner(
@@ -20,9 +20,16 @@ fn main() {
     let points = Workload::W2.spec().points;
     // Baseline everywhere vs Morton on every sampling layer (to read off
     // per-layer effects like the paper's figure does).
-    let cfg_all = EdgePcConfig { optimized_layers: 4, ..EdgePcConfig::paper_default() };
-    let base = run_records(Workload::W2, Variant::Baseline, &cfg_all, points);
-    let edge = run_records(Workload::W2, Variant::SN, &cfg_all, points);
+    let cfg_all = EdgePcConfig {
+        optimized_layers: 4,
+        ..EdgePcConfig::paper_default()
+    };
+    let (base, edge) = report::capture("fig09_layer_latency", || {
+        (
+            run_records(Workload::W2, Variant::Baseline, &cfg_all, points),
+            run_records(Workload::W2, Variant::SN, &cfg_all, points),
+        )
+    });
     let device = XavierModel::jetson_agx_xavier();
 
     let time_of = |records: &[StageRecord], name_part: &str| -> f64 {
@@ -40,7 +47,9 @@ fn main() {
     );
     let mut sa1 = 0.0;
     let mut fp_last = 0.0;
-    for layer in ["sa1.", "sa2.", "sa3.", "sa4.", "fp1.", "fp2.", "fp3.", "fp4."] {
+    for layer in [
+        "sa1.", "sa2.", "sa3.", "sa4.", "fp1.", "fp2.", "fp3.", "fp4.",
+    ] {
         let b = time_of(&base, layer);
         let e = time_of(&edge, layer);
         if b == 0.0 {

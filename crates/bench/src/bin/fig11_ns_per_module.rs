@@ -9,7 +9,7 @@
 
 use edgepc::prelude::*;
 use edgepc::Workload;
-use edgepc_bench::{banner, pct, speedup};
+use edgepc_bench::{banner, pct, report, speedup};
 
 fn main() {
     banner(
@@ -20,37 +20,39 @@ fn main() {
     let device = XavierModel::jetson_agx_xavier();
     let k = 32;
 
-    // Walk the PointNet++ sampling pyramid: 8192 -> 1024 -> 256 -> 64 -> 16.
-    let mut level_cloud = cloud0;
-    println!(
-        "\n{:<10} {:>8} {:>8} {:>12} {:>10}",
-        "module", "N", "queries", "NS speedup", "FNR"
-    );
-    for module in 1..=4usize {
-        let n_queries = (level_cloud.len() / 8).max(8);
-        let sampled = FarthestPointSampler::new().sample(&level_cloud, n_queries);
-        let queries = &sampled.indices;
-        let k_eff = k.min(level_cloud.len() - 1);
-
-        let exact = BruteKnn::new().search(&level_cloud, queries, k_eff);
-        // The paper's per-module study uses its default design point: the
-        // degenerate index pick reusing the sampler's Morton codes.
-        let approx = MortonWindowSearcher::degenerate(k_eff)
-            .search(&level_cloud, queries, k_eff);
-
-        let t_exact = device.stage_time_ms(&exact.ops, ExecMode::Pipeline);
-        let t_approx = device.stage_time_ms(&approx.ops, ExecMode::Pipeline);
-        let fnr = false_neighbor_ratio(&approx.neighbors, &exact.neighbors);
+    report::capture("fig11_ns_per_module", || {
+        // Walk the PointNet++ sampling pyramid: 8192 -> 1024 -> 256 -> 64 -> 16.
+        let mut level_cloud = cloud0;
         println!(
-            "{:<10} {:>8} {:>8} {:>12} {:>10}",
-            format!("layer{module}"),
-            level_cloud.len(),
-            queries.len(),
-            speedup(t_exact / t_approx),
-            pct(fnr)
+            "\n{:<10} {:>8} {:>8} {:>12} {:>10}",
+            "module", "N", "queries", "NS speedup", "FNR"
         );
-        level_cloud = sampled.extract(&level_cloud);
-    }
+        for module in 1..=4usize {
+            let n_queries = (level_cloud.len() / 8).max(8);
+            let sampled = FarthestPointSampler::new().sample(&level_cloud, n_queries);
+            let queries = &sampled.indices;
+            let k_eff = k.min(level_cloud.len() - 1);
+
+            let exact = BruteKnn::new().search(&level_cloud, queries, k_eff);
+            // The paper's per-module study uses its default design point: the
+            // degenerate index pick reusing the sampler's Morton codes.
+            let approx =
+                MortonWindowSearcher::degenerate(k_eff).search(&level_cloud, queries, k_eff);
+
+            let t_exact = device.stage_time_ms(&exact.ops, ExecMode::Pipeline);
+            let t_approx = device.stage_time_ms(&approx.ops, ExecMode::Pipeline);
+            let fnr = false_neighbor_ratio(&approx.neighbors, &exact.neighbors);
+            println!(
+                "{:<10} {:>8} {:>8} {:>12} {:>10}",
+                format!("layer{module}"),
+                level_cloud.len(),
+                queries.len(),
+                speedup(t_exact / t_approx),
+                pct(fnr)
+            );
+            level_cloud = sampled.extract(&level_cloud);
+        }
+    });
     println!();
     println!(
         "note: deeper modules shrink N, so the O(N/W) advantage fades while \

@@ -9,7 +9,7 @@
 //! Run with `cargo run --release -p edgepc-bench --bin fig13_speedup`.
 
 use edgepc::{compare, EdgePcConfig, Workload};
-use edgepc_bench::{banner, geomean, pct, row, speedup};
+use edgepc_bench::{banner, geomean, pct, report, row, speedup};
 
 fn main() {
     banner(
@@ -35,29 +35,35 @@ fn main() {
         "\n{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "wl", "S+N spdup", "E2E (S+N)", "E2E (S+N+F)", "energy -%", "energy+TC -%"
     );
-    for (w, p_sn, p_e2e, p_energy) in paper {
-        let spec = w.spec();
-        let c = compare(w, &cfg, spec.points);
-        sn.push(c.sn_stage_speedup);
-        e2e.push(c.e2e_speedup_sn);
-        e2e_tc.push(c.e2e_speedup_snf);
-        energy.push(c.energy_saving_sn);
-        println!(
-            "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}   (paper: {:.2}x / {:.2}x / {:.0}%)",
-            w.to_string(),
-            speedup(c.sn_stage_speedup),
-            speedup(c.e2e_speedup_sn),
-            speedup(c.e2e_speedup_snf),
-            pct(c.energy_saving_sn),
-            pct(c.energy_saving_snf),
-            p_sn,
-            p_e2e,
-            100.0 * p_energy,
-        );
-    }
+    report::capture("fig13_speedup", || {
+        for (w, p_sn, p_e2e, p_energy) in paper {
+            let spec = w.spec();
+            let c = compare(w, &cfg, spec.points);
+            sn.push(c.sn_stage_speedup);
+            e2e.push(c.e2e_speedup_sn);
+            e2e_tc.push(c.e2e_speedup_snf);
+            energy.push(c.energy_saving_sn);
+            println!(
+                "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}   (paper: {:.2}x / {:.2}x / {:.0}%)",
+                w.to_string(),
+                speedup(c.sn_stage_speedup),
+                speedup(c.e2e_speedup_sn),
+                speedup(c.e2e_speedup_snf),
+                pct(c.energy_saving_sn),
+                pct(c.energy_saving_snf),
+                p_sn,
+                p_e2e,
+                100.0 * p_energy,
+            );
+        }
+    });
     println!();
     row("mean S+N stage speedup", "3.68x", speedup(geomean(&sn)));
-    row("max S+N stage speedup", "5.21x (W1)", speedup(sn.iter().cloned().fold(0.0, f64::max)));
+    row(
+        "max S+N stage speedup",
+        "5.21x (W1)",
+        speedup(sn.iter().cloned().fold(0.0, f64::max)),
+    );
     row("mean E2E speedup (S+N)", "1.55x", speedup(geomean(&e2e)));
     row(
         "max E2E speedup (S+N+F)",

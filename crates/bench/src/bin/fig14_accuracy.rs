@@ -31,8 +31,7 @@ fn main() {
         points_per_cloud: Some(256),
         seed: 0xacc,
     });
-    let mut base =
-        DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::baseline_dgcnn(3)), 6);
+    let mut base = DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::baseline_dgcnn(3)), 6);
     let base_rep = train_dgcnn_classifier(&mut base, &ds, 60, 0.002);
     let mut edge =
         DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 32)), 6);
@@ -46,8 +45,16 @@ fn main() {
     let transplant_acc = eval_dgcnn_classifier(&mut transplanted, &ds);
 
     println!("\n-- DGCNN(c) / modelnet-like (W3) --");
-    row("baseline accuracy", "(reference)", pct(base_rep.test_accuracy));
-    row("EdgePC retrained", "drop <= 2%", pct(edge_rep.test_accuracy));
+    row(
+        "baseline accuracy",
+        "(reference)",
+        pct(base_rep.test_accuracy),
+    );
+    row(
+        "EdgePC retrained",
+        "drop <= 2%",
+        pct(edge_rep.test_accuracy),
+    );
     row(
         "baseline weights + approximation (no retrain)",
         "clearly degraded (motivates retraining)",
@@ -73,8 +80,16 @@ fn main() {
     );
     let edge_rep = train_dgcnn_seg(&mut edge, &ds, 8, 0.01);
     println!("\n-- DGCNN(p) / shapenet-like (W4) --");
-    row("baseline accuracy", "(reference)", pct(base_rep.test_accuracy));
-    row("EdgePC retrained", "drop <= 2%", pct(edge_rep.test_accuracy));
+    row(
+        "baseline accuracy",
+        "(reference)",
+        pct(base_rep.test_accuracy),
+    );
+    row(
+        "EdgePC retrained",
+        "drop <= 2%",
+        pct(edge_rep.test_accuracy),
+    );
 
     // --- W1-like: PointNet++(s) semantic segmentation ---
     let ds = s3dis_like(&DatasetConfig {
@@ -95,8 +110,16 @@ fn main() {
     );
     let edge_rep = train_pointnetpp_seg(&mut edge, &ds, 20, 0.005);
     println!("\n-- PointNet++(s) / s3dis-like (W1) --");
-    row("baseline accuracy", "(reference)", pct(base_rep.test_accuracy));
-    row("EdgePC retrained", "drop <= 2%", pct(edge_rep.test_accuracy));
+    row(
+        "baseline accuracy",
+        "(reference)",
+        pct(base_rep.test_accuracy),
+    );
+    row(
+        "EdgePC retrained",
+        "drop <= 2%",
+        pct(edge_rep.test_accuracy),
+    );
 }
 
 /// Copies trained parameters from `src` into `dst` (same architecture,

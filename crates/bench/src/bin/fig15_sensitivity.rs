@@ -39,7 +39,12 @@ fn part_a() {
         let r = MortonWindowSearcher::new(w, 10).search(&cloud, &queries, k);
         let fnr = false_neighbor_ratio(&r.neighbors, &exact.neighbors);
         let t = device.stage_time_ms(&r.ops, ExecMode::Pipeline);
-        println!("{:<10} {:>10} {:>12}", format!("{factor}k"), pct(fnr), speedup(t_exact / t));
+        println!(
+            "{:<10} {:>10} {:>12}",
+            format!("{factor}k"),
+            pct(fnr),
+            speedup(t_exact / t)
+        );
     }
 }
 
@@ -48,7 +53,12 @@ fn part_b() {
     // Latency side at paper scale (4 modules).
     let points = 4096; // keep the sweep fast; trend is scale-stable
     let device = XavierModel::jetson_agx_xavier();
-    let base = run_records(Workload::W2, Variant::Baseline, &EdgePcConfig::paper_default(), points);
+    let base = run_records(
+        Workload::W2,
+        Variant::Baseline,
+        &EdgePcConfig::paper_default(),
+        points,
+    );
     let base_sn = price_stages(&base, &device, false).sample_and_neighbor_ms();
 
     // Accuracy side on the reduced 2-module trainable network, averaged
@@ -69,10 +79,8 @@ fn part_b() {
     let mean_acc = |strategy: &PipelineStrategy| -> f64 {
         let mut total = 0.0;
         for ds in &datasets {
-            let mut model = PointNetPpSeg::new(
-                &PointNetPpConfig::tiny(6, strategy.clone()),
-                ds.num_classes,
-            );
+            let mut model =
+                PointNetPpSeg::new(&PointNetPpConfig::tiny(6, strategy.clone()), ds.num_classes);
             total += train_pointnetpp_seg(&mut model, ds, 20, 0.005).test_accuracy;
         }
         total / datasets.len() as f64
@@ -91,7 +99,10 @@ fn part_b() {
         "-"
     );
     for layers in 1..=4usize {
-        let cfg = EdgePcConfig { optimized_layers: layers, ..EdgePcConfig::paper_default() };
+        let cfg = EdgePcConfig {
+            optimized_layers: layers,
+            ..EdgePcConfig::paper_default()
+        };
         let edge = run_records(Workload::W2, Variant::SN, &cfg, points);
         let edge_sn = price_stages(&edge, &device, false).sample_and_neighbor_ms();
 

@@ -13,8 +13,7 @@
 use edgepc::prelude::*;
 use edgepc::{compare, EdgePcConfig, Workload};
 use edgepc_bench::{banner, ms, pct, row, speedup};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use edgepc_geom::rng::StdRng;
 
 fn main() {
     banner(
@@ -33,15 +32,27 @@ fn tensor_cores() {
     let mac: u64 = 32 * 1000 * 32 * 12 * 64;
     let narrow = device.fc_time_ideal_ms(mac, 12, true);
     let wide = device.fc_time_ideal_ms(mac, 120, true);
-    row("12-ch conv TC utilization", "0%", pct(device.tensor_core_utilization(12, true)));
-    row("120-ch conv TC utilization", "40%", pct(device.tensor_core_utilization(120, true)));
+    row(
+        "12-ch conv TC utilization",
+        "0%",
+        pct(device.tensor_core_utilization(12, true)),
+    );
+    row(
+        "120-ch conv TC utilization",
+        "40%",
+        pct(device.tensor_core_utilization(120, true)),
+    );
     row("12-ch conv latency", "40.4 ms", ms(narrow));
     row("120-ch reshaped latency", "18.3 ms", ms(wide));
     row("reshape speedup", "2.21x", speedup(narrow / wide));
 
     // E2E effect of enabling tensor cores on top of S+N (W6, the paper's
     // best case).
-    let c = compare(Workload::W6, &EdgePcConfig::paper_default(), Workload::W6.spec().points);
+    let c = compare(
+        Workload::W6,
+        &EdgePcConfig::paper_default(),
+        Workload::W6.spec().points,
+    );
     row(
         "extra E2E speedup from tensor cores",
         "~27% (up to 2.25x total)",
@@ -66,7 +77,7 @@ fn grouping_traffic() {
     let k = 64;
     let row_bytes = 16u64; // 4-channel f32 rows: 4 rows share a cache line
     let warp = 32;
-    let mut rng = StdRng::seed_from_u64(0x54_2);
+    let mut rng = StdRng::seed_from_u64(0x0542);
 
     // Raw index matrix: each sampled point's k neighbors lie in a local
     // window (they are spatial neighbors) but in arbitrary order, so each

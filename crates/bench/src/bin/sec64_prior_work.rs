@@ -27,9 +27,27 @@ fn main() {
     // The four SA modules of PointNet++(s) at 8192 points, batched.
     let shapes: [SaShape; 4] = [
         paper_sa1_shape(),
-        SaShape { n_in: 1024, n_out: 256, k: 32, c_in: 128, c_out: 256 },
-        SaShape { n_in: 256, n_out: 64, k: 32, c_in: 256, c_out: 512 },
-        SaShape { n_in: 64, n_out: 16, k: 32, c_in: 512, c_out: 1024 },
+        SaShape {
+            n_in: 1024,
+            n_out: 256,
+            k: 32,
+            c_in: 128,
+            c_out: 256,
+        },
+        SaShape {
+            n_in: 256,
+            n_out: 64,
+            k: 32,
+            c_in: 256,
+            c_out: 512,
+        },
+        SaShape {
+            n_in: 64,
+            n_out: 16,
+            k: 32,
+            c_in: 512,
+            c_out: 1024,
+        },
     ];
     let price = |schedules: Vec<Vec<edgepc_models::StageRecord>>| {
         let mut all = Vec::new();
@@ -61,18 +79,34 @@ fn main() {
     let da_grp = da.time_of(StageKind::Grouping);
     row("conventional FC / batch", "88.2 ms", ms(conv_fc));
     row("DA FC / batch", "42.2 ms", ms(da_fc));
-    row("DA feature-compute speedup", "2.1x", speedup(conv_fc / da_fc));
+    row(
+        "DA feature-compute speedup",
+        "2.1x",
+        speedup(conv_fc / da_fc),
+    );
     row("DA grouping slowdown", "2.73x", speedup(da_grp / conv_grp));
 
     // End to end: DA leaves sampling + neighbor search untouched, so glue
     // its FC/grouping gains onto the measured baseline pipeline.
-    let c = compare(Workload::W1, &EdgePcConfig::paper_default(), Workload::W1.spec().points);
+    let c = compare(
+        Workload::W1,
+        &EdgePcConfig::paper_default(),
+        Workload::W1.spec().points,
+    );
     let base_total = c.baseline.total_ms();
     let base_fc = c.baseline.time_of(StageKind::FeatureCompute);
     let base_grp = c.baseline.time_of(StageKind::Grouping);
     let da_total = base_total - base_fc - base_grp
         + base_fc * (da_fc / conv_fc)
         + base_grp * (da_grp / conv_grp);
-    row("DA end-to-end speedup", "1.12x", speedup(base_total / da_total));
-    row("EdgePC end-to-end speedup (W1)", "~1.6x", speedup(c.e2e_speedup_sn));
+    row(
+        "DA end-to-end speedup",
+        "1.12x",
+        speedup(base_total / da_total),
+    );
+    row(
+        "EdgePC end-to-end speedup (W1)",
+        "~1.6x",
+        speedup(c.e2e_speedup_sn),
+    );
 }

@@ -13,8 +13,8 @@ fn main() {
         "PointNet++(s)/DGCNN(c,p,s) on S3DIS/ScanNet/ModelNet40/ShapeNet",
     );
     println!(
-        "{:<4} {:<18} {:<16} {:>8} {:>7}  {}",
-        "id", "model", "dataset (ours)", "points", "batch", "task"
+        "{:<4} {:<18} {:<16} {:>8} {:>7}  task",
+        "id", "model", "dataset (ours)", "points", "batch"
     );
     for w in Workload::ALL {
         let s = w.spec();

@@ -1,5 +1,5 @@
 //! Shared helpers for the figure-regeneration harnesses (`src/bin/fig*.rs`)
-//! and Criterion micro-benchmarks (`benches/`).
+//! and the std-only micro-benchmarks (`benches/`, see [`micro`]).
 //!
 //! Every binary in this crate regenerates one of the paper's tables or
 //! figures: it runs the real Rust implementations, prices them on the
@@ -41,11 +41,191 @@ pub fn ms(x: f64) -> String {
 ///
 /// # Panics
 ///
-/// Panics if `xs` is empty or contains non-positive values.
+/// Panics if `xs` is empty or contains non-positive values. The
+/// `fig13_speedup` harness feeds it modeled-latency ratios, so a
+/// degenerate device model (a stage priced at zero or negative time)
+/// aborts that binary here instead of silently printing a NaN mean.
 pub fn geomean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "geomean of empty slice");
-    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive factors");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geomean needs positive factors"
+    );
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Machine-readable result files for the figure harnesses.
+///
+/// Each `fig*` binary wraps its workload in [`report::capture`], which
+/// records every [`edgepc_trace`] span the run emits (model forwards,
+/// samplers, neighbor searches), folds them into a per-stage breakdown —
+/// stage name, span count, measured wall time, summed op counts, and the
+/// modeled Xavier time/energy — and writes it to `results/<name>.json`
+/// at the workspace root.
+pub mod report {
+    use std::fs;
+    use std::io;
+    use std::path::{Path, PathBuf};
+
+    use edgepc_trace::export::{breakdown, breakdown_json};
+    use edgepc_trace::with_local;
+
+    /// The workspace-level `results/` directory the harnesses write to.
+    pub fn results_dir() -> PathBuf {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+    }
+
+    /// Runs `f` under a fresh thread-local trace registry, aggregates the
+    /// captured spans per stage, and writes the breakdown to
+    /// `results/<name>.json` (creating the directory). Returns `f`'s value.
+    ///
+    /// A write failure is reported on stderr but does not abort the
+    /// harness — the printed comparison is still useful on a read-only
+    /// checkout.
+    pub fn capture<T>(name: &str, f: impl FnOnce() -> T) -> T {
+        let (value, spans) = with_local(f);
+        let doc = breakdown_json(name, &breakdown(&spans));
+        match write_into(&results_dir(), name, &doc) {
+            Ok(path) => println!(
+                "\nwrote {} ({} spans captured)",
+                path.display(),
+                spans.len()
+            ),
+            Err(e) => eprintln!("\nwarning: could not write results/{name}.json: {e}"),
+        }
+        value
+    }
+
+    /// Writes `doc` to `<dir>/<name>.json`, creating `dir` if needed.
+    pub fn write_into(dir: &Path, name: &str, doc: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, doc)?;
+        Ok(path)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use edgepc_trace::json;
+
+        #[test]
+        fn capture_records_library_spans() {
+            // Run a real sampler under with_local and check the breakdown
+            // document shape without touching the repo's results/ dir.
+            let (_, spans) = with_local(|| {
+                let cloud: edgepc_geom::PointCloud = (0..64)
+                    .map(|i| edgepc_geom::Point3::splat(i as f32))
+                    .collect();
+                use edgepc_sample::Sampler;
+                let _ = edgepc_sample::MortonSampler::paper_default().sample(&cloud, 8);
+            });
+            assert!(spans.iter().any(|s| s.name == "morton.sample"));
+            let rendered = breakdown_json("unit", &breakdown(&spans));
+            let v = json::parse(&rendered).unwrap();
+            let stages = v.get("stages").unwrap().as_arr().unwrap();
+            assert!(!stages.is_empty());
+            assert!(stages[0].get("wall_ms").unwrap().as_f64().is_some());
+        }
+
+        #[test]
+        fn write_into_creates_dir_and_file() {
+            let dir =
+                std::env::temp_dir().join(format!("edgepc-report-test-{}", std::process::id()));
+            let path = write_into(&dir, "sample", "{\"name\":\"sample\"}").unwrap();
+            let back = fs::read_to_string(&path).unwrap();
+            assert_eq!(back, "{\"name\":\"sample\"}");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// A minimal, std-only micro-benchmark harness.
+///
+/// The `[[bench]]` targets in this crate declare `harness = false` and
+/// drive this module from a plain `fn main()`, so `cargo bench` works
+/// with no external framework. Each benchmark warms up once to estimate
+/// per-call cost, sizes its batches to a fixed time budget, and reports
+/// the median / mean / min nanoseconds per call across several samples.
+pub mod micro {
+    pub use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    const SAMPLES: usize = 11;
+    const SAMPLE_BUDGET_NS: f64 = 5_000_000.0;
+    const MAX_BATCH: usize = 100_000;
+
+    /// One benchmark's timing summary, in nanoseconds per call.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Timing {
+        pub median_ns: f64,
+        pub mean_ns: f64,
+        pub min_ns: f64,
+    }
+
+    /// Times `f` and prints one `label  median  mean  min` row.
+    ///
+    /// Wrap inputs in [`black_box`] at the call site so the compiler
+    /// cannot specialize them away.
+    pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> Timing {
+        // Warm-up call doubles as the batch-size estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            ((SAMPLE_BUDGET_NS / once.as_nanos() as f64).ceil() as usize).clamp(1, MAX_BATCH);
+
+        let mut ns = [0.0f64; SAMPLES];
+        for slot in ns.iter_mut() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            *slot = t.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let timing = Timing {
+            median_ns: ns[SAMPLES / 2],
+            mean_ns: ns.iter().sum::<f64>() / SAMPLES as f64,
+            min_ns: ns[0],
+        };
+        println!(
+            "{label:<44} median {:>12}  mean {:>12}  min {:>12}",
+            fmt_ns(timing.median_ns),
+            fmt_ns(timing.mean_ns),
+            fmt_ns(timing.min_ns),
+        );
+        timing
+    }
+
+    fn fmt_ns(ns: f64) -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} us", ns / 1e3)
+        } else {
+            format!("{:.2} ms", ns / 1e6)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bench_reports_ordered_stats() {
+            let t = bench("noop", || 1 + 1);
+            assert!(t.min_ns <= t.median_ns);
+            assert!(t.min_ns > 0.0);
+        }
+
+        #[test]
+        fn formats_scale_by_magnitude() {
+            assert_eq!(fmt_ns(12.34), "12.3 ns");
+            assert_eq!(fmt_ns(12_340.0), "12.34 us");
+            assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        }
+    }
 }
 
 #[cfg(test)]

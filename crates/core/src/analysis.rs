@@ -27,7 +27,11 @@ pub struct EdgePcConfig {
 impl EdgePcConfig {
     /// The paper's evaluated design point.
     pub fn paper_default() -> Self {
-        EdgePcConfig { morton_bits: 10, window_factor: 4, optimized_layers: 1 }
+        EdgePcConfig {
+            morton_bits: 10,
+            window_factor: 4,
+            optimized_layers: 1,
+        }
     }
 }
 
@@ -243,7 +247,10 @@ mod tests {
         // And the priced fraction is non-trivial even at reduced scale.
         let frac = characterize(Workload::W2, Variant::Baseline, &cfg, TEST_POINTS)
             .sample_and_neighbor_fraction();
-        assert!(frac > 0.08, "S+N fraction {frac} too small even at reduced scale");
+        assert!(
+            frac > 0.08,
+            "S+N fraction {frac} too small even at reduced scale"
+        );
     }
 
     #[test]
@@ -286,7 +293,10 @@ mod tests {
         let cmp = compare(Workload::W5, &EdgePcConfig::paper_default(), 512);
         let sn_sn = cmp.sn.sample_and_neighbor_ms();
         let snf_sn = cmp.snf.sample_and_neighbor_ms();
-        assert!((sn_sn - snf_sn).abs() < 1e-9, "S+N stages unaffected by tensor cores");
+        assert!(
+            (sn_sn - snf_sn).abs() < 1e-9,
+            "S+N stages unaffected by tensor cores"
+        );
         assert!(
             cmp.snf.time_of(edgepc_sim::StageKind::FeatureCompute)
                 < cmp.sn.time_of(edgepc_sim::StageKind::FeatureCompute)

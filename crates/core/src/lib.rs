@@ -40,9 +40,7 @@
 pub mod analysis;
 pub mod workloads;
 
-pub use analysis::{
-    characterize, compare, EdgePcConfig, Variant, WorkloadComparison,
-};
+pub use analysis::{characterize, compare, EdgePcConfig, Variant, WorkloadComparison};
 pub use workloads::{Workload, WorkloadSpec};
 
 /// Convenient re-exports of the workspace's main types.
@@ -55,13 +53,11 @@ pub mod prelude {
     };
     pub use edgepc_geom::{
         chamfer_distance, coverage_radius, mean_nearest_sample_distance, sample_spacing, Aabb,
-        FeatureMatrix,
-        OpCounts, Point3, PointCloud,
+        FeatureMatrix, OpCounts, Point3, PointCloud,
     };
     pub use edgepc_models::{
-        price_stages, DgcnnClassifier, DgcnnConfig, DgcnnSeg, PipelineStrategy,
-        PointNetPpConfig, PointNetPpSeg, SampleStrategy, SearchStrategy, StageRecord,
-        UpsampleStrategy,
+        price_stages, DgcnnClassifier, DgcnnConfig, DgcnnSeg, PipelineStrategy, PointNetPpConfig,
+        PointNetPpSeg, SampleStrategy, SearchStrategy, StageRecord, UpsampleStrategy,
     };
     pub use edgepc_morton::{decode, encode, Structurizer, VoxelGrid};
     pub use edgepc_neighbor::{

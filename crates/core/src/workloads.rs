@@ -106,7 +106,11 @@ impl Workload {
     pub fn dataset(self, seed: u64) -> Dataset {
         let spec = self.spec();
         let cfg = DatasetConfig {
-            classes: if spec.task == Task::Classification { 8 } else { 1 },
+            classes: if spec.task == Task::Classification {
+                8
+            } else {
+                1
+            },
             train_per_class: 1,
             test_per_class: 1,
             points_per_cloud: Some(spec.points),

@@ -7,9 +7,8 @@
 //! emission order, and deliberate density variation, which is all the
 //! Fig. 5 sampling-coverage experiment depends on.
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{Point3, PointCloud};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::shapes::{sample_shape, ShapeFamily, ShapeParams};
 
@@ -168,7 +167,9 @@ mod tests {
         // equal-volume probes.
         let b = bunny();
         let probe = |center: Point3, r: f32| {
-            b.iter().filter(|p| p.distance_squared(center) < r * r).count()
+            b.iter()
+                .filter(|p| p.distance_squared(center) < r * r)
+                .count()
         };
         let head_density = probe(Point3::new(0.85, 0.0, 1.1), 0.15);
         let body_density = probe(Point3::new(0.0, 0.0, 0.74), 0.15);

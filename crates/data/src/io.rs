@@ -123,7 +123,9 @@ pub fn read_ply<R: Read>(reader: &mut R) -> Result<PointCloud, ReadCloudError> {
     let mut elements: Vec<Element> = Vec::new();
     let mut ascii = false;
     loop {
-        let line = lines.next().ok_or_else(|| parse_err("unterminated header"))??;
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("unterminated header"))??;
         let line = line.trim().to_string();
         let mut tok = line.split_whitespace();
         match tok.next() {
@@ -131,7 +133,9 @@ pub fn read_ply<R: Read>(reader: &mut R) -> Result<PointCloud, ReadCloudError> {
                 ascii = tok.next() == Some("ascii");
             }
             Some("element") => {
-                let name = tok.next().ok_or_else(|| parse_err("element without name"))?;
+                let name = tok
+                    .next()
+                    .ok_or_else(|| parse_err("element without name"))?;
                 let count: usize = tok
                     .next()
                     .ok_or_else(|| parse_err("element without count"))?
@@ -152,7 +156,9 @@ pub fn read_ply<R: Read>(reader: &mut R) -> Result<PointCloud, ReadCloudError> {
                     tok.next();
                     tok.next();
                 }
-                let name = tok.next().ok_or_else(|| parse_err("property without name"))?;
+                let name = tok
+                    .next()
+                    .ok_or_else(|| parse_err("property without name"))?;
                 el.properties.push(name.to_string());
             }
             Some("end_header") => break,
@@ -292,8 +298,7 @@ mod tests {
 
     #[test]
     fn ply_error_is_a_real_error_type() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(read_ply(&mut "nope".as_bytes()).unwrap_err());
+        let e: Box<dyn std::error::Error> = Box::new(read_ply(&mut "nope".as_bytes()).unwrap_err());
         assert!(!e.to_string().is_empty());
     }
 }

@@ -189,7 +189,10 @@ mod tests {
     #[test]
     fn task_display() {
         assert_eq!(Task::Classification.to_string(), "classification");
-        assert_eq!(Task::SemanticSegmentation.to_string(), "semantic segmentation");
+        assert_eq!(
+            Task::SemanticSegmentation.to_string(),
+            "semantic segmentation"
+        );
     }
 
     #[test]
@@ -207,7 +210,10 @@ mod tests {
             task: Task::Classification,
             num_classes: 1,
             points_per_cloud: 10,
-            train: vec![Sample { cloud: PointCloud::new(), class: Some(0) }],
+            train: vec![Sample {
+                cloud: PointCloud::new(),
+                class: Some(0),
+            }],
             test: vec![],
         };
         ds.validate();

@@ -15,9 +15,8 @@
 //! | 4     | table     |
 //! | 5     | clutter   |
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{Point3, PointCloud};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::{Dataset, DatasetConfig, Sample, Task};
 
@@ -46,8 +45,8 @@ fn scan_rect(
             if emitted == n {
                 return;
             }
-            let fu = (c as f32 + rng.gen_range(0.0..1.0)) / cols as f32;
-            let fv = (r as f32 + rng.gen_range(0.0..1.0)) / rows as f32;
+            let fu = (c as f32 + rng.gen_range(0.0f32..1.0)) / cols as f32;
+            let fv = (r as f32 + rng.gen_range(0.0f32..1.0)) / rows as f32;
             let p = origin
                 + u_edge * fu
                 + v_edge * fv
@@ -63,13 +62,7 @@ fn scan_rect(
 }
 
 /// Emits the 5 visible faces of an axis-aligned box (no bottom).
-fn scan_box(
-    min: Point3,
-    max: Point3,
-    n: usize,
-    rng: &mut StdRng,
-    out: &mut Vec<Point3>,
-) {
+fn scan_box(min: Point3, max: Point3, n: usize, rng: &mut StdRng, out: &mut Vec<Point3>) {
     let e = max - min;
     let per = n / 5;
     let rem = n - per * 4;
@@ -153,7 +146,11 @@ fn room_scene(n: usize, clutter_level: f32, rng: &mut StdRng) -> PointCloud {
         (Point3::new(w, 0.0, 0.0), Point3::new(0.0, d, 0.0)),
     ];
     for (i, (o, u)) in walls.into_iter().enumerate() {
-        let count = if i == 3 { wall_n - 3 * per_wall } else { per_wall };
+        let count = if i == 3 {
+            wall_n - 3 * per_wall
+        } else {
+            per_wall
+        };
         scan_rect(o, u, Point3::new(0.0, 0.0, h), count, 0.01, rng, &mut pts);
     }
     tag(&pts, &mut labels, 2);
@@ -162,7 +159,11 @@ fn room_scene(n: usize, clutter_level: f32, rng: &mut StdRng) -> PointCloud {
     let n_boxes = rng.gen_range(2..=4usize);
     let per_box = furn_n / n_boxes;
     for b in 0..n_boxes {
-        let count = if b == n_boxes - 1 { furn_n - per_box * (n_boxes - 1) } else { per_box };
+        let count = if b == n_boxes - 1 {
+            furn_n - per_box * (n_boxes - 1)
+        } else {
+            per_box
+        };
         let bw = rng.gen_range(0.5..1.5f32);
         let bd = rng.gen_range(0.5..1.5f32);
         let bh = rng.gen_range(0.4..1.2f32);
@@ -217,7 +218,10 @@ fn scene_dataset(
     let n_test = config.test_per_class.max(1) * config.classes.clamp(1, 2);
     let make = |count: usize, rng: &mut StdRng| -> Vec<Sample> {
         (0..count)
-            .map(|_| Sample { cloud: room_scene(points, clutter_level, rng), class: None })
+            .map(|_| Sample {
+                cloud: room_scene(points, clutter_level, rng),
+                class: None,
+            })
             .collect()
     };
     let train = make(n_train, &mut rng);
@@ -262,7 +266,10 @@ mod tests {
 
     #[test]
     fn s3dis_defaults_match_table1() {
-        let cfg = DatasetConfig { points_per_cloud: None, ..tiny() };
+        let cfg = DatasetConfig {
+            points_per_cloud: None,
+            ..tiny()
+        };
         let ds = s3dis_like(&cfg);
         assert_eq!(ds.points_per_cloud, 8192);
         assert_eq!(ds.num_classes, SCENE_CLASSES);
@@ -330,11 +337,8 @@ mod tests {
         // distance must be far below the room diagonal.
         let ds = s3dis_like(&tiny());
         let pts = ds.train[0].cloud.points();
-        let mean_step: f32 = pts
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum::<f32>()
-            / (pts.len() - 1) as f32;
+        let mean_step: f32 =
+            pts.windows(2).map(|w| w[0].distance(w[1])).sum::<f32>() / (pts.len() - 1) as f32;
         let diag = ds.train[0].cloud.bounding_box().extent().norm();
         assert!(mean_step < diag / 4.0, "step {mean_step} vs diag {diag}");
     }

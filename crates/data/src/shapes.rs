@@ -5,9 +5,8 @@
 //! parameters), which mimics how real acquisition devices emit points and
 //! matters for the raw-frame-order experiments.
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::Point3;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// The shape families the synthetic datasets are built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,7 +59,11 @@ pub struct ShapeParams {
 
 impl Default for ShapeParams {
     fn default() -> Self {
-        ShapeParams { scale: Point3::splat(1.0), jitter: 0.01, density_skew: 0.3 }
+        ShapeParams {
+            scale: Point3::splat(1.0),
+            jitter: 0.01,
+            density_skew: 0.3,
+        }
     }
 }
 
@@ -107,11 +110,7 @@ pub fn sample_shape(
                 ShapeFamily::Ellipsoid => {
                     let theta = u * tau;
                     let phi = v * std::f32::consts::PI;
-                    Point3::new(
-                        phi.sin() * theta.cos(),
-                        phi.sin() * theta.sin(),
-                        phi.cos(),
-                    )
+                    Point3::new(phi.sin() * theta.cos(), phi.sin() * theta.sin(), phi.cos())
                 }
                 ShapeFamily::Box => {
                     // Six faces swept in sequence.
@@ -174,11 +173,8 @@ pub fn sample_shape(
                 ShapeFamily::Helix => {
                     let t = (v + u / rows as f32) * 3.0 * tau;
                     let tube = u * tau;
-                    let center = Point3::new(
-                        0.8 * t.cos(),
-                        0.8 * t.sin(),
-                        t / (3.0 * tau) * 2.0 - 1.0,
-                    );
+                    let center =
+                        Point3::new(0.8 * t.cos(), 0.8 * t.sin(), t / (3.0 * tau) * 2.0 - 1.0);
                     center
                         + Point3::new(
                             0.15 * tube.cos() * t.cos(),
@@ -202,7 +198,6 @@ pub fn sample_shape(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -232,13 +227,19 @@ mod tests {
         // a plane-like and a sphere-like family.
         let plane = sample_shape(
             ShapeFamily::BumpyPlane,
-            &ShapeParams { jitter: 0.0, ..Default::default() },
+            &ShapeParams {
+                jitter: 0.0,
+                ..Default::default()
+            },
             400,
             &mut rng(),
         );
         let sphere = sample_shape(
             ShapeFamily::Ellipsoid,
-            &ShapeParams { jitter: 0.0, ..Default::default() },
+            &ShapeParams {
+                jitter: 0.0,
+                ..Default::default()
+            },
             400,
             &mut rng(),
         );
@@ -260,15 +261,27 @@ mod tests {
 
     #[test]
     fn density_skew_concentrates_points() {
-        let uniform = ShapeParams { density_skew: 0.0, jitter: 0.0, ..Default::default() };
-        let skewed = ShapeParams { density_skew: 0.9, jitter: 0.0, ..Default::default() };
+        let uniform = ShapeParams {
+            density_skew: 0.0,
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let skewed = ShapeParams {
+            density_skew: 0.9,
+            jitter: 0.0,
+            ..Default::default()
+        };
         let pu = sample_shape(ShapeFamily::BumpyPlane, &uniform, 400, &mut rng());
         let ps = sample_shape(ShapeFamily::BumpyPlane, &skewed, 400, &mut rng());
         // With skew, more points land in the low-parameter (x < 0) half.
-        let frac = |pts: &[Point3]| {
-            pts.iter().filter(|p| p.x < 0.0).count() as f32 / pts.len() as f32
-        };
-        assert!(frac(&ps) > frac(&pu) + 0.1, "{} vs {}", frac(&ps), frac(&pu));
+        let frac =
+            |pts: &[Point3]| pts.iter().filter(|p| p.x < 0.0).count() as f32 / pts.len() as f32;
+        assert!(
+            frac(&ps) > frac(&pu) + 0.1,
+            "{} vs {}",
+            frac(&ps),
+            frac(&pu)
+        );
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! ModelNet40-like classification and ShapeNet-like part-segmentation
 //! generators (paper Table 1, workloads W3 and W4).
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{Point3, PointCloud};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::shapes::{sample_shape, ShapeFamily, ShapeParams};
 use crate::{Dataset, DatasetConfig, Sample, Task};
@@ -43,8 +42,19 @@ fn class_shape(class: usize, rng: &mut StdRng) -> (ShapeFamily, ShapeParams) {
         _ => Point3::new(1.0, 1.0, stretch),
     };
     let wobble = |rng: &mut StdRng| 1.0 + rng.gen_range(-0.08..=0.08f32);
-    let scale = Point3::new(base.x * wobble(rng), base.y * wobble(rng), base.z * wobble(rng));
-    (family, ShapeParams { scale, jitter: 0.02, density_skew: rng.gen_range(0.1..0.5) })
+    let scale = Point3::new(
+        base.x * wobble(rng),
+        base.y * wobble(rng),
+        base.z * wobble(rng),
+    );
+    (
+        family,
+        ShapeParams {
+            scale,
+            jitter: 0.02,
+            density_skew: rng.gen_range(0.1f32..0.5),
+        },
+    )
 }
 
 /// Generates the ModelNet40-like classification dataset: `config.classes`
@@ -113,22 +123,30 @@ pub fn shapenet_like(config: &DatasetConfig) -> Dataset {
 
         let body = sample_shape(
             body_family,
-            &ShapeParams { scale: Point3::splat(1.0), jitter: 0.015, density_skew: 0.2 },
+            &ShapeParams {
+                scale: Point3::splat(1.0),
+                jitter: 0.015,
+                density_skew: 0.2,
+            },
             n_body,
             rng,
         );
         pts.extend(body);
-        labels.extend(std::iter::repeat(0u32).take(n_body));
+        labels.extend(std::iter::repeat_n(0u32, n_body));
 
         // Appendage: smaller, offset upward.
         let app = sample_shape(
             app_family,
-            &ShapeParams { scale: Point3::splat(0.4), jitter: 0.015, density_skew: 0.2 },
+            &ShapeParams {
+                scale: Point3::splat(0.4),
+                jitter: 0.015,
+                density_skew: 0.2,
+            },
             n_app,
             rng,
         );
         pts.extend(app.into_iter().map(|p| p + Point3::new(0.0, 0.0, 1.3)));
-        labels.extend(std::iter::repeat(1u32).take(n_app));
+        labels.extend(std::iter::repeat_n(1u32, n_app));
 
         // Base: flattened box under the body.
         let base = sample_shape(
@@ -142,7 +160,7 @@ pub fn shapenet_like(config: &DatasetConfig) -> Dataset {
             rng,
         );
         pts.extend(base.into_iter().map(|p| p + Point3::new(0.0, 0.0, -1.3)));
-        labels.extend(std::iter::repeat(2u32).take(n_base));
+        labels.extend(std::iter::repeat_n(2u32, n_base));
 
         Sample {
             cloud: shuffled(PointCloud::from_points(pts).with_labels(labels), rng),
@@ -209,15 +227,29 @@ mod tests {
 
     #[test]
     fn modelnet_classes_are_separable_by_nearest_centroid() {
-        // Weak separability check: a trivial bounding-box-extent nearest-
+        // Weak separability check: a trivial shape-statistics nearest-
         // centroid classifier should beat random guessing comfortably,
         // otherwise the retraining experiments would be meaningless.
+        // Bounding-box extent alone cannot tell an ellipsoid from a box
+        // from a cylinder (all ~2x2x2), so the feature also captures the
+        // radial distance distribution, which differs per family.
         let ds = modelnet_like(&DatasetConfig::tiny(4));
         let feat = |c: &PointCloud| {
             let e = c.bounding_box().extent();
-            [e.x, e.y, e.z]
+            let n = c.len() as f32;
+            let (mut cx, mut cy, mut cz) = (0.0f32, 0.0f32, 0.0f32);
+            for p in c.iter() {
+                cx += p.x;
+                cy += p.y;
+                cz += p.z;
+            }
+            let center = Point3::new(cx / n, cy / n, cz / n);
+            let radii: Vec<f32> = c.iter().map(|p| p.distance(center)).collect();
+            let mean = radii.iter().sum::<f32>() / n;
+            let var = radii.iter().map(|r| (r - mean).powi(2)).sum::<f32>() / n;
+            [e.x, e.y, e.z, 2.0 * mean, 8.0 * var.sqrt()]
         };
-        let mut centroids = vec![[0.0f32; 3]; 4];
+        let mut centroids = [[0.0f32; 5]; 4];
         let mut counts = vec![0usize; 4];
         for s in &ds.train {
             let f = feat(&s.cloud);

@@ -90,7 +90,10 @@ impl Aabb {
 
     /// Returns the smallest box containing both `self` and `other`.
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Grows the box by `margin` on every side.
@@ -99,7 +102,10 @@ impl Aabb {
     ///
     /// Panics if a negative `margin` would invert the box.
     pub fn inflated(&self, margin: f32) -> Aabb {
-        Aabb::new(self.min - Point3::splat(margin), self.max + Point3::splat(margin))
+        Aabb::new(
+            self.min - Point3::splat(margin),
+            self.max + Point3::splat(margin),
+        )
     }
 
     /// Squared distance from `p` to the closest point of the box

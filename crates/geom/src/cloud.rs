@@ -38,7 +38,11 @@ impl PointCloud {
 
     /// Creates a cloud from bare coordinates.
     pub fn from_points(points: Vec<Point3>) -> Self {
-        PointCloud { points, features: None, labels: None }
+        PointCloud {
+            points,
+            features: None,
+            labels: None,
+        }
     }
 
     /// Attaches per-point features (builder style).
@@ -62,7 +66,11 @@ impl PointCloud {
     ///
     /// Panics if `labels.len() != self.len()`.
     pub fn with_labels(mut self, labels: Vec<u32>) -> Self {
-        assert_eq!(labels.len(), self.points.len(), "label count must match point count");
+        assert_eq!(
+            labels.len(),
+            self.points.len(),
+            "label count must match point count"
+        );
         self.labels = Some(labels);
         self
     }
@@ -119,7 +127,8 @@ impl PointCloud {
     /// Panics if the cloud is empty. Call [`PointCloud::try_bounding_box`]
     /// for a non-panicking variant.
     pub fn bounding_box(&self) -> Aabb {
-        self.try_bounding_box().expect("bounding_box of empty cloud")
+        self.try_bounding_box()
+            .expect("bounding_box of empty cloud")
     }
 
     /// The tightest bounding box, or `None` for an empty cloud.
@@ -173,7 +182,11 @@ impl PointCloud {
         let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
         let min = bb.min();
         let points = self.iter().map(|p| (p - min) * inv).collect();
-        PointCloud { points, features: self.features.clone(), labels: self.labels.clone() }
+        PointCloud {
+            points,
+            features: self.features.clone(),
+            labels: self.labels.clone(),
+        }
     }
 }
 
@@ -236,7 +249,11 @@ mod tests {
     #[test]
     fn permuted_carries_features_and_labels() {
         let c = sample_cloud()
-            .with_features(FeatureMatrix::from_vec((0..8).map(|v| v as f32).collect(), 4, 2))
+            .with_features(FeatureMatrix::from_vec(
+                (0..8).map(|v| v as f32).collect(),
+                4,
+                2,
+            ))
             .with_labels(vec![10, 11, 12, 13]);
         let p = c.permuted(&[3, 1]);
         assert_eq!(p.len(), 2);

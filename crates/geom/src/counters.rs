@@ -95,6 +95,26 @@ impl OpCounts {
         self.seq_rounds = depth;
         self
     }
+
+    /// Renders the record as a JSON object (hand-rolled, no serde).
+    ///
+    /// Key names match the field names so the output round-trips through
+    /// any JSON parser back to the same shape. Used by `edgepc-trace`'s
+    /// exporters and the `fig*` breakdown files.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"dist3\":{},\"feat_flops\":{},\"cmp\":{},\"morton_encodes\":{},\
+             \"sorted_elems\":{},\"gathered_bytes\":{},\"mac\":{},\"seq_rounds\":{}}}",
+            self.dist3,
+            self.feat_flops,
+            self.cmp,
+            self.morton_encodes,
+            self.sorted_elems,
+            self.gathered_bytes,
+            self.mac,
+            self.seq_rounds
+        )
+    }
 }
 
 impl Add for OpCounts {
@@ -155,8 +175,20 @@ mod tests {
 
     #[test]
     fn addition_is_fieldwise() {
-        let a = OpCounts { dist3: 1, cmp: 2, mac: 3, seq_rounds: 4, ..OpCounts::ZERO };
-        let b = OpCounts { dist3: 10, cmp: 20, mac: 30, seq_rounds: 40, ..OpCounts::ZERO };
+        let a = OpCounts {
+            dist3: 1,
+            cmp: 2,
+            mac: 3,
+            seq_rounds: 4,
+            ..OpCounts::ZERO
+        };
+        let b = OpCounts {
+            dist3: 10,
+            cmp: 20,
+            mac: 30,
+            seq_rounds: 40,
+            ..OpCounts::ZERO
+        };
         let c = a + b;
         assert_eq!(c.dist3, 11);
         assert_eq!(c.cmp, 22);
@@ -166,8 +198,16 @@ mod tests {
 
     #[test]
     fn merge_parallel_takes_max_depth() {
-        let a = OpCounts { dist3: 5, seq_rounds: 10, ..OpCounts::ZERO };
-        let b = OpCounts { dist3: 7, seq_rounds: 3, ..OpCounts::ZERO };
+        let a = OpCounts {
+            dist3: 5,
+            seq_rounds: 10,
+            ..OpCounts::ZERO
+        };
+        let b = OpCounts {
+            dist3: 7,
+            seq_rounds: 3,
+            ..OpCounts::ZERO
+        };
         let m = a.merge_parallel(b);
         assert_eq!(m.dist3, 12);
         assert_eq!(m.seq_rounds, 10);
@@ -175,14 +215,23 @@ mod tests {
 
     #[test]
     fn total_flops_weights() {
-        let ops = OpCounts { dist3: 2, mac: 3, cmp: 4, feat_flops: 5, ..OpCounts::ZERO };
+        let ops = OpCounts {
+            dist3: 2,
+            mac: 3,
+            cmp: 4,
+            feat_flops: 5,
+            ..OpCounts::ZERO
+        };
         assert_eq!(ops.total_flops(), 2 * 8 + 3 * 2 + 4 + 5);
     }
 
     #[test]
     fn sum_over_iterator() {
         let total: OpCounts = (0..4)
-            .map(|i| OpCounts { dist3: i, ..OpCounts::ZERO })
+            .map(|i| OpCounts {
+                dist3: i,
+                ..OpCounts::ZERO
+            })
             .sum();
         assert_eq!(total.dist3, 6);
     }
@@ -190,5 +239,37 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(OpCounts::ZERO.to_string().contains("dist3=0"));
+    }
+
+    #[test]
+    fn to_json_has_every_field_exactly_once() {
+        let ops = OpCounts {
+            dist3: 1,
+            feat_flops: 2,
+            cmp: 3,
+            morton_encodes: 4,
+            sorted_elems: 5,
+            gathered_bytes: 6,
+            mac: 7,
+            seq_rounds: 8,
+        };
+        let json = ops.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for (key, value) in [
+            ("dist3", 1u64),
+            ("feat_flops", 2),
+            ("cmp", 3),
+            ("morton_encodes", 4),
+            ("sorted_elems", 5),
+            ("gathered_bytes", 6),
+            ("mac", 7),
+            ("seq_rounds", 8),
+        ] {
+            let needle = format!("\"{key}\":{value}");
+            assert_eq!(json.matches(&needle).count(), 1, "{needle} in {json}");
+        }
+        // Eight fields → eight key/value pairs, comma-separated.
+        assert_eq!(json.matches(':').count(), 8);
+        assert_eq!(json.matches(',').count(), 7);
     }
 }

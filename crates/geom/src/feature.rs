@@ -28,7 +28,11 @@ pub struct FeatureMatrix {
 impl FeatureMatrix {
     /// Creates an `rows x channels` matrix filled with zeros.
     pub fn zeros(rows: usize, channels: usize) -> Self {
-        FeatureMatrix { data: vec![0.0; rows * channels], rows, channels }
+        FeatureMatrix {
+            data: vec![0.0; rows * channels],
+            rows,
+            channels,
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -43,7 +47,11 @@ impl FeatureMatrix {
             "feature data length {} does not match {rows} x {channels}",
             data.len()
         );
-        FeatureMatrix { data, rows, channels }
+        FeatureMatrix {
+            data,
+            rows,
+            channels,
+        }
     }
 
     /// Number of rows (points).

@@ -31,12 +31,15 @@ pub mod counters;
 pub mod feature;
 pub mod metrics;
 pub mod point;
+pub mod rng;
 pub mod transform;
 
 pub use aabb::Aabb;
 pub use cloud::PointCloud;
 pub use counters::OpCounts;
 pub use feature::FeatureMatrix;
-pub use metrics::{chamfer_distance, coverage_radius, mean_nearest_sample_distance, sample_spacing};
+pub use metrics::{
+    chamfer_distance, coverage_radius, mean_nearest_sample_distance, sample_spacing,
+};
 pub use point::Point3;
 pub use transform::Transform;

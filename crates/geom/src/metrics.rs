@@ -37,7 +37,10 @@ fn nearest_distance_squared(p: Point3, set: &[Point3]) -> f32 {
 /// assert_eq!(coverage_radius(&cloud, &samples), 4.0);
 /// ```
 pub fn coverage_radius(cloud: &[Point3], samples: &[Point3]) -> f32 {
-    assert!(!cloud.is_empty() && !samples.is_empty(), "coverage_radius of empty set");
+    assert!(
+        !cloud.is_empty() && !samples.is_empty(),
+        "coverage_radius of empty set"
+    );
     cloud
         .iter()
         .map(|&p| nearest_distance_squared(p, samples))
@@ -51,7 +54,10 @@ pub fn coverage_radius(cloud: &[Point3], samples: &[Point3]) -> f32 {
 ///
 /// Panics if either slice is empty.
 pub fn mean_nearest_sample_distance(cloud: &[Point3], samples: &[Point3]) -> f32 {
-    assert!(!cloud.is_empty() && !samples.is_empty(), "mean distance of empty set");
+    assert!(
+        !cloud.is_empty() && !samples.is_empty(),
+        "mean distance of empty set"
+    );
     let sum: f32 = cloud
         .iter()
         .map(|&p| nearest_distance_squared(p, samples).sqrt())
@@ -68,7 +74,10 @@ pub fn mean_nearest_sample_distance(cloud: &[Point3], samples: &[Point3]) -> f32
 ///
 /// Panics if `samples` has fewer than 2 points.
 pub fn sample_spacing(samples: &[Point3]) -> f32 {
-    assert!(samples.len() >= 2, "sample_spacing needs at least 2 samples");
+    assert!(
+        samples.len() >= 2,
+        "sample_spacing needs at least 2 samples"
+    );
     let sum: f32 = samples
         .iter()
         .enumerate()
@@ -170,10 +179,10 @@ mod tests {
 
     #[test]
     fn spacing_prefers_spread_samples() {
-        let spread: Vec<Point3> =
-            (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
-        let clumped: Vec<Point3> =
-            (0..10).map(|i| Point3::new(i as f32 * 0.1, 0.0, 0.0)).collect();
+        let spread: Vec<Point3> = (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let clumped: Vec<Point3> = (0..10)
+            .map(|i| Point3::new(i as f32 * 0.1, 0.0, 0.0))
+            .collect();
         assert!(sample_spacing(&spread) > sample_spacing(&clumped));
         assert_eq!(sample_spacing(&spread), 1.0);
     }

@@ -30,12 +30,19 @@ pub struct Transform {
 impl Transform {
     /// The identity transform.
     pub fn identity() -> Self {
-        Transform { angle_z: 0.0, scale: Point3::splat(1.0), offset: Point3::ORIGIN }
+        Transform {
+            angle_z: 0.0,
+            scale: Point3::splat(1.0),
+            offset: Point3::ORIGIN,
+        }
     }
 
     /// A pure rotation about the z axis.
     pub fn rotation_z(angle: f32) -> Self {
-        Transform { angle_z: angle, ..Transform::identity() }
+        Transform {
+            angle_z: angle,
+            ..Transform::identity()
+        }
     }
 
     /// A pure uniform scaling.
@@ -45,12 +52,18 @@ impl Transform {
     /// Panics if `factor` is not finite and positive.
     pub fn scaling(factor: f32) -> Self {
         assert!(factor.is_finite() && factor > 0.0, "scale must be positive");
-        Transform { scale: Point3::splat(factor), ..Transform::identity() }
+        Transform {
+            scale: Point3::splat(factor),
+            ..Transform::identity()
+        }
     }
 
     /// A pure translation.
     pub fn translation(offset: Point3) -> Self {
-        Transform { offset, ..Transform::identity() }
+        Transform {
+            offset,
+            ..Transform::identity()
+        }
     }
 
     /// Applies the transform to one point.
@@ -133,8 +146,14 @@ mod tests {
     #[test]
     fn quarter_turn_rotates_axes() {
         let t = Transform::rotation_z(std::f32::consts::FRAC_PI_2);
-        assert!(close(t.apply(Point3::new(1.0, 0.0, 5.0)), Point3::new(0.0, 1.0, 5.0)));
-        assert!(close(t.apply(Point3::new(0.0, 1.0, 0.0)), Point3::new(-1.0, 0.0, 0.0)));
+        assert!(close(
+            t.apply(Point3::new(1.0, 0.0, 5.0)),
+            Point3::new(0.0, 1.0, 5.0)
+        ));
+        assert!(close(
+            t.apply(Point3::new(0.0, 1.0, 0.0)),
+            Point3::new(-1.0, 0.0, 0.0)
+        ));
     }
 
     #[test]
@@ -161,7 +180,11 @@ mod tests {
             offset: Point3::new(1.0, -2.0, 0.5),
         };
         let inv = t.inverse();
-        for p in [Point3::ORIGIN, Point3::new(1.0, 2.0, 3.0), Point3::new(-4.0, 0.1, 2.0)] {
+        for p in [
+            Point3::ORIGIN,
+            Point3::new(1.0, 2.0, 3.0),
+            Point3::new(-4.0, 0.1, 2.0),
+        ] {
             assert!(close(inv.apply(t.apply(p)), p), "{p}");
         }
     }

@@ -1,101 +1,155 @@
-//! Property-based tests for the geometric substrate.
+//! Randomized property tests for the geometric substrate.
+//!
+//! Each test checks an invariant over a few hundred seeded-random cases
+//! (the offline, std-only replacement for the former proptest suite; the
+//! properties themselves are unchanged).
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{chamfer_distance, coverage_radius, Aabb, FeatureMatrix, Point3, PointCloud};
-use proptest::prelude::*;
 
-fn arb_point() -> impl Strategy<Value = Point3> {
-    (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0)
-        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+const CASES: usize = 256;
+
+fn arb_point(rng: &mut StdRng) -> Point3 {
+    Point3::new(
+        rng.gen_range(-100.0f32..100.0),
+        rng.gen_range(-100.0f32..100.0),
+        rng.gen_range(-100.0f32..100.0),
+    )
 }
 
-fn arb_cloud(min: usize, max: usize) -> impl Strategy<Value = Vec<Point3>> {
-    prop::collection::vec(arb_point(), min..=max)
+fn arb_cloud(rng: &mut StdRng, min: usize, max: usize) -> Vec<Point3> {
+    let n = rng.gen_range(min..=max);
+    (0..n).map(|_| arb_point(rng)).collect()
 }
 
-proptest! {
-    #[test]
-    fn distance_satisfies_metric_axioms(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-3);
-        prop_assert!(a.distance(a) < 1e-6);
+#[test]
+fn distance_satisfies_metric_axioms() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0001);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            arb_point(&mut rng),
+            arb_point(&mut rng),
+            arb_point(&mut rng),
+        );
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-3);
+        assert!(a.distance(a) < 1e-6);
         // Triangle inequality with float slack.
-        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-3);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-3);
     }
+}
 
-    #[test]
-    fn squared_distance_consistent_with_distance(a in arb_point(), b in arb_point()) {
+#[test]
+fn squared_distance_consistent_with_distance() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0002);
+    for _ in 0..CASES {
+        let (a, b) = (arb_point(&mut rng), arb_point(&mut rng));
         let d = a.distance(b);
-        prop_assert!((d * d - a.distance_squared(b)).abs() < 1e-1);
+        assert!((d * d - a.distance_squared(b)).abs() < 1e-1);
     }
+}
 
-    #[test]
-    fn bounding_box_contains_all_points(pts in arb_cloud(1, 64)) {
+#[test]
+fn bounding_box_contains_all_points() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0003);
+    for _ in 0..CASES {
+        let pts = arb_cloud(&mut rng, 1, 64);
         let bb = Aabb::from_points(pts.iter().copied()).unwrap();
         for &p in &pts {
-            prop_assert!(bb.contains(p), "{p} outside {bb:?}");
+            assert!(bb.contains(p), "{p} outside {bb:?}");
         }
         // And is tight: shrinking any face excludes some point.
-        prop_assert!(bb.min() == pts.iter().copied().fold(pts[0], Point3::min));
-        prop_assert!(bb.max() == pts.iter().copied().fold(pts[0], Point3::max));
+        assert!(bb.min() == pts.iter().copied().fold(pts[0], Point3::min));
+        assert!(bb.max() == pts.iter().copied().fold(pts[0], Point3::max));
     }
+}
 
-    #[test]
-    fn aabb_union_contains_both(a in arb_cloud(1, 16), b in arb_cloud(1, 16)) {
+#[test]
+fn aabb_union_contains_both() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0004);
+    for _ in 0..CASES {
+        let a = arb_cloud(&mut rng, 1, 16);
+        let b = arb_cloud(&mut rng, 1, 16);
         let ba = Aabb::from_points(a.iter().copied()).unwrap();
         let bb = Aabb::from_points(b.iter().copied()).unwrap();
         let u = ba.union(&bb);
         for &p in a.iter().chain(&b) {
-            prop_assert!(u.contains(p));
+            assert!(u.contains(p));
         }
     }
+}
 
-    #[test]
-    fn coverage_radius_zero_iff_samples_cover(pts in arb_cloud(2, 48)) {
-        prop_assert!(coverage_radius(&pts, &pts) < 1e-3);
+#[test]
+fn coverage_radius_zero_iff_samples_cover() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0005);
+    for _ in 0..CASES {
+        let pts = arb_cloud(&mut rng, 2, 48);
+        assert!(coverage_radius(&pts, &pts) < 1e-3);
         // A single sample's covering radius equals the max distance to it.
         let r = coverage_radius(&pts, &pts[..1]);
-        let expect = pts.iter().map(|p| p.distance(pts[0])).fold(0.0f32, f32::max);
-        prop_assert!((r - expect).abs() < expect.max(1.0) * 1e-3);
+        let expect = pts
+            .iter()
+            .map(|p| p.distance(pts[0]))
+            .fold(0.0f32, f32::max);
+        assert!((r - expect).abs() < expect.max(1.0) * 1e-3);
     }
+}
 
-    #[test]
-    fn chamfer_is_symmetric_and_zero_on_self(a in arb_cloud(1, 32), b in arb_cloud(1, 32)) {
+#[test]
+fn chamfer_is_symmetric_and_zero_on_self() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0006);
+    for _ in 0..CASES {
+        let a = arb_cloud(&mut rng, 1, 32);
+        let b = arb_cloud(&mut rng, 1, 32);
         let ab = chamfer_distance(&a, &b);
         let ba = chamfer_distance(&b, &a);
-        prop_assert!((ab - ba).abs() < ab.abs().max(1.0) * 1e-3);
-        prop_assert!(chamfer_distance(&a, &a) < 1e-3);
+        assert!((ab - ba).abs() < ab.abs().max(1.0) * 1e-3);
+        assert!(chamfer_distance(&a, &a) < 1e-3);
     }
+}
 
-    #[test]
-    fn permutation_round_trips(pts in arb_cloud(1, 64)) {
-        let cloud = PointCloud::from_points(pts.clone())
-            .with_labels((0..pts.len() as u32).collect());
+#[test]
+fn permutation_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0007);
+    for _ in 0..CASES {
+        let pts = arb_cloud(&mut rng, 1, 64);
+        let cloud =
+            PointCloud::from_points(pts.clone()).with_labels((0..pts.len() as u32).collect());
         let n = cloud.len();
         // Reverse twice is the identity.
         let rev: Vec<usize> = (0..n).rev().collect();
         let twice = cloud.permuted(&rev).permuted(&rev);
-        prop_assert_eq!(twice.points(), cloud.points());
-        prop_assert_eq!(twice.labels(), cloud.labels());
+        assert_eq!(twice.points(), cloud.points());
+        assert_eq!(twice.labels(), cloud.labels());
     }
+}
 
-    #[test]
-    fn feature_gather_preserves_rows(rows in 1usize..32, cols in 1usize..8) {
+#[test]
+fn feature_gather_preserves_rows() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0008);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1usize..32);
+        let cols = rng.gen_range(1usize..8);
         let data: Vec<f32> = (0..rows * cols).map(|v| v as f32).collect();
         let f = FeatureMatrix::from_vec(data, rows, cols);
         let idx: Vec<usize> = (0..rows).rev().collect();
         let g = f.gather(&idx);
         for (dst, &src) in idx.iter().enumerate() {
-            prop_assert_eq!(g.row(dst), f.row(src));
+            assert_eq!(g.row(dst), f.row(src));
         }
     }
+}
 
-    #[test]
-    fn normalized_unit_cube_bounds_hold(pts in arb_cloud(2, 48)) {
+#[test]
+fn normalized_unit_cube_bounds_hold() {
+    let mut rng = StdRng::seed_from_u64(0xe0_0009);
+    for _ in 0..CASES {
+        let pts = arb_cloud(&mut rng, 2, 48);
         let cloud = PointCloud::from_points(pts);
         let n = cloud.normalized_unit_cube();
         let bb = n.bounding_box();
-        prop_assert!(bb.min().norm() < 1e-3);
-        prop_assert!(bb.max().x <= 1.0 + 1e-4);
-        prop_assert!(bb.max().y <= 1.0 + 1e-4);
-        prop_assert!(bb.max().z <= 1.0 + 1e-4);
+        assert!(bb.min().norm() < 1e-3);
+        assert!(bb.max().x <= 1.0 + 1e-4);
+        assert!(bb.max().y <= 1.0 + 1e-4);
+        assert!(bb.max().z <= 1.0 + 1e-4);
     }
 }

@@ -35,14 +35,24 @@ pub struct SaShape {
 /// Stage records of the conventional schedule: group (narrow features),
 /// then MLP over `n*k` grouped rows.
 pub fn conventional_schedule(shape: &SaShape, name: &str) -> Vec<StageRecord> {
-    let SaShape { n_out, k, c_in, c_out, .. } = *shape;
+    let SaShape {
+        n_out,
+        k,
+        c_in,
+        c_out,
+        ..
+    } = *shape;
     let group_bytes = (n_out * k * c_in * 4) as u64;
     let mac = (n_out * k * c_in * c_out) as u64;
     vec![
         StageRecord::new(
             StageKind::Grouping,
             format!("{name}.group"),
-            OpCounts { gathered_bytes: group_bytes, seq_rounds: 1, ..OpCounts::ZERO },
+            OpCounts {
+                gathered_bytes: group_bytes,
+                seq_rounds: 1,
+                ..OpCounts::ZERO
+            },
         ),
         fc_record(name, mac, c_in),
     ]
@@ -51,7 +61,13 @@ pub fn conventional_schedule(shape: &SaShape, name: &str) -> Vec<StageRecord> {
 /// Stage records of the delayed-aggregation schedule: MLP over the `N`
 /// input rows first, then group the (wider) transformed features.
 pub fn delayed_aggregation_schedule(shape: &SaShape, name: &str) -> Vec<StageRecord> {
-    let SaShape { n_in, n_out, k, c_in, c_out } = *shape;
+    let SaShape {
+        n_in,
+        n_out,
+        k,
+        c_in,
+        c_out,
+    } = *shape;
     let mac = (n_in * c_in * c_out) as u64;
     let group_bytes = (n_out * k * c_out * 4) as u64;
     vec![
@@ -59,7 +75,11 @@ pub fn delayed_aggregation_schedule(shape: &SaShape, name: &str) -> Vec<StageRec
         StageRecord::new(
             StageKind::Grouping,
             format!("{name}.aggregate"),
-            OpCounts { gathered_bytes: group_bytes, seq_rounds: 1, ..OpCounts::ZERO },
+            OpCounts {
+                gathered_bytes: group_bytes,
+                seq_rounds: 1,
+                ..OpCounts::ZERO
+            },
         ),
     ]
 }
@@ -68,7 +88,11 @@ fn fc_record(name: &str, mac: u64, k_channels: usize) -> StageRecord {
     let mut rec = StageRecord::new(
         StageKind::FeatureCompute,
         format!("{name}.fc"),
-        OpCounts { mac, seq_rounds: 2, ..OpCounts::ZERO },
+        OpCounts {
+            mac,
+            seq_rounds: 2,
+            ..OpCounts::ZERO
+        },
     );
     rec.fc_k = Some(k_channels);
     rec
@@ -77,7 +101,13 @@ fn fc_record(name: &str, mac: u64, k_channels: usize) -> StageRecord {
 /// The PointNet++(s) layer-1 shape on an 8192-point cloud, the setting of
 /// the paper's Sec. 6.4 measurement.
 pub fn paper_sa1_shape() -> SaShape {
-    SaShape { n_in: 8192, n_out: 1024, k: 32, c_in: 64, c_out: 128 }
+    SaShape {
+        n_in: 8192,
+        n_out: 1024,
+        k: 32,
+        c_in: 64,
+        c_out: 128,
+    }
 }
 
 #[cfg(test)]
@@ -92,10 +122,18 @@ mod tests {
         let conv = conventional_schedule(&shape, "sa1");
         let da = delayed_aggregation_schedule(&shape, "sa1");
         let fc = |rs: &[StageRecord]| {
-            rs.iter().find(|r| r.kind == StageKind::FeatureCompute).unwrap().ops.mac
+            rs.iter()
+                .find(|r| r.kind == StageKind::FeatureCompute)
+                .unwrap()
+                .ops
+                .mac
         };
         let grp = |rs: &[StageRecord]| {
-            rs.iter().find(|r| r.kind == StageKind::Grouping).unwrap().ops.gathered_bytes
+            rs.iter()
+                .find(|r| r.kind == StageKind::Grouping)
+                .unwrap()
+                .ops
+                .gathered_bytes
         };
         // n*k = 32768 = 4N: FC work drops 4x under DA.
         assert_eq!(fc(&conv) / fc(&da), 4);
@@ -111,7 +149,10 @@ mod tests {
         let da = price_stages(&delayed_aggregation_schedule(&shape, "sa1"), &dev, false);
         let conv_fc = conv.time_of(StageKind::FeatureCompute);
         let da_fc = da.time_of(StageKind::FeatureCompute);
-        assert!(conv_fc / da_fc > 1.5, "FC should speed up ~2x: {conv_fc} vs {da_fc}");
+        assert!(
+            conv_fc / da_fc > 1.5,
+            "FC should speed up ~2x: {conv_fc} vs {da_fc}"
+        );
         let conv_grp = conv.time_of(StageKind::Grouping);
         let da_grp = da.time_of(StageKind::Grouping);
         assert!(da_grp > conv_grp, "grouping slows down under DA");
@@ -121,7 +162,13 @@ mod tests {
     fn schedules_do_the_same_logical_work() {
         // Both schedules produce n_out x k x c_out grouped features; the
         // records only reorder where the MAC work happens.
-        let shape = SaShape { n_in: 100, n_out: 10, k: 4, c_in: 8, c_out: 16 };
+        let shape = SaShape {
+            n_in: 100,
+            n_out: 10,
+            k: 4,
+            c_in: 8,
+            c_out: 16,
+        };
         let conv = conventional_schedule(&shape, "m");
         let da = delayed_aggregation_schedule(&shape, "m");
         assert_eq!(conv.len(), 2);

@@ -96,40 +96,57 @@ impl EdgeConv {
         assert_eq!(neighbors.len(), n, "one neighbor list per point");
         let c = self.in_channels;
 
-        let mut edges = Tensor2::zeros(n * self.k, 2 * c);
-        for (i, nbrs) in neighbors.iter().enumerate() {
-            assert_eq!(nbrs.len(), self.k, "point {i} has wrong neighbor count");
-            for (slot, &j) in nbrs.iter().enumerate() {
-                let row = edges.row_mut(i * self.k + slot);
-                row[..c].copy_from_slice(feats.row(i));
-                for (dst, (&fj, &fi)) in
-                    row[c..].iter_mut().zip(feats.row(j).iter().zip(feats.row(i)))
-                {
-                    *dst = fj - fi;
-                }
-            }
-        }
-        records.push(StageRecord::new(
-            StageKind::Grouping,
+        let k = self.k;
+        let edges = crate::observe::stage(
             format!("{}.group", self.name),
-            OpCounts {
-                gathered_bytes: (n * self.k * 2 * c * 4) as u64,
-                seq_rounds: 1,
-                ..OpCounts::ZERO
+            StageKind::Grouping,
+            None,
+            records,
+            || {
+                let mut edges = Tensor2::zeros(n * k, 2 * c);
+                for (i, nbrs) in neighbors.iter().enumerate() {
+                    assert_eq!(nbrs.len(), k, "point {i} has wrong neighbor count");
+                    for (slot, &j) in nbrs.iter().enumerate() {
+                        let row = edges.row_mut(i * k + slot);
+                        row[..c].copy_from_slice(feats.row(i));
+                        for (dst, (&fj, &fi)) in row[c..]
+                            .iter_mut()
+                            .zip(feats.row(j).iter().zip(feats.row(i)))
+                        {
+                            *dst = fj - fi;
+                        }
+                    }
+                }
+                let ops = OpCounts {
+                    gathered_bytes: (n * k * 2 * c * 4) as u64,
+                    seq_rounds: 1,
+                    ..OpCounts::ZERO
+                };
+                (edges, ops)
             },
-        ));
+        );
 
-        let mut fc_ops = OpCounts::ZERO;
-        let transformed = self.mlp.forward(&edges, &mut fc_ops);
-        fc_ops.seq_rounds = 2 * self.mlp.len() as u64;
-        let mut rec =
-            StageRecord::new(StageKind::FeatureCompute, format!("{}.fc", self.name), fc_ops);
-        rec.fc_k = Some(2 * c);
-        records.push(rec);
+        let mlp = &mut self.mlp;
+        let transformed = crate::observe::stage(
+            format!("{}.fc", self.name),
+            StageKind::FeatureCompute,
+            Some(2 * c),
+            records,
+            || {
+                let mut fc_ops = OpCounts::ZERO;
+                let t = mlp.forward(&edges, &mut fc_ops);
+                fc_ops.seq_rounds = 2 * mlp.len() as u64;
+                (t, fc_ops)
+            },
+        );
 
         let pool = max_pool_groups(&transformed, self.k);
         let out = pool.output.clone();
-        self.cache = Some(EcCache { neighbors: neighbors.to_vec(), pool, rows: n });
+        self.cache = Some(EcCache {
+            neighbors: neighbors.to_vec(),
+            pool,
+            rows: n,
+        });
         out
     }
 
@@ -202,7 +219,10 @@ struct DgcnnBackbone {
 
 impl DgcnnBackbone {
     fn new(config: &DgcnnConfig, in_channels: usize) -> Self {
-        assert!(!config.ec_widths.is_empty(), "need at least one EdgeConv module");
+        assert!(
+            !config.ec_widths.is_empty(),
+            "need at least one EdgeConv module"
+        );
         let mut modules = Vec::with_capacity(config.ec_widths.len());
         let mut c = in_channels;
         for (i, widths) in config.ec_widths.iter().enumerate() {
@@ -215,15 +235,15 @@ impl DgcnnBackbone {
             ));
             c = *widths.last().unwrap();
         }
-        DgcnnBackbone { modules, strategy: config.strategy.clone(), k: config.k }
+        DgcnnBackbone {
+            modules,
+            strategy: config.strategy.clone(),
+            k: config.k,
+        }
     }
 
     /// Runs all modules; returns each module's output (for concat heads).
-    fn forward(
-        &mut self,
-        cloud: &PointCloud,
-        records: &mut Vec<StageRecord>,
-    ) -> Vec<Tensor2> {
+    fn forward(&mut self, cloud: &PointCloud, records: &mut Vec<StageRecord>) -> Vec<Tensor2> {
         let n = cloud.len();
         let mut feats = crate::pointnetpp::xyz_features(cloud.points());
         let all: Vec<usize> = (0..n).collect();
@@ -232,52 +252,57 @@ impl DgcnnBackbone {
 
         for (i, module) in self.modules.iter_mut().enumerate() {
             let strategy = self.strategy.search_at(i);
+            let k = self.k;
             let neighbors = match strategy {
-                SearchStrategy::Knn => {
-                    let r = BruteKnn::new().search(cloud, &all, self.k);
-                    records.push(StageRecord::new(
-                        StageKind::NeighborSearch,
-                        format!("ec{}.search(knn)", i + 1),
-                        r.ops,
-                    ));
-                    r.neighbors
-                }
+                SearchStrategy::Knn => crate::observe::stage(
+                    format!("ec{}.search(knn)", i + 1),
+                    StageKind::NeighborSearch,
+                    None,
+                    records,
+                    || {
+                        let r = BruteKnn::new().search(cloud, &all, k);
+                        (r.neighbors, r.ops)
+                    },
+                ),
                 SearchStrategy::MortonWindow { window } => {
                     assert_eq!(i, 0, "Morton window only applies to the xyz module");
-                    let r = MortonWindowSearcher::new(window, 10).search(cloud, &all, self.k);
-                    records.push(StageRecord::new(
-                        StageKind::NeighborSearch,
+                    crate::observe::stage(
                         format!("ec{}.search(window)", i + 1),
-                        r.ops,
-                    ));
-                    r.neighbors
-                }
-                SearchStrategy::FeatureKnn => {
-                    let (nbrs, ops) = feature_knn(&feats, self.k);
-                    records.push(StageRecord::new(
                         StageKind::NeighborSearch,
-                        format!("ec{}.search(feat-knn)", i + 1),
-                        ops,
-                    ));
-                    nbrs
+                        None,
+                        records,
+                        || {
+                            let r = MortonWindowSearcher::new(window, 10).search(cloud, &all, k);
+                            (r.neighbors, r.ops)
+                        },
+                    )
                 }
-                SearchStrategy::Reuse => {
-                    let nbrs = prev_neighbors
-                        .clone()
-                        .expect("Reuse requires a previous module's graph");
-                    // Reuse costs only the cached read of the index array
-                    // (the paper's ~160 KB per batch, Sec. 5.2.3).
-                    records.push(StageRecord::new(
-                        StageKind::NeighborSearch,
-                        format!("ec{}.search(reuse)", i + 1),
-                        OpCounts {
-                            gathered_bytes: (n * self.k * 4) as u64,
+                SearchStrategy::FeatureKnn => crate::observe::stage(
+                    format!("ec{}.search(feat-knn)", i + 1),
+                    StageKind::NeighborSearch,
+                    None,
+                    records,
+                    || feature_knn(&feats, k),
+                ),
+                SearchStrategy::Reuse => crate::observe::stage(
+                    format!("ec{}.search(reuse)", i + 1),
+                    StageKind::NeighborSearch,
+                    None,
+                    records,
+                    || {
+                        let nbrs = prev_neighbors
+                            .clone()
+                            .expect("Reuse requires a previous module's graph");
+                        // Reuse costs only the cached read of the index array
+                        // (the paper's ~160 KB per batch, Sec. 5.2.3).
+                        let ops = OpCounts {
+                            gathered_bytes: (n * k * 4) as u64,
                             seq_rounds: 1,
                             ..OpCounts::ZERO
-                        },
-                    ));
-                    nbrs
-                }
+                        };
+                        (nbrs, ops)
+                    },
+                ),
                 SearchStrategy::BallQuery { .. } => {
                     panic!("DGCNN uses k-NN graphs, not ball query")
                 }
@@ -402,6 +427,7 @@ impl DgcnnClassifier {
 
     /// Forward: returns `1 x num_classes` logits plus stage records.
     pub fn forward(&mut self, cloud: &PointCloud) -> (Tensor2, Vec<StageRecord>) {
+        let _forward_span = edgepc_trace::span("dgcnn_cls.forward", "model");
         let mut records = Vec::new();
         let outputs = self.backbone.forward(cloud, &mut records);
         let module_cols: Vec<usize> = outputs.iter().map(|t| t.cols()).collect();
@@ -410,12 +436,19 @@ impl DgcnnClassifier {
             stacked = stacked.hstack(t);
         }
         let pool = global_max_pool(&stacked);
-        let mut head_ops = OpCounts::ZERO;
-        let logits = self.head.forward(&pool.output, &mut head_ops);
-        head_ops.seq_rounds = 2 * self.head.len() as u64;
-        let mut rec = StageRecord::new(StageKind::FeatureCompute, "head.fc", head_ops);
-        rec.fc_k = Some(stacked.cols());
-        records.push(rec);
+        let head = &mut self.head;
+        let logits = crate::observe::stage(
+            "head.fc".to_string(),
+            StageKind::FeatureCompute,
+            Some(stacked.cols()),
+            &mut records,
+            || {
+                let mut head_ops = OpCounts::ZERO;
+                let logits = head.forward(&pool.output, &mut head_ops);
+                head_ops.seq_rounds = 2 * head.len() as u64;
+                (logits, head_ops)
+            },
+        );
         self.cache = Some(ClsCache { pool, module_cols });
         (logits, records)
     }
@@ -524,6 +557,7 @@ impl DgcnnSeg {
 
     /// Forward: returns `N x num_classes` logits plus stage records.
     pub fn forward(&mut self, cloud: &PointCloud) -> (Tensor2, Vec<StageRecord>) {
+        let _forward_span = edgepc_trace::span("dgcnn_seg.forward", "model");
         let mut records = Vec::new();
         let outputs = self.backbone.forward(cloud, &mut records);
         let module_cols: Vec<usize> = outputs.iter().map(|t| t.cols()).collect();
@@ -539,13 +573,25 @@ impl DgcnnSeg {
             broadcast.row_mut(r).copy_from_slice(pool.output.row(0));
         }
         let head_in = stacked.hstack(&broadcast);
-        let mut head_ops = OpCounts::ZERO;
-        let logits = self.head.forward(&head_in, &mut head_ops);
-        head_ops.seq_rounds = 2 * self.head.len() as u64;
-        let mut rec = StageRecord::new(StageKind::FeatureCompute, "head.fc", head_ops);
-        rec.fc_k = Some(head_in.cols());
-        records.push(rec);
-        self.cache = Some(SegCache { pool, module_cols, n, local_cols: stacked.cols() });
+        let head = &mut self.head;
+        let logits = crate::observe::stage(
+            "head.fc".to_string(),
+            StageKind::FeatureCompute,
+            Some(head_in.cols()),
+            &mut records,
+            || {
+                let mut head_ops = OpCounts::ZERO;
+                let logits = head.forward(&head_in, &mut head_ops);
+                head_ops.seq_rounds = 2 * head.len() as u64;
+                (logits, head_ops)
+            },
+        );
+        self.cache = Some(SegCache {
+            pool,
+            module_cols,
+            n,
+            local_cols: stacked.cols(),
+        });
         (logits, records)
     }
 
@@ -624,27 +670,29 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(23);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]
     fn classifier_forward_shapes() {
         let cloud = scattered_cloud(128, 1);
-        for strategy in
-            [PipelineStrategy::baseline_dgcnn(3), PipelineStrategy::edgepc_dgcnn(3, 32)]
-        {
+        for strategy in [
+            PipelineStrategy::baseline_dgcnn(3),
+            PipelineStrategy::edgepc_dgcnn(3, 32),
+        ] {
             let mut model = DgcnnClassifier::new(&DgcnnConfig::tiny(strategy), 5);
             let (logits, records) = model.forward(&cloud);
             assert_eq!((logits.rows(), logits.cols()), (1, 5));
-            assert!(records.len() >= 3 * 3 + 1);
+            assert!(records.len() > 3 * 3);
         }
     }
 
     #[test]
     fn segmenter_forward_shapes() {
         let cloud = scattered_cloud(128, 2);
-        let mut model =
-            DgcnnSeg::new(&DgcnnConfig::tiny(PipelineStrategy::baseline_dgcnn(3)), 4);
+        let mut model = DgcnnSeg::new(&DgcnnConfig::tiny(PipelineStrategy::baseline_dgcnn(3)), 4);
         let (logits, _) = model.forward(&cloud);
         assert_eq!((logits.rows(), logits.cols()), (128, 4));
     }
@@ -728,8 +776,7 @@ mod tests {
     fn segmentation_training_step_reduces_loss() {
         let cloud = scattered_cloud(96, 9);
         let targets: Vec<u32> = cloud.iter().map(|p| u32::from(p.x > 0.5)).collect();
-        let mut model =
-            DgcnnSeg::new(&DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 24)), 2);
+        let mut model = DgcnnSeg::new(&DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 24)), 2);
         let mut opt = Adam::new(0.01);
         let (logits, _) = model.forward(&cloud);
         let (l0, _) = loss::softmax_cross_entropy(&logits, &targets);
@@ -752,17 +799,22 @@ mod tests {
         let n = 12usize;
         let k = 3usize;
         let feats = Tensor2::from_vec(
-            (0..n * 2).map(|i| ((i * 13 % 17) as f32) * 0.15 - 1.0).collect(),
+            (0..n * 2)
+                .map(|i| ((i * 13 % 17) as f32) * 0.15 - 1.0)
+                .collect(),
             n,
             2,
         );
-        let neighbors: Vec<Vec<usize>> =
-            (0..n).map(|i| (1..=k).map(|d| (i + d) % n).collect()).collect();
+        let neighbors: Vec<Vec<usize>> = (0..n)
+            .map(|i| (1..=k).map(|d| (i + d) % n).collect())
+            .collect();
         let mut ec = EdgeConv::new("ec", k, 2, &[4], 5);
         let mut records = Vec::new();
         let out = ec.forward(&feats, &neighbors, &mut records);
         let dy = Tensor2::from_vec(
-            (0..out.rows() * out.cols()).map(|i| ((i % 5) as f32) - 2.0).collect(),
+            (0..out.rows() * out.cols())
+                .map(|i| ((i % 5) as f32) - 2.0)
+                .collect(),
             out.rows(),
             out.cols(),
         );
@@ -772,7 +824,11 @@ mod tests {
         let objective = |ec: &mut EdgeConv, f: &Tensor2| -> f32 {
             let mut r = Vec::new();
             let y = ec.forward(f, &neighbors, &mut r);
-            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-3f32;
         let mut worst = 0.0f32;

@@ -75,7 +75,10 @@ impl FeaturePropagation {
         strategy: UpsampleStrategy,
         seed: u64,
     ) -> Self {
-        assert!(!mlp_widths.is_empty(), "FP module needs at least one MLP width");
+        assert!(
+            !mlp_widths.is_empty(),
+            "FP module needs at least one MLP width"
+        );
         let mut dims = vec![sparse_channels + skip_channels];
         dims.extend_from_slice(mlp_widths);
         FeaturePropagation {
@@ -126,71 +129,95 @@ impl FeaturePropagation {
         assert_eq!(sparse_feats.cols(), self.sparse_channels, "sparse width");
         assert_eq!(skip_feats.cols(), self.skip_channels, "skip width");
 
-        let plan = match (self.strategy, source) {
-            (UpsampleStrategy::Morton, InterpSource::Morton { dense, context }) => {
-                // Interpolate in sorted space, then re-index the plan to
-                // the original dense order: the dense point at original
-                // index i sits at sorted position inverse_permutation[i].
-                let dense_sorted: Vec<Point3> =
-                    context.permutation.iter().map(|&o| dense[o]).collect();
-                let sorted_plan =
-                    MortonInterpolator::new().plan(&dense_sorted, &context.positions);
-                let mut indices = Vec::with_capacity(dense.len());
-                let mut weights = Vec::with_capacity(dense.len());
-                for orig in 0..dense.len() {
-                    let pos = context.inverse_permutation[orig];
-                    indices.push(sorted_plan.indices[pos]);
-                    weights.push(sorted_plan.weights[pos]);
-                }
-                InterpPlan { indices, weights, ops: sorted_plan.ops }
-            }
-            (_, InterpSource::Exact { dense, sparse })=> {
-                ThreeNnInterpolator::new().plan(dense, sparse)
-            }
-            (UpsampleStrategy::ThreeNn, InterpSource::Morton { dense, context }) => {
-                // Exact interpolation; reconstruct sparse coordinates from
-                // the context.
-                let sparse: Vec<Point3> = context
-                    .positions
-                    .iter()
-                    .map(|&p| dense[context.permutation[p]])
-                    .collect();
-                ThreeNnInterpolator::new().plan(dense, &sparse)
-            }
-        };
-
-        let mut up_ops = plan.ops;
-        up_ops.gathered_bytes += (plan.len() * 3 * self.sparse_channels * 4) as u64;
-        records.push(StageRecord::new(
-            StageKind::Sample,
+        let strategy = self.strategy;
+        let sparse_channels = self.sparse_channels;
+        let (plan, interpolated) = crate::observe::stage(
             format!("{}.upsample", self.name),
-            up_ops,
-        ));
+            StageKind::Sample,
+            None,
+            records,
+            || {
+                let plan = plan_interpolation(strategy, source);
+                let mut up_ops = plan.ops;
+                up_ops.gathered_bytes += (plan.len() * 3 * sparse_channels * 4) as u64;
 
-        // Apply the plan on Tensor2 features.
-        let mut interpolated = Tensor2::zeros(plan.len(), self.sparse_channels);
-        for (j, (idx, w)) in plan.indices.iter().zip(&plan.weights).enumerate() {
-            let row = interpolated.row_mut(j);
-            for (&s, &wv) in idx.iter().zip(w) {
-                for (o, &f) in row.iter_mut().zip(sparse_feats.row(s)) {
-                    *o += wv * f;
+                // Apply the plan on Tensor2 features.
+                let mut interpolated = Tensor2::zeros(plan.len(), sparse_channels);
+                for (j, (idx, w)) in plan.indices.iter().zip(&plan.weights).enumerate() {
+                    let row = interpolated.row_mut(j);
+                    for (&s, &wv) in idx.iter().zip(w) {
+                        for (o, &f) in row.iter_mut().zip(sparse_feats.row(s)) {
+                            *o += wv * f;
+                        }
+                    }
                 }
-            }
-        }
+                ((plan, interpolated), up_ops)
+            },
+        );
 
         let stacked = interpolated.hstack(skip_feats);
-        let mut fc_ops = OpCounts::ZERO;
-        let out = self.mlp.forward(&stacked, &mut fc_ops);
-        fc_ops.seq_rounds = 2 * self.mlp.len() as u64;
-        let mut fc_record =
-            StageRecord::new(StageKind::FeatureCompute, format!("{}.fc", self.name), fc_ops);
-        fc_record.fc_k = Some(self.sparse_channels + self.skip_channels);
-        records.push(fc_record);
+        let mlp = &mut self.mlp;
+        let out = crate::observe::stage(
+            format!("{}.fc", self.name),
+            StageKind::FeatureCompute,
+            Some(self.sparse_channels + self.skip_channels),
+            records,
+            || {
+                let mut fc_ops = OpCounts::ZERO;
+                let out = mlp.forward(&stacked, &mut fc_ops);
+                fc_ops.seq_rounds = 2 * mlp.len() as u64;
+                (out, fc_ops)
+            },
+        );
 
-        self.cache = Some(FpCache { plan, sparse_rows: sparse_feats.rows() });
+        self.cache = Some(FpCache {
+            plan,
+            sparse_rows: sparse_feats.rows(),
+        });
         out
     }
+}
 
+/// Builds the interpolation plan for the given strategy/source pair (the
+/// body of [`FeaturePropagation::forward`]'s upsample stage).
+fn plan_interpolation(strategy: UpsampleStrategy, source: InterpSource<'_>) -> InterpPlan {
+    match (strategy, source) {
+        (UpsampleStrategy::Morton, InterpSource::Morton { dense, context }) => {
+            // Interpolate in sorted space, then re-index the plan to
+            // the original dense order: the dense point at original
+            // index i sits at sorted position inverse_permutation[i].
+            let dense_sorted: Vec<Point3> = context.permutation.iter().map(|&o| dense[o]).collect();
+            let sorted_plan = MortonInterpolator::new().plan(&dense_sorted, &context.positions);
+            let mut indices = Vec::with_capacity(dense.len());
+            let mut weights = Vec::with_capacity(dense.len());
+            for orig in 0..dense.len() {
+                let pos = context.inverse_permutation[orig];
+                indices.push(sorted_plan.indices[pos]);
+                weights.push(sorted_plan.weights[pos]);
+            }
+            InterpPlan {
+                indices,
+                weights,
+                ops: sorted_plan.ops,
+            }
+        }
+        (_, InterpSource::Exact { dense, sparse }) => {
+            ThreeNnInterpolator::new().plan(dense, sparse)
+        }
+        (UpsampleStrategy::ThreeNn, InterpSource::Morton { dense, context }) => {
+            // Exact interpolation; reconstruct sparse coordinates from
+            // the context.
+            let sparse: Vec<Point3> = context
+                .positions
+                .iter()
+                .map(|&p| dense[context.permutation[p]])
+                .collect();
+            ThreeNnInterpolator::new().plan(dense, &sparse)
+        }
+    }
+}
+
+impl FeaturePropagation {
     /// Backward pass: returns `(d_sparse_feats, d_skip_feats)`.
     ///
     /// # Panics
@@ -228,20 +255,24 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]
     fn forward_shapes_exact() {
         let dense = scattered(64);
         let sparse = scattered(16);
-        let mut fp =
-            FeaturePropagation::new("fp1", 8, 4, &[12], UpsampleStrategy::ThreeNn, 7);
+        let mut fp = FeaturePropagation::new("fp1", 8, 4, &[12], UpsampleStrategy::ThreeNn, 7);
         let sparse_feats = Tensor2::zeros(16, 8);
         let skip = Tensor2::zeros(64, 4);
         let mut records = Vec::new();
         let out = fp.forward(
-            InterpSource::Exact { dense: &dense, sparse: &sparse },
+            InterpSource::Exact {
+                dense: &dense,
+                sparse: &sparse,
+            },
             &sparse_feats,
             &skip,
             &mut records,
@@ -272,7 +303,10 @@ mod tests {
         let skip = Tensor2::zeros(256, 3);
         records.clear();
         let out = fp.forward(
-            InterpSource::Morton { dense: &dense, context: &ctx },
+            InterpSource::Morton {
+                dense: &dense,
+                context: &ctx,
+            },
             &sparse_feats,
             &skip,
             &mut records,
@@ -301,7 +335,10 @@ mod tests {
         let skip = Tensor2::from_vec((0..64).map(|v| v as f32 * 0.01).collect(), 32, 2);
         let mut records = Vec::new();
         let out = fp.forward(
-            InterpSource::Exact { dense: &dense, sparse: &sparse },
+            InterpSource::Exact {
+                dense: &dense,
+                sparse: &sparse,
+            },
             &sparse_feats,
             &skip,
             &mut records,
@@ -325,13 +362,18 @@ mod tests {
         let skip = Tensor2::from_vec((0..32).map(|v| (v as f32) * 0.05).collect(), 16, 2);
         let mut records = Vec::new();
         let out = fp.forward(
-            InterpSource::Exact { dense: &dense, sparse: &sparse },
+            InterpSource::Exact {
+                dense: &dense,
+                sparse: &sparse,
+            },
             &sparse_feats,
             &skip,
             &mut records,
         );
         let dy = Tensor2::from_vec(
-            (0..out.rows() * out.cols()).map(|i| ((i % 3) as f32) - 1.0).collect(),
+            (0..out.rows() * out.cols())
+                .map(|i| ((i % 3) as f32) - 1.0)
+                .collect(),
             out.rows(),
             out.cols(),
         );
@@ -345,7 +387,15 @@ mod tests {
             f.set(probe.0, probe.1, sparse_feats.get(probe.0, probe.1) + eps);
             let mut r = Vec::new();
             let plus = fp
-                .forward(InterpSource::Exact { dense: &dense, sparse: &sparse }, &f, &skip, &mut r)
+                .forward(
+                    InterpSource::Exact {
+                        dense: &dense,
+                        sparse: &sparse,
+                    },
+                    &f,
+                    &skip,
+                    &mut r,
+                )
                 .as_slice()
                 .iter()
                 .zip(dy.as_slice())
@@ -353,7 +403,15 @@ mod tests {
                 .sum::<f32>();
             f.set(probe.0, probe.1, sparse_feats.get(probe.0, probe.1) - eps);
             let minus = fp
-                .forward(InterpSource::Exact { dense: &dense, sparse: &sparse }, &f, &skip, &mut r)
+                .forward(
+                    InterpSource::Exact {
+                        dense: &dense,
+                        sparse: &sparse,
+                    },
+                    &f,
+                    &skip,
+                    &mut r,
+                )
                 .as_slice()
                 .iter()
                 .zip(dy.as_slice())
@@ -386,7 +444,10 @@ mod tests {
         let skip = Tensor2::zeros(64, 2);
         records.clear();
         let out = fp.forward(
-            InterpSource::Morton { dense: &dense, context: &ctx },
+            InterpSource::Morton {
+                dense: &dense,
+                context: &ctx,
+            },
             &sparse_feats,
             &skip,
             &mut records,

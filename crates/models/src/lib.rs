@@ -39,6 +39,7 @@
 pub mod delayed;
 pub mod dgcnn;
 pub mod fp;
+mod observe;
 pub mod pointnetpp;
 pub mod sa;
 pub mod selection;
@@ -51,8 +52,7 @@ pub use pointnetpp::{PointNetPpConfig, PointNetPpSeg, SaLevelSpec};
 pub use sa::SetAbstraction;
 pub use selection::{select, Selection};
 pub use strategy::{
-    price_stages, PipelineStrategy, SampleStrategy, SearchStrategy, StageRecord,
-    UpsampleStrategy,
+    price_stages, PipelineStrategy, SampleStrategy, SearchStrategy, StageRecord, UpsampleStrategy,
 };
 
 pub use edgepc_geom::OpCounts;

@@ -48,12 +48,33 @@ impl PointNetPpConfig {
         let quarter = |v: usize| (n_input / v).max(4);
         PointNetPpConfig {
             levels: vec![
-                SaLevelSpec { n_points: quarter(8), k: 32, mlp_widths: vec![32, 32, 64] },
-                SaLevelSpec { n_points: quarter(32), k: 32, mlp_widths: vec![64, 64, 128] },
-                SaLevelSpec { n_points: quarter(128), k: 32, mlp_widths: vec![128, 128, 256] },
-                SaLevelSpec { n_points: quarter(512), k: 32, mlp_widths: vec![256, 256, 512] },
+                SaLevelSpec {
+                    n_points: quarter(8),
+                    k: 32,
+                    mlp_widths: vec![32, 32, 64],
+                },
+                SaLevelSpec {
+                    n_points: quarter(32),
+                    k: 32,
+                    mlp_widths: vec![64, 64, 128],
+                },
+                SaLevelSpec {
+                    n_points: quarter(128),
+                    k: 32,
+                    mlp_widths: vec![128, 128, 256],
+                },
+                SaLevelSpec {
+                    n_points: quarter(512),
+                    k: 32,
+                    mlp_widths: vec![256, 256, 512],
+                },
             ],
-            fp_widths: vec![vec![256, 256], vec![256, 256], vec![256, 128], vec![128, 128]],
+            fp_widths: vec![
+                vec![256, 256],
+                vec![256, 256],
+                vec![256, 128],
+                vec![128, 128],
+            ],
             head_widths: vec![128],
             strategy,
         }
@@ -66,8 +87,16 @@ impl PointNetPpConfig {
         let _ = num_classes_hint;
         PointNetPpConfig {
             levels: vec![
-                SaLevelSpec { n_points: 64, k: 8, mlp_widths: vec![16, 16] },
-                SaLevelSpec { n_points: 16, k: 4, mlp_widths: vec![32, 32] },
+                SaLevelSpec {
+                    n_points: 64,
+                    k: 8,
+                    mlp_widths: vec![16, 16],
+                },
+                SaLevelSpec {
+                    n_points: 16,
+                    k: 4,
+                    mlp_widths: vec![32, 32],
+                },
             ],
             fp_widths: vec![vec![32, 24], vec![24, 16]],
             head_widths: vec![16],
@@ -156,7 +185,14 @@ impl PointNetPpSeg {
         head_dims.push(num_classes);
         let head = Sequential::mlp(&head_dims, 0x6ead);
 
-        PointNetPpSeg { sa, fp, head, num_classes, depth, cache: None }
+        PointNetPpSeg {
+            sa,
+            fp,
+            head,
+            num_classes,
+            depth,
+            cache: None,
+        }
     }
 
     /// Number of per-point output classes.
@@ -176,6 +212,7 @@ impl PointNetPpSeg {
     ///
     /// Panics if the cloud is smaller than the first level's sample count.
     pub fn forward(&mut self, cloud: &PointCloud) -> (Tensor2, Vec<StageRecord>) {
+        let _forward_span = edgepc_trace::span("pointnetpp.forward", "model");
         let mut records = Vec::new();
         let mut level_points: Vec<Vec<Point3>> = vec![cloud.points().to_vec()];
         let mut level_feats: Vec<Tensor2> = vec![xyz_features(cloud.points())];
@@ -200,9 +237,10 @@ impl PointNetPpSeg {
             let sparse_level = self.depth - j;
             let skip = &level_feats[dense_level];
             let source = match (&contexts[sparse_level - 1], fp.strategy()) {
-                (Some(ctx), crate::strategy::UpsampleStrategy::Morton) => {
-                    InterpSource::Morton { dense: &level_points[dense_level], context: ctx }
-                }
+                (Some(ctx), crate::strategy::UpsampleStrategy::Morton) => InterpSource::Morton {
+                    dense: &level_points[dense_level],
+                    context: ctx,
+                },
                 _ => InterpSource::Exact {
                     dense: &level_points[dense_level],
                     sparse: &level_points[sparse_level],
@@ -212,14 +250,24 @@ impl PointNetPpSeg {
         }
 
         // --- Per-point head ---
-        let mut head_ops = OpCounts::ZERO;
-        let logits = self.head.forward(&carried, &mut head_ops);
-        head_ops.seq_rounds = 2 * self.head.len() as u64;
-        let mut rec = StageRecord::new(StageKind::FeatureCompute, "head.fc", head_ops);
-        rec.fc_k = Some(carried.cols());
-        records.push(rec);
+        let head = &mut self.head;
+        let logits = crate::observe::stage(
+            "head.fc".to_string(),
+            StageKind::FeatureCompute,
+            Some(carried.cols()),
+            &mut records,
+            || {
+                let mut head_ops = OpCounts::ZERO;
+                let logits = head.forward(&carried, &mut head_ops);
+                head_ops.seq_rounds = 2 * head.len() as u64;
+                (logits, head_ops)
+            },
+        );
 
-        self.cache = Some(ForwardCache { level_points, contexts });
+        self.cache = Some(ForwardCache {
+            level_points,
+            contexts,
+        });
         (logits, records)
     }
 
@@ -316,7 +364,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(17);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]
@@ -326,8 +376,7 @@ mod tests {
             PipelineStrategy::baseline(),
             PipelineStrategy::edgepc_pointnetpp(2, 16),
         ] {
-            let mut model =
-                PointNetPpSeg::new(&PointNetPpConfig::tiny(4, strategy), 4);
+            let mut model = PointNetPpSeg::new(&PointNetPpConfig::tiny(4, strategy), 4);
             let (logits, records) = model.forward(&cloud);
             assert_eq!((logits.rows(), logits.cols()), (256, 4));
             // 2 SA x 4 records + 2 FP x 2 records + head.
@@ -339,8 +388,7 @@ mod tests {
     fn edgepc_strategy_reduces_sample_and_search_work() {
         let cloud = scattered_cloud(256, 2);
         let base_cfg = PointNetPpConfig::tiny(4, PipelineStrategy::baseline());
-        let edge_cfg =
-            PointNetPpConfig::tiny(4, PipelineStrategy::edgepc_pointnetpp(2, 16));
+        let edge_cfg = PointNetPpConfig::tiny(4, PipelineStrategy::edgepc_pointnetpp(2, 16));
         let (_, base_records) = PointNetPpSeg::new(&base_cfg, 4).forward(&cloud);
         let (_, edge_records) = PointNetPpSeg::new(&edge_cfg, 4).forward(&cloud);
         let dist = |rs: &[StageRecord]| -> u64 {
@@ -360,10 +408,8 @@ mod tests {
     #[test]
     fn backward_accumulates_gradients_everywhere() {
         let cloud = scattered_cloud(256, 3);
-        let mut model = PointNetPpSeg::new(
-            &PointNetPpConfig::tiny(3, PipelineStrategy::baseline()),
-            3,
-        );
+        let mut model =
+            PointNetPpSeg::new(&PointNetPpConfig::tiny(3, PipelineStrategy::baseline()), 3);
         let (logits, _) = model.forward(&cloud);
         let targets: Vec<u32> = (0..256).map(|i| (i % 3) as u32).collect();
         let (_, d) = loss::softmax_cross_entropy(&logits, &targets);
@@ -390,12 +436,9 @@ mod tests {
         let cloud = scattered_cloud(256, 4);
         // Learnable labels: above/below the median z.
         let med = 0.5f32;
-        let targets: Vec<u32> =
-            cloud.iter().map(|p| u32::from(p.z > med)).collect();
-        let mut model = PointNetPpSeg::new(
-            &PointNetPpConfig::tiny(2, PipelineStrategy::baseline()),
-            2,
-        );
+        let targets: Vec<u32> = cloud.iter().map(|p| u32::from(p.z > med)).collect();
+        let mut model =
+            PointNetPpSeg::new(&PointNetPpConfig::tiny(2, PipelineStrategy::baseline()), 2);
         let mut opt = Adam::new(0.01);
         let (logits, _) = model.forward(&cloud);
         let (loss0, _) = loss::softmax_cross_entropy(&logits, &targets);

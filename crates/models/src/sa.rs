@@ -61,7 +61,10 @@ impl SetAbstraction {
         search_strategy: SearchStrategy,
         seed: u64,
     ) -> Self {
-        assert!(!mlp_widths.is_empty(), "SA module needs at least one MLP width");
+        assert!(
+            !mlp_widths.is_empty(),
+            "SA module needs at least one MLP width"
+        );
         assert!(k > 0, "k must be positive");
         let mut dims = vec![in_channels + 3];
         dims.extend_from_slice(mlp_widths);
@@ -136,45 +139,70 @@ impl SetAbstraction {
 
         // --- Grouping: build the (n*k) x (C+3) matrix ---
         let c = self.in_channels;
-        let mut grouped = Tensor2::zeros(self.n_out * self.k, c + 3);
-        for (gi, (&centroid_idx, nbrs)) in selection
-            .sample_indices
-            .iter()
-            .zip(&selection.neighbor_indices)
-            .enumerate()
-        {
-            let centroid = points[centroid_idx];
-            for (slot, &j) in nbrs.iter().enumerate() {
-                let row = grouped.row_mut(gi * self.k + slot);
-                row[..c].copy_from_slice(feats.row(j));
-                let rel = points[j] - centroid;
-                row[c] = rel.x;
-                row[c + 1] = rel.y;
-                row[c + 2] = rel.z;
-            }
-        }
-        let group_bytes = (self.n_out * self.k * (c + 3) * 4) as u64;
-        records.push(StageRecord::new(
-            StageKind::Grouping,
+        let n_out = self.n_out;
+        let grouped = crate::observe::stage(
             format!("{}.group", self.name),
-            OpCounts { gathered_bytes: group_bytes, seq_rounds: 1, ..OpCounts::ZERO },
-        ));
+            StageKind::Grouping,
+            None,
+            records,
+            || {
+                let mut grouped = Tensor2::zeros(n_out * k, c + 3);
+                for (gi, (&centroid_idx, nbrs)) in selection
+                    .sample_indices
+                    .iter()
+                    .zip(&selection.neighbor_indices)
+                    .enumerate()
+                {
+                    let centroid = points[centroid_idx];
+                    for (slot, &j) in nbrs.iter().enumerate() {
+                        let row = grouped.row_mut(gi * k + slot);
+                        row[..c].copy_from_slice(feats.row(j));
+                        let rel = points[j] - centroid;
+                        row[c] = rel.x;
+                        row[c + 1] = rel.y;
+                        row[c + 2] = rel.z;
+                    }
+                }
+                let group_bytes = (n_out * k * (c + 3) * 4) as u64;
+                (
+                    grouped,
+                    OpCounts {
+                        gathered_bytes: group_bytes,
+                        seq_rounds: 1,
+                        ..OpCounts::ZERO
+                    },
+                )
+            },
+        );
 
         // --- Shared MLP + max pool ---
-        let mut fc_ops = OpCounts::ZERO;
-        let transformed = self.mlp.forward(&grouped, &mut fc_ops);
-        fc_ops.seq_rounds = 2 * self.mlp.len() as u64;
-        let mut fc_record =
-            StageRecord::new(StageKind::FeatureCompute, format!("{}.fc", self.name), fc_ops);
-        fc_record.fc_k = Some(c + 3);
-        records.push(fc_record);
+        let mlp = &mut self.mlp;
+        let transformed = crate::observe::stage(
+            format!("{}.fc", self.name),
+            StageKind::FeatureCompute,
+            Some(c + 3),
+            records,
+            || {
+                let mut fc_ops = OpCounts::ZERO;
+                let t = mlp.forward(&grouped, &mut fc_ops);
+                fc_ops.seq_rounds = 2 * mlp.len() as u64;
+                (t, fc_ops)
+            },
+        );
 
         let pool = max_pool_groups(&transformed, self.k);
         let out = pool.output.clone();
-        let sampled_points: Vec<Point3> =
-            selection.sample_indices.iter().map(|&i| points[i]).collect();
+        let sampled_points: Vec<Point3> = selection
+            .sample_indices
+            .iter()
+            .map(|&i| points[i])
+            .collect();
 
-        self.cache = Some(SaCache { selection: selection.clone(), pool, in_rows: points.len() });
+        self.cache = Some(SaCache {
+            selection: selection.clone(),
+            pool,
+            in_rows: points.len(),
+        });
         (sampled_points, out, selection)
     }
 
@@ -215,7 +243,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     fn module(strategy_pair: (SampleStrategy, SearchStrategy)) -> SetAbstraction {
@@ -243,7 +273,10 @@ mod tests {
     fn forward_shapes_baseline() {
         let pts = scattered(64);
         let feats = xyz_feats(&pts);
-        let mut m = module((SampleStrategy::Fps, SearchStrategy::BallQuery { radius2: 0.2 }));
+        let mut m = module((
+            SampleStrategy::Fps,
+            SearchStrategy::BallQuery { radius2: 0.2 },
+        ));
         let mut records = Vec::new();
         let (sampled, out, sel) = m.forward(&pts, &feats, &mut records);
         assert_eq!(sampled.len(), 16);
@@ -252,7 +285,10 @@ mod tests {
         // sample, search, group, fc records.
         assert_eq!(records.len(), 4);
         assert!(records.iter().any(|r| r.kind == StageKind::Grouping));
-        let fc = records.iter().find(|r| r.kind == StageKind::FeatureCompute).unwrap();
+        let fc = records
+            .iter()
+            .find(|r| r.kind == StageKind::FeatureCompute)
+            .unwrap();
         assert!(fc.ops.mac > 0);
         assert_eq!(fc.fc_k, Some(6));
     }
@@ -278,7 +314,11 @@ mod tests {
         let mut m = module((SampleStrategy::Fps, SearchStrategy::Knn));
         let mut records = Vec::new();
         let (_, out, _) = m.forward(&pts, &feats, &mut records);
-        let d = m.backward(&Tensor2::from_vec(vec![1.0; out.rows() * out.cols()], out.rows(), out.cols()));
+        let d = m.backward(&Tensor2::from_vec(
+            vec![1.0; out.rows() * out.cols()],
+            out.rows(),
+            out.cols(),
+        ));
         assert_eq!((d.rows(), d.cols()), (64, 3));
         // Some gradient must reach the inputs.
         assert!(d.norm() > 0.0);
@@ -300,7 +340,11 @@ mod tests {
         );
         let mut records = Vec::new();
         let (_, out, sel) = m.forward(&pts, &feats, &mut records);
-        let d = m.backward(&Tensor2::from_vec(vec![1.0; out.rows() * out.cols()], out.rows(), out.cols()));
+        let d = m.backward(&Tensor2::from_vec(
+            vec![1.0; out.rows() * out.cols()],
+            out.rows(),
+            out.cols(),
+        ));
         let touched: std::collections::HashSet<usize> =
             sel.neighbor_indices.iter().flatten().copied().collect();
         for i in 0..32 {
@@ -333,7 +377,9 @@ mod tests {
         let mut records = Vec::new();
         let (_, out, sel) = m.forward(&pts, &feats, &mut records);
         let dy = Tensor2::from_vec(
-            (0..out.rows() * out.cols()).map(|i| ((i % 5) as f32) - 2.0).collect(),
+            (0..out.rows() * out.cols())
+                .map(|i| ((i % 5) as f32) - 2.0)
+                .collect(),
             out.rows(),
             out.cols(),
         );
@@ -347,8 +393,11 @@ mod tests {
             let c = 3;
             let k = m.k;
             let mut grouped = Tensor2::zeros(sel.sample_indices.len() * k, c + 3);
-            for (gi, (&ci, nbrs)) in
-                sel.sample_indices.iter().zip(&sel.neighbor_indices).enumerate()
+            for (gi, (&ci, nbrs)) in sel
+                .sample_indices
+                .iter()
+                .zip(&sel.neighbor_indices)
+                .enumerate()
             {
                 let centroid = pts[ci];
                 for (slot, &j) in nbrs.iter().enumerate() {

@@ -62,21 +62,31 @@ pub fn select(
     // --- Sample stage ---
     let (sample_indices, structurized) = match sample_strategy {
         SampleStrategy::Fps => {
-            let r = FarthestPointSampler::new().sample(&cloud, n);
-            records.push(StageRecord::new(
-                StageKind::Sample,
+            let r = crate::observe::stage(
                 format!("{name}.sample(fps)"),
-                r.ops,
-            ));
+                StageKind::Sample,
+                None,
+                records,
+                || {
+                    let r = FarthestPointSampler::new().sample(&cloud, n);
+                    let ops = r.ops;
+                    (r, ops)
+                },
+            );
             (r.indices, None)
         }
         SampleStrategy::Morton { bits } => {
-            let r = MortonSampler::new(bits).sample(&cloud, n);
-            records.push(StageRecord::new(
-                StageKind::Sample,
+            let r = crate::observe::stage(
                 format!("{name}.sample(morton)"),
-                r.ops,
-            ));
+                StageKind::Sample,
+                None,
+                records,
+                || {
+                    let r = MortonSampler::new(bits).sample(&cloud, n);
+                    let ops = r.ops;
+                    (r, ops)
+                },
+            );
             (r.indices, r.structurized)
         }
     };
@@ -84,68 +94,91 @@ pub fn select(
     // --- Neighbor-search stage ---
     let (neighbor_indices, morton_context) = match search_strategy {
         SearchStrategy::BallQuery { radius2 } => {
-            let r = BallQuery::new(radius2).search(&cloud, &sample_indices, k);
-            records.push(StageRecord::new(
-                StageKind::NeighborSearch,
+            let r = crate::observe::stage(
                 format!("{name}.search(ballquery)"),
-                r.ops,
-            ));
-            (r.neighbors, morton_ctx_from(structurized.as_ref(), &sample_indices))
+                StageKind::NeighborSearch,
+                None,
+                records,
+                || {
+                    let r = BallQuery::new(radius2).search(&cloud, &sample_indices, k);
+                    let ops = r.ops;
+                    (r, ops)
+                },
+            );
+            (
+                r.neighbors,
+                morton_ctx_from(structurized.as_ref(), &sample_indices),
+            )
         }
         SearchStrategy::Knn => {
-            let r = BruteKnn::new().search(&cloud, &sample_indices, k);
-            records.push(StageRecord::new(
-                StageKind::NeighborSearch,
+            let r = crate::observe::stage(
                 format!("{name}.search(knn)"),
-                r.ops,
-            ));
-            (r.neighbors, morton_ctx_from(structurized.as_ref(), &sample_indices))
+                StageKind::NeighborSearch,
+                None,
+                records,
+                || {
+                    let r = BruteKnn::new().search(&cloud, &sample_indices, k);
+                    let ops = r.ops;
+                    (r, ops)
+                },
+            );
+            (
+                r.neighbors,
+                morton_ctx_from(structurized.as_ref(), &sample_indices),
+            )
         }
         SearchStrategy::MortonWindow { window } => {
-            let searcher = MortonWindowSearcher::new(window, 10);
-            // Reuse the sampler's structurization when available; otherwise
-            // structurize here (and pay for it).
-            let (s, extra_ops) = match structurized {
-                Some(s) => (s, None),
-                None => {
-                    let s = Structurizer::paper_default().structurize(&cloud);
-                    let ops = s.ops();
-                    (s, Some(ops))
-                }
-            };
-            let inv = s.inverse_permutation();
-            let query_positions: Vec<usize> =
-                sample_indices.iter().map(|&i| inv[i]).collect();
-            let mut r = searcher.search_structurized(&s, &query_positions, k);
-            if let Some(ops) = extra_ops {
-                r.ops += ops;
-            }
-            // Map neighbor sorted-positions back to original indices.
-            for list in &mut r.neighbors {
-                for p in list.iter_mut() {
-                    *p = s.permutation()[*p];
-                }
-            }
-            records.push(StageRecord::new(
-                StageKind::NeighborSearch,
+            crate::observe::stage(
                 format!("{name}.search(window)"),
-                r.ops,
-            ));
-            let mut positions = query_positions;
-            positions.sort_unstable();
-            let ctx = MortonContext {
-                positions,
-                inverse_permutation: inv,
-                permutation: s.permutation().to_vec(),
-            };
-            (r.neighbors, Some(ctx))
+                StageKind::NeighborSearch,
+                None,
+                records,
+                || {
+                    let searcher = MortonWindowSearcher::new(window, 10);
+                    // Reuse the sampler's structurization when available;
+                    // otherwise structurize here (and pay for it).
+                    let (s, extra_ops) = match structurized {
+                        Some(s) => (s, None),
+                        None => {
+                            let s = Structurizer::paper_default().structurize(&cloud);
+                            let ops = s.ops();
+                            (s, Some(ops))
+                        }
+                    };
+                    let inv = s.inverse_permutation();
+                    let query_positions: Vec<usize> =
+                        sample_indices.iter().map(|&i| inv[i]).collect();
+                    let mut r = searcher.search_structurized(&s, &query_positions, k);
+                    if let Some(ops) = extra_ops {
+                        r.ops += ops;
+                    }
+                    // Map neighbor sorted-positions back to original indices.
+                    for list in &mut r.neighbors {
+                        for p in list.iter_mut() {
+                            *p = s.permutation()[*p];
+                        }
+                    }
+                    let mut positions = query_positions;
+                    positions.sort_unstable();
+                    let ctx = MortonContext {
+                        positions,
+                        inverse_permutation: inv,
+                        permutation: s.permutation().to_vec(),
+                    };
+                    ((r.neighbors, Some(ctx)), r.ops)
+                },
+            )
         }
         SearchStrategy::FeatureKnn | SearchStrategy::Reuse => {
             panic!("FeatureKnn/Reuse are DGCNN module policies, not SA strategies")
         }
     };
 
-    Selection { sample_indices, neighbor_indices, morton_context }
+    Selection {
+        sample_indices,
+        neighbor_indices,
+        morton_context,
+    }
 }
 
 /// Builds a [`MortonContext`] if the sampler structurized the cloud (even
@@ -176,7 +209,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(5);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]

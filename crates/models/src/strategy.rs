@@ -96,16 +96,20 @@ impl PipelineStrategy {
     pub fn edgepc_pointnetpp(depth: usize, window: usize) -> Self {
         assert!(depth >= 1, "need at least one SA module");
         let mut sample = vec![SampleStrategy::Morton { bits: 10 }];
-        sample.extend(std::iter::repeat(SampleStrategy::Fps).take(depth - 1));
+        sample.extend(std::iter::repeat_n(SampleStrategy::Fps, depth - 1));
         let mut search = vec![SearchStrategy::MortonWindow { window }];
         // Non-optimized layers use the exact searcher (cost-equivalent to a
         // tuned ball query, with no radius to mis-scale).
-        search.extend(std::iter::repeat(SearchStrategy::Knn).take(depth - 1));
+        search.extend(std::iter::repeat_n(SearchStrategy::Knn, depth - 1));
         // FP modules run in reverse depth order; the *last* executed FP
         // up-samples to the full cloud and is the one the paper optimizes.
         let mut upsample = vec![UpsampleStrategy::ThreeNn; depth.saturating_sub(1)];
         upsample.push(UpsampleStrategy::Morton);
-        PipelineStrategy { sample, search, upsample }
+        PipelineStrategy {
+            sample,
+            search,
+            upsample,
+        }
     }
 
     /// The Fig. 15b sweep point: apply the Morton approximations to the
@@ -142,7 +146,11 @@ impl PipelineStrategy {
                 }
             })
             .collect();
-        PipelineStrategy { sample, search, upsample }
+        PipelineStrategy {
+            sample,
+            search,
+            upsample,
+        }
     }
 
     /// The paper's DGCNN design point: Morton window on the first EdgeConv
@@ -167,9 +175,19 @@ impl PipelineStrategy {
     /// first module, exact feature-space k-NN afterwards.
     pub fn baseline_dgcnn(modules: usize) -> Self {
         let search = (0..modules)
-            .map(|i| if i == 0 { SearchStrategy::Knn } else { SearchStrategy::FeatureKnn })
+            .map(|i| {
+                if i == 0 {
+                    SearchStrategy::Knn
+                } else {
+                    SearchStrategy::FeatureKnn
+                }
+            })
             .collect();
-        PipelineStrategy { sample: vec![], search, upsample: vec![] }
+        PipelineStrategy {
+            sample: vec![],
+            search,
+            upsample: vec![],
+        }
     }
 
     /// The sample strategy for module `i` (repeating the last entry).
@@ -229,7 +247,12 @@ pub struct StageRecord {
 impl StageRecord {
     /// Creates a record.
     pub fn new(kind: StageKind, name: impl Into<String>, ops: OpCounts) -> Self {
-        StageRecord { kind, name: name.into(), ops, fc_k: None }
+        StageRecord {
+            kind,
+            name: name.into(),
+            ops,
+            fc_k: None,
+        }
     }
 
     /// Scales the *work* fields by a batch factor, leaving the dependency
@@ -270,7 +293,12 @@ pub fn price_stages(
             (StageKind::FeatureCompute, Some(k)) => device.fc_time_ms(r.ops.mac, k, tensor_cores),
             _ => device.stage_time_ms(&r.ops, ExecMode::Pipeline),
         };
-        cost.push(StageCost { kind: r.kind, name: r.name.clone(), time_ms, ops: r.ops });
+        cost.push(StageCost {
+            kind: r.kind,
+            name: r.name.clone(),
+            time_ms,
+            ops: r.ops,
+        });
     }
     cost
 }
@@ -292,7 +320,10 @@ mod tests {
         let s = PipelineStrategy::edgepc_pointnetpp(4, 64);
         assert!(matches!(s.sample_at(0), SampleStrategy::Morton { .. }));
         assert_eq!(s.sample_at(1), SampleStrategy::Fps);
-        assert!(matches!(s.search_at(0), SearchStrategy::MortonWindow { .. }));
+        assert!(matches!(
+            s.search_at(0),
+            SearchStrategy::MortonWindow { .. }
+        ));
         assert!(matches!(s.search_at(3), SearchStrategy::Knn));
         // FP module 3 (executed last, up to the full cloud) is Morton.
         assert_eq!(s.upsample_at(3), UpsampleStrategy::Morton);
@@ -312,7 +343,10 @@ mod tests {
     #[test]
     fn edgepc_dgcnn_interleaves_reuse() {
         let s = PipelineStrategy::edgepc_dgcnn(4, 32);
-        assert!(matches!(s.search_at(0), SearchStrategy::MortonWindow { .. }));
+        assert!(matches!(
+            s.search_at(0),
+            SearchStrategy::MortonWindow { .. }
+        ));
         assert_eq!(s.search_at(1), SearchStrategy::Reuse);
         assert_eq!(s.search_at(2), SearchStrategy::FeatureKnn);
         assert_eq!(s.search_at(3), SearchStrategy::Reuse);
@@ -323,7 +357,12 @@ mod tests {
         let r = StageRecord::new(
             StageKind::Sample,
             "s",
-            OpCounts { dist3: 10, seq_rounds: 5, gathered_bytes: 8, ..OpCounts::ZERO },
+            OpCounts {
+                dist3: 10,
+                seq_rounds: 5,
+                gathered_bytes: 8,
+                ..OpCounts::ZERO
+            },
         );
         let s = r.scaled(4);
         assert_eq!(s.ops.dist3, 40);
@@ -337,7 +376,10 @@ mod tests {
         let mut fc = StageRecord::new(
             StageKind::FeatureCompute,
             "fc",
-            OpCounts { mac: 100_000_000, ..OpCounts::ZERO },
+            OpCounts {
+                mac: 100_000_000,
+                ..OpCounts::ZERO
+            },
         );
         fc.fc_k = Some(64);
         let with_tc = price_stages(&[fc.clone()], &dev, true).total_ms();

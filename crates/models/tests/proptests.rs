@@ -1,7 +1,9 @@
-//! Property-based tests for the model crates: arbitrary (small) network
+//! Randomized tests for the model crates: arbitrary (small) network
 //! shapes and strategy mixes always produce well-formed outputs, records,
-//! and gradients.
+//! and gradients (seeded-random cases; the std-only replacement for the
+//! former proptest suite, same properties).
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{Point3, PointCloud};
 use edgepc_models::{
     DgcnnClassifier, DgcnnConfig, DgcnnSeg, PipelineStrategy, PointNetPpConfig, PointNetPpSeg,
@@ -9,40 +11,51 @@ use edgepc_models::{
 };
 use edgepc_nn::{loss, Tensor2};
 use edgepc_sim::StageKind;
-use proptest::prelude::*;
 
-fn arb_cloud(n: usize) -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec(
-        (0.0f32..4.0, 0.0f32..4.0, 0.0f32..4.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
-        n..=n,
-    )
-    .prop_map(PointCloud::from_points)
+const CASES: usize = 12;
+
+fn arb_cloud(rng: &mut StdRng, n: usize) -> PointCloud {
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(0.0f32..4.0),
+                rng.gen_range(0.0f32..4.0),
+                rng.gen_range(0.0f32..4.0),
+            )
+        })
+        .collect()
 }
 
-fn arb_strategy() -> impl Strategy<Value = PipelineStrategy> {
-    prop_oneof![
-        Just(PipelineStrategy::baseline()),
-        Just(PipelineStrategy::baseline_exact()),
-        Just(PipelineStrategy::edgepc_pointnetpp(2, 16)),
-        Just(PipelineStrategy::edgepc_layers(2, 2, 12)),
-    ]
+fn arb_strategy(rng: &mut StdRng) -> PipelineStrategy {
+    match rng.gen_range(0usize..4) {
+        0 => PipelineStrategy::baseline(),
+        1 => PipelineStrategy::baseline_exact(),
+        2 => PipelineStrategy::edgepc_pointnetpp(2, 16),
+        _ => PipelineStrategy::edgepc_layers(2, 2, 12),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn pointnetpp_forward_is_well_formed(
-        cloud in arb_cloud(96),
-        strategy in arb_strategy(),
-        classes in 2usize..5,
-        w1 in 4usize..10,
-        w2 in 8usize..14,
-    ) {
+#[test]
+fn pointnetpp_forward_is_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0x6d_0001);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 96);
+        let strategy = arb_strategy(&mut rng);
+        let classes = rng.gen_range(2usize..5);
+        let w1 = rng.gen_range(4usize..10);
+        let w2 = rng.gen_range(8usize..14);
         let config = PointNetPpConfig {
             levels: vec![
-                SaLevelSpec { n_points: 24, k: 4, mlp_widths: vec![w1] },
-                SaLevelSpec { n_points: 8, k: 3, mlp_widths: vec![w2] },
+                SaLevelSpec {
+                    n_points: 24,
+                    k: 4,
+                    mlp_widths: vec![w1],
+                },
+                SaLevelSpec {
+                    n_points: 8,
+                    k: 3,
+                    mlp_widths: vec![w2],
+                },
             ],
             fp_widths: vec![vec![w1 + 2], vec![w1]],
             head_widths: vec![8],
@@ -50,12 +63,16 @@ proptest! {
         };
         let mut model = PointNetPpSeg::new(&config, classes);
         let (logits, records) = model.forward(&cloud);
-        prop_assert_eq!((logits.rows(), logits.cols()), (96, classes));
-        prop_assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!((logits.rows(), logits.cols()), (96, classes));
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
         // Records cover all stage kinds.
-        for kind in [StageKind::Sample, StageKind::NeighborSearch,
-                     StageKind::Grouping, StageKind::FeatureCompute] {
-            prop_assert!(
+        for kind in [
+            StageKind::Sample,
+            StageKind::NeighborSearch,
+            StageKind::Grouping,
+            StageKind::FeatureCompute,
+        ] {
+            assert!(
                 records.iter().any(|r| r.kind == kind),
                 "missing {kind} record"
             );
@@ -69,14 +86,16 @@ proptest! {
             assert!(g.iter().all(|v| v.is_finite()), "non-finite gradient");
         });
     }
+}
 
-    #[test]
-    fn dgcnn_variants_are_well_formed(
-        cloud in arb_cloud(64),
-        modules in 2usize..4,
-        classes in 2usize..4,
-        edgepc in any::<bool>(),
-    ) {
+#[test]
+fn dgcnn_variants_are_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0x6d_0002);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 64);
+        let modules = rng.gen_range(2usize..4);
+        let classes = rng.gen_range(2usize..4);
+        let edgepc = rng.next_u64() & 1 == 1;
         let strategy = if edgepc {
             PipelineStrategy::edgepc_dgcnn(modules, 12)
         } else {
@@ -90,26 +109,28 @@ proptest! {
         };
         let mut cls = DgcnnClassifier::new(&config, classes);
         let (logits, _) = cls.forward(&cloud);
-        prop_assert_eq!((logits.rows(), logits.cols()), (1, classes));
+        assert_eq!((logits.rows(), logits.cols()), (1, classes));
         let (_, d) = loss::softmax_cross_entropy(&logits, &[0]);
         cls.zero_grads();
         cls.backward(&d);
 
         let mut seg = DgcnnSeg::new(&config, classes);
         let (logits, _) = seg.forward(&cloud);
-        prop_assert_eq!((logits.rows(), logits.cols()), (64, classes));
+        assert_eq!((logits.rows(), logits.cols()), (64, classes));
         let targets: Vec<u32> = (0..64).map(|i| (i % classes) as u32).collect();
         let (_, d) = loss::softmax_cross_entropy(&logits, &targets);
         seg.zero_grads();
         seg.backward(&d);
     }
+}
 
-    #[test]
-    fn strategies_resolve_for_any_module_index(
-        depth in 1usize..6,
-        window in 8usize..64,
-        idx in 0usize..16,
-    ) {
+#[test]
+fn strategies_resolve_for_any_module_index() {
+    let mut rng = StdRng::seed_from_u64(0x6d_0003);
+    for _ in 0..CASES {
+        let depth = rng.gen_range(1usize..6);
+        let window = rng.gen_range(8usize..64);
+        let idx = rng.gen_range(0usize..16);
         let s = PipelineStrategy::edgepc_pointnetpp(depth, window);
         // Accessors never panic for any index (they repeat the last entry).
         let _ = s.sample_at(idx);
@@ -118,11 +139,15 @@ proptest! {
         let l = PipelineStrategy::edgepc_layers(depth, depth.min(1 + idx % depth.max(1)), window);
         let _ = l.sample_at(idx);
     }
+}
 
-    #[test]
-    fn logits_change_when_strategy_changes_selection(cloud in arb_cloud(96)) {
+#[test]
+fn logits_change_when_strategy_changes_selection() {
+    let mut rng = StdRng::seed_from_u64(0x6d_0004);
+    for _ in 0..CASES {
         // Different neighbor selections must actually reach the output:
         // baseline vs degenerate-window logits differ (same seeds/weights).
+        let cloud = arb_cloud(&mut rng, 96);
         let mk = |strategy| {
             let config = PointNetPpConfig::tiny(2, strategy);
             PointNetPpSeg::new(&config, 2)
@@ -135,7 +160,7 @@ proptest! {
             .zip(b.as_slice())
             .map(|(x, y)| (x - y).abs())
             .sum();
-        prop_assert!(diff > 1e-6, "approximation had no effect on the output");
+        assert!(diff > 1e-6, "approximation had no effect on the output");
     }
 }
 
@@ -147,7 +172,11 @@ fn tensor_shapes_documented_in_paper_hold() {
         .map(|i| Point3::new((i % 16) as f32, ((i / 16) % 16) as f32, (i / 256) as f32))
         .collect();
     let config = PointNetPpConfig {
-        levels: vec![SaLevelSpec { n_points: 32, k: 8, mlp_widths: vec![16] }],
+        levels: vec![SaLevelSpec {
+            n_points: 32,
+            k: 8,
+            mlp_widths: vec![16],
+        }],
         fp_widths: vec![vec![12]],
         head_widths: vec![8],
         strategy: PipelineStrategy::baseline_exact(),

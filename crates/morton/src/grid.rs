@@ -47,7 +47,11 @@ impl VoxelGrid {
             "bits_per_axis must be in 1..={}, got {bits_per_axis}",
             crate::MAX_BITS_PER_AXIS
         );
-        VoxelGrid { origin, cell_size, bits_per_axis }
+        VoxelGrid {
+            origin,
+            cell_size,
+            bits_per_axis,
+        }
     }
 
     /// Creates the grid the paper derives from a bounding box: the cell size
@@ -62,7 +66,11 @@ impl VoxelGrid {
     pub fn from_aabb(bb: &Aabb, bits_per_axis: u32) -> Self {
         let cells = (1u64 << bits_per_axis) as f32;
         let d = bb.max_extent();
-        let cell_size = if d > 0.0 { d / cells } else { f32::MIN_POSITIVE };
+        let cell_size = if d > 0.0 {
+            d / cells
+        } else {
+            f32::MIN_POSITIVE
+        };
         VoxelGrid::with_cell_size(bb.min(), cell_size, bits_per_axis)
     }
 
@@ -99,7 +107,11 @@ impl VoxelGrid {
             let cell = ((v - o) / self.cell_size).floor();
             cell.clamp(0.0, max_cell) as u32
         };
-        (q(p.x, self.origin.x), q(p.y, self.origin.y), q(p.z, self.origin.z))
+        (
+            q(p.x, self.origin.x),
+            q(p.y, self.origin.y),
+            q(p.z, self.origin.z),
+        )
     }
 
     /// Quantizes and Morton-encodes a point in one step (Algo. 1 lines 4-5).

@@ -32,8 +32,8 @@
 //! ```
 
 pub mod encode;
-pub mod hilbert;
 pub mod grid;
+pub mod hilbert;
 pub mod locality;
 pub mod structurize;
 

@@ -108,7 +108,13 @@ impl Structurizer {
         // O(log N) rounds deep.
         ops.seq_rounds = 1 + (n.max(2) as f64).log2().ceil() as u64;
 
-        Structurized { cloud: reordered, permutation, codes, grid, ops }
+        Structurized {
+            cloud: reordered,
+            permutation,
+            codes,
+            grid,
+            ops,
+        }
     }
 }
 
@@ -237,8 +243,8 @@ mod tests {
         let cloud = paper_points();
         let s = Structurizer::new(10).structurize(&cloud);
         let inv = s.inverse_permutation();
-        for orig in 0..cloud.len() {
-            assert_eq!(s.permutation()[inv[orig]], orig);
+        for (orig, &pos) in inv.iter().enumerate() {
+            assert_eq!(s.permutation()[pos], orig);
         }
     }
 

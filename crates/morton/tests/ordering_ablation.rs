@@ -16,7 +16,9 @@ fn scattered(n: usize, seed: u64) -> PointCloud {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(3);
         ((state >> 33) as f32) / (u32::MAX >> 1) as f32
     };
-    (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+    (0..n)
+        .map(|_| Point3::new(next(), next(), next()))
+        .collect()
 }
 
 fn hilbert_order(cloud: &PointCloud, bits: u32) -> PointCloud {

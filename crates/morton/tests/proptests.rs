@@ -1,101 +1,145 @@
-//! Property-based tests for Morton encoding and structurization.
+//! Randomized property tests for Morton encoding and structurization
+//! (seeded-random cases; the std-only replacement for the former proptest
+//! suite, same properties).
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{Point3, PointCloud};
 use edgepc_morton::{decode, encode, Structurizer, VoxelGrid};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
-        prop_assert_eq!(decode(encode(x, y, z)), (x, y, z));
+const CASES: usize = 256;
+
+fn arb_pts(rng: &mut StdRng, min: usize, max: usize, lo: f32, hi: f32) -> Vec<Point3> {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(lo..hi),
+                rng.gen_range(lo..hi),
+                rng.gen_range(lo..hi),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x30_0001);
+    for _ in 0..CASES {
+        let x = rng.gen_range(0..1usize << 21) as u32;
+        let y = rng.gen_range(0..1usize << 21) as u32;
+        let z = rng.gen_range(0..1usize << 21) as u32;
+        assert_eq!(decode(encode(x, y, z)), (x, y, z));
     }
+}
 
-    #[test]
-    fn encode_is_injective_on_pairs(
-        a in (0u32..1024, 0u32..1024, 0u32..1024),
-        b in (0u32..1024, 0u32..1024, 0u32..1024),
-    ) {
-        prop_assert_eq!(encode(a.0, a.1, a.2) == encode(b.0, b.1, b.2), a == b);
+#[test]
+fn encode_is_injective_on_pairs() {
+    let mut rng = StdRng::seed_from_u64(0x30_0002);
+    let coord = |rng: &mut StdRng| {
+        (
+            rng.gen_range(0..1024usize) as u32,
+            rng.gen_range(0..1024usize) as u32,
+            rng.gen_range(0..1024usize) as u32,
+        )
+    };
+    for _ in 0..CASES {
+        let a = coord(&mut rng);
+        let b = coord(&mut rng);
+        assert_eq!(encode(a.0, a.1, a.2) == encode(b.0, b.1, b.2), a == b);
     }
+}
 
-    #[test]
-    fn code_order_respects_containing_octant(
-        x in 0u32..512, y in 0u32..512, z in 0u32..512,
-        dx in 0u32..512, dy in 0u32..512, dz in 0u32..512,
-    ) {
+#[test]
+fn code_order_respects_containing_octant() {
+    let mut rng = StdRng::seed_from_u64(0x30_0003);
+    for _ in 0..CASES {
         // Any cell in the lower half-space along every axis sorts before
         // any cell in the upper half-space (top-level Z-curve property).
-        let lo = encode(x, y, z);
-        let hi = encode(512 + dx, 512 + dy, 512 + dz);
-        prop_assert!(lo < hi);
+        let lo = encode(
+            rng.gen_range(0..512usize) as u32,
+            rng.gen_range(0..512usize) as u32,
+            rng.gen_range(0..512usize) as u32,
+        );
+        let hi = encode(
+            512 + rng.gen_range(0..512usize) as u32,
+            512 + rng.gen_range(0..512usize) as u32,
+            512 + rng.gen_range(0..512usize) as u32,
+        );
+        assert!(lo < hi);
     }
+}
 
-    #[test]
-    fn quantize_stays_in_grid(
-        px in -50.0f32..50.0, py in -50.0f32..50.0, pz in -50.0f32..50.0,
-        bits in 1u32..12,
-    ) {
+#[test]
+fn quantize_stays_in_grid() {
+    let mut rng = StdRng::seed_from_u64(0x30_0004);
+    for _ in 0..CASES {
+        let bits = rng.gen_range(1usize..12) as u32;
         let grid = VoxelGrid::with_cell_size(Point3::new(-10.0, -10.0, -10.0), 0.37, bits);
-        let (i, j, k) = grid.quantize(Point3::new(px, py, pz));
+        let p = Point3::new(
+            rng.gen_range(-50.0f32..50.0),
+            rng.gen_range(-50.0f32..50.0),
+            rng.gen_range(-50.0f32..50.0),
+        );
+        let (i, j, k) = grid.quantize(p);
         let cells = grid.cells_per_axis() as u32;
-        prop_assert!(i < cells && j < cells && k < cells);
+        assert!(i < cells && j < cells && k < cells);
     }
+}
 
-    #[test]
-    fn quantize_cell_center_is_fixed_point(
-        i in 0u32..64, j in 0u32..64, k in 0u32..64,
-    ) {
+#[test]
+fn quantize_cell_center_is_fixed_point() {
+    let mut rng = StdRng::seed_from_u64(0x30_0005);
+    for _ in 0..CASES {
         let grid = VoxelGrid::with_cell_size(Point3::ORIGIN, 0.25, 6);
+        let i = rng.gen_range(0..64usize) as u32;
+        let j = rng.gen_range(0..64usize) as u32;
+        let k = rng.gen_range(0..64usize) as u32;
         let c = grid.cell_center(i, j, k);
-        prop_assert_eq!(grid.quantize(c), (i, j, k));
+        assert_eq!(grid.quantize(c), (i, j, k));
     }
+}
 
-    #[test]
-    fn structurize_outputs_a_sorted_bijection(
-        pts in prop::collection::vec(
-            (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0)
-                .prop_map(|(x, y, z)| Point3::new(x, y, z)),
-            1..128,
-        ),
-        bits in 2u32..14,
-    ) {
+#[test]
+fn structurize_outputs_a_sorted_bijection() {
+    let mut rng = StdRng::seed_from_u64(0x30_0006);
+    for _ in 0..CASES {
+        let pts = arb_pts(&mut rng, 1, 128, -10.0, 10.0);
+        let bits = rng.gen_range(2usize..14) as u32;
         let cloud = PointCloud::from_points(pts);
         let s = Structurizer::new(bits).structurize(&cloud);
         // Codes ascend.
-        prop_assert!(s.codes().windows(2).all(|w| w[0] <= w[1]));
+        assert!(s.codes().windows(2).all(|w| w[0] <= w[1]));
         // Permutation is a bijection.
         let mut seen = vec![false; cloud.len()];
         for &i in s.permutation() {
-            prop_assert!(!seen[i]);
+            assert!(!seen[i]);
             seen[i] = true;
         }
         // Inverse really inverts.
         let inv = s.inverse_permutation();
         for (pos, &orig) in s.permutation().iter().enumerate() {
-            prop_assert_eq!(inv[orig], pos);
+            assert_eq!(inv[orig], pos);
         }
         // The re-ordered cloud is the permutation applied to the original.
         for (pos, &orig) in s.permutation().iter().enumerate() {
-            prop_assert_eq!(s.cloud().point(pos), cloud.point(orig));
+            assert_eq!(s.cloud().point(pos), cloud.point(orig));
         }
     }
+}
 
-    #[test]
-    fn structurize_is_order_insensitive_up_to_ties(
-        pts in prop::collection::vec(
-            (0.0f32..8.0, 0.0f32..8.0, 0.0f32..8.0)
-                .prop_map(|(x, y, z)| Point3::new(x, y, z)),
-            2..64,
-        ),
-    ) {
+#[test]
+fn structurize_is_order_insensitive_up_to_ties() {
+    let mut rng = StdRng::seed_from_u64(0x30_0007);
+    for _ in 0..CASES {
         // Structurizing a reversed cloud yields the same *sorted code
         // sequence* (point identity may differ on exact ties).
+        let pts = arb_pts(&mut rng, 2, 64, 0.0, 8.0);
         let cloud = PointCloud::from_points(pts.clone());
         let rev = PointCloud::from_points(pts.into_iter().rev().collect());
         // Share one grid: the bounding boxes are identical.
         let grid = VoxelGrid::from_aabb(&cloud.bounding_box(), 10);
         let a = Structurizer::new(10).structurize_with_grid(&cloud, grid);
         let b = Structurizer::new(10).structurize_with_grid(&rev, grid);
-        prop_assert_eq!(a.codes(), b.codes());
+        assert_eq!(a.codes(), b.codes());
     }
 }

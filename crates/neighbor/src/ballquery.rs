@@ -68,6 +68,7 @@ impl NeighborSearcher for BallQuery {
     /// Panics if `k == 0`, `k >= cloud.len()`, or a query is out of range.
     fn search(&self, cloud: &PointCloud, queries: &[usize], k: usize) -> NeighborResult {
         validate_search_args(cloud, queries, k);
+        let mut span = edgepc_trace::span("ballquery.search", "search");
         let points = cloud.points();
         let mut ops = OpCounts::ZERO;
         let neighbors: Vec<Vec<usize>> = queries
@@ -101,6 +102,7 @@ impl NeighborSearcher for BallQuery {
             .collect();
         ops.dist3 = (queries.len() * (points.len() - 1)) as u64;
         ops.seq_rounds = (points.len().max(2) as f64).log2().ceil() as u64;
+        span.set_ops(ops);
         NeighborResult { neighbors, ops }
     }
 }

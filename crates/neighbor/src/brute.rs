@@ -51,6 +51,7 @@ impl NeighborSearcher for BruteKnn {
     /// Panics if `k == 0`, `k >= cloud.len()`, or a query is out of range.
     fn search(&self, cloud: &PointCloud, queries: &[usize], k: usize) -> NeighborResult {
         validate_search_args(cloud, queries, k);
+        let mut span = edgepc_trace::span("knn.search", "search");
         let points = cloud.points();
         let mut ops = OpCounts::ZERO;
         let mut cmp = 0u64;
@@ -73,6 +74,7 @@ impl NeighborSearcher for BruteKnn {
         ops.cmp = cmp;
         // Parallel across queries; per-query scan reduces in ~log N depth.
         ops.seq_rounds = (points.len().max(2) as f64).log2().ceil() as u64;
+        span.set_ops(ops);
         NeighborResult { neighbors, ops }
     }
 }

@@ -53,7 +53,9 @@ impl GridSearcher {
             cell_size.is_finite() && cell_size > 0.0,
             "cell_size must be positive and finite, got {cell_size}"
         );
-        GridSearcher { cell_size: Some(cell_size) }
+        GridSearcher {
+            cell_size: Some(cell_size),
+        }
     }
 
     fn resolve_cell_size(&self, cloud: &PointCloud, k: usize) -> f32 {
@@ -97,7 +99,9 @@ impl NeighborSearcher for GridSearcher {
 
         let mut bins: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
         for (i, &p) in points.iter().enumerate() {
-            bins.entry(cell_of(p, origin, cell)).or_default().push(i as u32);
+            bins.entry(cell_of(p, origin, cell))
+                .or_default()
+                .push(i as u32);
         }
         let mut ops = OpCounts::ZERO;
         ops.gathered_bytes = 16 * points.len() as u64; // binning pass
@@ -149,9 +153,7 @@ impl NeighborSearcher for GridSearcher {
                     }
                     ring += 1;
                     // Safety stop: the shell has outgrown the whole cloud.
-                    if (ring as f32) * cell
-                        > cloud.bounding_box().max_extent() + 2.0 * cell
-                    {
+                    if (ring as f32) * cell > cloud.bounding_box().max_extent() + 2.0 * cell {
                         break;
                     }
                 }
@@ -180,7 +182,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl KdTree {
     ///
     /// Panics if the cloud is empty.
     pub fn build(cloud: &PointCloud) -> Self {
-        assert!(!cloud.is_empty(), "cannot build a k-d tree over an empty cloud");
+        assert!(
+            !cloud.is_empty(),
+            "cannot build a k-d tree over an empty cloud"
+        );
         let points = cloud.points().to_vec();
         let mut order: Vec<u32> = (0..points.len() as u32).collect();
         let mut nodes = Vec::with_capacity(points.len());
@@ -65,7 +68,12 @@ impl KdTree {
         // Construction touches each level once; depth ~log N sequential
         // rounds, each with O(N) median-partition comparisons.
         build_ops.seq_rounds = (points.len().max(2) as f64).log2().ceil() as u64;
-        KdTree { nodes, points, root, build_ops }
+        KdTree {
+            nodes,
+            points,
+            root,
+            build_ops,
+        }
     }
 
     fn build_rec(
@@ -91,7 +99,12 @@ impl KdTree {
         let (_, hi) = rest.split_at_mut(1);
         let left = Self::build_rec(points, lo, depth + 1, nodes, ops);
         let right = Self::build_rec(points, hi, depth + 1, nodes, ops);
-        nodes.push(Node { point, axis: axis as u8, left, right });
+        nodes.push(Node {
+            point,
+            axis: axis as u8,
+            left,
+            right,
+        });
         (nodes.len() - 1) as i32
     }
 
@@ -152,7 +165,11 @@ impl KdTree {
         }
         let axis = n.axis as usize;
         let diff = query[axis] - p[axis];
-        let (near, far) = if diff <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
+        let (near, far) = if diff <= 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
         self.knn_rec(near, query, k, exclude, best, ops);
         // Prune the far side unless the splitting plane is closer than the
         // current k-th best.
@@ -196,7 +213,11 @@ impl KdTree {
         }
         let axis = n.axis as usize;
         let diff = query[axis] - p[axis];
-        let (near, far) = if diff <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
+        let (near, far) = if diff <= 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
         self.radius_rec(near, query, r2, exclude, out, ops);
         ops.cmp += 1;
         if diff * diff <= r2 {
@@ -254,7 +275,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]

@@ -52,13 +52,19 @@ impl MortonWindowSearcher {
     /// [`Structurizer::new`].
     pub fn new(window: usize, bits_per_axis: u32) -> Self {
         assert!(window > 0, "window must be positive");
-        MortonWindowSearcher { window, structurizer: Structurizer::new(bits_per_axis) }
+        MortonWindowSearcher {
+            window,
+            structurizer: Structurizer::new(bits_per_axis),
+        }
     }
 
     /// The degenerate configuration `W = k`: pure index picking with zero
     /// distance work, at the paper's 32-bit Morton resolution.
     pub fn degenerate(k: usize) -> Self {
-        MortonWindowSearcher { window: k, structurizer: Structurizer::paper_default() }
+        MortonWindowSearcher {
+            window: k,
+            structurizer: Structurizer::paper_default(),
+        }
     }
 
     /// The search window size `W`.
@@ -90,6 +96,7 @@ impl MortonWindowSearcher {
         );
         let points = s.cloud().points();
         let half = self.window / 2;
+        let mut span = edgepc_trace::span("window.search", "search");
         let mut ops = OpCounts::ZERO;
 
         let neighbors: Vec<Vec<usize>> = query_positions
@@ -103,8 +110,7 @@ impl MortonWindowSearcher {
                 let cand_count = hi - lo; // excludes the query itself
                 if cand_count <= k {
                     // Degenerate pick: all window positions, no distances.
-                    let mut out: Vec<usize> =
-                        (lo..=hi).filter(|&p| p != j).collect();
+                    let mut out: Vec<usize> = (lo..=hi).filter(|&p| p != j).collect();
                     if let Some(&first) = out.first() {
                         while out.len() < k {
                             out.push(first);
@@ -125,6 +131,7 @@ impl MortonWindowSearcher {
             .collect();
         // Fully parallel across queries; per-query top-k over W elements.
         ops.seq_rounds = (self.window.max(2) as f64).log2().ceil() as u64;
+        span.set_ops(ops);
         NeighborResult { neighbors, ops }
     }
 }
@@ -155,7 +162,10 @@ impl NeighborSearcher for MortonWindowSearcher {
             }
         }
         result.ops += s.ops();
-        NeighborResult { neighbors: result.neighbors, ops: result.ops }
+        NeighborResult {
+            neighbors: result.neighbors,
+            ops: result.ops,
+        }
     }
 }
 
@@ -182,7 +192,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(3);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]
@@ -195,8 +207,7 @@ mod tests {
         let searcher = MortonWindowSearcher::new(4, 10);
         let r = searcher.search_structurized(&s, &[3], 3);
         // Map sorted positions back to original indices.
-        let mut got: Vec<usize> =
-            r.neighbors[0].iter().map(|&p| s.permutation()[p]).collect();
+        let mut got: Vec<usize> = r.neighbors[0].iter().map(|&p| s.permutation()[p]).collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 4]);
     }
@@ -261,7 +272,11 @@ mod tests {
         for list in &r.neighbors {
             assert_eq!(list.len(), 8);
             let unique: std::collections::HashSet<_> = list.iter().collect();
-            assert_eq!(unique.len(), 8, "boundary windows are shifted, not truncated");
+            assert_eq!(
+                unique.len(),
+                8,
+                "boundary windows are shifted, not truncated"
+            );
         }
     }
 

@@ -1,18 +1,27 @@
-//! Property-based tests for the neighbor searchers.
+//! Randomized property tests for the neighbor searchers (seeded-random
+//! cases; the std-only replacement for the former proptest suite, same
+//! properties).
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{Point3, PointCloud};
 use edgepc_neighbor::{
     false_neighbor_ratio, BallQuery, BruteKnn, GridSearcher, KdTree, MortonWindowSearcher,
     NeighborSearcher,
 };
-use proptest::prelude::*;
 
-fn arb_cloud(min: usize, max: usize) -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec(
-        (-4.0f32..4.0, -4.0f32..4.0, -4.0f32..4.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
-        min..=max,
-    )
-    .prop_map(PointCloud::from_points)
+const CASES: usize = 96;
+
+fn arb_cloud(rng: &mut StdRng, min: usize, max: usize) -> PointCloud {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(-4.0f32..4.0),
+                rng.gen_range(-4.0f32..4.0),
+                rng.gen_range(-4.0f32..4.0),
+            )
+        })
+        .collect()
 }
 
 /// The realized neighbor distances of each query, sorted — the invariant
@@ -32,45 +41,63 @@ fn distance_profile(cloud: &PointCloud, queries: &[usize], lists: &[Vec<usize>])
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn kdtree_matches_brute_force(cloud in arb_cloud(10, 128), k in 1usize..6) {
+#[test]
+fn kdtree_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x4e_0001);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 10, 128);
+        let k = rng.gen_range(1usize..6);
         let queries: Vec<usize> = (0..cloud.len()).step_by(3).collect();
         let brute = BruteKnn::new().search(&cloud, &queries, k);
         let tree = KdTree::build(&cloud).search(&cloud, &queries, k);
-        prop_assert_eq!(
+        assert_eq!(
             distance_profile(&cloud, &queries, &brute.neighbors),
             distance_profile(&cloud, &queries, &tree.neighbors)
         );
     }
+}
 
-    #[test]
-    fn grid_matches_brute_force(cloud in arb_cloud(10, 96), k in 1usize..6) {
+#[test]
+fn grid_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x4e_0002);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 10, 96);
+        let k = rng.gen_range(1usize..6);
         let queries: Vec<usize> = (0..cloud.len()).step_by(4).collect();
         let brute = BruteKnn::new().search(&cloud, &queries, k);
         let grid = GridSearcher::new().search(&cloud, &queries, k);
-        prop_assert_eq!(
+        assert_eq!(
             distance_profile(&cloud, &queries, &brute.neighbors),
             distance_profile(&cloud, &queries, &grid.neighbors)
         );
     }
+}
 
-    #[test]
-    fn knn_distances_are_sorted_and_self_free(cloud in arb_cloud(6, 64), k in 1usize..5) {
+#[test]
+fn knn_distances_are_sorted_and_self_free() {
+    let mut rng = StdRng::seed_from_u64(0x4e_0003);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 6, 64);
+        let k = rng.gen_range(1usize..5);
         let queries: Vec<usize> = (0..cloud.len()).collect();
         let r = BruteKnn::new().search(&cloud, &queries, k);
         for (&q, list) in queries.iter().zip(&r.neighbors) {
-            prop_assert!(!list.contains(&q));
+            assert!(!list.contains(&q));
             let d: Vec<f32> = list
                 .iter()
                 .map(|&j| cloud.point(q).distance_squared(cloud.point(j)))
                 .collect();
-            prop_assert!(d.windows(2).all(|w| w[0] <= w[1]), "unsorted: {d:?}");
+            assert!(d.windows(2).all(|w| w[0] <= w[1]), "unsorted: {d:?}");
         }
     }
+}
 
-    #[test]
-    fn ball_query_respects_its_radius(cloud in arb_cloud(6, 64), r2 in 0.01f32..4.0) {
+#[test]
+fn ball_query_respects_its_radius() {
+    let mut rng = StdRng::seed_from_u64(0x4e_0004);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 6, 64);
+        let r2 = rng.gen_range(0.01f32..4.0);
         let queries: Vec<usize> = (0..cloud.len()).step_by(2).collect();
         let k = 4.min(cloud.len() - 1);
         let res = BallQuery::new(r2).search(&cloud, &queries, k);
@@ -81,36 +108,48 @@ proptest! {
                 .iter()
                 .all(|&j| cloud.point(q).distance_squared(cloud.point(j)) <= r2);
             let unique: std::collections::HashSet<_> = list.iter().collect();
-            prop_assert!(inside || unique.len() == 1, "q{q}: {list:?}");
+            assert!(inside || unique.len() == 1, "q{q}: {list:?}");
         }
     }
+}
 
-    #[test]
-    fn full_window_is_exact(cloud in arb_cloud(8, 64), k in 1usize..5) {
+#[test]
+fn full_window_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0x4e_0005);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 8, 64);
+        let k = rng.gen_range(1usize..5);
         let queries: Vec<usize> = (0..cloud.len()).collect();
         let exact = BruteKnn::new().search(&cloud, &queries, k);
         let full = MortonWindowSearcher::new(2 * cloud.len(), 10).search(&cloud, &queries, k);
-        prop_assert!(false_neighbor_ratio(&full.neighbors, &exact.neighbors) < 1e-9);
+        assert!(false_neighbor_ratio(&full.neighbors, &exact.neighbors) < 1e-9);
     }
+}
 
-    #[test]
-    fn window_results_are_valid_neighbor_lists(
-        cloud in arb_cloud(8, 96),
-        k in 1usize..5,
-        factor in 1usize..6,
-    ) {
+#[test]
+fn window_results_are_valid_neighbor_lists() {
+    let mut rng = StdRng::seed_from_u64(0x4e_0006);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 8, 96);
+        let k = rng.gen_range(1usize..5);
+        let factor = rng.gen_range(1usize..6);
         let queries: Vec<usize> = (0..cloud.len()).step_by(2).collect();
         let w = (factor * k).min(cloud.len() - 1).max(k);
         let r = MortonWindowSearcher::new(w, 10).search(&cloud, &queries, k);
         for (&q, list) in queries.iter().zip(&r.neighbors) {
-            prop_assert_eq!(list.len(), k);
-            prop_assert!(!list.contains(&q));
-            prop_assert!(list.iter().all(|&j| j < cloud.len()));
+            assert_eq!(list.len(), k);
+            assert!(!list.contains(&q));
+            assert!(list.iter().all(|&j| j < cloud.len()));
         }
     }
+}
 
-    #[test]
-    fn kdtree_radius_query_matches_scan(cloud in arb_cloud(6, 96), r2 in 0.01f32..2.0) {
+#[test]
+fn kdtree_radius_query_matches_scan() {
+    let mut rng = StdRng::seed_from_u64(0x4e_0007);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 6, 96);
+        let r2 = rng.gen_range(0.01f32..2.0);
         let tree = KdTree::build(&cloud);
         let q = cloud.point(0);
         let mut ops = Default::default();
@@ -123,6 +162,6 @@ proptest! {
             .map(|(j, _)| j)
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 }

@@ -32,7 +32,11 @@ pub fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor2, eps: f32) -> f32
     let objective = |layer: &mut dyn Layer, x: &Tensor2| -> f32 {
         let mut ops = OpCounts::ZERO;
         let y = layer.forward(x, &mut ops);
-        y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        y.as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
     };
 
     let mut worst = 0.0f32;
@@ -73,7 +77,11 @@ pub fn check_param_gradients(layer: &mut dyn Layer, x: &Tensor2, eps: f32) -> f3
     let objective = |layer: &mut dyn Layer| -> f32 {
         let mut ops = OpCounts::ZERO;
         let y = layer.forward(x, &mut ops);
-        y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        y.as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
     };
 
     // Nudges parameter (slot, i) by delta via visit_params.
@@ -88,17 +96,15 @@ pub fn check_param_gradients(layer: &mut dyn Layer, x: &Tensor2, eps: f32) -> f3
     }
 
     let mut worst = 0.0f32;
-    let n_slots = analytic.len();
-    for slot in 0..n_slots {
-        let len = analytic[slot].len();
-        for i in 0..len {
+    for (slot, grads) in analytic.iter().enumerate() {
+        for (i, &expected) in grads.iter().enumerate() {
             nudge(layer, slot, i, eps);
             let plus = objective(layer);
             nudge(layer, slot, i, -2.0 * eps);
             let minus = objective(layer);
             nudge(layer, slot, i, eps);
             let numeric = (plus - minus) / (2.0 * eps);
-            worst = worst.max((numeric - analytic[slot][i]).abs());
+            worst = worst.max((numeric - expected).abs());
         }
     }
     worst

@@ -1,8 +1,7 @@
 //! Layers with forward/backward passes.
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::OpCounts;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Tensor2;
 
@@ -301,8 +300,17 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Dropout { p, rng_state: seed ^ 0xd20b, mask: Vec::new(), shape: (0, 0), training: true }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            rng_state: seed ^ 0xd20b,
+            mask: Vec::new(),
+            shape: (0, 0),
+            training: true,
+        }
     }
 
     fn next_uniform(&mut self) -> f32 {
@@ -380,10 +388,17 @@ impl Sequential {
     ///
     /// Panics if `dims.len() < 2`.
     pub fn mlp(dims: &[usize], seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let mut layers: Vec<Box<dyn Layer>> = Vec::new();
         for (i, w) in dims.windows(2).enumerate() {
-            layers.push(Box::new(Linear::new(w[0], w[1], seed.wrapping_add(i as u64))));
+            layers.push(Box::new(Linear::new(
+                w[0],
+                w[1],
+                seed.wrapping_add(i as u64),
+            )));
             if i + 2 < dims.len() {
                 layers.push(Box::new(ReLU::new()));
             }
@@ -404,7 +419,9 @@ impl Sequential {
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sequential").field("layers", &self.layers.len()).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .finish()
     }
 }
 

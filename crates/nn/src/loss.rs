@@ -31,15 +31,15 @@ pub fn softmax_cross_entropy(logits: &Tensor2, targets: &[u32]) -> (f32, Tensor2
     let n = logits.rows() as f32;
     let mut grad = Tensor2::zeros(logits.rows(), classes);
     let mut loss = 0.0f32;
-    for r in 0..logits.rows() {
+    for (r, &target) in targets.iter().enumerate() {
         let row = logits.row(r);
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let t = targets[r] as usize;
+        let t = target as usize;
         loss += -(exps[t] / sum).max(f32::MIN_POSITIVE).ln();
-        for c in 0..classes {
-            let p = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             grad.set(r, c, (p - if c == t { 1.0 } else { 0.0 }) / n);
         }
     }

@@ -42,7 +42,11 @@ impl Sgd {
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Enables momentum (builder style).
@@ -98,7 +102,15 @@ impl Adam {
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -148,8 +160,8 @@ mod tests {
             let y = l.forward(&x, &mut ops);
             let mut dy = Tensor2::zeros(4, 1);
             mse = 0.0;
-            for r in 0..4 {
-                let e = y.get(r, 0) - t[r];
+            for (r, &target) in t.iter().enumerate() {
+                let e = y.get(r, 0) - target;
                 mse += e * e / 4.0;
                 dy.set(r, 0, 2.0 * e / 4.0);
             }
@@ -190,11 +202,7 @@ mod tests {
             (1.0, -1.0, 0),
             (1.0, 1.0, 1),
         ];
-        let x = Tensor2::from_vec(
-            data.iter().flat_map(|&(a, b, _)| [a, b]).collect(),
-            4,
-            2,
-        );
+        let x = Tensor2::from_vec(data.iter().flat_map(|&(a, b, _)| [a, b]).collect(), 4, 2);
         let t: Vec<u32> = data.iter().map(|&(_, _, c)| c).collect();
         let mut ops = OpCounts::ZERO;
         for _ in 0..400 {
@@ -205,7 +213,10 @@ mod tests {
             opt.step(&mut net);
         }
         let logits = net.forward(&x, &mut ops);
-        assert!(loss::accuracy(&logits, &t) == 1.0, "XOR should be fully learned");
+        assert!(
+            loss::accuracy(&logits, &t) == 1.0,
+            "XOR should be fully learned"
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ pub fn max_pool_groups(x: &Tensor2, group_size: usize) -> PooledGroups {
             argmax[g * cols + c] = best_row;
         }
     }
-    PooledGroups { output, argmax, group_size, input_rows: x.rows() }
+    PooledGroups {
+        output,
+        argmax,
+        group_size,
+        input_rows: x.rows(),
+    }
 }
 
 impl PooledGroups {
@@ -112,7 +117,11 @@ pub fn global_max_pool(x: &Tensor2) -> PooledGroups {
 /// Panics if `group_size == 0` or `x.rows()` is not a multiple of it.
 pub fn mean_pool_groups(x: &Tensor2, group_size: usize) -> Tensor2 {
     assert!(group_size > 0, "group_size must be positive");
-    assert_eq!(x.rows() % group_size, 0, "rows not a multiple of group size");
+    assert_eq!(
+        x.rows() % group_size,
+        0,
+        "rows not a multiple of group size"
+    );
     let groups = x.rows() / group_size;
     let mut out = Tensor2::zeros(groups, x.cols());
     for g in 0..groups {

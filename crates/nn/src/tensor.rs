@@ -27,7 +27,11 @@ pub struct Tensor2 {
 impl Tensor2 {
     /// Creates a zero-filled tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor2 { data: vec![0.0; rows * cols], rows, cols }
+        Tensor2 {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Creates a tensor from row-major data.
@@ -68,7 +72,10 @@ impl Tensor2 {
     /// Panics on out-of-range indices.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -79,7 +86,10 @@ impl Tensor2 {
     /// Panics on out-of-range indices.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -148,9 +158,22 @@ impl Tensor2 {
     ///
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Tensor2) -> Tensor2 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor2 { data, rows: self.rows, cols: self.cols }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor2 {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 
     /// Element-wise scaling by a constant.

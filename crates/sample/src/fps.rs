@@ -65,10 +65,15 @@ impl Sampler for FarthestPointSampler {
         let points = cloud.points();
         let total = points.len();
         assert!(n <= total, "cannot sample {n} from {total} points");
+        let mut span = edgepc_trace::span("fps.sample", "sample");
         let mut ops = OpCounts::ZERO;
         let mut indices = Vec::with_capacity(n);
         if n == 0 {
-            return SampleResult { indices, ops, structurized: None };
+            return SampleResult {
+                indices,
+                ops,
+                structurized: None,
+            };
         }
         assert!(self.start < total, "seed index {} out of range", self.start);
 
@@ -101,7 +106,12 @@ impl Sampler for FarthestPointSampler {
         // One sequential round per sampled point: the data dependence the
         // paper identifies as the parallelism killer.
         ops.seq_rounds = n as u64;
-        SampleResult { indices, ops, structurized: None }
+        span.set_ops(ops);
+        SampleResult {
+            indices,
+            ops,
+            structurized: None,
+        }
     }
 }
 
@@ -140,10 +150,18 @@ mod tests {
     #[test]
     fn n_zero_and_one() {
         let cloud = paper_points();
-        assert!(FarthestPointSampler::new().sample(&cloud, 0).indices.is_empty());
-        assert_eq!(FarthestPointSampler::new().sample(&cloud, 1).indices, vec![0]);
+        assert!(FarthestPointSampler::new()
+            .sample(&cloud, 0)
+            .indices
+            .is_empty());
         assert_eq!(
-            FarthestPointSampler::with_start(2).sample(&cloud, 1).indices,
+            FarthestPointSampler::new().sample(&cloud, 1).indices,
+            vec![0]
+        );
+        assert_eq!(
+            FarthestPointSampler::with_start(2)
+                .sample(&cloud, 1)
+                .indices,
             vec![2]
         );
     }

@@ -40,7 +40,7 @@ pub mod upsample;
 pub use fps::FarthestPointSampler;
 pub use morton_sampler::MortonSampler;
 pub use uniform::{RandomSampler, UniformSampler};
-pub use upsample::{Interpolated, InterpPlan, MortonInterpolator, ThreeNnInterpolator};
+pub use upsample::{InterpPlan, Interpolated, MortonInterpolator, ThreeNnInterpolator};
 
 use edgepc_geom::{OpCounts, PointCloud};
 

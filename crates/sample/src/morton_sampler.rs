@@ -47,12 +47,16 @@ impl MortonSampler {
     /// Panics if `bits_per_axis` is out of the range supported by
     /// [`Structurizer::new`].
     pub fn new(bits_per_axis: u32) -> Self {
-        MortonSampler { structurizer: Structurizer::new(bits_per_axis) }
+        MortonSampler {
+            structurizer: Structurizer::new(bits_per_axis),
+        }
     }
 
     /// The paper's evaluated configuration: 32-bit codes, 10 bits per axis.
     pub fn paper_default() -> Self {
-        MortonSampler { structurizer: Structurizer::paper_default() }
+        MortonSampler {
+            structurizer: Structurizer::paper_default(),
+        }
     }
 
     /// The structurizer this sampler uses.
@@ -82,7 +86,12 @@ impl Sampler for MortonSampler {
     ///
     /// Panics if the cloud is empty or `n > cloud.len()`.
     fn sample(&self, cloud: &PointCloud, n: usize) -> SampleResult {
-        assert!(n <= cloud.len(), "cannot sample {n} from {} points", cloud.len());
+        assert!(
+            n <= cloud.len(),
+            "cannot sample {n} from {} points",
+            cloud.len()
+        );
+        let mut span = edgepc_trace::span("morton.sample", "sample");
         let s = self.structurizer.structurize(cloud);
         let positions = linspace_indices(cloud.len(), n);
         let indices: Vec<usize> = positions.iter().map(|&p| s.permutation()[p]).collect();
@@ -90,7 +99,12 @@ impl Sampler for MortonSampler {
         // Pick stage: one fully parallel round of index arithmetic.
         ops.seq_rounds += u64::from(n > 0);
         ops.gathered_bytes += 12 * n as u64;
-        SampleResult { indices, ops, structurized: Some(s) }
+        span.set_ops(ops);
+        SampleResult {
+            indices,
+            ops,
+            structurized: Some(s),
+        }
     }
 }
 
@@ -118,7 +132,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]
@@ -179,9 +195,15 @@ mod tests {
         let cloud = PointCloud::from_points(pts);
         let n = 32;
 
-        let fps = FarthestPointSampler::new().sample(&cloud, n).extract(&cloud);
-        let mc = MortonSampler::paper_default().sample(&cloud, n).extract(&cloud);
-        let raw = crate::UniformSampler::new().sample(&cloud, n).extract(&cloud);
+        let fps = FarthestPointSampler::new()
+            .sample(&cloud, n)
+            .extract(&cloud);
+        let mc = MortonSampler::paper_default()
+            .sample(&cloud, n)
+            .extract(&cloud);
+        let raw = crate::UniformSampler::new()
+            .sample(&cloud, n)
+            .extract(&cloud);
 
         let c_fps = coverage_radius(cloud.points(), fps.points());
         let c_mc = coverage_radius(cloud.points(), mc.points());
@@ -209,7 +231,10 @@ mod tests {
     fn structurized_byproduct_is_returned() {
         let cloud = scattered(64);
         let r = MortonSampler::paper_default().sample(&cloud, 8);
-        let s = r.structurized.as_ref().expect("structurization kept for reuse");
+        let s = r
+            .structurized
+            .as_ref()
+            .expect("structurization kept for reuse");
         assert_eq!(s.permutation().len(), 64);
         assert!(s.codes().windows(2).all(|w| w[0] <= w[1]));
     }

@@ -6,9 +6,8 @@
 //! here: as the lower baseline in the Fig. 5 coverage experiment, and as
 //! the *pick stage* the Morton sampler runs after structurization.
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{OpCounts, PointCloud};
-use rand::seq::index::sample as rand_sample;
-use rand::SeedableRng;
 
 use crate::{linspace_indices, SampleResult, Sampler};
 
@@ -56,7 +55,11 @@ impl Sampler for UniformSampler {
             gathered_bytes: 12 * n as u64,
             ..OpCounts::ZERO
         };
-        SampleResult { indices, ops, structurized: None }
+        SampleResult {
+            indices,
+            ops,
+            structurized: None,
+        }
     }
 }
 
@@ -107,16 +110,24 @@ impl Sampler for RandomSampler {
     ///
     /// Panics if `n > cloud.len()`.
     fn sample(&self, cloud: &PointCloud, n: usize) -> SampleResult {
-        assert!(n <= cloud.len(), "cannot sample {n} from {} points", cloud.len());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
-        let mut indices = rand_sample(&mut rng, cloud.len(), n).into_vec();
+        assert!(
+            n <= cloud.len(),
+            "cannot sample {n} from {} points",
+            cloud.len()
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut indices = rng.sample_indices(cloud.len(), n);
         indices.sort_unstable();
         let ops = OpCounts {
             seq_rounds: u64::from(n > 0),
             gathered_bytes: 12 * n as u64,
             ..OpCounts::ZERO
         };
-        SampleResult { indices, ops, structurized: None }
+        SampleResult {
+            indices,
+            ops,
+            structurized: None,
+        }
     }
 }
 
@@ -163,7 +174,10 @@ mod tests {
 
     #[test]
     fn zero_sample_is_empty() {
-        assert!(UniformSampler::new().sample(&cloud(5), 0).indices.is_empty());
+        assert!(UniformSampler::new()
+            .sample(&cloud(5), 0)
+            .indices
+            .is_empty());
         assert!(RandomSampler::new().sample(&cloud(5), 0).indices.is_empty());
     }
 

@@ -146,7 +146,11 @@ impl ThreeNnInterpolator {
         ops.cmp = (dense.len() * sparse.len()) as u64;
         // Parallel over dense points; per-point reduction depth ~log n.
         ops.seq_rounds = (sparse.len().max(2) as f64).log2().ceil() as u64;
-        InterpPlan { indices, weights, ops }
+        InterpPlan {
+            indices,
+            weights,
+            ops,
+        }
     }
 
     /// Interpolates features from `sparse` samples onto `dense` points.
@@ -163,7 +167,10 @@ impl ThreeNnInterpolator {
         assert_eq!(feats.rows(), sparse.len(), "one feature row per sample");
         let mut plan = self.plan(dense, sparse);
         plan.ops.gathered_bytes = (dense.len() * 3 * feats.channels() * 4) as u64;
-        Interpolated { features: plan.apply(feats), ops: plan.ops }
+        Interpolated {
+            features: plan.apply(feats),
+            ops: plan.ops,
+        }
     }
 }
 
@@ -218,7 +225,11 @@ impl MortonInterpolator {
         }
         // Constant work per point, fully parallel.
         ops.seq_rounds = 1;
-        InterpPlan { indices, weights, ops }
+        InterpPlan {
+            indices,
+            weights,
+            ops,
+        }
     }
 
     /// Interpolates features from samples at `positions` (sorted-order
@@ -237,7 +248,10 @@ impl MortonInterpolator {
         assert_eq!(feats.rows(), positions.len(), "one feature row per sample");
         let mut plan = self.plan(dense_sorted, positions);
         plan.ops.gathered_bytes = (dense_sorted.len() * 3 * feats.channels() * 4) as u64;
-        Interpolated { features: plan.apply(feats), ops: plan.ops }
+        Interpolated {
+            features: plan.apply(feats),
+            ops: plan.ops,
+        }
     }
 }
 
@@ -253,7 +267,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
-        (0..n).map(|_| Point3::new(next(), next(), next())).collect()
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
     }
 
     #[test]
@@ -348,7 +364,10 @@ mod tests {
         assert!(out.ops.dist3 <= 4 * 1024);
         let exact = ThreeNnInterpolator::new().interpolate(
             &dense_sorted,
-            &positions.iter().map(|&p| dense_sorted[p]).collect::<Vec<_>>(),
+            &positions
+                .iter()
+                .map(|&p| dense_sorted[p])
+                .collect::<Vec<_>>(),
             &feats,
         );
         assert_eq!(exact.ops.dist3, 1024 * 256);

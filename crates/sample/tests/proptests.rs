@@ -1,23 +1,35 @@
-//! Property-based tests for the samplers and interpolators.
+//! Randomized property tests for the samplers and interpolators
+//! (seeded-random cases; the std-only replacement for the former proptest
+//! suite, same properties).
 
+use edgepc_geom::rng::StdRng;
 use edgepc_geom::{FeatureMatrix, Point3, PointCloud};
 use edgepc_sample::{
     FarthestPointSampler, MortonSampler, RandomSampler, Sampler, ThreeNnInterpolator,
     UniformSampler,
 };
-use proptest::prelude::*;
 
-fn arb_cloud(min: usize, max: usize) -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec(
-        (-5.0f32..5.0, -5.0f32..5.0, -5.0f32..5.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
-        min..=max,
-    )
-    .prop_map(PointCloud::from_points)
+const CASES: usize = 96;
+
+fn arb_cloud(rng: &mut StdRng, min: usize, max: usize) -> PointCloud {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(-5.0f32..5.0),
+                rng.gen_range(-5.0f32..5.0),
+                rng.gen_range(-5.0f32..5.0),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn all_samplers_return_n_valid_indices(cloud in arb_cloud(8, 96), frac in 1usize..8) {
+#[test]
+fn all_samplers_return_n_valid_indices() {
+    let mut rng = StdRng::seed_from_u64(0x5a_0001);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 8, 96);
+        let frac = rng.gen_range(1usize..8);
         let n = (cloud.len() * frac / 8).max(1);
         let samplers: Vec<Box<dyn Sampler>> = vec![
             Box::new(FarthestPointSampler::new()),
@@ -27,23 +39,31 @@ proptest! {
         ];
         for s in samplers {
             let r = s.sample(&cloud, n);
-            prop_assert_eq!(r.indices.len(), n, "{}", s.name());
-            prop_assert!(r.indices.iter().all(|&i| i < cloud.len()), "{}", s.name());
+            assert_eq!(r.indices.len(), n, "{}", s.name());
+            assert!(r.indices.iter().all(|&i| i < cloud.len()), "{}", s.name());
         }
     }
+}
 
-    #[test]
-    fn fps_samples_are_distinct(cloud in arb_cloud(8, 96)) {
+#[test]
+fn fps_samples_are_distinct() {
+    let mut rng = StdRng::seed_from_u64(0x5a_0002);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 8, 96);
         let n = cloud.len() / 2;
         let r = FarthestPointSampler::new().sample(&cloud, n);
         let unique: std::collections::HashSet<_> = r.indices.iter().collect();
-        prop_assert_eq!(unique.len(), n);
+        assert_eq!(unique.len(), n);
     }
+}
 
-    #[test]
-    fn fps_min_gap_sequence_is_non_increasing(cloud in arb_cloud(8, 48)) {
+#[test]
+fn fps_min_gap_sequence_is_non_increasing() {
+    let mut rng = StdRng::seed_from_u64(0x5a_0003);
+    for _ in 0..CASES {
         // The greedy max-min property: the distance of each newly sampled
         // point to the already-sampled set never increases.
+        let cloud = arb_cloud(&mut rng, 8, 48);
         let n = cloud.len().min(12);
         let r = FarthestPointSampler::new().sample(&cloud, n);
         let mut gaps = Vec::new();
@@ -55,24 +75,32 @@ proptest! {
             gaps.push(d);
         }
         for w in gaps.windows(2) {
-            prop_assert!(w[1] <= w[0] + 1e-4, "gaps grew: {gaps:?}");
+            assert!(w[1] <= w[0] + 1e-4, "gaps grew: {gaps:?}");
         }
     }
+}
 
-    #[test]
-    fn morton_samples_are_distinct_and_zordered(cloud in arb_cloud(8, 96)) {
+#[test]
+fn morton_samples_are_distinct_and_zordered() {
+    let mut rng = StdRng::seed_from_u64(0x5a_0004);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 8, 96);
         let n = cloud.len() / 2;
         let r = MortonSampler::paper_default().sample(&cloud, n.max(1));
         let unique: std::collections::HashSet<_> = r.indices.iter().collect();
-        prop_assert_eq!(unique.len(), r.indices.len());
+        assert_eq!(unique.len(), r.indices.len());
         let s = r.structurized.as_ref().unwrap();
         let inv = s.inverse_permutation();
         let positions: Vec<usize> = r.indices.iter().map(|&i| inv[i]).collect();
-        prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
     }
+}
 
-    #[test]
-    fn sampling_everything_is_a_permutation(cloud in arb_cloud(4, 48)) {
+#[test]
+fn sampling_everything_is_a_permutation() {
+    let mut rng = StdRng::seed_from_u64(0x5a_0005);
+    for _ in 0..CASES {
+        let cloud = arb_cloud(&mut rng, 4, 48);
         for r in [
             FarthestPointSampler::new().sample(&cloud, cloud.len()),
             MortonSampler::paper_default().sample(&cloud, cloud.len()),
@@ -81,45 +109,51 @@ proptest! {
             let mut idx = r.indices.clone();
             idx.sort_unstable();
             let want: Vec<usize> = (0..cloud.len()).collect();
-            prop_assert_eq!(idx, want);
+            assert_eq!(idx, want);
         }
     }
+}
 
-    #[test]
-    fn interpolation_is_a_convex_blend(
-        dense in arb_cloud(4, 32),
-        sparse in arb_cloud(3, 16),
-    ) {
+#[test]
+fn interpolation_is_a_convex_blend() {
+    let mut rng = StdRng::seed_from_u64(0x5a_0006);
+    for _ in 0..CASES {
         // Output features stay inside the [min, max] envelope of the
         // sample features (weights are a convex combination).
+        let dense = arb_cloud(&mut rng, 4, 32);
+        let sparse = arb_cloud(&mut rng, 3, 16);
         let n = sparse.len();
-        let feats = FeatureMatrix::from_vec(
-            (0..n).map(|v| (v as f32) - 3.0).collect(),
-            n,
-            1,
-        );
-        let out = ThreeNnInterpolator::new()
-            .interpolate(dense.points(), sparse.points(), &feats);
-        let lo = feats.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
-        let hi = feats.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let feats = FeatureMatrix::from_vec((0..n).map(|v| (v as f32) - 3.0).collect(), n, 1);
+        let out = ThreeNnInterpolator::new().interpolate(dense.points(), sparse.points(), &feats);
+        let lo = feats
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        let hi = feats
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         for j in 0..out.features.rows() {
             let v = out.features.row(j)[0];
-            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "{v} outside [{lo}, {hi}]");
+            assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "{v} outside [{lo}, {hi}]");
         }
     }
+}
 
-    #[test]
-    fn interpolation_reproduces_constant_fields(
-        dense in arb_cloud(4, 32),
-        sparse in arb_cloud(3, 16),
-        value in -10.0f32..10.0,
-    ) {
+#[test]
+fn interpolation_reproduces_constant_fields() {
+    let mut rng = StdRng::seed_from_u64(0x5a_0007);
+    for _ in 0..CASES {
+        let dense = arb_cloud(&mut rng, 4, 32);
+        let sparse = arb_cloud(&mut rng, 3, 16);
+        let value = rng.gen_range(-10.0f32..10.0);
         let n = sparse.len();
         let feats = FeatureMatrix::from_vec(vec![value; n], n, 1);
-        let out = ThreeNnInterpolator::new()
-            .interpolate(dense.points(), sparse.points(), &feats);
+        let out = ThreeNnInterpolator::new().interpolate(dense.points(), sparse.points(), &feats);
         for j in 0..out.features.rows() {
-            prop_assert!((out.features.row(j)[0] - value).abs() < 1e-3);
+            assert!((out.features.row(j)[0] - value).abs() < 1e-3);
         }
     }
 }

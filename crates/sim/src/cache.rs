@@ -60,7 +60,10 @@ impl CacheSim {
     /// Panics unless `capacity_bytes` is divisible by `ways * line_bytes`
     /// and all arguments are nonzero.
     pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
-        assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0, "zero-sized cache");
+        assert!(
+            capacity_bytes > 0 && ways > 0 && line_bytes > 0,
+            "zero-sized cache"
+        );
         assert_eq!(
             capacity_bytes % (ways as u64 * line_bytes),
             0,

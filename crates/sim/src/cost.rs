@@ -125,7 +125,13 @@ impl fmt::Display for PipelineCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<28} {:>12} {:>10}", "stage", "kind", "ms")?;
         for s in &self.stages {
-            writeln!(f, "{:<28} {:>12} {:>10.3}", s.name, s.kind.to_string(), s.time_ms)?;
+            writeln!(
+                f,
+                "{:<28} {:>12} {:>10.3}",
+                s.name,
+                s.kind.to_string(),
+                s.time_ms
+            )?;
         }
         write!(f, "{:<28} {:>12} {:>10.3}", "TOTAL", "", self.total_ms())
     }
@@ -136,7 +142,12 @@ mod tests {
     use super::*;
 
     fn stage(kind: StageKind, ms: f64) -> StageCost {
-        StageCost { kind, name: format!("{kind}"), time_ms: ms, ops: OpCounts::ZERO }
+        StageCost {
+            kind,
+            name: format!("{kind}"),
+            time_ms: ms,
+            ops: OpCounts::ZERO,
+        }
     }
 
     #[test]

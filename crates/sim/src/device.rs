@@ -114,8 +114,7 @@ impl XavierModel {
             // a typical wide layer lands around 1.65x, which is what
             // reproduces the paper's ~27% network-level gain (Sec. 5.4.1)
             // rather than the isolated 2.2x.
-            let saturation =
-                Self::TC_PIPELINE_EFFICIENCY * (k_channels as f64 / 120.0).min(1.0);
+            let saturation = Self::TC_PIPELINE_EFFICIENCY * (k_channels as f64 / 120.0).min(1.0);
             rate *= 1.0 + (self.tensor_core_speedup - 1.0) * saturation;
         }
         mac as f64 / rate + self.launch_ms
@@ -194,8 +193,16 @@ impl EnergyModel {
 
     /// Total board power for the given state, watts.
     pub fn power_w(&self, state: PowerState) -> f64 {
-        let c = if state.morton_approx { self.compute_w_morton } else { self.compute_w_baseline };
-        let m = if state.neighbor_reuse { self.mem_w_reuse } else { self.mem_w_baseline };
+        let c = if state.morton_approx {
+            self.compute_w_morton
+        } else {
+            self.compute_w_baseline
+        };
+        let m = if state.neighbor_reuse {
+            self.mem_w_reuse
+        } else {
+            self.mem_w_baseline
+        };
         c + m
     }
 
@@ -248,7 +255,11 @@ mod tests {
     #[test]
     fn morton_codegen_anchor() {
         // Sec. 5.1.2: generating Morton codes for 8192 points ~0.1 ms.
-        let ops = OpCounts { morton_encodes: 8192, seq_rounds: 1, ..OpCounts::ZERO };
+        let ops = OpCounts {
+            morton_encodes: 8192,
+            seq_rounds: 1,
+            ..OpCounts::ZERO
+        };
         let t = xavier().stage_time_ms(&ops, ExecMode::Pipeline);
         assert!((t - 0.1).abs() < 0.05, "got {t} ms, want ~0.1 ms");
     }
@@ -275,8 +286,16 @@ mod tests {
 
     #[test]
     fn dependency_chain_dominates_when_deep() {
-        let deep = OpCounts { dist3: 1000, seq_rounds: 10_000, ..OpCounts::ZERO };
-        let wide = OpCounts { dist3: 1000, seq_rounds: 1, ..OpCounts::ZERO };
+        let deep = OpCounts {
+            dist3: 1000,
+            seq_rounds: 10_000,
+            ..OpCounts::ZERO
+        };
+        let wide = OpCounts {
+            dist3: 1000,
+            seq_rounds: 1,
+            ..OpCounts::ZERO
+        };
         let m = xavier();
         assert!(
             m.stage_time_ms(&deep, ExecMode::Pipeline)
@@ -286,7 +305,10 @@ mod tests {
 
     #[test]
     fn standalone_rounds_cost_more_than_pipeline_rounds() {
-        let ops = OpCounts { seq_rounds: 1000, ..OpCounts::ZERO };
+        let ops = OpCounts {
+            seq_rounds: 1000,
+            ..OpCounts::ZERO
+        };
         let m = xavier();
         assert!(
             m.stage_time_ms(&ops, ExecMode::Standalone)
@@ -316,7 +338,10 @@ mod tests {
     fn energy_model_matches_paper_power_levels() {
         let e = EnergyModel::jetson_agx_xavier();
         let base = PowerState::default();
-        let edge = PowerState { morton_approx: true, neighbor_reuse: true };
+        let edge = PowerState {
+            morton_approx: true,
+            neighbor_reuse: true,
+        };
         assert_eq!(e.power_w(base), 4.5 + 1.35);
         assert_eq!(e.power_w(edge), 4.2 + 1.63);
         // A 1.55x latency reduction translates to ~1/3 energy saving
@@ -327,8 +352,15 @@ mod tests {
 
     #[test]
     fn memory_bound_stage_uses_bandwidth_term() {
-        let ops = OpCounts { gathered_bytes: 1_000_000_000, seq_rounds: 1, ..OpCounts::ZERO };
+        let ops = OpCounts {
+            gathered_bytes: 1_000_000_000,
+            seq_rounds: 1,
+            ..OpCounts::ZERO
+        };
         let t = xavier().stage_time_ms(&ops, ExecMode::Pipeline);
-        assert!((t - 10.05).abs() < 0.1, "1 GB at 100 GB/s is 10 ms, got {t}");
+        assert!(
+            (t - 10.05).abs() < 0.1,
+            "1 GB at 100 GB/s is 10 ms, got {t}"
+        );
     }
 }

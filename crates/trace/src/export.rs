@@ -1,0 +1,280 @@
+//! Exporters: Chrome `trace_event` JSON, a flat per-stage breakdown
+//! record, and a human-readable summary table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use edgepc_geom::OpCounts;
+
+use crate::json::{escape, fmt_f64};
+use crate::span::SpanData;
+
+/// Renders spans as a Chrome `trace_event` document — an array of
+/// complete ("ph":"X") events with microsecond timestamps. Load the
+/// output in `chrome://tracing` or <https://ui.perfetto.dev>; nesting
+/// is recovered by the viewer from timestamp containment per thread.
+///
+/// Each event's `args` carries the stage's op counts and, when the
+/// recording site priced the stage, the modeled Xavier `modeled_ms` /
+/// `modeled_mj` next to the measured wall time.
+pub fn chrome_trace_json(spans: &[SpanData]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"ops\":{}",
+            escape(&s.name),
+            escape(&s.kind),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            s.ops.to_json(),
+        ));
+        if let Some(ms) = s.modeled_ms {
+            out.push_str(&format!(",\"modeled_ms\":{}", fmt_f64(ms)));
+        }
+        if let Some(mj) = s.modeled_mj {
+            out.push_str(&format!(",\"modeled_mj\":{}", fmt_f64(mj)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Per-stage aggregate: every span with the same name folded together.
+#[derive(Debug, Clone)]
+pub struct StageBreakdown {
+    /// Stage name (span name).
+    pub name: String,
+    /// Span category.
+    pub kind: String,
+    /// Number of spans aggregated.
+    pub count: u64,
+    /// Total measured wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Summed op counts.
+    pub ops: OpCounts,
+    /// Summed modeled Xavier time (ms), if any span was priced.
+    pub modeled_ms: Option<f64>,
+    /// Summed modeled Xavier energy (mJ), if any span was priced.
+    pub modeled_mj: Option<f64>,
+}
+
+/// Aggregates spans by name, in first-seen order.
+pub fn breakdown(spans: &[SpanData]) -> Vec<StageBreakdown> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_name: BTreeMap<&str, StageBreakdown> = BTreeMap::new();
+    for s in spans {
+        let entry = by_name.entry(&s.name).or_insert_with(|| {
+            order.push(s.name.clone());
+            StageBreakdown {
+                name: s.name.clone(),
+                kind: s.kind.clone(),
+                count: 0,
+                wall_ms: 0.0,
+                ops: OpCounts::ZERO,
+                modeled_ms: None,
+                modeled_mj: None,
+            }
+        });
+        entry.count += 1;
+        entry.wall_ms += s.wall_ms();
+        entry.ops += s.ops;
+        if let Some(ms) = s.modeled_ms {
+            *entry.modeled_ms.get_or_insert(0.0) += ms;
+        }
+        if let Some(mj) = s.modeled_mj {
+            *entry.modeled_mj.get_or_insert(0.0) += mj;
+        }
+    }
+    order
+        .iter()
+        .map(|n| by_name.remove(n.as_str()).unwrap())
+        .collect()
+}
+
+/// Renders a breakdown as the machine-readable record the `fig*`
+/// harnesses write to `results/<name>.json`:
+///
+/// ```json
+/// {"name": "...", "stages": [
+///   {"name": "...", "kind": "...", "count": N,
+///    "wall_ms": W, "ops": {...}, "modeled_ms": M, "modeled_mj": E}, ...]}
+/// ```
+///
+/// `modeled_ms`/`modeled_mj` are `null` for stages no site priced.
+pub fn breakdown_json(title: &str, rows: &[StageBreakdown]) -> String {
+    let mut out = format!("{{\"name\":\"{}\",\"stages\":[", escape(title));
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n {{\"name\":\"{}\",\"kind\":\"{}\",\"count\":{},\"wall_ms\":{},\
+             \"ops\":{},\"modeled_ms\":{},\"modeled_mj\":{}}}",
+            escape(&r.name),
+            escape(&r.kind),
+            r.count,
+            fmt_f64(r.wall_ms),
+            r.ops.to_json(),
+            r.modeled_ms.map(fmt_f64).unwrap_or_else(|| "null".into()),
+            r.modeled_mj.map(fmt_f64).unwrap_or_else(|| "null".into()),
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Human-readable per-stage table over a set of spans; `Display` prints
+/// one row per stage name with measured wall time next to modeled
+/// Xavier time/energy.
+pub struct Summary<'a>(pub &'a [SpanData]);
+
+impl fmt::Display for Summary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<34} {:>5} {:>12} {:>12} {:>10}",
+            "stage", "count", "wall ms", "model ms", "model mJ"
+        )?;
+        writeln!(f, "{}", "-".repeat(78))?;
+        for r in breakdown(self.0) {
+            let model_ms = r
+                .modeled_ms
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into());
+            let model_mj = r
+                .modeled_mj
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into());
+            writeln!(
+                f,
+                "{:<34} {:>5} {:>12.3} {:>12} {:>10}",
+                r.name, r.count, r.wall_ms, model_ms, model_mj
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_spans() -> Vec<SpanData> {
+        vec![
+            SpanData {
+                name: "forward".into(),
+                kind: "model".into(),
+                depth: 0,
+                start_us: 0,
+                dur_us: 1000,
+                tid: 0,
+                ops: OpCounts::ZERO,
+                modeled_ms: None,
+                modeled_mj: None,
+            },
+            SpanData {
+                name: "sa1.sample(\"quoted\")".into(),
+                kind: "sample".into(),
+                depth: 1,
+                start_us: 100,
+                dur_us: 200,
+                tid: 0,
+                ops: OpCounts {
+                    dist3: 42,
+                    ..OpCounts::ZERO
+                },
+                modeled_ms: Some(0.5),
+                modeled_mj: Some(7.25),
+            },
+            SpanData {
+                name: "sa1.sample(\"quoted\")".into(),
+                kind: "sample".into(),
+                depth: 1,
+                start_us: 400,
+                dur_us: 300,
+                tid: 0,
+                ops: OpCounts {
+                    dist3: 8,
+                    ..OpCounts::ZERO
+                },
+                modeled_ms: Some(0.25),
+                modeled_mj: Some(1.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_complete_events() {
+        let doc = chrome_trace_json(&sample_spans());
+        let v = parse(&doc).unwrap();
+        let events = v.as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+            assert!(e
+                .get("args")
+                .unwrap()
+                .get("ops")
+                .unwrap()
+                .get("dist3")
+                .is_some());
+        }
+        let s = &events[1];
+        assert_eq!(
+            s.get("name").unwrap().as_str(),
+            Some("sa1.sample(\"quoted\")")
+        );
+        assert_eq!(
+            s.get("args").unwrap().get("modeled_ms").unwrap().as_f64(),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_name_in_first_seen_order() {
+        let rows = breakdown(&sample_spans());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "forward");
+        assert_eq!(rows[1].count, 2);
+        assert!((rows[1].wall_ms - 0.5).abs() < 1e-9);
+        assert_eq!(rows[1].ops.dist3, 50);
+        assert_eq!(rows[1].modeled_ms, Some(0.75));
+        assert_eq!(rows[1].modeled_mj, Some(8.25));
+        assert_eq!(rows[0].modeled_ms, None);
+    }
+
+    #[test]
+    fn breakdown_json_parses_and_preserves_fields() {
+        let rows = breakdown(&sample_spans());
+        let doc = breakdown_json("unit-test", &rows);
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("unit-test"));
+        let stages = v.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].get("modeled_ms"), Some(&crate::json::Value::Null));
+        assert_eq!(stages[1].get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            stages[1].get("ops").unwrap().get("dist3").unwrap().as_f64(),
+            Some(50.0)
+        );
+    }
+
+    #[test]
+    fn summary_lists_every_stage_once() {
+        let spans = sample_spans();
+        let text = format!("{}", Summary(&spans));
+        assert_eq!(text.matches("forward").count(), 1);
+        assert_eq!(text.matches("sa1.sample").count(), 1);
+        assert!(text.contains("wall ms"));
+        assert!(text.contains("model ms"));
+    }
+}

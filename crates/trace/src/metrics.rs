@@ -1,0 +1,254 @@
+//! Monotonic counters and log-linear latency histograms.
+//!
+//! Counters live directly on [`Registry`](crate::Registry)
+//! ([`incr`](crate::Registry::incr) / [`counter`](crate::Registry::counter));
+//! this module provides the [`Histogram`] they aggregate latencies into.
+//!
+//! The histogram is log-linear (HdrHistogram-style): each power-of-two
+//! range is split into [`SUB_BUCKETS`] linear sub-buckets, giving a
+//! bounded relative quantization error (< 1/16 ≈ 6.25%) across the full
+//! `u64` microsecond range with a fixed, small memory footprint.
+
+/// Linear sub-buckets per power-of-two range.
+pub const SUB_BUCKETS: u64 = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// A log-linear histogram of `u64` observations (microseconds, here).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let minor = (v >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS as usize + minor as usize
+    }
+}
+
+/// Inclusive lower bound of the bucket at `index`.
+fn bucket_low(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        index as u64
+    } else {
+        let major = (index / SUB_BUCKETS as usize - 1) as u32 + SUB_BITS;
+        let minor = (index % SUB_BUCKETS as usize) as u64;
+        (1u64 << major) + (minor << (major - SUB_BITS))
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the observations (exact — tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest observation (exact), or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (exact), or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, quantized to its bucket's lower
+    /// bound (relative error < 1/16). Exact `min`/`max` are reported for
+    /// the extreme quantiles.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp into the truly observed range: the lower bound of
+                // the first/last bucket can undershoot min / overshoot max.
+                return bucket_low(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let i = bucket_index(v);
+            assert!(i == prev || i == prev + 1, "gap at {v}: {prev} -> {i}");
+            prev = i;
+            assert!(bucket_low(i) <= v, "lower bound {} > {v}", bucket_low(i));
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for v in [17u64, 100, 999, 12_345, 1 << 30, u64::MAX / 3] {
+            let low = bucket_low(bucket_index(v));
+            assert!(low <= v);
+            // Bucket width is at most 1/16 of the value's magnitude.
+            assert!((v - low) as f64 <= v as f64 / 16.0 + 1.0, "{v} vs {low}");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_uniform_1_to_1000() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Each percentile is within one bucket (6.25%) of the true value.
+        for (q, truth) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - truth).abs() <= truth / 16.0 + 1.0,
+                "q{q}: got {got}, want ~{truth}"
+            );
+            assert!(got <= truth, "bucket lower bound never overshoots");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_a_bimodal_distribution() {
+        // 90 fast (10µs) + 10 slow (10_000µs): p50 sits on the fast mode,
+        // p95/p99 on the slow mode.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(10_000);
+        }
+        assert_eq!(h.p50(), 10);
+        assert!(
+            h.p95() >= 9_000,
+            "p95 {} should be in the slow mode",
+            h.p95()
+        );
+        assert!(h.p99() >= 9_000);
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.quantile(0.0), 10);
+    }
+
+    #[test]
+    fn single_observation_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.observe(123);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

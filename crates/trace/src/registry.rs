@@ -1,0 +1,258 @@
+//! Thread-safe span/metric aggregation.
+//!
+//! A [`Registry`] collects completed spans, counters, and latency
+//! histograms. One process-wide registry is reachable via [`global`];
+//! tests and harnesses that need isolated capture (several run in
+//! parallel under `cargo test`) install their own with [`with_local`],
+//! which shadows the global one on the current thread only.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::span::SpanData;
+
+/// Collects spans, counters, and histograms from any number of threads.
+pub struct Registry {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanData>,
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry; its epoch (span timestamp zero) is now.
+    pub fn new() -> Self {
+        Registry {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Microseconds since this registry was created.
+    pub fn elapsed_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Stores a completed span and folds it into the per-stage metrics
+    /// (counter `span.<kind>`, histogram keyed by the span name).
+    pub fn record(&self, span: SpanData) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner
+            .counters
+            .entry(format!("span.{}", span.kind))
+            .or_insert(0) += 1;
+        inner
+            .histograms
+            .entry(span.name.clone())
+            .or_default()
+            .observe(span.dur_us);
+        inner.spans.push(span);
+    }
+
+    /// Increments the named monotonic counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records one latency observation (µs) in the named histogram.
+    pub fn observe_us(&self, name: &str, us: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(us);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the named latency histogram, if any observations exist.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().unwrap().histograms.get(name).cloned()
+    }
+
+    /// Names of all histograms with at least one observation, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .lock()
+            .unwrap()
+            .histograms
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Copies out all recorded spans (in completion order).
+    pub fn spans(&self) -> Vec<SpanData> {
+        self.inner.lock().unwrap().spans.clone()
+    }
+
+    /// Removes and returns all recorded spans.
+    pub fn drain_spans(&self) -> Vec<SpanData> {
+        std::mem::take(&mut self.inner.lock().unwrap().spans)
+    }
+
+    /// Number of spans currently held.
+    pub fn span_count(&self) -> usize {
+        self.inner.lock().unwrap().spans.len()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+thread_local! {
+    static INSTALLED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-wide registry (created on first use).
+pub fn global() -> Arc<Registry> {
+    GLOBAL.get_or_init(|| Arc::new(Registry::new())).clone()
+}
+
+/// The registry spans on this thread record into: the innermost
+/// [`with_local`]/[`with_registry`] installation, else [`global`].
+pub(crate) fn current() -> Arc<Registry> {
+    INSTALLED
+        .with(|s| s.borrow().last().cloned())
+        .unwrap_or_else(global)
+}
+
+/// Runs `f` with a fresh registry installed on this thread, returning
+/// `f`'s result together with every span it recorded. The installation
+/// is thread-local, so parallel tests capture independently; threads
+/// spawned inside `f` should use [`span_in`](crate::span_in) with a
+/// handle obtained via [`with_registry`] instead.
+pub fn with_local<T>(f: impl FnOnce() -> T) -> (T, Vec<SpanData>) {
+    let reg = Arc::new(Registry::new());
+    let out = with_registry(reg.clone(), f);
+    let spans = reg.drain_spans();
+    (out, spans)
+}
+
+/// Runs `f` with `reg` installed as this thread's current registry
+/// (restored on exit, even on unwind).
+pub fn with_registry<T>(reg: Arc<Registry>, f: impl FnOnce() -> T) -> T {
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            INSTALLED.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    INSTALLED.with(|s| s.borrow_mut().push(reg));
+    let _guard = Uninstall;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{span, span_in};
+
+    #[test]
+    fn with_local_captures_only_its_own_spans() {
+        let ((), outer) = with_local(|| {
+            let _s = span("outer-span", "test");
+            let ((), inner) = with_local(|| {
+                let _s = span("inner-span", "test");
+            });
+            assert_eq!(inner.len(), 1);
+            assert_eq!(inner[0].name, "inner-span");
+        });
+        assert_eq!(outer.len(), 1);
+        assert_eq!(outer[0].name, "outer-span");
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let reg = Registry::new();
+        reg.incr("points.processed", 100);
+        reg.incr("points.processed", 28);
+        assert_eq!(reg.counter("points.processed"), 128);
+        assert_eq!(reg.counter("never"), 0);
+        reg.observe_us("stage", 50);
+        reg.observe_us("stage", 150);
+        let h = reg.histogram("stage").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(reg.histogram("missing").is_none());
+        assert_eq!(reg.histogram_names(), vec!["stage".to_string()]);
+    }
+
+    #[test]
+    fn recording_a_span_feeds_metrics() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _s = span_in(reg.clone(), "sa1.sample", "sample");
+        }
+        assert_eq!(reg.counter("span.sample"), 1);
+        assert!(reg.histogram("sa1.sample").is_some());
+        assert_eq!(reg.span_count(), 1);
+    }
+
+    #[test]
+    fn aggregation_is_thread_safe_under_concurrent_spans() {
+        let reg = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let mut s = span_in(reg.clone(), format!("worker{t}.step"), "concurrent");
+                        s.set_ops(edgepc_geom::OpCounts {
+                            dist3: i,
+                            ..edgepc_geom::OpCounts::ZERO
+                        });
+                        reg.incr("iterations", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("iterations"), 400);
+        assert_eq!(reg.counter("span.concurrent"), 400);
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 400);
+        // Each thread's 50 spans all survived, with their ops intact.
+        for t in 0..8 {
+            let name = format!("worker{t}.step");
+            let mine: Vec<_> = spans.iter().filter(|s| s.name == name).collect();
+            assert_eq!(mine.len(), 50);
+            let total: u64 = mine.iter().map(|s| s.ops.dist3).sum();
+            assert_eq!(total, (0..50).sum::<u64>());
+            assert_eq!(reg.histogram(&name).unwrap().count(), 50);
+        }
+        // Thread ids distinguish the recording threads.
+        let tids: std::collections::HashSet<u64> = spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 8);
+    }
+}

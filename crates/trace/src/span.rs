@@ -1,0 +1,199 @@
+//! RAII spans: time a stage, attach its op counts and modeled cost, and
+//! record the result into a [`Registry`] on drop.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use edgepc_geom::OpCounts;
+
+use crate::registry::{current, Registry};
+
+/// One completed span, as stored in a [`Registry`].
+///
+/// Wall-clock timing (`start_us`, `dur_us`) sits next to the modeled
+/// Jetson-Xavier cost (`modeled_ms`, `modeled_mj`) the recording site
+/// computed from the same stage's [`OpCounts`] — the paper's
+/// measured-work/modeled-time split made visible per stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanData {
+    /// Stage name, e.g. `"sa1.sample(morton)"`.
+    pub name: String,
+    /// Category, e.g. `"sample"`, `"search"`, `"fc"`, `"model"`.
+    pub kind: String,
+    /// Nesting depth at record time (0 = top level on its thread).
+    pub depth: usize,
+    /// Microseconds since the registry's epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Thread id the span ran on (dense ids assigned per registry use).
+    pub tid: u64,
+    /// Operations the stage performed (measured, not modeled).
+    pub ops: OpCounts,
+    /// Modeled device time in milliseconds, if the site priced the stage.
+    pub modeled_ms: Option<f64>,
+    /// Modeled device energy in millijoules, if the site priced the stage.
+    pub modeled_mj: Option<f64>,
+}
+
+impl SpanData {
+    /// Wall-clock duration in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.dur_us as f64 / 1e3
+    }
+
+    /// True if `other` lies entirely within this span's time range —
+    /// the nesting relation the Chrome trace viewer renders.
+    pub fn encloses(&self, other: &SpanData) -> bool {
+        self.start_us <= other.start_us
+            && other.start_us + other.dur_us <= self.start_us + self.dur_us
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+fn thread_id() -> u64 {
+    TID.with(|t| {
+        if t.get() == u64::MAX {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// An in-flight span. Records itself into its registry when dropped.
+///
+/// Create with [`span`] (records into the current registry) or
+/// [`span_in`] (explicit registry — use from spawned threads, which do
+/// not inherit the parent thread's registry installation).
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    reg: Arc<Registry>,
+    name: String,
+    kind: String,
+    depth: usize,
+    start: Instant,
+    start_us: u64,
+    ops: OpCounts,
+    modeled_ms: Option<f64>,
+    modeled_mj: Option<f64>,
+}
+
+/// Opens a span on the current thread's registry (see
+/// [`with_local`](crate::with_local) / [`global`](crate::global)).
+pub fn span(name: impl Into<String>, kind: impl Into<String>) -> SpanGuard {
+    span_in(current(), name, kind)
+}
+
+/// Opens a span on an explicit registry.
+pub fn span_in(reg: Arc<Registry>, name: impl Into<String>, kind: impl Into<String>) -> SpanGuard {
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    let start_us = reg.elapsed_us();
+    SpanGuard {
+        reg,
+        name: name.into(),
+        kind: kind.into(),
+        depth,
+        start: Instant::now(),
+        start_us,
+        ops: OpCounts::ZERO,
+        modeled_ms: None,
+        modeled_mj: None,
+    }
+}
+
+impl SpanGuard {
+    /// Attaches the stage's measured op counts.
+    pub fn set_ops(&mut self, ops: OpCounts) {
+        self.ops = ops;
+    }
+
+    /// Attaches the modeled device time (ms) and energy (mJ) for the
+    /// stage, computed by the caller from its op counts via `edgepc-sim`.
+    pub fn set_modeled(&mut self, ms: f64, mj: f64) {
+        self.modeled_ms = Some(ms);
+        self.modeled_mj = Some(mj);
+    }
+
+    /// Builder form of [`set_ops`](Self::set_ops).
+    pub fn with_ops(mut self, ops: OpCounts) -> Self {
+        self.set_ops(ops);
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        let data = SpanData {
+            name: std::mem::take(&mut self.name),
+            kind: std::mem::take(&mut self.kind),
+            depth: self.depth,
+            start_us: self.start_us,
+            dur_us,
+            tid: thread_id(),
+            ops: self.ops,
+            modeled_ms: self.modeled_ms,
+            modeled_mj: self.modeled_mj,
+        };
+        self.reg.record(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn span_records_on_drop_with_nesting_depth() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _a = span_in(reg.clone(), "outer", "model");
+            {
+                let mut b = span_in(reg.clone(), "inner", "sample");
+                b.set_ops(OpCounts {
+                    dist3: 7,
+                    ..OpCounts::ZERO
+                });
+                b.set_modeled(1.25, 20.0);
+            }
+        }
+        let spans = reg.drain_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first, so it is recorded first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[0].ops.dist3, 7);
+        assert_eq!(spans[0].modeled_ms, Some(1.25));
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert!(spans[1].encloses(&spans[0]));
+    }
+
+    #[test]
+    fn depth_rebalances_after_drop() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _a = span_in(reg.clone(), "first", "x");
+        }
+        {
+            let _b = span_in(reg.clone(), "second", "x");
+        }
+        let spans = reg.drain_spans();
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 0);
+    }
+}

@@ -40,7 +40,7 @@ fn main() {
         .cloud
         .clone();
 
-    let mut report = |label: &str, tiny: PipelineStrategy, paper: PipelineStrategy| {
+    let report = |label: &str, tiny: PipelineStrategy, paper: PipelineStrategy| {
         let mut model = DgcnnClassifier::new(&DgcnnConfig::tiny(tiny), ds.num_classes);
         let rep = train_dgcnn_classifier(&mut model, &ds, 30, 0.002);
         let mut full = DgcnnClassifier::new(&DgcnnConfig::paper(paper), ds.num_classes);

@@ -4,11 +4,22 @@
 //! memory overhead — the exploration the paper uses to pick 32-bit codes
 //! and its per-application window.
 //!
+//! The sweep runs under a local [`edgepc_trace`] registry, so it finishes
+//! by printing a per-stage span summary: measured wall time for every
+//! sampler / neighbor-search invocation next to the op counts the sweep
+//! accumulated.
+//!
 //! Run with `cargo run --release --example latency_explorer`.
 
 use edgepc::prelude::*;
 
 fn main() {
+    let (_, spans) = edgepc_trace::with_local(explore);
+    println!("\n-- span summary (measured wall time per stage) --");
+    print!("{}", edgepc_trace::export::Summary(&spans));
+}
+
+fn explore() {
     let cloud = scannet_like(&DatasetConfig {
         classes: 1,
         train_per_class: 1,
@@ -31,7 +42,10 @@ fn main() {
     );
 
     println!("-- Morton code width sweep (window W = 4k) --");
-    println!("{:<12} {:>12} {:>10} {:>14}", "bits/axis", "code bytes", "FNR", "latency");
+    println!(
+        "{:<12} {:>12} {:>10} {:>14}",
+        "bits/axis", "code bytes", "FNR", "latency"
+    );
     for bits in [4u32, 6, 8, 10, 12, 14] {
         let s = Structurizer::new(bits);
         let r = MortonWindowSearcher::new(4 * k, bits).search(&cloud, &queries, k);
@@ -43,12 +57,19 @@ fn main() {
             s.code_overhead_bytes(cloud.len()),
             100.0 * fnr,
             t,
-            if bits == 10 { "   <- paper design point (32-bit codes)" } else { "" }
+            if bits == 10 {
+                "   <- paper design point (32-bit codes)"
+            } else {
+                ""
+            }
         );
     }
 
     println!("\n-- window sweep (10 bits/axis) --");
-    println!("{:<12} {:>10} {:>14} {:>12}", "W", "FNR", "latency", "speedup");
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "W", "FNR", "latency", "speedup"
+    );
     for factor in [1usize, 2, 4, 8, 16, 32] {
         let r = MortonWindowSearcher::new(factor * k, 10).search(&cloud, &queries, k);
         let fnr = false_neighbor_ratio(&r.neighbors, &exact.neighbors);

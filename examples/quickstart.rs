@@ -9,12 +9,17 @@ use edgepc::prelude::*;
 fn main() {
     // A scanned-looking cloud: the 40 256-point bunny-like model.
     let cloud = bunny();
-    println!("cloud: {} points, bbox extent {}", cloud.len(), cloud.bounding_box().extent());
+    println!(
+        "cloud: {} points, bbox extent {}",
+        cloud.len(),
+        cloud.bounding_box().extent()
+    );
 
     // --- Structurize: sort along the Z-order curve ---
     let structurized = Structurizer::paper_default().structurize(&cloud);
     println!(
-        "structurized with {}-bit Morton codes ({} extra bytes)",
+        "structurized {} points with {}-bit Morton codes ({} extra bytes)",
+        structurized.cloud().len(),
         Structurizer::paper_default().code_bits(),
         Structurizer::paper_default().code_overhead_bytes(cloud.len()),
     );
@@ -25,7 +30,10 @@ fn main() {
     let morton = MortonSampler::paper_default().sample(&cloud, n);
     let device = XavierModel::jetson_agx_xavier();
     println!("\nsampling {n} points:");
-    for (name, r) in [("farthest point sampling", &fps), ("morton sampler", &morton)] {
+    for (name, r) in [
+        ("farthest point sampling", &fps),
+        ("morton sampler", &morton),
+    ] {
         let t = device.stage_time_ms(&r.ops, ExecMode::Pipeline);
         let quality = coverage_radius(cloud.points(), r.extract(&cloud).points());
         println!(
@@ -41,9 +49,15 @@ fn main() {
     let window = MortonWindowSearcher::new(4 * k, 10).search(&cloud, &queries, k);
     let fnr = false_neighbor_ratio(&window.neighbors, &exact.neighbors);
     println!("\nneighbor search, {} queries, k = {k}:", queries.len());
-    for (name, r) in [("brute-force k-NN", &exact), ("morton window (W = 4k)", &window)] {
+    for (name, r) in [
+        ("brute-force k-NN", &exact),
+        ("morton window (W = 4k)", &window),
+    ] {
         let t = device.stage_time_ms(&r.ops, ExecMode::Pipeline);
         println!("  {name:<26} {t:>10.2} ms on-device");
     }
-    println!("  false neighbor ratio of the approximation: {:.1}%", 100.0 * fnr);
+    println!(
+        "  false neighbor ratio of the approximation: {:.1}%",
+        100.0 * fnr
+    );
 }

@@ -15,12 +15,16 @@ fn main() {
         seed: 7,
     });
     let cloud = &ds.test[0].cloud;
-    println!("scene: {} points, {} semantic classes", cloud.len(), ds.num_classes);
+    println!(
+        "scene: {} points, {} semantic classes",
+        cloud.len(),
+        ds.num_classes
+    );
 
     let device = XavierModel::jetson_agx_xavier();
     let energy = EnergyModel::jetson_agx_xavier();
 
-    let mut run = |label: &str, strategy: PipelineStrategy, state: PowerState| {
+    let run = |label: &str, strategy: PipelineStrategy, state: PowerState| {
         let config = PointNetPpConfig::paper(cloud.len(), strategy);
         let mut model = PointNetPpSeg::new(&config, ds.num_classes);
         let (logits, records) = model.forward(cloud);
@@ -42,12 +46,18 @@ fn main() {
         cost.total_ms()
     };
 
-    let base = run("baseline (FPS + ball query + exact interp)",
-        PipelineStrategy::baseline(), PowerState::default());
+    let base = run(
+        "baseline (FPS + ball query + exact interp)",
+        PipelineStrategy::baseline(),
+        PowerState::default(),
+    );
     let edge = run(
         "EdgePC (Morton sample + window search + stride interp)",
         PipelineStrategy::edgepc_pointnetpp(4, 128),
-        PowerState { morton_approx: true, neighbor_reuse: false },
+        PowerState {
+            morton_approx: true,
+            neighbor_reuse: false,
+        },
     );
     println!("\nend-to-end speedup: {:.2}x", base / edge);
 }

@@ -24,8 +24,12 @@ fn datasets() -> Vec<(&'static str, PointCloud)> {
 fn morton_sampling_coverage_tracks_fps_on_all_datasets() {
     for (name, cloud) in datasets() {
         let n = 128;
-        let fps = FarthestPointSampler::new().sample(&cloud, n).extract(&cloud);
-        let mc = MortonSampler::paper_default().sample(&cloud, n).extract(&cloud);
+        let fps = FarthestPointSampler::new()
+            .sample(&cloud, n)
+            .extract(&cloud);
+        let mc = MortonSampler::paper_default()
+            .sample(&cloud, n)
+            .extract(&cloud);
         let ch_fps = chamfer_distance(cloud.points(), fps.points());
         let ch_mc = chamfer_distance(cloud.points(), mc.points());
         assert!(
@@ -49,7 +53,10 @@ fn window_search_fnr_is_bounded_and_monotone_on_all_datasets() {
                 fnr <= last + 0.03,
                 "{name}: FNR not monotone at W={factor}k: {fnr} after {last}"
             );
-            assert!(fnr < 0.8, "{name}: FNR {fnr} at W={factor}k is uselessly high");
+            assert!(
+                fnr < 0.8,
+                "{name}: FNR {fnr} at W={factor}k is uselessly high"
+            );
             last = fnr;
         }
     }
@@ -79,8 +86,10 @@ fn all_exact_searchers_agree_on_all_datasets() {
             // the realized distance multisets instead of raw indices.
             let q = cloud.point(queries[qi]);
             let dists = |v: &Vec<usize>| {
-                let mut d: Vec<f32> =
-                    v.iter().map(|&j| q.distance_squared(cloud.point(j))).collect();
+                let mut d: Vec<f32> = v
+                    .iter()
+                    .map(|&j| q.distance_squared(cloud.point(j)))
+                    .collect();
                 d.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 d
             };
@@ -132,7 +141,9 @@ fn structuredness_improves_on_every_dataset() {
     for (name, cloud) in datasets() {
         // Sub-sample for the O(N^2) ground-truth computation.
         let small = cloud.permuted(&(0..cloud.len()).step_by(4).collect::<Vec<_>>());
-        let sorted = Structurizer::paper_default().structurize(&small).into_cloud();
+        let sorted = Structurizer::paper_default()
+            .structurize(&small)
+            .into_cloud();
         let raw_rate = window_hit_rate(small.points(), 4, 32);
         let sorted_rate = window_hit_rate(sorted.points(), 4, 32);
         assert!(

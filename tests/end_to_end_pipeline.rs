@@ -14,7 +14,10 @@ fn every_workload_characterizes() {
         let cost = characterize(w, Variant::Baseline, &cfg, POINTS.min(w.spec().points));
         assert!(cost.total_ms() > 0.0, "{w}: empty cost");
         assert!(cost.sample_and_neighbor_ms() > 0.0, "{w}: no S+N stages");
-        assert!(cost.time_of(StageKind::FeatureCompute) > 0.0, "{w}: no FC stages");
+        assert!(
+            cost.time_of(StageKind::FeatureCompute) > 0.0,
+            "{w}: no FC stages"
+        );
     }
 }
 
@@ -60,7 +63,10 @@ fn stage_records_carry_consistent_batches() {
 fn fc_stages_have_channel_annotations() {
     let cfg = EdgePcConfig::paper_default();
     let records = run_records(Workload::W1, Variant::SN, &cfg, POINTS);
-    for r in records.iter().filter(|r| r.kind == StageKind::FeatureCompute) {
+    for r in records
+        .iter()
+        .filter(|r| r.kind == StageKind::FeatureCompute)
+    {
         assert!(r.fc_k.is_some(), "{} lacks fc_k", r.name);
         assert!(r.ops.mac > 0, "{} has no MAC work", r.name);
     }
@@ -74,7 +80,10 @@ fn energy_accounting_is_consistent_with_latency() {
     // EdgePC energy = time x its (lower compute, higher memory) power; the
     // saving must be bounded by the latency ratio times the power ratio.
     let p_base = energy.power_w(PowerState::default());
-    let p_edge = energy.power_w(PowerState { morton_approx: true, neighbor_reuse: true });
+    let p_edge = energy.power_w(PowerState {
+        morton_approx: true,
+        neighbor_reuse: true,
+    });
     let bound = 1.0 - (p_edge / p_base) / c.e2e_speedup_sn;
     assert!(
         (c.energy_saving_sn - bound).abs() < 1e-9,
@@ -95,14 +104,24 @@ fn morton_variant_eliminates_fps_distance_work_in_first_layer() {
             .ops
     };
     assert!(sa1_sample(&base).dist3 > 0);
-    assert_eq!(sa1_sample(&edge).dist3, 0, "Morton sampling needs no distances");
+    assert_eq!(
+        sa1_sample(&edge).dist3,
+        0,
+        "Morton sampling needs no distances"
+    );
     assert!(sa1_sample(&edge).morton_encodes > 0);
 }
 
 #[test]
 fn window_factor_trades_quality_for_speed_at_pipeline_level() {
-    let narrow = EdgePcConfig { window_factor: 1, ..EdgePcConfig::paper_default() };
-    let wide = EdgePcConfig { window_factor: 8, ..EdgePcConfig::paper_default() };
+    let narrow = EdgePcConfig {
+        window_factor: 1,
+        ..EdgePcConfig::paper_default()
+    };
+    let wide = EdgePcConfig {
+        window_factor: 8,
+        ..EdgePcConfig::paper_default()
+    };
     let c_narrow = compare(Workload::W2, &narrow, POINTS);
     let c_wide = compare(Workload::W2, &wide, POINTS);
     assert!(

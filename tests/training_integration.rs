@@ -2,9 +2,7 @@
 //! task family, at unit-test scale.
 
 use edgepc::prelude::*;
-use edgepc_models::trainer::{
-    train_dgcnn_classifier, train_dgcnn_seg, train_pointnetpp_seg,
-};
+use edgepc_models::trainer::{train_dgcnn_classifier, train_dgcnn_seg, train_pointnetpp_seg};
 
 #[test]
 fn dgcnn_classifier_trains_with_edgepc_graphs() {
@@ -57,10 +55,7 @@ fn pointnetpp_trains_under_both_strategy_sets() {
         ("baseline", PipelineStrategy::baseline_exact()),
         ("edgepc", PipelineStrategy::edgepc_pointnetpp(2, 24)),
     ] {
-        let mut model = PointNetPpSeg::new(
-            &PointNetPpConfig::tiny(6, strategy),
-            ds.num_classes,
-        );
+        let mut model = PointNetPpSeg::new(&PointNetPpConfig::tiny(6, strategy), ds.num_classes);
         let rep = train_pointnetpp_seg(&mut model, &ds, 6, 0.005);
         assert!(
             rep.epoch_losses.last().unwrap() < rep.epoch_losses.first().unwrap(),
@@ -97,8 +92,7 @@ fn retraining_closes_the_transplant_gap() {
         DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 16)), 3);
     let mut it = stash.into_iter();
     transplanted.visit_params(&mut |p, _| p.copy_from_slice(&it.next().unwrap()));
-    let transplant_acc =
-        edgepc_models::trainer::eval_dgcnn_classifier(&mut transplanted, &ds);
+    let transplant_acc = edgepc_models::trainer::eval_dgcnn_classifier(&mut transplanted, &ds);
 
     // Retrained EdgePC model.
     let mut retrained =
