@@ -3,7 +3,29 @@
 #   1. formatting          cargo fmt --check
 #   2. lints               cargo clippy -D warnings (all targets)
 #   3. tier-1              release build + test suite
+#
+# Optional performance smoke (see EXPERIMENTS.md, "Benchmarking &
+# regression policy"):
+#   --perf-smoke    after the gates above, run the statistical benchmark
+#                   runner in its fast configuration and diff the fresh
+#                   recording against the committed results/BENCH.json
+#                   baseline. Warn-only: shared-runner noise makes hard
+#                   wall-time gates unreliable in CI.
+#   --perf-strict   same, but regressions beyond the noise band fail the
+#                   script (exit 1). Use locally on a quiet machine.
 set -eu
+
+PERF_MODE=""
+for arg in "$@"; do
+    case "$arg" in
+        --perf-smoke)  PERF_MODE="warn" ;;
+        --perf-strict) PERF_MODE="strict" ;;
+        *)
+            echo "usage: ci.sh [--perf-smoke | --perf-strict]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -19,5 +41,18 @@ cargo test -q
 
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
+
+if [ -n "$PERF_MODE" ]; then
+    echo "==> perf smoke: bench_all --smoke vs committed results/BENCH.json"
+    cargo run --release -q -p edgepc-bench --bin bench_all -- \
+        --smoke --out target/BENCH.smoke.json
+    if [ "$PERF_MODE" = "warn" ]; then
+        cargo run --release -q -p edgepc-bench --bin bench_compare -- \
+            results/BENCH.json target/BENCH.smoke.json --warn-only
+    else
+        cargo run --release -q -p edgepc-bench --bin bench_compare -- \
+            results/BENCH.json target/BENCH.smoke.json
+    fi
+fi
 
 echo "CI OK"

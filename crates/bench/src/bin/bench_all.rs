@@ -1,0 +1,109 @@
+//! Records the canonical performance baseline: runs every scenario of
+//! `edgepc-perf` with warmup + repeated timing, online quality auditing
+//! enabled, and writes `results/BENCH.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p edgepc-bench --bin bench_all [-- --smoke] [-- --out PATH]
+//! ```
+//!
+//! `--smoke` switches to the fast CI configuration (1 warmup, 3 repeats);
+//! the default is the baseline-recording configuration (2 warmups, 7
+//! repeats). `--out PATH` writes the document somewhere other than
+//! `results/BENCH.json` — used by `ci.sh --perf-smoke` to compare a fresh
+//! run against the committed baseline without overwriting it.
+//!
+//! Compare two recordings with the `bench_compare` binary; the schema and
+//! the regression rule are documented in EXPERIMENTS.md ("Benchmarking &
+//! regression policy").
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use edgepc_bench::report;
+use edgepc_perf::{
+    bench_json, enable_default_auditing, paper_scenarios, run_scenario, RunnerConfig,
+};
+
+fn main() -> ExitCode {
+    let mut cfg = RunnerConfig::paper_default();
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cfg = RunnerConfig::smoke(),
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_all [--smoke] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "edgepc benchmark observatory: {} warmup + {} timed runs per scenario",
+        cfg.warmup, cfg.repeats
+    );
+    enable_default_auditing();
+
+    let mut results = Vec::new();
+    for mut scenario in paper_scenarios() {
+        let r = run_scenario(&cfg, &mut scenario);
+        println!(
+            "{:<40} median {:>9.3} ms  mad {:>7.3} ms  min {:>9.3} ms  noise {:>5.1}%{}",
+            r.id,
+            r.stats.median_ms,
+            r.stats.mad_ms,
+            r.stats.min_ms,
+            100.0 * r.stats.relative_noise(),
+            if r.quality.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  [{}]",
+                    r.quality
+                        .iter()
+                        .map(|(k, v)| format!("{}={v:.4}", k.trim_start_matches("audit.")))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+        results.push(r);
+    }
+
+    let doc = bench_json(&cfg, &results);
+    let (dir, name) = match &out {
+        Some(path) => {
+            let dir = path
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "BENCH".to_string());
+            (dir, name)
+        }
+        None => (report::results_dir(), "BENCH".to_string()),
+    };
+    match report::write_into(&dir, &name, &doc) {
+        Ok(path) => {
+            println!("\nwrote {} ({} scenarios)", path.display(), results.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("\nerror: could not write {name}.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Diffs two `BENCH.json` recordings and gates on regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p edgepc-bench --bin bench_compare -- \
+//!     OLD.json NEW.json [--threshold-pct 5] [--mad-factor 3] [--warn-only]
+//! ```
+//!
+//! A scenario counts as a regression when its median slows by more than
+//! `max(threshold × old_median, mad_factor × max(old_mad, new_mad))` —
+//! see EXPERIMENTS.md ("Benchmarking & regression policy"). Exit status
+//! is 1 when any scenario regresses, unless `--warn-only` is given
+//! (CI's default, where shared-runner noise makes hard wall-time gates
+//! unreliable); parse/usage errors exit 2.
+
+use std::process::ExitCode;
+
+use edgepc_perf::{compare_bench_docs, CompareConfig};
+
+fn main() -> ExitCode {
+    let mut cfg = CompareConfig::default();
+    let mut warn_only = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--threshold-pct" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => cfg.rel_threshold = v / 100.0,
+                _ => return usage("--threshold-pct needs a non-negative number"),
+            },
+            "--mad-factor" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => cfg.mad_factor = v,
+                _ => return usage("--mad-factor needs a non-negative number"),
+            },
+            other if other.starts_with("--") => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage("expected exactly two BENCH.json paths");
+    };
+
+    let old = match std::fs::read_to_string(old_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {old_path}: {e}")),
+    };
+    let new = match std::fs::read_to_string(new_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {new_path}: {e}")),
+    };
+    let cmp = match compare_bench_docs(&old, &new, &cfg) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+
+    println!(
+        "comparing {old_path} -> {new_path}  (band: max({:.1}% of old median, {:.1} x MAD))",
+        100.0 * cfg.rel_threshold,
+        cfg.mad_factor
+    );
+    for d in &cmp.diffs {
+        let change = d
+            .rel_change()
+            .map(|c| format!("{:+.1}%", 100.0 * c))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<12} {:<40} old {:>9} ms  new {:>9} ms  change {:>7}  band {:>8}",
+            d.verdict.to_string(),
+            d.id,
+            d.old_median_ms
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            d.new_median_ms
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            change,
+            d.allowed_ms
+                .map(|v| format!("{v:.3} ms"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    let regressions = cmp.regressions();
+    println!(
+        "\n{} scenario(s), {} regression(s)",
+        cmp.diffs.len(),
+        regressions
+    );
+    if regressions > 0 && !warn_only {
+        ExitCode::FAILURE
+    } else {
+        if regressions > 0 {
+            println!("warn-only mode: not failing");
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bench_compare OLD.json NEW.json \
+         [--threshold-pct N] [--mad-factor N] [--warn-only]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

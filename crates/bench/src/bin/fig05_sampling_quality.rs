@@ -9,7 +9,7 @@
 //! Run with `cargo run --release -p edgepc-bench --bin fig05_sampling_quality`.
 
 use edgepc::prelude::*;
-use edgepc_bench::{banner, ms, row};
+use edgepc_bench::{banner, ms, report, row};
 
 fn main() {
     banner(
@@ -17,6 +17,10 @@ fn main() {
         "Morton-uniform coverage ~ FPS coverage; raw uniform visibly worse; \
          FPS 81.7 ms vs uniform ~1 ms",
     );
+    report::capture("fig05_sampling_quality", run);
+}
+
+fn run() {
     let cloud = bunny();
     let n = 1024;
     println!("model: bunny-like, {} points, sampling {n}", cloud.len());

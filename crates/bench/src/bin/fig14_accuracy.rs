@@ -12,7 +12,7 @@
 //! Run with `cargo run --release -p edgepc-bench --bin fig14_accuracy`.
 
 use edgepc::prelude::*;
-use edgepc_bench::{banner, pct, row};
+use edgepc_bench::{banner, pct, report, row};
 use edgepc_models::trainer::{
     eval_dgcnn_classifier, train_dgcnn_classifier, train_dgcnn_seg, train_pointnetpp_seg,
 };
@@ -22,7 +22,10 @@ fn main() {
         "Figure 14a: accuracy, baseline vs retrained EdgePC (reduced models)",
         "accuracy drop within 2% after retraining; large drop without retraining",
     );
+    report::capture("fig14_accuracy", run);
+}
 
+fn run() {
     // --- W3-like: DGCNN(c) classification ---
     let ds = modelnet_like(&DatasetConfig {
         classes: 6,

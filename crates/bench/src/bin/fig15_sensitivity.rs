@@ -12,7 +12,7 @@
 
 use edgepc::prelude::*;
 use edgepc::{analysis::run_records, EdgePcConfig, Variant, Workload};
-use edgepc_bench::{banner, pct, speedup};
+use edgepc_bench::{banner, pct, report, speedup};
 use edgepc_models::trainer::train_pointnetpp_seg;
 
 fn main() {
@@ -20,8 +20,10 @@ fn main() {
         "Figure 15: sensitivity to window size and optimized-layer count",
         "(a) FNR ~5% at wide windows, speedup falls; (b) 1 layer: 2.9x at -1.2% acc",
     );
-    part_a();
-    part_b();
+    report::capture("fig15_sensitivity", || {
+        part_a();
+        part_b();
+    });
 }
 
 fn part_a() {

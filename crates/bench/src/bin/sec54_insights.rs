@@ -12,7 +12,7 @@
 
 use edgepc::prelude::*;
 use edgepc::{compare, EdgePcConfig, Workload};
-use edgepc_bench::{banner, ms, pct, row, speedup};
+use edgepc_bench::{banner, ms, pct, report, row, speedup};
 use edgepc_geom::rng::StdRng;
 
 fn main() {
@@ -20,8 +20,10 @@ fn main() {
         "Sec 5.4: shifted-bottleneck insights",
         "TC reshape 40.4->18.3 ms (2.2x), +27% E2E; sorted gather -53.9% L2 / -25.7% DRAM",
     );
-    tensor_cores();
-    grouping_traffic();
+    report::capture("sec54_insights", || {
+        tensor_cores();
+        grouping_traffic();
+    });
 }
 
 fn tensor_cores() {

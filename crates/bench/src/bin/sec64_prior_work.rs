@@ -9,7 +9,7 @@
 //! Run with `cargo run --release -p edgepc-bench --bin sec64_prior_work`.
 
 use edgepc::{compare, EdgePcConfig, Workload};
-use edgepc_bench::{banner, ms, row, speedup};
+use edgepc_bench::{banner, ms, report, row, speedup};
 use edgepc_models::delayed::{
     conventional_schedule, delayed_aggregation_schedule, paper_sa1_shape, SaShape,
 };
@@ -21,6 +21,10 @@ fn main() {
         "Sec 6.4: delayed aggregation (Mesorasi) vs EdgePC",
         "DA: FC 2.1x faster, grouping 2.73x slower, E2E only 1.12x",
     );
+    report::capture("sec64_prior_work", run);
+}
+
+fn run() {
     let device = XavierModel::jetson_agx_xavier();
     let batch = Workload::W1.spec().batch as u64;
 

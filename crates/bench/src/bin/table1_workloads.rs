@@ -5,7 +5,8 @@
 //! Run with `cargo run --release -p edgepc-bench --bin table1_workloads`.
 
 use edgepc::Workload;
-use edgepc_bench::banner;
+use edgepc_bench::{banner, report};
+use edgepc_trace::json;
 
 fn main() {
     banner(
@@ -16,6 +17,7 @@ fn main() {
         "{:<4} {:<18} {:<16} {:>8} {:>7}  task",
         "id", "model", "dataset (ours)", "points", "batch"
     );
+    let mut rows = Vec::new();
     for w in Workload::ALL {
         let s = w.spec();
         println!(
@@ -27,10 +29,31 @@ fn main() {
             s.batch,
             s.task
         );
+        rows.push(format!(
+            "{{\"id\":\"{}\",\"model\":\"{}\",\"dataset\":\"{}\",\
+             \"points\":{},\"batch\":{},\"task\":\"{}\"}}",
+            json::escape(s.id),
+            json::escape(&format!("{:?}", s.model)),
+            json::escape(s.dataset),
+            s.points,
+            s.batch,
+            json::escape(&s.task.to_string()),
+        ));
     }
     println!(
         "\ndatasets are deterministic synthetic stand-ins with the paper's \
          cardinalities and tasks (DESIGN.md section 2); batch sizes follow \
          Sec. 6.2 where stated (W1 fixed 32, W2 average 14)."
     );
+
+    // This harness prints static configuration (no spans), so its results
+    // document is the workload table itself rather than a span breakdown.
+    let doc = format!(
+        "{{\"name\":\"table1_workloads\",\"workloads\":[{}]}}",
+        rows.join(",")
+    );
+    match report::write_into(&report::results_dir(), "table1_workloads", &doc) {
+        Ok(path) => eprintln!("\nwrote {} ({} workloads)", path.display(), rows.len()),
+        Err(e) => eprintln!("\nwarning: could not write results/table1_workloads.json: {e}"),
+    }
 }

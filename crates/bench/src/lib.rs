@@ -85,8 +85,10 @@ pub mod report {
     pub fn capture<T>(name: &str, f: impl FnOnce() -> T) -> T {
         let (value, spans) = with_local(f);
         let doc = breakdown_json(name, &breakdown(&spans));
+        // Stderr on success too: the recorded `results/<name>.txt` outputs
+        // are redirected stdout and should not embed machine-local paths.
         match write_into(&results_dir(), name, &doc) {
-            Ok(path) => println!(
+            Ok(path) => eprintln!(
                 "\nwrote {} ({} spans captured)",
                 path.display(),
                 spans.len()

@@ -61,8 +61,8 @@ pub mod prelude {
     };
     pub use edgepc_morton::{decode, encode, Structurizer, VoxelGrid};
     pub use edgepc_neighbor::{
-        false_neighbor_ratio, BallQuery, BruteKnn, GridSearcher, KdTree, MortonWindowSearcher,
-        NeighborSearcher,
+        false_neighbor_ratio, neighbor_quality, BallQuery, BruteKnn, GridSearcher, KdTree,
+        MortonWindowSearcher, NeighborQuality, NeighborSearcher,
     };
     pub use edgepc_sample::{
         FarthestPointSampler, MortonInterpolator, MortonSampler, RandomSampler, Sampler,

@@ -1,0 +1,67 @@
+//! End-to-end check that the online quality auditors in `edgepc-sample` /
+//! `edgepc-neighbor` fire from inside a full model forward pass and land
+//! in the same trace registry as the forward's spans — the "speed and
+//! approximation quality side by side" requirement.
+
+use edgepc_geom::{Point3, PointCloud};
+use edgepc_models::{PipelineStrategy, PointNetPpConfig, PointNetPpSeg};
+use edgepc_trace::export::registry_json;
+use edgepc_trace::with_local;
+
+fn scattered(n: usize) -> PointCloud {
+    let mut state = 0xabad_cafe_2026_0807u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(5);
+        ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+    };
+    (0..n)
+        .map(|_| Point3::new(next(), next(), next()))
+        .collect()
+}
+
+#[test]
+fn forward_pass_feeds_quality_auditors_into_trace_registry() {
+    let cloud = scattered(256);
+    let config = PointNetPpConfig::tiny(2, PipelineStrategy::edgepc_pointnetpp(2, 8));
+    let mut model = PointNetPpSeg::new(&config, 2);
+
+    // Audit every sampler call and every 4th window-search query.
+    edgepc_sample::audit::set_sample_audit_stride(1);
+    edgepc_neighbor::audit::set_search_audit_stride(4);
+    let ((), spans) = with_local(|| {
+        let reg = edgepc_trace::current_registry();
+        let (logits, _records) = model.forward(&cloud);
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+
+        // Both auditors reported into the registry the forward ran under.
+        assert!(reg.counter("audit.sample.audits") >= 1);
+        assert!(reg.counter("audit.search.queries") >= 1);
+        let recall = reg.gauge("audit.search.recall_at_k").unwrap();
+        let fnr = reg.gauge("audit.search.false_neighbor_rate").unwrap();
+        assert!((0.0..=1.0).contains(&recall));
+        assert!((fnr + recall - 1.0).abs() < 1e-12);
+        assert!(reg.gauge("audit.sample.coverage_radius").unwrap() > 0.0);
+        assert!(reg.gauge("audit.sample.chamfer_distance").unwrap() > 0.0);
+
+        // And they are visible through the registry exporter, next to the
+        // span-derived metrics.
+        let doc = registry_json(&reg);
+        let v = edgepc_trace::json::parse(&doc).unwrap();
+        let gauges = v.get("gauges").unwrap();
+        assert!(gauges.get("audit.search.recall_at_k").is_some());
+        assert!(gauges.get("audit.sample.coverage_radius").is_some());
+    });
+    edgepc_sample::audit::set_sample_audit_stride(0);
+    edgepc_neighbor::audit::set_search_audit_stride(0);
+
+    // The forward's stage spans were captured alongside; audit work did not
+    // suppress or duplicate them.
+    assert!(spans.iter().any(|s| s.name == "pointnetpp.forward"));
+    assert_eq!(
+        spans
+            .iter()
+            .filter(|s| s.name == "pointnetpp.forward")
+            .count(),
+        1
+    );
+}

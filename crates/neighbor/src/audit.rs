@@ -1,0 +1,149 @@
+//! Online quality auditing for the approximate window searcher.
+//!
+//! EdgePC trades exactness for speed; this module keeps the size of that
+//! trade *observable in production runs* instead of only in offline
+//! figure harnesses. When enabled, [`MortonWindowSearcher`] re-runs an
+//! exact brute-force search for one in every `stride` queries it answers
+//! and publishes the cumulative false-neighbor rate / recall@k to the
+//! current [`edgepc_trace`] registry:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `audit.search.queries` | counter | queries audited so far |
+//! | `audit.search.reported_neighbors` | counter | neighbors checked |
+//! | `audit.search.false_neighbors` | counter | neighbors the exact search rejects |
+//! | `audit.search.false_neighbor_rate` | gauge | cumulative Fig. 6 ratio |
+//! | `audit.search.recall_at_k` | gauge | `1 −` the above |
+//!
+//! Auditing is **off by default** (`stride == 0`) and costs nothing when
+//! off beyond one relaxed atomic load per search call. The audit's own
+//! distance work is deliberately *not* added to the search's
+//! [`OpCounts`](edgepc_geom::OpCounts) or spans — it is measurement
+//! overhead, not pipeline work, and must not perturb the modeled cost.
+//!
+//! [`MortonWindowSearcher`]: crate::MortonWindowSearcher
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use edgepc_morton::Structurized;
+
+use crate::quality::neighbor_quality;
+use crate::select_k_nearest;
+
+/// Process-global query-sampling stride; 0 disables auditing.
+static QUERY_STRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Enables search auditing: every `stride`-th query of each
+/// [`search_structurized`](crate::MortonWindowSearcher::search_structurized)
+/// call is re-answered exactly and compared. `0` disables (the default).
+pub fn set_search_audit_stride(stride: usize) {
+    QUERY_STRIDE.store(stride, Ordering::Relaxed);
+}
+
+/// The currently configured query-sampling stride (0 = auditing off).
+pub fn search_audit_stride() -> usize {
+    QUERY_STRIDE.load(Ordering::Relaxed)
+}
+
+/// Audits the given window-search answer if auditing is enabled.
+/// `approx[i]` must be the sorted-position neighbor list for
+/// `query_positions[i]`, as produced inside `search_structurized`.
+pub(crate) fn maybe_audit_search(
+    s: &Structurized,
+    query_positions: &[usize],
+    k: usize,
+    approx: &[Vec<usize>],
+) {
+    let stride = search_audit_stride();
+    if stride == 0 || query_positions.is_empty() {
+        return;
+    }
+    let points = s.cloud().points();
+    let mut audited_approx: Vec<Vec<usize>> = Vec::new();
+    let mut audited_exact: Vec<Vec<usize>> = Vec::new();
+    let mut cmp_sink = 0u64; // audit work is not charged to pipeline ops
+    for (qi, &j) in query_positions.iter().enumerate().step_by(stride) {
+        let exact = select_k_nearest(
+            (0..points.len())
+                .filter(|&p| p != j)
+                .map(|p| (points[j].distance_squared(points[p]), p)),
+            k,
+            &mut cmp_sink,
+        );
+        audited_exact.push(exact);
+        audited_approx.push(approx[qi].clone());
+    }
+    let q = neighbor_quality(&audited_approx, &audited_exact);
+
+    let reg = edgepc_trace::current_registry();
+    reg.incr("audit.search.queries", q.queries as u64);
+    reg.incr("audit.search.reported_neighbors", q.reported as u64);
+    reg.incr("audit.search.false_neighbors", q.false_neighbors as u64);
+    // Gauges hold the *cumulative* rate over everything this registry has
+    // audited, so long runs converge instead of jittering per call.
+    let reported = reg.counter("audit.search.reported_neighbors");
+    let false_n = reg.counter("audit.search.false_neighbors");
+    if reported > 0 {
+        let fnr = false_n as f64 / reported as f64;
+        reg.set_gauge("audit.search.false_neighbor_rate", fnr);
+        reg.set_gauge("audit.search.recall_at_k", 1.0 - fnr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MortonWindowSearcher;
+    use edgepc_geom::{Point3, PointCloud};
+    use edgepc_morton::Structurizer;
+    use edgepc_trace::with_local;
+
+    fn scattered(n: usize) -> PointCloud {
+        let mut state = 0x51ab_13f0_77aa_0e01u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
+    }
+
+    /// The one test that toggles the process-global audit policy. Keeping
+    /// the toggle confined to a single test avoids interference with the
+    /// rest of the suite under parallel `cargo test`.
+    #[test]
+    fn audited_search_publishes_quality_metrics() {
+        let cloud = scattered(512);
+        let s = Structurizer::paper_default().structurize(&cloud);
+        let queries: Vec<usize> = (0..512).collect();
+
+        // Off by default: no audit counters appear.
+        let (result, _) = with_local(|| {
+            let r = MortonWindowSearcher::new(64, 10).search_structurized(&s, &queries, 8);
+            let reg = edgepc_trace::current_registry();
+            assert_eq!(reg.counter("audit.search.queries"), 0);
+            assert!(reg.gauge("audit.search.recall_at_k").is_none());
+            r
+        });
+
+        set_search_audit_stride(8);
+        let ((), _) = with_local(|| {
+            let audited = MortonWindowSearcher::new(64, 10).search_structurized(&s, &queries, 8);
+            // Auditing must not change the answer or its charged ops.
+            assert_eq!(audited.neighbors, result.neighbors);
+            assert_eq!(audited.ops, result.ops);
+
+            let reg = edgepc_trace::current_registry();
+            assert_eq!(reg.counter("audit.search.queries"), 512 / 8);
+            assert_eq!(reg.counter("audit.search.reported_neighbors"), 64 * 8);
+            let fnr = reg.gauge("audit.search.false_neighbor_rate").unwrap();
+            let recall = reg.gauge("audit.search.recall_at_k").unwrap();
+            assert!((0.0..=1.0).contains(&fnr));
+            assert!((fnr + recall - 1.0).abs() < 1e-12);
+            // W = 64 over 512 scattered points is approximate but decent.
+            assert!(recall > 0.3, "recall {recall} implausibly low");
+        });
+        set_search_audit_stride(0);
+    }
+}

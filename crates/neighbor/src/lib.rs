@@ -39,16 +39,19 @@
 //! assert!(approx.ops.dist3 < exact.ops.dist3);
 //! ```
 
+pub mod audit;
 pub mod ballquery;
 pub mod brute;
 pub mod grid;
 pub mod kdtree;
+pub mod quality;
 pub mod window;
 
 pub use ballquery::BallQuery;
 pub use brute::BruteKnn;
 pub use grid::GridSearcher;
 pub use kdtree::KdTree;
+pub use quality::{neighbor_quality, NeighborQuality};
 pub use window::MortonWindowSearcher;
 
 use edgepc_geom::{OpCounts, PointCloud};
@@ -97,24 +100,14 @@ pub(crate) fn validate_search_args(cloud: &PointCloud, queries: &[usize], k: usi
 /// (Fig. 6). 0.0 means the approximation is perfect; 1.0 means every
 /// reported neighbor is false.
 ///
+/// Convenience wrapper over [`neighbor_quality`], which also exposes
+/// recall@k and the raw counts.
+///
 /// # Panics
 ///
 /// Panics if the two results have different query counts, or are empty.
 pub fn false_neighbor_ratio(approx: &[Vec<usize>], exact: &[Vec<usize>]) -> f64 {
-    assert_eq!(approx.len(), exact.len(), "query counts differ");
-    assert!(!approx.is_empty(), "no queries");
-    let mut false_count = 0usize;
-    let mut total = 0usize;
-    for (a, e) in approx.iter().zip(exact) {
-        let truth: std::collections::HashSet<usize> = e.iter().copied().collect();
-        for n in a {
-            total += 1;
-            if !truth.contains(n) {
-                false_count += 1;
-            }
-        }
-    }
-    false_count as f64 / total as f64
+    neighbor_quality(approx, exact).false_neighbor_ratio()
 }
 
 /// Top-k selection by squared distance out of an iterator of

@@ -132,6 +132,10 @@ impl MortonWindowSearcher {
         // Fully parallel across queries; per-query top-k over W elements.
         ops.seq_rounds = (self.window.max(2) as f64).log2().ceil() as u64;
         span.set_ops(ops);
+        // Close the stage span before any audit work: the sampled exact
+        // re-search is measurement overhead, not pipeline cost.
+        drop(span);
+        crate::audit::maybe_audit_search(s, query_positions, k, &neighbors);
         NeighborResult { neighbors, ops }
     }
 }

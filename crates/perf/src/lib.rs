@@ -1,0 +1,56 @@
+//! The EdgePC benchmark observatory: statistical running, canonical
+//! `BENCH.json` baselines, and noise-aware regression gating.
+//!
+//! EdgePC's claims are quantitative — sampling + neighbor search dominate
+//! latency, and the Morton approximations trade a *bounded* number of
+//! false neighbors for speed — so the repo needs to distinguish a real
+//! regression from timer noise, and a fast-but-wrong change from a real
+//! win. This crate provides the three pieces:
+//!
+//! 1. **A statistical runner** ([`runner`]): each [`Scenario`] is run
+//!    `warmup` untimed + `repeats` timed times and summarized by
+//!    median/MAD/min/p95 ([`Stats`]) — robust statistics a single
+//!    preempted run cannot wreck.
+//! 2. **The `BENCH.json` schema** ([`report`]): a versioned document of
+//!    scenario timings, op counts, modeled Xavier cost, and quality
+//!    readings, plus the comparator behind the `bench_compare` binary: a
+//!    scenario regresses when its median slows beyond
+//!    `max(rel_threshold × old_median, mad_factor × max(old_mad, new_mad))`.
+//! 3. **The canonical scenario set** ([`scenarios`]): samplers, neighbor
+//!    searchers, and full PointNet++/DGCNN forwards at the paper's Table 1
+//!    configurations, with the online quality auditors of
+//!    `edgepc-sample`/`edgepc-neighbor` enabled so recall@k and sampling
+//!    coverage are recorded next to the timings they were traded for.
+//!
+//! The `bench_all` / `bench_compare` binaries in `edgepc-bench` drive
+//! this crate; `ci.sh --perf-smoke` wires it into CI. See EXPERIMENTS.md
+//! ("Benchmarking & regression policy") for the operational side.
+//!
+//! # Example
+//!
+//! ```
+//! use edgepc_perf::{bench_json, compare_bench_docs, run_scenario,
+//!                   CompareConfig, RunnerConfig, Scenario};
+//!
+//! let mut scenario = Scenario::new("unit.noop", 0, || {
+//!     (edgepc_geom::OpCounts::ZERO, None)
+//! });
+//! let cfg = RunnerConfig::smoke();
+//! let result = run_scenario(&cfg, &mut scenario);
+//! let doc = bench_json(&cfg, &[result]);
+//! let cmp = compare_bench_docs(&doc, &doc, &CompareConfig::default()).unwrap();
+//! assert_eq!(cmp.regressions(), 0);
+//! ```
+
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+pub mod stats;
+
+pub use report::{
+    bench_json, compare_bench_docs, compare_recorded, parse_bench, CompareConfig, Comparison,
+    RecordedScenario, ScenarioDiff, Verdict, SCHEMA_NAME, SCHEMA_VERSION,
+};
+pub use runner::{run_scenario, ModeledCost, RunnerConfig, Scenario, ScenarioResult};
+pub use scenarios::{disable_auditing, enable_default_auditing, paper_scenarios};
+pub use stats::Stats;

@@ -1,0 +1,134 @@
+//! Robust summary statistics for repeated timing samples.
+//!
+//! Wall-clock benchmarks on a shared machine are contaminated by
+//! scheduler noise, frequency scaling, and page-cache state. The summary
+//! here is therefore built around the median and the MAD (median absolute
+//! deviation) — both ignore a minority of arbitrarily bad outliers —
+//! rather than mean/stddev, which a single preempted run can wreck.
+
+/// Summary of one scenario's repeated wall-time samples, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of samples summarized.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (the headline number).
+    pub median_ms: f64,
+    /// Median absolute deviation from the median — the robust noise
+    /// estimate the regression gate's band is built from.
+    pub mad_ms: f64,
+    /// Fastest sample (the least-noise-contaminated observation).
+    pub min_ms: f64,
+    /// Slowest sample.
+    pub max_ms: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ms: f64,
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+impl Stats {
+    /// Summarizes a set of wall-time samples (milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a non-finite value.
+    pub fn from_samples_ms(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "non-finite timing sample"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let median = median_of_sorted(&sorted);
+        let mut dev: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank95 = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+        Stats {
+            n,
+            mean_ms: sorted.iter().sum::<f64>() / n as f64,
+            median_ms: median,
+            mad_ms: median_of_sorted(&dev),
+            min_ms: sorted[0],
+            max_ms: sorted[n - 1],
+            p95_ms: sorted[rank95 - 1],
+        }
+    }
+
+    /// MAD relative to the median — a unitless noise figure (0 = perfectly
+    /// repeatable). Returns 0 for a zero median.
+    pub fn relative_noise(&self) -> f64 {
+        if self.median_ms > 0.0 {
+            self.mad_ms / self.median_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_sample_count() {
+        let s = Stats::from_samples_ms(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.median_ms, 2.0);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 3.0);
+        assert_eq!(s.mean_ms, 2.0);
+        assert_eq!(s.mad_ms, 1.0);
+        assert_eq!(s.p95_ms, 3.0);
+    }
+
+    #[test]
+    fn even_sample_count_interpolates_median() {
+        let s = Stats::from_samples_ms(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median_ms, 2.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        // One preempted run (100x slower) barely moves median or MAD.
+        let clean = Stats::from_samples_ms(&[10.0, 10.1, 9.9, 10.05, 9.95]);
+        let noisy = Stats::from_samples_ms(&[10.0, 10.1, 9.9, 10.05, 1000.0]);
+        assert!((noisy.median_ms - clean.median_ms).abs() < 0.2);
+        assert!(noisy.mad_ms < 0.2);
+        // The mean, by contrast, is destroyed — which is why the gate
+        // does not use it.
+        assert!(noisy.mean_ms > 100.0);
+    }
+
+    #[test]
+    fn single_sample_degenerates_cleanly() {
+        let s = Stats::from_samples_ms(&[7.5]);
+        assert_eq!(s.median_ms, 7.5);
+        assert_eq!(s.mad_ms, 0.0);
+        assert_eq!(s.p95_ms, 7.5);
+        assert_eq!(s.relative_noise(), 0.0);
+    }
+
+    #[test]
+    fn relative_noise_scales_with_spread() {
+        let tight = Stats::from_samples_ms(&[10.0, 10.0, 10.1]);
+        let loose = Stats::from_samples_ms(&[10.0, 12.0, 8.0]);
+        assert!(tight.relative_noise() < loose.relative_noise());
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_panics() {
+        let _ = Stats::from_samples_ms(&[]);
+    }
+}

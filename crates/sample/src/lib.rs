@@ -32,6 +32,7 @@
 //! assert_eq!(mc.ops.dist3, 0);
 //! ```
 
+pub mod audit;
 pub mod fps;
 pub mod morton_sampler;
 pub mod uniform;

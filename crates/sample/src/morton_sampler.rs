@@ -100,6 +100,10 @@ impl Sampler for MortonSampler {
         ops.seq_rounds += u64::from(n > 0);
         ops.gathered_bytes += 12 * n as u64;
         span.set_ops(ops);
+        // Close the stage span before any audit work: coverage scoring is
+        // measurement overhead, not pipeline cost.
+        drop(span);
+        crate::audit::maybe_audit_sampling(cloud, &indices);
         SampleResult {
             indices,
             ops,

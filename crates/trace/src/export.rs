@@ -1,5 +1,6 @@
 //! Exporters: Chrome `trace_event` JSON, a flat per-stage breakdown
-//! record, and a human-readable summary table.
+//! record, a whole-registry metrics document, and a human-readable
+//! summary table.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -8,6 +9,7 @@ use edgepc_geom::OpCounts;
 
 use crate::json::{escape, fmt_f64};
 use crate::span::SpanData;
+use crate::Registry;
 
 /// Renders spans as a Chrome `trace_event` document — an array of
 /// complete ("ph":"X") events with microsecond timestamps. Load the
@@ -126,6 +128,66 @@ pub fn breakdown_json(title: &str, rows: &[StageBreakdown]) -> String {
         ));
     }
     out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a registry's metrics — counters, gauges, and latency-histogram
+/// summaries — as one JSON document:
+///
+/// ```json
+/// {"counters": {"span.sample": 3, ...},
+///  "gauges": {"audit.search.recall_at_k": 0.94, ...},
+///  "histograms": {"sa1.sample": {"count": 3, "mean_us": M,
+///    "min_us": L, "p50_us": A, "p95_us": B, "p99_us": C, "max_us": H}, ...}}
+/// ```
+///
+/// An empty registry exports as three empty objects — still valid JSON, so
+/// downstream tooling never needs a special case. Spans are *not* included
+/// (use [`chrome_trace_json`] / [`breakdown_json`] for those); this is the
+/// metrics side of the registry, where the online quality auditors publish
+/// false-neighbor rate, recall@k, and sampling coverage.
+pub fn registry_json(reg: &Registry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, name) in reg.counter_names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(name), reg.counter(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, name) in reg.gauge_names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{}",
+            escape(name),
+            fmt_f64(reg.gauge(name).unwrap_or(0.0))
+        ));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, name) in reg.histogram_names().iter().enumerate() {
+        let h = match reg.histogram(name) {
+            Some(h) => h,
+            None => continue,
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n \"{}\":{{\"count\":{},\"mean_us\":{},\"min_us\":{},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            escape(name),
+            h.count(),
+            fmt_f64(h.mean()),
+            h.min(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max(),
+        ));
+    }
+    out.push_str("}}\n");
     out
 }
 
@@ -266,6 +328,36 @@ mod tests {
             stages[1].get("ops").unwrap().get("dist3").unwrap().as_f64(),
             Some(50.0)
         );
+    }
+
+    #[test]
+    fn registry_json_exports_counters_gauges_and_histograms() {
+        let reg = Registry::new();
+        reg.incr("audit.search.queries", 64);
+        reg.set_gauge("audit.search.false_neighbor_rate", 0.0625);
+        reg.observe_us("sa1.sample", 120);
+        reg.observe_us("sa1.sample", 480);
+        let doc = registry_json(&reg);
+        let v = parse(&doc).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("audit.search.queries")
+                .unwrap()
+                .as_f64(),
+            Some(64.0)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .unwrap()
+                .get("audit.search.false_neighbor_rate")
+                .unwrap()
+                .as_f64(),
+            Some(0.0625)
+        );
+        let h = v.get("histograms").unwrap().get("sa1.sample").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
+        assert!(h.get("p95_us").unwrap().as_f64().unwrap() >= 120.0);
     }
 
     #[test]

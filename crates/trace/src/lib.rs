@@ -44,5 +44,5 @@ pub mod metrics;
 mod registry;
 mod span;
 
-pub use registry::{global, with_local, with_registry, Registry};
+pub use registry::{current_registry, global, with_local, with_registry, Registry};
 pub use span::{span, span_in, SpanData, SpanGuard};

@@ -24,6 +24,7 @@ pub struct Registry {
 struct Inner {
     spans: Vec<SpanData>,
     counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
     histograms: HashMap<String, Histogram>,
 }
 
@@ -71,6 +72,42 @@ impl Registry {
             .entry(name.to_string())
             .or_default()
             .observe(us);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    ///
+    /// Gauges carry instantaneous *measurements* rather than monotonic
+    /// counts — the quality auditors use them for live false-neighbor
+    /// rate, recall@k, and sampling-coverage readings.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().unwrap().gauges.get(name).copied()
+    }
+
+    /// Names of all set gauges, sorted.
+    pub fn gauge_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().unwrap().gauges.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all counters with at least one increment, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .lock()
+            .unwrap()
+            .counters
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
     }
 
     /// Current value of a counter (0 if never incremented).
@@ -144,6 +181,15 @@ pub(crate) fn current() -> Arc<Registry> {
         .unwrap_or_else(global)
 }
 
+/// Public handle to the registry the current thread records into — the
+/// innermost [`with_local`]/[`with_registry`] installation, else
+/// [`global`]. Instrumentation sites (e.g. the online quality auditors in
+/// `edgepc-neighbor`/`edgepc-sample`) use this to publish counters and
+/// gauges next to the spans of the surrounding capture.
+pub fn current_registry() -> Arc<Registry> {
+    current()
+}
+
 /// Runs `f` with a fresh registry installed on this thread, returning
 /// `f`'s result together with every span it recorded. The installation
 /// is thread-local, so parallel tests capture independently; threads
@@ -204,6 +250,23 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert!(reg.histogram("missing").is_none());
         assert_eq!(reg.histogram_names(), vec!["stage".to_string()]);
+    }
+
+    #[test]
+    fn gauges_hold_last_written_value() {
+        let reg = Registry::new();
+        assert_eq!(reg.gauge("audit.search.recall_at_k"), None);
+        reg.set_gauge("audit.search.recall_at_k", 0.5);
+        reg.set_gauge("audit.search.recall_at_k", 0.9375);
+        reg.set_gauge("audit.sample.coverage_radius", 0.21);
+        assert_eq!(reg.gauge("audit.search.recall_at_k"), Some(0.9375));
+        assert_eq!(
+            reg.gauge_names(),
+            vec![
+                "audit.sample.coverage_radius".to_string(),
+                "audit.search.recall_at_k".to_string()
+            ]
+        );
     }
 
     #[test]

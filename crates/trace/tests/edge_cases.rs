@@ -1,0 +1,93 @@
+//! Edge cases of the trace layer that the happy-path tests skip over:
+//! exporting a registry nothing ever wrote to, histograms with a single
+//! observation (all quantiles must agree), and spans recorded from
+//! several threads into one registry.
+
+use std::sync::Arc;
+
+use edgepc_trace::export::{breakdown_json, chrome_trace_json, registry_json};
+use edgepc_trace::json::parse;
+use edgepc_trace::{span_in, with_local, with_registry, Registry};
+
+#[test]
+fn empty_registry_exports_valid_empty_documents() {
+    let reg = Registry::new();
+    let doc = registry_json(&reg);
+    let v = parse(&doc).expect("empty registry export must stay valid JSON");
+    assert!(v.get("counters").unwrap().get("anything").is_none());
+    assert!(v.get("gauges").unwrap().get("anything").is_none());
+    assert!(v.get("histograms").unwrap().get("anything").is_none());
+
+    // Same for the span-based exporters over zero spans.
+    let chrome = chrome_trace_json(&[]);
+    assert_eq!(parse(&chrome).unwrap().as_arr().unwrap().len(), 0);
+    let breakdown = breakdown_json("empty", &[]);
+    let b = parse(&breakdown).unwrap();
+    assert_eq!(b.get("name").unwrap().as_str(), Some("empty"));
+    assert_eq!(b.get("stages").unwrap().as_arr().unwrap().len(), 0);
+}
+
+#[test]
+fn single_sample_histogram_quantiles_coincide() {
+    let reg = Registry::new();
+    reg.observe_us("lonely.stage", 777);
+    let h = reg.histogram("lonely.stage").unwrap();
+    assert_eq!(h.count(), 1);
+    // With one observation every quantile is that observation's bucket:
+    // p50, p95, and p99 must agree exactly, and bracket the raw value.
+    assert_eq!(h.p50(), h.p95());
+    assert_eq!(h.p95(), h.p99());
+    assert!(h.min() <= 777 && 777 <= h.max());
+    assert_eq!(h.min(), h.max());
+}
+
+#[test]
+fn spans_nest_across_threads_without_cross_talk() {
+    let ((), spans) = with_local(|| {
+        let reg = edgepc_trace::current_registry();
+        let _outer = span_in(reg.clone(), "fan.out", "model");
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let reg: Arc<Registry> = reg.clone();
+                std::thread::spawn(move || {
+                    // Spawned threads do not inherit the parent's
+                    // installation; they record via with_registry/span_in.
+                    with_registry(reg, || {
+                        let _outer = edgepc_trace::span(format!("worker{t}.outer"), "thread");
+                        let _inner = edgepc_trace::span(format!("worker{t}.inner"), "thread");
+                    });
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+
+    // 1 fan.out span + 2 spans per worker.
+    assert_eq!(spans.len(), 9);
+    let outer = spans.iter().find(|s| s.name == "fan.out").unwrap();
+    for t in 0..4 {
+        let wo = spans
+            .iter()
+            .find(|s| s.name == format!("worker{t}.outer"))
+            .unwrap();
+        let wi = spans
+            .iter()
+            .find(|s| s.name == format!("worker{t}.inner"))
+            .unwrap();
+        // Per-thread nesting: depth restarts at 0 on each new thread and
+        // the inner span lies within the outer one on the same tid.
+        assert_eq!(wo.depth, 0);
+        assert_eq!(wi.depth, 1);
+        assert_eq!(wo.tid, wi.tid);
+        assert!(wo.encloses(wi));
+        // All worker activity falls inside the parent's fan.out window
+        // (same registry epoch), despite running on different threads.
+        assert!(outer.encloses(wo));
+        assert_ne!(outer.tid, wo.tid);
+    }
+    // Four workers means four distinct thread ids besides the parent's.
+    let tids: std::collections::HashSet<u64> = spans.iter().map(|s| s.tid).collect();
+    assert_eq!(tids.len(), 5);
+}
