@@ -1,8 +1,12 @@
 #!/bin/sh
 # CI gate for the EdgePC workspace. Runs entirely offline:
-#   1. formatting          cargo fmt --check
-#   2. lints               cargo clippy -D warnings (all targets)
-#   3. tier-1              release build + test suite
+#   1. static analysis     cargo run -p edgepc-lint --bin lint_all
+#   2. formatting          cargo fmt --check
+#   3. lints               cargo clippy -D warnings (all targets)
+#   4. tier-1              release build + test suite
+#
+# --no-lint skips step 1 (useful mid-refactor; the full gate still runs
+# it, and crates/lint/tests/self_check.rs re-asserts it under cargo test).
 #
 # Optional performance smoke (see EXPERIMENTS.md, "Benchmarking &
 # regression policy"):
@@ -16,16 +20,25 @@
 set -eu
 
 PERF_MODE=""
+RUN_LINT=1
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke)  PERF_MODE="warn" ;;
         --perf-strict) PERF_MODE="strict" ;;
+        --no-lint)     RUN_LINT=0 ;;
         *)
-            echo "usage: ci.sh [--perf-smoke | --perf-strict]" >&2
+            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict]" >&2
             exit 2
             ;;
     esac
 done
+
+if [ "$RUN_LINT" = 1 ]; then
+    echo "==> lint_all: workspace static analysis (EP rules, see DESIGN.md)"
+    cargo run -q -p edgepc-lint --bin lint_all
+else
+    echo "==> lint_all: skipped (--no-lint)"
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -2,6 +2,10 @@
 //! up-sampler (paper Sec. 5.1.2, the FP-stage optimization). Std-only
 //! harness, `harness = false`.
 
+// Bench harness: the Morton sampler is configured with structurization
+// on, so the unwrap cannot fire; panic lints are relaxed for harnesses.
+#![allow(clippy::unwrap_used)]
+
 use edgepc_bench::micro::{bench, black_box};
 use edgepc_data::bunny_with_points;
 use edgepc_geom::FeatureMatrix;

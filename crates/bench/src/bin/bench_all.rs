@@ -18,6 +18,9 @@
 //! the regression rule are documented in EXPERIMENTS.md ("Benchmarking &
 //! regression policy").
 
+// CLI harness: progress and error reporting goes to stderr by design.
+#![allow(clippy::print_stderr)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -14,6 +14,9 @@
 //! (CI's default, where shared-runner noise makes hard wall-time gates
 //! unreliable); parse/usage errors exit 2.
 
+// CLI harness: progress and error reporting goes to stderr by design.
+#![allow(clippy::print_stderr)]
+
 use std::process::ExitCode;
 
 use edgepc_perf::{compare_bench_docs, CompareConfig};

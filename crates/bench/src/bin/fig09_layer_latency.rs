@@ -52,7 +52,7 @@ fn main() {
     ] {
         let b = time_of(&base, layer);
         let e = time_of(&edge, layer);
-        if b == 0.0 {
+        if b <= 0.0 {
             continue;
         }
         let s = b / e.max(1e-9);

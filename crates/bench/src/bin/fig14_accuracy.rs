@@ -11,6 +11,10 @@
 //!
 //! Run with `cargo run --release -p edgepc-bench --bin fig14_accuracy`.
 
+// CLI harness: progress goes to stderr; the parameter-transplant helper
+// expects matching architectures, which main() constructs by hand.
+#![allow(clippy::print_stderr, clippy::expect_used)]
+
 use edgepc::prelude::*;
 use edgepc_bench::{banner, pct, report, row};
 use edgepc_models::trainer::{

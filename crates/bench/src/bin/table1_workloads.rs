@@ -4,6 +4,9 @@
 //!
 //! Run with `cargo run --release -p edgepc-bench --bin table1_workloads`.
 
+// CLI harness: progress and error reporting goes to stderr by design.
+#![allow(clippy::print_stderr)]
+
 use edgepc::Workload;
 use edgepc_bench::{banner, report};
 use edgepc_trace::json;

@@ -7,6 +7,10 @@
 //! the paper reports. See DESIGN.md for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured results.
 
+// Harness status ("wrote results/...") goes to stderr so that redirected
+// stdout stays a clean record of the figures themselves.
+#![allow(clippy::print_stderr)]
+
 use std::fmt::Display;
 
 /// Prints a harness banner naming the figure being regenerated.
@@ -185,7 +189,7 @@ pub mod micro {
             }
             *slot = t.elapsed().as_nanos() as f64 / batch as f64;
         }
-        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ns.sort_by(f64::total_cmp);
         let timing = Timing {
             median_ns: ns[SAMPLES / 2],
             mean_ns: ns.iter().sum::<f64>() / SAMPLES as f64,

@@ -127,8 +127,7 @@ impl PointCloud {
     /// Panics if the cloud is empty. Call [`PointCloud::try_bounding_box`]
     /// for a non-panicking variant.
     pub fn bounding_box(&self) -> Aabb {
-        self.try_bounding_box()
-            .expect("bounding_box of empty cloud")
+        crate::guard::required(self.try_bounding_box(), "bounding_box of empty cloud")
     }
 
     /// The tightest bounding box, or `None` for an empty cloud.
@@ -179,7 +178,9 @@ impl PointCloud {
     pub fn normalized_unit_cube(&self) -> PointCloud {
         let bb = self.bounding_box();
         let scale = bb.max_extent();
-        let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+        // A degenerate (single-point) cloud has zero extent; map it to the
+        // origin rather than dividing by zero. `> 0.0` also catches NaN.
+        let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
         let min = bb.min();
         let points = self.iter().map(|p| (p - min) * inv).collect();
         PointCloud {

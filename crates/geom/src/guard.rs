@@ -1,0 +1,51 @@
+//! The workspace's single sanctioned panic site (lint rule EP001).
+//!
+//! Hot-path crates must not call `unwrap`/`expect`/`panic!` directly:
+//! an inference call that dies mid-pipeline on an edge device has no
+//! supervisor to catch it, so every diverging path must be a *documented
+//! API-misuse guard*, auditable in one place. Precondition checks keep
+//! using `assert!` (the `# Panics` contract); internal invariants that
+//! genuinely cannot propagate route through [`violation`] or
+//! [`required`], whose one `panic!` is waived exactly once in the root
+//! `LINT.toml`.
+//!
+//! Messages passed here surface verbatim, so `#[should_panic(expected)]`
+//! tests keep working across the migration from `.expect(…)`.
+
+/// Diverges on a violated internal invariant or misused API.
+///
+/// # Panics
+///
+/// Always — that is its job. This is the one waived EP001 site.
+#[cold]
+#[inline(never)]
+pub fn violation(msg: &str) -> ! {
+    panic!("{msg}")
+}
+
+/// Unwraps `opt`, diverging through [`violation`] with `msg` when the
+/// value is absent. The drop-in replacement for `.expect(msg)` at
+/// API-misuse boundaries in hot-path crates.
+#[inline]
+pub fn required<T>(opt: Option<T>, msg: &str) -> T {
+    match opt {
+        Some(v) => v,
+        None => violation(msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_passes_values_through() {
+        assert_eq!(required(Some(7), "absent"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact message preserved")]
+    fn required_panics_with_the_given_message() {
+        let _: u32 = required(None, "exact message preserved");
+    }
+}

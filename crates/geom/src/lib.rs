@@ -29,6 +29,7 @@ pub mod aabb;
 pub mod cloud;
 pub mod counters;
 pub mod feature;
+pub mod guard;
 pub mod metrics;
 pub mod point;
 pub mod rng;
@@ -38,6 +39,7 @@ pub use aabb::Aabb;
 pub use cloud::PointCloud;
 pub use counters::OpCounts;
 pub use feature::FeatureMatrix;
+pub use guard::{required, violation};
 pub use metrics::{
     chamfer_distance, coverage_radius, mean_nearest_sample_distance, sample_spacing,
 };

@@ -113,10 +113,12 @@ impl Point3 {
     /// if the norm is zero.
     pub fn normalized(self) -> Point3 {
         let n = self.norm();
-        if n == 0.0 {
-            Point3::ORIGIN
-        } else {
+        // `> 0.0` rather than `== 0.0`: routes -0.0 (impossible for a
+        // norm) and NaN inputs to the origin instead of dividing by them.
+        if n > 0.0 {
             self / n
+        } else {
+            Point3::ORIGIN
         }
     }
 
@@ -158,7 +160,7 @@ impl Index<usize> for Point3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
-            _ => panic!("Point3 axis index out of range: {axis}"),
+            _ => crate::guard::violation(&format!("Point3 axis index out of range: {axis}")),
         }
     }
 }

@@ -98,7 +98,7 @@ impl Transform {
     /// Panics if any scale component is zero.
     pub fn inverse(&self) -> Transform {
         assert!(
-            self.scale.x != 0.0 && self.scale.y != 0.0 && self.scale.z != 0.0,
+            self.scale.x.abs() > 0.0 && self.scale.y.abs() > 0.0 && self.scale.z.abs() > 0.0,
             "singular transform"
         );
         // apply: q = S R p + t  =>  p = R^-1 S^-1 (q - t).

@@ -1,0 +1,417 @@
+//! A small hand-rolled Rust lexer — just enough to tokenize the workspace
+//! reliably without `syn`, preserving the std-only guarantee.
+//!
+//! The lexer understands line and (nested) block comments, plain and raw
+//! strings (`r"…"`, `r#"…"#`, byte variants), char literals vs lifetimes,
+//! raw identifiers (`r#match`), numeric literals (including float forms and
+//! exponents), and a handful of multi-character operators that the rules
+//! care about (`==`, `!=`, `->`, `::`, …). It does **not** parse: rule code
+//! works over the flat token stream plus bracket matching.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (leading `'` included).
+    Lifetime,
+    /// An integer or float literal, suffix included (`1_000u64`, `1.0e-3`).
+    Number,
+    /// A plain or byte string literal, quotes included.
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`), fences included.
+    RawStr,
+    /// A char or byte-char literal, quotes included.
+    Char,
+    /// A `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Punctuation; multi-char operators listed in [`MULTI_PUNCT`] are one
+    /// token, everything else is a single char.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Token {
+    /// True for comment tokens, which most rules skip.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True if this token is a float literal (`1.0`, `2.5e-3`, `1f32`).
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokenKind::Number {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        t.contains('.')
+            || t.contains("f32")
+            || t.contains("f64")
+            || t.contains('e')
+            || t.contains('E')
+    }
+}
+
+/// Multi-character operators kept as single tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..",
+];
+
+/// Tokenizes `src`. The lexer is total: any byte sequence produces a token
+/// stream (unknown chars become single-char [`TokenKind::Punct`] tokens),
+/// so a half-edited file cannot crash the linter.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Advances one char, maintaining the line/col counters.
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start_idx: usize, line: usize, col: usize) {
+        let text = self.src[self.byte_at(start_idx)..self.byte_at(self.pos)].to_string();
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(start, line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(start, line, col);
+            } else if self.raw_string_ahead() {
+                self.raw_string(start, line, col);
+            } else if self.raw_ident_ahead() {
+                self.raw_ident(start, line, col);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.bump();
+                self.string(start, line, col);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump();
+                self.char_literal(start, line, col);
+            } else if c == '"' {
+                self.string(start, line, col);
+            } else if c == '\'' {
+                self.lifetime_or_char(start, line, col);
+            } else if c.is_ascii_digit() {
+                self.number(start, line, col);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident(start, line, col);
+            } else {
+                self.punct(start, line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: usize, line: usize, col: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.emit(TokenKind::LineComment, start, line, col);
+    }
+
+    fn block_comment(&mut self, start: usize, line: usize, col: usize) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.emit(TokenKind::BlockComment, start, line, col);
+    }
+
+    /// `r"…"` / `r#"…"#` / `br##"…"##` starts here?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = match self.peek(0) {
+            Some('r') => 1,
+            Some('b') if self.peek(1) == Some('r') => 2,
+            _ => return false,
+        };
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, start: usize, line: usize, col: usize) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..fence {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.emit(TokenKind::RawStr, start, line, col);
+    }
+
+    /// `r#ident` (raw identifier, not followed by a quote)?
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_')
+    }
+
+    fn raw_ident(&mut self, start: usize, line: usize, col: usize) {
+        self.bump();
+        self.bump();
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        self.emit(TokenKind::Ident, start, line, col);
+    }
+
+    fn string(&mut self, start: usize, line: usize, col: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.emit(TokenKind::Str, start, line, col);
+    }
+
+    fn char_literal(&mut self, start: usize, line: usize, col: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.emit(TokenKind::Char, start, line, col);
+    }
+
+    /// Disambiguates `'a` / `'static` (lifetime) from `'x'` / `'\n'` (char).
+    fn lifetime_or_char(&mut self, start: usize, line: usize, col: usize) {
+        let first = self.peek(1);
+        let is_lifetime =
+            first.is_some_and(|c| c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            self.emit(TokenKind::Lifetime, start, line, col);
+        } else {
+            self.char_literal(start, line, col);
+        }
+    }
+
+    fn number(&mut self, start: usize, line: usize, col: usize) {
+        self.bump();
+        loop {
+            match self.peek(0) {
+                // `1..4` is a range, `1.max(2)` a method call — only take
+                // the dot when a digit follows (or nothing ident-like, as
+                // in the trailing-dot float `1.`).
+                Some('.') => {
+                    let next = self.peek(1);
+                    let take = match next {
+                        Some(d) if d.is_ascii_digit() => true,
+                        Some('.') => false,
+                        Some(c) if c.is_alphabetic() || c == '_' => false,
+                        _ => true,
+                    };
+                    if !take {
+                        break;
+                    }
+                    self.bump();
+                }
+                // Exponent sign: `1e-3`, `2.5E+7`.
+                Some('+') | Some('-')
+                    if matches!(
+                        self.chars.get(self.pos.wrapping_sub(1)),
+                        Some(&(_, 'e')) | Some(&(_, 'E'))
+                    ) && !self
+                        .src
+                        .get(self.byte_at(start)..self.byte_at(self.pos))
+                        .is_some_and(|s| {
+                            s.starts_with("0x") || s.starts_with("0b") || s.starts_with("0o")
+                        }) =>
+                {
+                    self.bump();
+                }
+                Some(c) if c.is_alphanumeric() || c == '_' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.emit(TokenKind::Number, start, line, col);
+    }
+
+    fn ident(&mut self, start: usize, line: usize, col: usize) {
+        self.bump();
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        self.emit(TokenKind::Ident, start, line, col);
+    }
+
+    fn punct(&mut self, start: usize, line: usize, col: usize) {
+        for op in MULTI_PUNCT {
+            if op.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c)) {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.emit(TokenKind::Punct, start, line, col);
+                return;
+            }
+        }
+        self.bump();
+        self.emit(TokenKind::Punct, start, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn operators_combine() {
+        let toks = kinds("a == b != c -> d :: e ..= f");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "->", "::", "..="]);
+    }
+
+    #[test]
+    fn float_literals_detected() {
+        let toks = tokenize("1.0 1e-9 2.5E+7 1f32 10 0x1E 1..4");
+        let floats: Vec<bool> = toks.iter().map(Token::is_float_literal).collect();
+        // 1..4 lexes as Number(1) Punct(..) Number(4).
+        assert_eq!(
+            floats,
+            vec![true, true, true, true, false, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("fn f() {\n    x\n}");
+        let x = &toks[5];
+        assert_eq!((x.text.as_str(), x.line, x.col), ("x", 2, 5));
+    }
+}

@@ -1,0 +1,297 @@
+//! # edgepc-lint
+//!
+//! A dependency-free (std-only, no `syn`) static-analysis engine for the
+//! EdgePC workspace. It enforces the invariants the instrumented hot path
+//! and the benchmark observatory rely on:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | EP001 | no `unwrap`/`expect`/`panic!`/`todo!`/`unreachable!` in non-test hot-path code |
+//! | EP002 | no float `==`/`!=` against literals outside tests |
+//! | EP003 | every substantial `pub fn` in designated hot modules opens a span |
+//! | EP004 | all manifests depend only on workspace/path crates (std-only) |
+//! | EP005 | committed `results/*.json` parse; `BENCH.json` pins a known schema |
+//!
+//! Violations can be waived in the root `LINT.toml` (rule + path +
+//! optional item + mandatory reason); a waiver that matches nothing is
+//! itself a violation (`EP000`), so the waiver file cannot rot.
+//!
+//! The `lint_all` binary runs the whole engine, prints human-readable
+//! diagnostics, writes machine-readable `target/lint.json`, and exits
+//! non-zero on any violation. `ci.sh` runs it before clippy.
+
+pub mod diag;
+pub mod json_lite;
+pub mod lexer;
+pub mod rules;
+pub mod toml_lite;
+pub mod waiver;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use diag::Diagnostic;
+use rules::RuleSet;
+
+/// Crates whose non-test code must be panic-free (EP001): everything on
+/// the inference hot path.
+pub const HOT_CRATES: &[&str] = &["geom", "morton", "sample", "neighbor", "models", "core"];
+
+/// Files whose public functions must open spans (EP003): the stage entry
+/// points behind the paper's latency breakdowns.
+pub const SPAN_COVERED_FILES: &[&str] = &[
+    "crates/sample/src/morton_sampler.rs",
+    "crates/sample/src/upsample.rs",
+    "crates/neighbor/src/window.rs",
+    "crates/models/src/sa.rs",
+    "crates/models/src/fp.rs",
+    "crates/models/src/dgcnn.rs",
+    "crates/models/src/pointnetpp.rs",
+];
+
+/// The outcome of a full workspace run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Unwaived violations (including EP000 unused-waiver entries).
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics silenced by LINT.toml waivers.
+    pub waived: usize,
+    /// Rust sources + manifests + results artifacts examined.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count of violations per rule id, sorted by rule id.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for d in &self.violations {
+            match counts.iter_mut().find(|(r, _)| *r == d.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((d.rule, 1)),
+            }
+        }
+        counts.sort_by_key(|&(r, _)| r);
+        counts
+    }
+
+    /// One-line summary for CI logs.
+    pub fn summary_line(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "lint_all: clean ({} files scanned, {} waiver{} used)",
+                self.files_scanned,
+                self.waived,
+                if self.waived == 1 { "" } else { "s" }
+            )
+        } else {
+            let per_rule: Vec<String> = self
+                .rule_counts()
+                .iter()
+                .map(|(r, n)| format!("{r} x{n}"))
+                .collect();
+            format!(
+                "lint_all: {} violation{} [{}] ({} files scanned, {} waived)",
+                self.violations.len(),
+                if self.violations.len() == 1 { "" } else { "s" },
+                per_rule.join(", "),
+                self.files_scanned,
+                self.waived
+            )
+        }
+    }
+
+    /// The machine-readable report (`target/lint.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"schema\":\"edgepc-lint\",\"schema_version\":1,");
+        s.push_str(&format!(
+            "\"files_scanned\":{},\"waivers_used\":{},\"clean\":{},",
+            self.files_scanned,
+            self.waived,
+            self.is_clean()
+        ));
+        s.push_str("\"rule_counts\":{");
+        let counts: Vec<String> = self
+            .rule_counts()
+            .iter()
+            .map(|(r, n)| format!("\"{r}\":{n}"))
+            .collect();
+        s.push_str(&counts.join(","));
+        s.push_str("},\"violations\":[");
+        let items: Vec<String> = self.violations.iter().map(Diagnostic::to_json).collect();
+        s.push_str(&items.join(","));
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root` and applies the
+/// `LINT.toml` waivers. Errors are environmental (unreadable files,
+/// malformed LINT.toml) — rule violations are *not* errors.
+pub fn run_workspace(root: &Path) -> Result<LintReport, String> {
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+
+    // --- Rust sources: EP001 / EP002 / EP003 ------------------------------
+    for source in collect_rust_sources(root)? {
+        let rel = source.rel.clone();
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("");
+        let ruleset = RuleSet {
+            panic_freedom: HOT_CRATES.contains(&crate_name),
+            float_eq: true,
+            span_coverage: SPAN_COVERED_FILES.contains(&rel.as_str()),
+        };
+        let src = fs::read_to_string(&source.abs)
+            .map_err(|e| format!("read {}: {e}", source.abs.display()))?;
+        diagnostics.extend(rules::lint_rust_source(&rel, &src, ruleset));
+        files_scanned += 1;
+    }
+
+    // --- Manifests: EP004 -------------------------------------------------
+    for manifest in collect_manifests(root)? {
+        let src = fs::read_to_string(&manifest.abs)
+            .map_err(|e| format!("read {}: {e}", manifest.abs.display()))?;
+        diagnostics.extend(rules::ep004::check_manifest(&manifest.rel, &src));
+        files_scanned += 1;
+    }
+
+    // --- Results artifacts: EP005 -----------------------------------------
+    let results_dir = root.join("results");
+    if results_dir.is_dir() {
+        for entry in sorted_dir(&results_dir)? {
+            if entry.extension().and_then(|e| e.to_str()) == Some("json") {
+                let rel = rel_path(root, &entry);
+                let src = fs::read_to_string(&entry)
+                    .map_err(|e| format!("read {}: {e}", entry.display()))?;
+                diagnostics.extend(rules::ep005::check_results_file(&rel, &src));
+                files_scanned += 1;
+            }
+        }
+    }
+
+    // --- Waivers ----------------------------------------------------------
+    let waivers = match fs::read_to_string(root.join("LINT.toml")) {
+        Ok(src) => waiver::parse_waivers(&src)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("read LINT.toml: {e}")),
+    };
+    let (mut violations, waived) = waiver::apply_waivers(diagnostics, &waivers);
+    violations
+        .sort_by(|a, b| (a.rule, &a.file, a.line, a.col).cmp(&(b.rule, &b.file, b.line, b.col)));
+
+    Ok(LintReport {
+        violations,
+        waived,
+        files_scanned,
+    })
+}
+
+/// Locates the workspace root from `start` by walking up to the first
+/// directory containing a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(src) = fs::read_to_string(&manifest) {
+            if toml_lite::parse(&src)
+                .ok()
+                .is_some_and(|doc| doc.get("workspace").is_some())
+            {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+struct FoundFile {
+    rel: String,
+    abs: PathBuf,
+}
+
+/// Every production Rust source: `crates/*/src/**/*.rs` plus the root
+/// package's `src/**/*.rs`. Integration tests, benches, examples, and
+/// lint fixtures live outside `src/` and are deliberately out of scope.
+fn collect_rust_sources(root: &Path) -> Result<Vec<FoundFile>, String> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_dir(&crates_dir)? {
+            dirs.push(krate.join("src"));
+        }
+    }
+    let mut out = Vec::new();
+    for dir in dirs {
+        if dir.is_dir() {
+            walk_rs(root, &dir, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<FoundFile>) -> Result<(), String> {
+    for entry in sorted_dir(dir)? {
+        if entry.is_dir() {
+            walk_rs(root, &entry, out)?;
+        } else if entry.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(FoundFile {
+                rel: rel_path(root, &entry),
+                abs: entry,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The root manifest plus every `crates/*/Cargo.toml`.
+fn collect_manifests(root: &Path) -> Result<Vec<FoundFile>, String> {
+    let mut out = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        out.push(FoundFile {
+            rel: rel_path(root, &root_manifest),
+            abs: root_manifest,
+        });
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_dir(&crates_dir)? {
+            let manifest = krate.join("Cargo.toml");
+            if manifest.is_file() {
+                out.push(FoundFile {
+                    rel: rel_path(root, &manifest),
+                    abs: manifest,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn sorted_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("read dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Repo-relative path with `/` separators (stable across platforms, used
+/// for waiver matching and report output).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

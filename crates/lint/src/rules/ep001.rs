@@ -1,0 +1,123 @@
+//! **EP001 — panic-freedom in hot-path crates.**
+//!
+//! Non-test code in the hot-path crates (`geom`, `morton`, `sample`,
+//! `neighbor`, `models`, `core`) must not call `.unwrap()` / `.expect()`
+//! or invoke `panic!` / `todo!` / `unreachable!`: an inference call that
+//! dies mid-pipeline on an edge device is a hard failure with no
+//! supervisor to catch it.
+//!
+//! Allowed without a waiver:
+//! - `assert!` family — documented precondition guards at API boundaries
+//!   (the `# Panics` contract the seed already follows);
+//! - `unwrap_or` / `unwrap_or_else` / `unwrap_or_default` — total;
+//! - `unimplemented!` — marks intentionally unsupported trait surface
+//!   (e.g. `Layer` impls that do not participate in training);
+//! - anything inside `#[test]` / `#[cfg(test)]` regions.
+//!
+//! Invariant failures that genuinely cannot propagate route through
+//! `edgepc_geom::guard::{violation, required}` — the one waived diverging
+//! site in `LINT.toml` — so the workspace's panic surface stays auditable
+//! in a single place.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::SourceModel;
+
+/// `.method()` calls banned in non-test hot-path code.
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+/// `name!(…)` macros banned in non-test hot-path code.
+const BANNED_MACROS: &[&str] = &["panic", "todo", "unreachable"];
+
+pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for &ti in model.code_indices() {
+        let tok = model.token(ti);
+        if tok.kind != TokenKind::Ident || model.in_test(ti) {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if BANNED_METHODS.contains(&name) && model.prev_code(ti).is_some_and(|p| p.text == ".") {
+            out.push(
+                Diagnostic::new(
+                    "EP001",
+                    &model.rel,
+                    tok.line,
+                    tok.col,
+                    format!("`.{name}()` in hot-path non-test code can panic at inference time"),
+                )
+                .with_suggestion(
+                    "propagate the Option/Result, or route a real invariant through \
+                     edgepc_geom::guard::required / guard::violation",
+                )
+                .with_item(name),
+            );
+        } else if BANNED_MACROS.contains(&name)
+            && model.next_code(ti).is_some_and(|n| n.text == "!")
+        {
+            out.push(
+                Diagnostic::new(
+                    "EP001",
+                    &model.rel,
+                    tok.line,
+                    tok.col,
+                    format!("`{name}!` in hot-path non-test code can panic at inference time"),
+                )
+                .with_suggestion(
+                    "return an error, or route the invariant through \
+                     edgepc_geom::guard::violation (waived once in LINT.toml)",
+                )
+                .with_item(name),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceModel::new("crates/geom/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a == 0 { panic!("zero") }
+    todo!()
+}
+"#;
+        let items: Vec<String> = run(src).into_iter().filter_map(|d| d.item).collect();
+        assert_eq!(items, vec!["unwrap", "expect", "panic", "todo"]);
+    }
+
+    #[test]
+    fn allows_total_variants_asserts_and_tests() {
+        let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    assert!(true, "precondition");
+    // a comment mentioning unwrap() and panic! is fine
+    let s = "strings with unwrap() and panic! are fine";
+    let _ = s;
+    x.unwrap_or_default() + x.unwrap_or(0)
+}
+
+#[test]
+fn t() {
+    Some(1).unwrap();
+    panic!("tests may panic");
+}
+"#;
+        assert_eq!(run(src), Vec::new());
+    }
+
+    #[test]
+    fn flags_qualified_macro_paths() {
+        let src = "pub fn f() { core::panic!(\"x\") }";
+        assert_eq!(run(src).len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! **EP002 — no float equality outside tests.**
+//!
+//! `==` / `!=` against a float literal in production code is almost always
+//! a latent bug: accumulated rounding makes exact equality unreliable, and
+//! `x == 0.0` guards silently misbehave for `-0.0` and `NaN`. Production
+//! code should compare with a tolerance, use `total_cmp`, or restructure
+//! (`scale > 0.0`).
+//!
+//! Detection is lexical: a `==` / `!=` token with a float literal on
+//! either side (an optional unary `-` is looked through). Variable-vs-
+//! variable float comparisons are invisible to a lexer and are left to
+//! clippy's `float_cmp` — this rule exists so the *committed* literal
+//! comparisons that drove paper-figure bugs stay impossible.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::SourceModel;
+
+pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let code = model.code_indices();
+    for (ci, &ti) in code.iter().enumerate() {
+        let tok = model.token(ti);
+        if tok.kind != TokenKind::Punct
+            || !(tok.text == "==" || tok.text == "!=")
+            || model.in_test(ti)
+        {
+            continue;
+        }
+        let prev_float = ci
+            .checked_sub(1)
+            .map(|p| model.token(code[p]).is_float_literal())
+            .unwrap_or(false);
+        let next_float = {
+            // Look through a unary minus: `x == -1.0`.
+            let mut n = ci + 1;
+            if code.get(n).is_some_and(|&i| model.token(i).text == "-") {
+                n += 1;
+            }
+            code.get(n)
+                .is_some_and(|&i| model.token(i).is_float_literal())
+        };
+        if prev_float || next_float {
+            out.push(
+                Diagnostic::new(
+                    "EP002",
+                    &model.rel,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "float literal compared with `{}` in non-test code",
+                        tok.text
+                    ),
+                )
+                .with_suggestion(
+                    "compare with a tolerance ((a - b).abs() < eps), use total_cmp, or \
+                     restructure the guard (e.g. `scale > 0.0`)",
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceModel::new("crates/nn/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_literal_comparisons_both_sides() {
+        let src = r#"
+pub fn f(x: f32, acc: f64) -> bool {
+    let a = x == 0.0;
+    let b = 1.0 != x;
+    let c = acc == -2.5e-3;
+    a && b && c
+}
+"#;
+        assert_eq!(run(src).len(), 3);
+    }
+
+    #[test]
+    fn ignores_integers_ranges_and_tests() {
+        let src = r#"
+pub fn f(x: usize, y: f32) -> bool {
+    let ints = x == 0;
+    let range = (0..4).len() == x;
+    let le = y <= 1.0; // ordering comparisons are fine
+    ints && range && le
+}
+
+#[test]
+fn t() {
+    assert!(super::g() == 1.0);
+}
+"#;
+        assert_eq!(run(src), Vec::new());
+    }
+}

@@ -1,0 +1,165 @@
+//! **EP004 — dependency policy: std-only, workspace-internal deps.**
+//!
+//! Every `Cargo.toml` in the workspace may depend only on workspace
+//! members (`foo.workspace = true` or `{ path = "…" }`). A version-string
+//! dependency (`serde = "1.0"`) or a git/registry table is a violation:
+//! the "runs on any edge device" claim rests on the workspace staying
+//! pure-Rust/std-only, and a transitive crates.io pull would also break
+//! the offline `ci.sh` guarantee.
+//!
+//! Checked sections: `[dependencies]`, `[dev-dependencies]`,
+//! `[build-dependencies]`, any `[target.….dependencies]`, and — in the
+//! root manifest — `[workspace.dependencies]`, where every entry must be
+//! a `path` table (this is where "workspace = true" bottoms out).
+
+use crate::diag::Diagnostic;
+use crate::toml_lite::{self, TomlValue};
+
+const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+
+pub fn check_manifest(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let doc = match toml_lite::parse(src) {
+        Ok(d) => d,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                "EP004",
+                rel,
+                e.line,
+                0,
+                format!("manifest does not parse: {}", e.message),
+            )];
+        }
+    };
+    let mut out = Vec::new();
+
+    for &section in DEP_SECTIONS {
+        if let Some(deps) = doc.get(section) {
+            check_dep_table(rel, src, section, deps, false, &mut out);
+        }
+    }
+    // [target.'cfg(…)'.dependencies] tables.
+    if let Some(targets) = doc.get("target").and_then(TomlValue::as_table) {
+        for (target_name, per_target) in targets {
+            for &section in DEP_SECTIONS {
+                if let Some(deps) = per_target.get(section) {
+                    let label = format!("target.{target_name}.{section}");
+                    check_dep_table(rel, src, &label, deps, false, &mut out);
+                }
+            }
+        }
+    }
+    // Root manifest: workspace.dependencies must bottom out in path deps.
+    if let Some(ws_deps) = doc.get("workspace").and_then(|w| w.get("dependencies")) {
+        check_dep_table(rel, src, "workspace.dependencies", ws_deps, true, &mut out);
+    }
+    out
+}
+
+/// `require_path`: in `[workspace.dependencies]` an entry must carry
+/// `path` (there is no outer workspace to defer to).
+fn check_dep_table(
+    rel: &str,
+    src: &str,
+    section: &str,
+    deps: &TomlValue,
+    require_path: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(entries) = deps.as_table() else {
+        return;
+    };
+    for (name, spec) in entries {
+        let ok = match spec {
+            TomlValue::Table(_) => {
+                let has_path = spec.get("path").and_then(TomlValue::as_str).is_some();
+                let ws = spec
+                    .get("workspace")
+                    .and_then(TomlValue::as_bool)
+                    .unwrap_or(false);
+                let external = spec.get("git").is_some()
+                    || spec.get("version").is_some()
+                    || spec.get("registry").is_some();
+                (has_path || (ws && !require_path)) && !external
+            }
+            _ => false,
+        };
+        if !ok {
+            out.push(
+                Diagnostic::new(
+                    "EP004",
+                    rel,
+                    find_key_line(src, name),
+                    0,
+                    format!(
+                        "[{section}] `{name}` is not a workspace/path dependency \
+                         (std-only policy forbids registry/git deps)"
+                    ),
+                )
+                .with_suggestion(format!(
+                    "use `{name}.workspace = true` with a `path` entry in the root \
+                     [workspace.dependencies], or drop the dependency"
+                ))
+                .with_item(name.as_str()),
+            );
+        }
+    }
+}
+
+/// Best-effort line lookup for a dependency key, for clickable output.
+fn find_key_line(src: &str, key: &str) -> usize {
+    src.lines()
+        .position(|l| {
+            let t = l.trim_start();
+            t.starts_with(key) && t[key.len()..].trim_start().starts_with(['=', '.'])
+        })
+        .map(|i| i + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let src = r#"
+[package]
+name = "edgepc-x"
+
+[dependencies]
+edgepc-geom.workspace = true
+edgepc-trace = { workspace = true }
+local = { path = "../local" }
+
+[dev-dependencies]
+edgepc-data.workspace = true
+"#;
+        assert_eq!(check_manifest("crates/x/Cargo.toml", src), Vec::new());
+    }
+
+    #[test]
+    fn registry_and_git_deps_flagged() {
+        let src = r#"
+[dependencies]
+serde = "1.0"
+rayon = { version = "1.8", features = ["std"] }
+remote = { git = "https://example.com/remote" }
+"#;
+        let got = check_manifest("crates/x/Cargo.toml", src);
+        let items: Vec<&str> = got.iter().filter_map(|d| d.item.as_deref()).collect();
+        assert_eq!(items, vec!["serde", "rayon", "remote"]);
+        assert_eq!(got[0].line, 3, "line lookup finds the dep key");
+    }
+
+    #[test]
+    fn workspace_dependencies_must_be_path() {
+        let src = r#"
+[workspace.dependencies]
+edgepc-geom = { path = "crates/geom" }
+serde = { workspace = true }
+"#;
+        let got = check_manifest("Cargo.toml", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].item.as_deref(), Some("serde"));
+    }
+}

@@ -1,0 +1,137 @@
+//! **EP005 — results-schema hygiene.**
+//!
+//! Committed `results/*.json` artifacts are inputs to the benchmark
+//! comparator and the paper-figure tooling; a file that no longer parses,
+//! or a `BENCH.json` whose schema drifted without a version bump, poisons
+//! every downstream comparison. This rule re-parses each committed
+//! artifact with the std-only JSON parser and pins `BENCH.json` to a
+//! known schema: `"schema": "edgepc-bench"` with `schema_version` in
+//! [`KNOWN_BENCH_VERSIONS`].
+
+use crate::diag::Diagnostic;
+use crate::json_lite::{self, JsonValue};
+
+/// BENCH.json schema versions this linter understands. Bump alongside
+/// `edgepc-perf`'s emitter when the schema changes shape.
+pub const KNOWN_BENCH_VERSIONS: &[i64] = &[1];
+
+/// Checks one committed results artifact. `rel` is repo-relative
+/// (`results/foo.json`); BENCH.json gets the schema pinning on top of the
+/// parse check.
+pub fn check_results_file(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let doc = match json_lite::parse(src) {
+        Ok(d) => d,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                "EP005",
+                rel,
+                e.line,
+                0,
+                format!(
+                    "committed results artifact does not parse as JSON: {}",
+                    e.message
+                ),
+            )
+            .with_suggestion("re-run the emitting harness or delete the stale artifact")];
+        }
+    };
+    let is_bench = rel
+        .rsplit('/')
+        .next()
+        .is_some_and(|name| name == "BENCH.json");
+    if !is_bench {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("edgepc-bench") => {}
+        Some(other) => out.push(Diagnostic::new(
+            "EP005",
+            rel,
+            0,
+            0,
+            format!("BENCH.json declares schema {other:?}, expected \"edgepc-bench\""),
+        )),
+        None => out.push(Diagnostic::new(
+            "EP005",
+            rel,
+            0,
+            0,
+            "BENCH.json is missing the `schema` marker".to_string(),
+        )),
+    }
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::as_f64)
+        .and_then(|v| {
+            let iv = v as i64;
+            // Versions are small integers; reject fractional values.
+            if (v - iv as f64).abs() < 1e-9 {
+                Some(iv)
+            } else {
+                None
+            }
+        });
+    match version {
+        Some(v) if KNOWN_BENCH_VERSIONS.contains(&v) => {}
+        Some(v) => out.push(
+            Diagnostic::new(
+                "EP005",
+                rel,
+                0,
+                0,
+                format!(
+                    "BENCH.json schema_version {v} is unknown (known: {KNOWN_BENCH_VERSIONS:?})"
+                ),
+            )
+            .with_suggestion("teach edgepc-lint the new version when the perf schema is bumped"),
+        ),
+        None => out.push(Diagnostic::new(
+            "EP005",
+            rel,
+            0,
+            0,
+            "BENCH.json is missing an integer `schema_version`".to_string(),
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_bench_and_plain_results_pass() {
+        let bench = r#"{"schema":"edgepc-bench","schema_version":1,"scenarios":[]}"#;
+        assert_eq!(check_results_file("results/BENCH.json", bench), Vec::new());
+        assert_eq!(
+            check_results_file("results/fig03.json", r#"{"anything": [1, 2]}"#),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn unparsable_artifact_flagged_with_line() {
+        let got = check_results_file("results/broken.json", "{\n  \"a\": [1,\n}");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 3);
+    }
+
+    #[test]
+    fn bench_schema_drift_flagged() {
+        let wrong_schema = r#"{"schema":"other","schema_version":1}"#;
+        let wrong_version = r#"{"schema":"edgepc-bench","schema_version":99}"#;
+        let missing = r#"{"scenarios":[]}"#;
+        assert_eq!(
+            check_results_file("results/BENCH.json", wrong_schema).len(),
+            1
+        );
+        assert_eq!(
+            check_results_file("results/BENCH.json", wrong_version).len(),
+            1
+        );
+        assert_eq!(check_results_file("results/BENCH.json", missing).len(), 2);
+    }
+}

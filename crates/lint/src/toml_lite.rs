@@ -1,0 +1,517 @@
+//! A minimal TOML subset parser — enough for the two documents the linter
+//! reads: `LINT.toml` waiver files (`[[waiver]]` array-of-tables with
+//! string values) and workspace `Cargo.toml` manifests (tables, dotted
+//! keys, strings, booleans, inline tables, string arrays).
+//!
+//! Not supported (and not present in this workspace): dates, multi-line
+//! basic strings with line-ending backslashes, exotic escapes. The parser
+//! reports errors with line numbers instead of panicking.
+
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Array(Vec<TomlValue>),
+    /// Tables preserve insertion order; duplicate keys keep the last value.
+    Table(Vec<(String, TomlValue)>),
+}
+
+impl TomlValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            TomlValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&[(String, TomlValue)]> {
+        match self {
+            TomlValue::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[TomlValue]> {
+        match self {
+            TomlValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Looks up a direct child of a table.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.as_table()?
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A parse failure with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a TOML document into its root table.
+pub fn parse(src: &str) -> Result<TomlValue, TomlError> {
+    let mut root = TomlValue::Table(Vec::new());
+    // Path of the table that `key = value` lines currently land in; the
+    // final component of an array-of-tables path addresses its last entry.
+    let mut current: Vec<String> = Vec::new();
+
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(path) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let path = parse_key_path(path, lineno)?;
+            push_array_table(&mut root, &path, lineno)?;
+            current = path;
+        } else if let Some(path) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let path = parse_key_path(path, lineno)?;
+            ensure_table(&mut root, &path, lineno)?;
+            current = path;
+        } else if let Some(eq) = find_top_level_eq(line) {
+            let key_path = parse_key_path(&line[..eq], lineno)?;
+            let mut value_src = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets close.
+            while open_brackets(&value_src) > 0 {
+                match lines.next() {
+                    Some((_, next)) => {
+                        value_src.push(' ');
+                        value_src.push_str(strip_comment(next).trim());
+                    }
+                    None => return err(lineno, "unterminated array"),
+                }
+            }
+            let value = parse_value(&value_src, lineno)?;
+            let (last, prefix) = match key_path.split_last() {
+                Some(x) => x,
+                None => return err(lineno, "empty key"),
+            };
+            let mut full: Vec<String> = current.clone();
+            full.extend(prefix.iter().cloned());
+            let table = resolve_mut(&mut root, &full, lineno)?;
+            match table {
+                TomlValue::Table(entries) => entries.push((last.clone(), value)),
+                _ => return err(lineno, "key assignment into non-table"),
+            }
+        } else {
+            return err(lineno, format!("unrecognized line: {line}"));
+        }
+    }
+    Ok(root)
+}
+
+/// Drops a `#` comment, respecting basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Index of the first `=` outside quotes.
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' | '\'' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `a.b."c d"` into path components.
+fn parse_key_path(src: &str, lineno: usize) -> Result<Vec<String>, TomlError> {
+    let mut parts = Vec::new();
+    let mut rest = src.trim();
+    while !rest.is_empty() {
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let end = match stripped.find('"') {
+                Some(e) => e,
+                None => return err(lineno, "unterminated quoted key"),
+            };
+            parts.push(stripped[..end].to_string());
+            rest = stripped[end + 1..].trim_start();
+        } else if let Some(stripped) = rest.strip_prefix('\'') {
+            let end = match stripped.find('\'') {
+                Some(e) => e,
+                None => return err(lineno, "unterminated quoted key"),
+            };
+            parts.push(stripped[..end].to_string());
+            rest = stripped[end + 1..].trim_start();
+        } else {
+            let end = rest.find('.').unwrap_or(rest.len());
+            let part = rest[..end].trim();
+            if part.is_empty() {
+                return err(lineno, "empty key component");
+            }
+            parts.push(part.to_string());
+            rest = rest[end..].trim_start();
+        }
+        if let Some(stripped) = rest.strip_prefix('.') {
+            rest = stripped.trim_start();
+            if rest.is_empty() {
+                return err(lineno, "trailing dot in key");
+            }
+        } else if !rest.is_empty() {
+            return err(lineno, format!("unexpected key syntax: {src}"));
+        }
+    }
+    if parts.is_empty() {
+        return err(lineno, "empty key");
+    }
+    Ok(parts)
+}
+
+/// Walks `path`, creating intermediate tables; the last component of an
+/// array-of-tables resolves to its most recent element.
+fn resolve_mut<'a>(
+    root: &'a mut TomlValue,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut TomlValue, TomlError> {
+    let mut node = root;
+    for part in path {
+        let entries = match node {
+            TomlValue::Table(entries) => entries,
+            TomlValue::Array(items) => match items.last_mut() {
+                Some(last) => match last {
+                    TomlValue::Table(entries) => entries,
+                    _ => return err(lineno, "array element is not a table"),
+                },
+                None => return err(lineno, "empty array of tables"),
+            },
+            _ => return err(lineno, "path traverses a non-table"),
+        };
+        if !entries.iter().any(|(k, _)| k == part) {
+            entries.push((part.clone(), TomlValue::Table(Vec::new())));
+        }
+        let slot = entries
+            .iter_mut()
+            .rev()
+            .find(|(k, _)| k == part)
+            .map(|(_, v)| v);
+        node = match slot {
+            Some(v) => v,
+            None => return err(lineno, "internal: created key vanished"),
+        };
+        if let TomlValue::Array(items) = node {
+            node = match items.last_mut() {
+                Some(v) => v,
+                None => return err(lineno, "empty array of tables"),
+            };
+        }
+    }
+    Ok(node)
+}
+
+fn ensure_table(root: &mut TomlValue, path: &[String], lineno: usize) -> Result<(), TomlError> {
+    resolve_mut(root, path, lineno).map(|_| ())
+}
+
+fn push_array_table(root: &mut TomlValue, path: &[String], lineno: usize) -> Result<(), TomlError> {
+    let (last, prefix) = match path.split_last() {
+        Some(x) => x,
+        None => return err(lineno, "empty array-of-tables path"),
+    };
+    let parent = resolve_mut(root, prefix, lineno)?;
+    let entries = match parent {
+        TomlValue::Table(entries) => entries,
+        _ => return err(lineno, "array-of-tables parent is not a table"),
+    };
+    match entries.iter_mut().find(|(k, _)| k == last) {
+        Some((_, TomlValue::Array(items))) => {
+            items.push(TomlValue::Table(Vec::new()));
+        }
+        Some(_) => return err(lineno, format!("key {last} is not an array of tables")),
+        None => {
+            entries.push((
+                last.clone(),
+                TomlValue::Array(vec![TomlValue::Table(Vec::new())]),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Net open `[`/`{` minus closed, outside strings — drives multi-line
+/// array consumption.
+fn open_brackets(src: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    for c in src.chars() {
+        match c {
+            '"' | '\'' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+fn parse_value(src: &str, lineno: usize) -> Result<TomlValue, TomlError> {
+    let src = src.trim();
+    if let Some(stripped) = src.strip_prefix('"') {
+        let end = match find_string_end(stripped) {
+            Some(e) => e,
+            None => return err(lineno, "unterminated string"),
+        };
+        if !stripped[end + 1..].trim().is_empty() {
+            return err(lineno, "trailing content after string");
+        }
+        return Ok(TomlValue::Str(unescape(&stripped[..end])));
+    }
+    if let Some(stripped) = src.strip_prefix('\'') {
+        let end = match stripped.find('\'') {
+            Some(e) => e,
+            None => return err(lineno, "unterminated literal string"),
+        };
+        return Ok(TomlValue::Str(stripped[..end].to_string()));
+    }
+    if src == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if src == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if src.starts_with('[') {
+        if !src.ends_with(']') {
+            return err(lineno, "unterminated array");
+        }
+        let inner = &src[1..src.len() - 1];
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if !piece.is_empty() {
+                items.push(parse_value(piece, lineno)?);
+            }
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    if src.starts_with('{') {
+        if !src.ends_with('}') {
+            return err(lineno, "unterminated inline table");
+        }
+        let inner = &src[1..src.len() - 1];
+        let mut entries = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let eq = match find_top_level_eq(piece) {
+                Some(e) => e,
+                None => return err(lineno, format!("inline table entry without `=`: {piece}")),
+            };
+            let keys = parse_key_path(&piece[..eq], lineno)?;
+            let value = parse_value(&piece[eq + 1..], lineno)?;
+            // Dotted keys inside inline tables nest right-to-left.
+            let mut v = value;
+            for key in keys.iter().skip(1).rev() {
+                v = TomlValue::Table(vec![(key.clone(), v)]);
+            }
+            entries.push((keys[0].clone(), v));
+        }
+        return Ok(TomlValue::Table(entries));
+    }
+    if let Ok(i) = src.replace('_', "").parse::<i64>() {
+        return Ok(TomlValue::Int(i));
+    }
+    if let Ok(f) = src.replace('_', "").parse::<f64>() {
+        return Ok(TomlValue::Float(f));
+    }
+    err(lineno, format!("unsupported value: {src}"))
+}
+
+/// End of a basic string body, honoring `\"` escapes.
+fn find_string_end(body: &str) -> Option<usize> {
+    let mut prev_backslash = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' if !prev_backslash => return Some(i),
+            _ => prev_backslash = c == '\\' && !prev_backslash,
+        }
+    }
+    None
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Splits on top-level commas (outside nested brackets and strings).
+fn split_top_level(src: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in src.char_indices() {
+        match c {
+            '"' | '\'' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(&src[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&src[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cargo_manifest_shapes() {
+        let doc = r#"
+[package]
+name = "edgepc-sample"
+version.workspace = true
+
+[dependencies]
+edgepc-geom.workspace = true
+serde = "1.0"
+local = { path = "../local", features = ["std"] }
+
+[workspace]
+members = [
+    "crates/*",
+]
+"#;
+        let t = parse(doc).expect("parse");
+        let pkg = t.get("package").expect("package");
+        assert_eq!(
+            pkg.get("name").and_then(TomlValue::as_str),
+            Some("edgepc-sample")
+        );
+        assert_eq!(
+            pkg.get("version")
+                .and_then(|v| v.get("workspace"))
+                .and_then(TomlValue::as_bool),
+            Some(true)
+        );
+        let deps = t.get("dependencies").expect("deps");
+        assert!(deps
+            .get("edgepc-geom")
+            .and_then(|v| v.get("workspace"))
+            .is_some());
+        assert_eq!(deps.get("serde").and_then(TomlValue::as_str), Some("1.0"));
+        assert_eq!(
+            deps.get("local")
+                .and_then(|v| v.get("path"))
+                .and_then(TomlValue::as_str),
+            Some("../local")
+        );
+        let members = t
+            .get("workspace")
+            .and_then(|w| w.get("members"))
+            .and_then(TomlValue::as_array)
+            .expect("members");
+        assert_eq!(members, &[TomlValue::Str("crates/*".into())]);
+    }
+
+    #[test]
+    fn parses_array_of_tables() {
+        let doc = r#"
+[[waiver]]
+rule = "EP001"
+path = "crates/geom/src/guard.rs"
+reason = "sanctioned # diverging site"
+
+[[waiver]]
+rule = "EP003"
+path = "crates/models/src/dgcnn.rs"
+item = "feature_knn"
+reason = "spanned at call sites"
+"#;
+        let t = parse(doc).expect("parse");
+        let waivers = t
+            .get("waiver")
+            .and_then(TomlValue::as_array)
+            .expect("waivers");
+        assert_eq!(waivers.len(), 2);
+        assert_eq!(
+            waivers[0].get("reason").and_then(TomlValue::as_str),
+            Some("sanctioned # diverging site")
+        );
+        assert_eq!(
+            waivers[1].get("item").and_then(TomlValue::as_str),
+            Some("feature_knn")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let e = parse("key =").expect_err("must fail");
+        assert_eq!(e.line, 1);
+        let e = parse("[table]\nnot a toml line").expect_err("must fail");
+        assert_eq!(e.line, 2);
+    }
+}

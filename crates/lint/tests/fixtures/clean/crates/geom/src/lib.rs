@@ -1,0 +1,18 @@
+//! Fixture source: panic-free hot-path code; the unwrap and exact float
+//! compare live inside a test module, which EP001/EP002 must skip.
+
+pub fn centroid(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_and_float_eq_are_fine_here() {
+        let first = [2.0f32].first().copied().unwrap();
+        assert!(first == 2.0);
+    }
+}

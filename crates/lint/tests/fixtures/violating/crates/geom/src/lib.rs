@@ -1,0 +1,18 @@
+//! Fixture source: geom is a hot-path crate, so the unwrap and the
+//! panic! below must trip EP001, and the float compare EP002.
+
+pub fn centroid(xs: &[f32]) -> f32 {
+    let first = xs.first().unwrap();
+    if *first == 0.5 {
+        panic!("bad centroid seed");
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_here_is_fine() {
+        assert!(super::centroid(&[1.0, 3.0]).is_finite());
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture source: this path is span-covered (EP003) and the public
+//! function below does substantial work without opening a span.
+
+pub fn interpolate(src: &[f32], dst: &mut [f32]) -> usize {
+    let mut wrote = 0usize;
+    for (i, slot) in dst.iter_mut().enumerate() {
+        let a = src[i % src.len()];
+        let b = src[(i + 1) % src.len()];
+        *slot = 0.5 * (a + b);
+        wrote += 1;
+    }
+    wrote
+}

@@ -1,0 +1,101 @@
+//! Lexer edge cases that a regex-based scanner gets wrong: raw strings
+//! with hash fences, nested block comments, raw identifiers, and the
+//! lifetime-vs-char-literal ambiguity.
+
+use edgepc_lint::lexer::{tokenize, TokenKind};
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    tokenize(src)
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes_swallows_quotes_and_panics() {
+    // The panic! inside the raw string is data, not a macro call.
+    let toks = kinds(r####"let s = r##"contains "quotes" and panic!()"##;"####);
+    let raw: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::RawStr)
+        .collect();
+    assert_eq!(raw.len(), 1);
+    assert!(raw[0].1.contains("panic!"));
+    // No Ident token for `panic` escaped the string.
+    assert!(!toks
+        .iter()
+        .any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+}
+
+#[test]
+fn byte_raw_string_lexes_as_one_token() {
+    let toks = kinds(r###"let b = br#"bytes "here""#;"###);
+    assert_eq!(
+        toks.iter().filter(|(k, _)| *k == TokenKind::RawStr).count(),
+        1
+    );
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let toks = kinds("/* outer /* inner */ still comment */ after");
+    let idents: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Ident)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(idents, ["after"]);
+}
+
+#[test]
+fn raw_identifier_is_a_single_ident_token() {
+    let toks = kinds("let r#match = 1;");
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    // `match` alone must not appear (it is part of the raw ident).
+    assert!(!toks
+        .iter()
+        .any(|(k, t)| *k == TokenKind::Ident && t == "match"));
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    assert_eq!(
+        toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+        2
+    );
+}
+
+#[test]
+fn unterminated_input_never_panics() {
+    // The lexer must be total: truncated constructs end at EOF.
+    for src in [
+        "let s = \"unterminated",
+        "let s = r#\"unterminated",
+        "/* unterminated /* nested",
+        "let c = '",
+        "r#",
+    ] {
+        let _ = tokenize(src);
+    }
+}
+
+#[test]
+fn float_exponents_and_hex_are_distinguished() {
+    let toks = tokenize("let a = 1e10; let b = 0xEF; let c = 2.5E-3;");
+    let floats: Vec<_> = toks
+        .iter()
+        .filter(|t| t.is_float_literal())
+        .map(|t| t.text.as_str())
+        .collect();
+    // 0xEF contains an `E` but is an integer literal.
+    assert_eq!(floats, ["1e10", "2.5E-3"]);
+}

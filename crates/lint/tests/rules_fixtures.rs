@@ -1,0 +1,126 @@
+//! End-to-end runs over the fixture mini-workspaces in
+//! `tests/fixtures/`: the violating tree must trip every rule (EP000
+//! through EP005) and the clean tree none, both through the library API
+//! and through the `lint_all` binary.
+
+// Test-support helpers sit outside #[test] fns, where clippy.toml's
+// allow-expect-in-tests does not reach.
+#![allow(clippy::expect_used)]
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violating_fixture_trips_every_rule() {
+    let report = edgepc_lint::run_workspace(&fixture("violating")).expect("fixture run");
+    let rules: BTreeSet<&str> = report.violations.iter().map(|d| d.rule).collect();
+    for expected in ["EP000", "EP001", "EP002", "EP003", "EP004", "EP005"] {
+        assert!(
+            rules.contains(expected),
+            "expected a {expected} violation, got rules {rules:?}:\n{}",
+            report
+                .violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn violating_fixture_pinpoints_the_planted_sites() {
+    let report = edgepc_lint::run_workspace(&fixture("violating")).expect("fixture run");
+    let has = |rule: &str, file: &str, needle: &str| {
+        report
+            .violations
+            .iter()
+            .any(|d| d.rule == rule && d.file == file && d.message.contains(needle))
+    };
+    // EP001: both the unwrap and the panic! in the hot-crate source.
+    assert!(has("EP001", "crates/geom/src/lib.rs", "unwrap"));
+    assert!(has("EP001", "crates/geom/src/lib.rs", "panic!"));
+    // EP002: the float compare outside tests.
+    assert!(has("EP002", "crates/geom/src/lib.rs", "=="));
+    // EP003: the span-less public function in a span-covered file.
+    assert!(has("EP003", "crates/sample/src/upsample.rs", "interpolate"));
+    // EP004: both the versioned workspace dep and the registry dep.
+    assert!(has("EP004", "Cargo.toml", "serde"));
+    assert!(has("EP004", "crates/geom/Cargo.toml", "rand"));
+    // EP005: the unknown schema version and the unparsable file.
+    assert!(has("EP005", "results/BENCH.json", "schema_version"));
+    assert!(report
+        .violations
+        .iter()
+        .any(|d| d.rule == "EP005" && d.file == "results/broken.json"));
+    // EP000: the deliberately stale waiver.
+    assert!(has("EP000", "LINT.toml", "crates/morton/src/lib.rs"));
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = edgepc_lint::run_workspace(&fixture("clean")).expect("fixture run");
+    assert!(
+        report.is_clean(),
+        "clean fixture reported:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned >= 6, "sources + manifests + results");
+}
+
+fn run_lint_all(root: &Path, json_out: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lint_all"))
+        .arg("--root")
+        .arg(root)
+        .arg("--json")
+        .arg(json_out)
+        .output()
+        .expect("spawn lint_all")
+}
+
+#[test]
+fn lint_all_binary_fails_on_violating_fixture() {
+    let json = Path::new(env!("CARGO_TARGET_TMPDIR")).join("violating_lint.json");
+    let out = run_lint_all(&fixture("violating"), &json);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["EP000", "EP001", "EP002", "EP003", "EP004", "EP005"] {
+        assert!(stdout.contains(rule), "stdout missing {rule}:\n{stdout}");
+    }
+    // The machine-readable report parses and agrees it is not clean.
+    let doc = edgepc_lint::json_lite::parse(&std::fs::read_to_string(&json).expect("lint.json"))
+        .expect("valid report json");
+    assert_eq!(
+        doc.get("clean").and_then(|v| v.as_bool()),
+        Some(false),
+        "report must say clean=false"
+    );
+}
+
+#[test]
+fn lint_all_binary_passes_on_clean_fixture() {
+    let json = Path::new(env!("CARGO_TARGET_TMPDIR")).join("clean_lint.json");
+    let out = run_lint_all(&fixture("clean"), &json);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean fixture must exit 0; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let doc = edgepc_lint::json_lite::parse(&std::fs::read_to_string(&json).expect("lint.json"))
+        .expect("valid report json");
+    assert_eq!(doc.get("clean").and_then(|v| v.as_bool()), Some(true));
+}

@@ -8,7 +8,7 @@
 //! between *reusing* the previous graph and exact feature-space k-NN
 //! (Sec. 5.2.3, reuse distance 1).
 
-use edgepc_geom::{OpCounts, PointCloud};
+use edgepc_geom::{required, violation, OpCounts, PointCloud};
 use edgepc_neighbor::{BruteKnn, MortonWindowSearcher, NeighborSearcher};
 use edgepc_nn::pool::{global_max_pool, max_pool_groups, PooledGroups};
 use edgepc_nn::{Layer, Sequential, Tensor2};
@@ -63,7 +63,7 @@ impl EdgeConv {
             k,
             mlp: Sequential::mlp(&dims, seed),
             in_channels,
-            out_channels: *mlp_widths.last().unwrap(),
+            out_channels: *required(mlp_widths.last(), "non-empty widths"),
             name: name.into(),
             cache: None,
         }
@@ -156,7 +156,7 @@ impl EdgeConv {
     ///
     /// Panics if called before [`EdgeConv::forward`].
     pub fn backward(&mut self, d_out: &Tensor2) -> Tensor2 {
-        let cache = self.cache.as_ref().expect("backward before forward");
+        let cache = required(self.cache.as_ref(), "backward before forward");
         let d_edges = self.mlp.backward(&cache.pool.backward(d_out));
         let c = self.in_channels;
         let mut d_feats = Tensor2::zeros(cache.rows, c);
@@ -233,7 +233,7 @@ impl DgcnnBackbone {
                 widths,
                 0xec + i as u64,
             ));
-            c = *widths.last().unwrap();
+            c = *required(widths.last(), "non-empty widths");
         }
         DgcnnBackbone {
             modules,
@@ -290,9 +290,10 @@ impl DgcnnBackbone {
                     None,
                     records,
                     || {
-                        let nbrs = prev_neighbors
-                            .clone()
-                            .expect("Reuse requires a previous module's graph");
+                        let nbrs = required(
+                            prev_neighbors.clone(),
+                            "Reuse requires a previous module's graph",
+                        );
                         // Reuse costs only the cached read of the index array
                         // (the paper's ~160 KB per batch, Sec. 5.2.3).
                         let ops = OpCounts {
@@ -304,7 +305,7 @@ impl DgcnnBackbone {
                     },
                 ),
                 SearchStrategy::BallQuery { .. } => {
-                    panic!("DGCNN uses k-NN graphs, not ball query")
+                    violation("DGCNN uses k-NN graphs, not ball query")
                 }
             };
             let out = module.forward(&feats, &neighbors, records);
@@ -322,7 +323,7 @@ impl DgcnnBackbone {
         // Module i's input is module i-1's output, so chain gradients.
         let mut d_next: Option<Tensor2> = None;
         for i in (0..self.modules.len()).rev() {
-            let mut d = d_outputs.pop().expect("one gradient per module");
+            let mut d = required(d_outputs.pop(), "one gradient per module");
             if let Some(chained) = d_next.take() {
                 d = d.add(&chained);
             }
@@ -459,7 +460,7 @@ impl DgcnnClassifier {
     ///
     /// Panics if called before [`DgcnnClassifier::forward`].
     pub fn backward(&mut self, d_logits: &Tensor2) {
-        let cache = self.cache.take().expect("backward before forward");
+        let cache = required(self.cache.take(), "backward before forward");
         let d_pooled = self.head.backward(d_logits);
         let d_stacked = cache.pool.backward(&d_pooled);
         // Split columns back into per-module gradients.
@@ -601,7 +602,7 @@ impl DgcnnSeg {
     ///
     /// Panics if called before [`DgcnnSeg::forward`].
     pub fn backward(&mut self, d_logits: &Tensor2) {
-        let cache = self.cache.take().expect("backward before forward");
+        let cache = required(self.cache.take(), "backward before forward");
         let d_head_in = self.head.backward(d_logits);
         let lc = cache.local_cols;
         // Split into local and broadcast-global parts.

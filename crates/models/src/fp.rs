@@ -6,7 +6,7 @@
 //! window), concatenate with the dense level's skip features, and run a
 //! shared MLP.
 
-use edgepc_geom::{OpCounts, Point3};
+use edgepc_geom::{required, OpCounts, Point3};
 use edgepc_nn::{Layer, Sequential, Tensor2};
 use edgepc_sample::{InterpPlan, MortonInterpolator, ThreeNnInterpolator};
 use edgepc_sim::StageKind;
@@ -85,7 +85,7 @@ impl FeaturePropagation {
             mlp: Sequential::mlp(&dims, seed),
             sparse_channels,
             skip_channels,
-            out_channels: *mlp_widths.last().expect("non-empty widths"),
+            out_channels: *required(mlp_widths.last(), "non-empty widths"),
             strategy,
             name: name.into(),
             cache: None,
@@ -224,7 +224,7 @@ impl FeaturePropagation {
     ///
     /// Panics if called before [`FeaturePropagation::forward`].
     pub fn backward(&mut self, d_out: &Tensor2) -> (Tensor2, Tensor2) {
-        let cache = self.cache.as_ref().expect("backward before forward");
+        let cache = required(self.cache.as_ref(), "backward before forward");
         let d_stacked = self.mlp.backward(d_out);
         let cs = self.sparse_channels;
         let mut d_sparse = Tensor2::zeros(cache.sparse_rows, cs);

@@ -1,7 +1,7 @@
 //! PointNet++ for semantic segmentation — the paper's Fig. 2a network with
 //! pluggable EdgePC strategies.
 
-use edgepc_geom::{Point3, PointCloud};
+use edgepc_geom::{required, Point3, PointCloud};
 use edgepc_nn::{Layer, Sequential, Tensor2};
 use edgepc_sim::StageKind;
 
@@ -159,7 +159,7 @@ impl PointNetPpSeg {
                 config.strategy.search_at(i),
                 0x5a + i as u64,
             ));
-            channels.push(*spec.mlp_widths.last().unwrap());
+            channels.push(*required(spec.mlp_widths.last(), "non-empty widths"));
         }
 
         // FP module j up-samples level depth-j onto level depth-j-1.
@@ -177,7 +177,7 @@ impl PointNetPpSeg {
                 config.strategy.upsample_at(j),
                 0xf0 + j as u64,
             ));
-            carried = *widths.last().unwrap();
+            carried = *required(widths.last(), "non-empty widths");
         }
 
         let mut head_dims = vec![carried];
@@ -221,8 +221,11 @@ impl PointNetPpSeg {
         // --- SA stack ---
         for sa in self.sa.iter_mut() {
             let (pts, feats, selection) = sa.forward(
-                level_points.last().unwrap(),
-                level_feats.last().unwrap(),
+                required(
+                    level_points.last().map(Vec::as_slice),
+                    "levels start non-empty",
+                ),
+                required(level_feats.last(), "levels start non-empty"),
                 &mut records,
             );
             contexts.push(selection.morton_context);

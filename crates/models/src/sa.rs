@@ -5,7 +5,7 @@
 //! (neighbor features concatenated with coordinates relative to the
 //! centroid), run the shared MLP, and max-pool each group.
 
-use edgepc_geom::{OpCounts, Point3};
+use edgepc_geom::{required, OpCounts, Point3};
 use edgepc_nn::pool::{max_pool_groups, PooledGroups};
 use edgepc_nn::{Layer, Sequential, Tensor2};
 use edgepc_sim::StageKind;
@@ -73,7 +73,7 @@ impl SetAbstraction {
             k,
             mlp: Sequential::mlp(&dims, seed),
             in_channels,
-            out_channels: *mlp_widths.last().expect("non-empty widths"),
+            out_channels: *required(mlp_widths.last(), "non-empty widths"),
             sample_strategy,
             search_strategy,
             name: name.into(),
@@ -215,7 +215,7 @@ impl SetAbstraction {
     ///
     /// Panics if called before [`SetAbstraction::forward`].
     pub fn backward(&mut self, d_out: &Tensor2) -> Tensor2 {
-        let cache = self.cache.as_ref().expect("backward before forward");
+        let cache = required(self.cache.as_ref(), "backward before forward");
         let d_transformed = cache.pool.backward(d_out);
         let d_grouped = self.mlp.backward(&d_transformed);
         let c = self.in_channels;

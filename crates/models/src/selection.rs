@@ -6,7 +6,7 @@
 //! both strategies are Morton-based, the sampler's structurization is
 //! handed to the window searcher instead of being recomputed.
 
-use edgepc_geom::{Point3, PointCloud};
+use edgepc_geom::{violation, Point3, PointCloud};
 use edgepc_morton::Structurizer;
 use edgepc_neighbor::{BallQuery, BruteKnn, MortonWindowSearcher, NeighborSearcher};
 use edgepc_sample::{FarthestPointSampler, MortonSampler, Sampler};
@@ -170,7 +170,7 @@ pub fn select(
             )
         }
         SearchStrategy::FeatureKnn | SearchStrategy::Reuse => {
-            panic!("FeatureKnn/Reuse are DGCNN module policies, not SA strategies")
+            violation("FeatureKnn/Reuse are DGCNN module policies, not SA strategies")
         }
     };
 

@@ -5,7 +5,7 @@
 //! that per-layer choice, and [`StageRecord`] carries the measured work of
 //! every executed stage so harnesses can price it on the device model.
 
-use edgepc_geom::OpCounts;
+use edgepc_geom::{required, OpCounts};
 use edgepc_sim::{ExecMode, PipelineCost, StageCost, StageKind, XavierModel};
 
 /// How a down-sampling layer selects its points.
@@ -196,11 +196,10 @@ impl PipelineStrategy {
     ///
     /// Panics if no sample strategies are configured.
     pub fn sample_at(&self, i: usize) -> SampleStrategy {
-        *self
-            .sample
-            .get(i)
-            .or_else(|| self.sample.last())
-            .expect("no sample strategies configured")
+        *required(
+            self.sample.get(i).or_else(|| self.sample.last()),
+            "no sample strategies configured",
+        )
     }
 
     /// The search strategy for module `i` (repeating the last entry).
@@ -209,11 +208,10 @@ impl PipelineStrategy {
     ///
     /// Panics if no search strategies are configured.
     pub fn search_at(&self, i: usize) -> SearchStrategy {
-        *self
-            .search
-            .get(i)
-            .or_else(|| self.search.last())
-            .expect("no search strategies configured")
+        *required(
+            self.search.get(i).or_else(|| self.search.last()),
+            "no search strategies configured",
+        )
     }
 
     /// The upsample strategy for FP module `j` (repeating the last entry).
@@ -222,11 +220,10 @@ impl PipelineStrategy {
     ///
     /// Panics if no upsample strategies are configured.
     pub fn upsample_at(&self, j: usize) -> UpsampleStrategy {
-        *self
-            .upsample
-            .get(j)
-            .or_else(|| self.upsample.last())
-            .expect("no upsample strategies configured")
+        *required(
+            self.upsample.get(j).or_else(|| self.upsample.last()),
+            "no upsample strategies configured",
+        )
     }
 }
 

@@ -11,6 +11,7 @@ use edgepc_data::{Dataset, Task};
 use edgepc_nn::{loss, Adam, Optimizer};
 
 use crate::{DgcnnClassifier, DgcnnSeg, PointNetPpSeg};
+use edgepc_geom::required;
 
 /// The outcome of a training run.
 #[derive(Debug, Clone)]
@@ -44,7 +45,7 @@ pub fn train_dgcnn_classifier(
     for _ in 0..epochs {
         let mut total = 0.0f32;
         for sample in &dataset.train {
-            let target = sample.class.expect("classification sample without class");
+            let target = required(sample.class, "classification sample without class");
             let (logits, _) = model.forward(&sample.cloud);
             let (l, d) = loss::softmax_cross_entropy(&logits, &[target]);
             total += l;
@@ -66,7 +67,7 @@ pub fn eval_dgcnn_classifier(model: &mut DgcnnClassifier, dataset: &Dataset) -> 
     let mut correct = 0usize;
     for sample in &dataset.test {
         let (logits, _) = model.forward(&sample.cloud);
-        if loss::argmax_rows(&logits)[0] == sample.class.expect("class") {
+        if loss::argmax_rows(&logits)[0] == required(sample.class, "class") {
             correct += 1;
         }
     }
@@ -95,7 +96,7 @@ pub fn train_dgcnn_seg(
     for _ in 0..epochs {
         let mut total = 0.0f32;
         for sample in &dataset.train {
-            let targets = sample.cloud.labels().expect("point labels").to_vec();
+            let targets = required(sample.cloud.labels(), "point labels").to_vec();
             let (logits, _) = model.forward(&sample.cloud);
             let (l, d) = loss::softmax_cross_entropy(&logits, &targets);
             total += l;
@@ -117,7 +118,7 @@ pub fn eval_dgcnn_seg(model: &mut DgcnnSeg, dataset: &Dataset) -> f64 {
     let mut correct = 0usize;
     let mut total = 0usize;
     for sample in &dataset.test {
-        let targets = sample.cloud.labels().expect("point labels");
+        let targets = required(sample.cloud.labels(), "point labels");
         let (logits, _) = model.forward(&sample.cloud);
         let preds = loss::argmax_rows(&logits);
         correct += preds.iter().zip(targets).filter(|(p, t)| *p == *t).count();
@@ -148,7 +149,7 @@ pub fn train_pointnetpp_seg(
     for _ in 0..epochs {
         let mut total = 0.0f32;
         for sample in &dataset.train {
-            let targets = sample.cloud.labels().expect("point labels").to_vec();
+            let targets = required(sample.cloud.labels(), "point labels").to_vec();
             let (logits, _) = model.forward(&sample.cloud);
             let (l, d) = loss::softmax_cross_entropy(&logits, &targets);
             total += l;
@@ -170,7 +171,7 @@ pub fn eval_pointnetpp_seg(model: &mut PointNetPpSeg, dataset: &Dataset) -> f64 
     let mut correct = 0usize;
     let mut total = 0usize;
     for sample in &dataset.test {
-        let targets = sample.cloud.labels().expect("point labels");
+        let targets = required(sample.cloud.labels(), "point labels");
         let (logits, _) = model.forward(&sample.cloud);
         let preds = loss::argmax_rows(&logits);
         correct += preds.iter().zip(targets).filter(|(p, t)| *p == *t).count();

@@ -23,7 +23,9 @@ fn true_knn(points: &[Point3], i: usize, k: usize) -> Vec<usize> {
         .filter(|&(j, _)| j != i)
         .map(|(j, &p)| (points[i].distance_squared(p), j))
         .collect();
-    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp with the index tiebreak reproduces the old (dist, index)
+    // lexicographic order without a panicking comparator.
+    d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     d.truncate(k);
     d.into_iter().map(|(_, j)| j).collect()
 }

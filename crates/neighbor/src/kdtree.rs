@@ -89,9 +89,7 @@ impl KdTree {
         let axis = (depth % 3) as usize;
         let mid = order.len() / 2;
         order.select_nth_unstable_by(mid, |&a, &b| {
-            points[a as usize][axis]
-                .partial_cmp(&points[b as usize][axis])
-                .unwrap()
+            points[a as usize][axis].total_cmp(&points[b as usize][axis])
         });
         ops.cmp += order.len() as u64;
         let point = order[mid];

@@ -35,7 +35,7 @@ fn distance_profile(cloud: &PointCloud, queries: &[usize], lists: &[Vec<usize>])
                 .iter()
                 .map(|&j| cloud.point(q).distance_squared(cloud.point(j)))
                 .collect();
-            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d.sort_by(f32::total_cmp);
             d
         })
         .collect()

@@ -97,7 +97,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
-        let x = self.cache_x.as_ref().expect("backward before forward");
+        let x = edgepc_geom::required(self.cache_x.as_ref(), "backward before forward");
         self.gw = self.gw.add(&x.transpose().matmul(dy));
         for (g, s) in self.gb.iter_mut().zip(dy.sum_rows()) {
             *g += s;
@@ -244,7 +244,7 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
-        let xhat = self.cache_xhat.as_ref().expect("backward before forward");
+        let xhat = edgepc_geom::required(self.cache_xhat.as_ref(), "backward before forward");
         let n = dy.rows() as f32;
         let cols = dy.cols();
         // Per-channel reductions.
@@ -325,7 +325,9 @@ impl Dropout {
 impl Layer for Dropout {
     fn forward(&mut self, x: &Tensor2, _ops: &mut OpCounts) -> Tensor2 {
         self.shape = (x.rows(), x.cols());
-        if !self.training || self.p == 0.0 {
+        // `<= 0.0` rather than `== 0.0`: a zero-or-negative drop rate is a
+        // no-op regardless of sign tricks (-0.0) or rounding upstream.
+        if !self.training || self.p <= 0.0 {
             self.mask = vec![true; x.rows() * x.cols()];
             return x.clone();
         }
@@ -348,7 +350,7 @@ impl Layer for Dropout {
             self.shape,
             "backward shape mismatch (forward not called?)"
         );
-        if !self.training || self.p == 0.0 {
+        if !self.training || self.p <= 0.0 {
             return dy.clone();
         }
         let keep = 1.0 - self.p;

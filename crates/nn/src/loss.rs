@@ -54,7 +54,7 @@ pub fn argmax_rows(logits: &Tensor2) -> Vec<u32> {
                 .row(r)
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i as u32)
                 .unwrap_or(0)
         })

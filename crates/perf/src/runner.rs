@@ -132,7 +132,7 @@ pub fn run_scenario(cfg: &RunnerConfig, scenario: &mut Scenario) -> ScenarioResu
         .gauge_names()
         .iter()
         .filter(|n| n.starts_with("audit."))
-        .map(|n| (n.clone(), reg.gauge(n).unwrap()))
+        .filter_map(|n| reg.gauge(n).map(|v| (n.clone(), v)))
         .collect();
 
     let (ops, modeled) = last;

@@ -48,11 +48,11 @@ impl Stats {
             "non-finite timing sample"
         );
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let median = median_of_sorted(&sorted);
         let mut dev: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
-        dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dev.sort_by(f64::total_cmp);
         let rank95 = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
         Stats {
             n,

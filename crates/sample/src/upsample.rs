@@ -29,6 +29,7 @@ impl InterpPlan {
     ///
     /// Panics if any planned index is out of range for `feats`.
     pub fn apply(&self, feats: &FeatureMatrix) -> FeatureMatrix {
+        let _span = edgepc_trace::span("upsample.apply", "upsample");
         let mut out = FeatureMatrix::zeros(self.indices.len(), feats.channels());
         for (j, (idx, w)) in self.indices.iter().zip(&self.weights).enumerate() {
             let row = out.row_mut(j);
@@ -57,7 +58,9 @@ const EPS: f32 = 1e-8;
 /// Builds the `[indices; weights]` entry for one dense point from its
 /// candidate `(d2, sample_index)` list (at least 3, nearest unranked).
 fn plan_entry(mut cand: Vec<(f32, usize)>) -> ([usize; 3], [f32; 3]) {
-    cand.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp with the index tiebreak reproduces the old (d2, index)
+    // lexicographic order without a panicking comparator.
+    cand.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     cand.truncate(3);
     let mut idx = [0usize; 3];
     let mut w = [0f32; 3];
@@ -120,6 +123,7 @@ impl ThreeNnInterpolator {
     /// Panics if `sparse.len() < 3`.
     pub fn plan(&self, dense: &[Point3], sparse: &[Point3]) -> InterpPlan {
         assert!(sparse.len() >= 3, "need at least 3 samples to interpolate");
+        let mut span = edgepc_trace::span("upsample.plan.3nn", "upsample");
         let mut ops = OpCounts::ZERO;
         let mut indices = Vec::with_capacity(dense.len());
         let mut weights = Vec::with_capacity(dense.len());
@@ -146,6 +150,7 @@ impl ThreeNnInterpolator {
         ops.cmp = (dense.len() * sparse.len()) as u64;
         // Parallel over dense points; per-point reduction depth ~log n.
         ops.seq_rounds = (sparse.len().max(2) as f64).log2().ceil() as u64;
+        span.set_ops(ops);
         InterpPlan {
             indices,
             weights,
@@ -165,10 +170,13 @@ impl ThreeNnInterpolator {
         feats: &FeatureMatrix,
     ) -> Interpolated {
         assert_eq!(feats.rows(), sparse.len(), "one feature row per sample");
+        let mut span = edgepc_trace::span("upsample.interp.3nn", "upsample");
         let mut plan = self.plan(dense, sparse);
         plan.ops.gathered_bytes = (dense.len() * 3 * feats.channels() * 4) as u64;
+        let features = plan.apply(feats);
+        span.set_ops(plan.ops);
         Interpolated {
-            features: plan.apply(feats),
+            features,
             ops: plan.ops,
         }
     }
@@ -206,6 +214,7 @@ impl MortonInterpolator {
             "sample position out of range"
         );
         let big_n = dense_sorted.len();
+        let mut span = edgepc_trace::span("upsample.plan.morton", "upsample");
         let mut ops = OpCounts::ZERO;
         let mut indices = Vec::with_capacity(big_n);
         let mut weights = Vec::with_capacity(big_n);
@@ -225,6 +234,7 @@ impl MortonInterpolator {
         }
         // Constant work per point, fully parallel.
         ops.seq_rounds = 1;
+        span.set_ops(ops);
         InterpPlan {
             indices,
             weights,
@@ -246,10 +256,13 @@ impl MortonInterpolator {
         feats: &FeatureMatrix,
     ) -> Interpolated {
         assert_eq!(feats.rows(), positions.len(), "one feature row per sample");
+        let mut span = edgepc_trace::span("upsample.interp.morton", "upsample");
         let mut plan = self.plan(dense_sorted, positions);
         plan.ops.gathered_bytes = (dense_sorted.len() * 3 * feats.channels() * 4) as u64;
+        let features = plan.apply(feats);
+        span.set_ops(plan.ops);
         Interpolated {
-            features: plan.apply(feats),
+            features,
             ops: plan.ops,
         }
     }

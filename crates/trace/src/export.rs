@@ -95,7 +95,7 @@ pub fn breakdown(spans: &[SpanData]) -> Vec<StageBreakdown> {
     }
     order
         .iter()
-        .map(|n| by_name.remove(n.as_str()).unwrap())
+        .filter_map(|n| by_name.remove(n.as_str()))
         .collect()
 }
 

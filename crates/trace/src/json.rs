@@ -214,7 +214,9 @@ impl Parser<'_> {
                     // Copy one UTF-8 scalar (possibly multi-byte).
                     let rest = std::str::from_utf8(&self.b[self.i..])
                         .map_err(|_| "invalid utf-8".to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err("unterminated string".to_string());
+                    };
                     out.push(c);
                     self.i += c.len_utf8();
                 }

@@ -37,6 +37,15 @@ impl Registry {
         }
     }
 
+    /// Locks the aggregation state. A poisoned mutex only means some other
+    /// thread panicked mid-record; the maps are still structurally sound,
+    /// so recover the guard rather than cascading the panic into callers.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Microseconds since this registry was created.
     pub fn elapsed_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
@@ -45,7 +54,7 @@ impl Registry {
     /// Stores a completed span and folds it into the per-stage metrics
     /// (counter `span.<kind>`, histogram keyed by the span name).
     pub fn record(&self, span: SpanData) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         *inner
             .counters
             .entry(format!("span.{}", span.kind))
@@ -60,13 +69,13 @@ impl Registry {
 
     /// Increments the named monotonic counter.
     pub fn incr(&self, name: &str, by: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         *inner.counters.entry(name.to_string()).or_insert(0) += by;
     }
 
     /// Records one latency observation (µs) in the named histogram.
     pub fn observe_us(&self, name: &str, us: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner
             .histograms
             .entry(name.to_string())
@@ -80,79 +89,59 @@ impl Registry {
     /// counts — the quality auditors use them for live false-neighbor
     /// rate, recall@k, and sampling-coverage readings.
     pub fn set_gauge(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.gauges.insert(name.to_string(), value);
     }
 
     /// Current value of a gauge, if it was ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.inner.lock().unwrap().gauges.get(name).copied()
+        self.lock().gauges.get(name).copied()
     }
 
     /// Names of all set gauges, sorted.
     pub fn gauge_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.lock().unwrap().gauges.keys().cloned().collect();
+        let mut names: Vec<String> = self.lock().gauges.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Names of all counters with at least one increment, sorted.
     pub fn counter_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .inner
-            .lock()
-            .unwrap()
-            .counters
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.lock().counters.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Snapshot of the named latency histogram, if any observations exist.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.inner.lock().unwrap().histograms.get(name).cloned()
+        self.lock().histograms.get(name).cloned()
     }
 
     /// Names of all histograms with at least one observation, sorted.
     pub fn histogram_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .inner
-            .lock()
-            .unwrap()
-            .histograms
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.lock().histograms.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Copies out all recorded spans (in completion order).
     pub fn spans(&self) -> Vec<SpanData> {
-        self.inner.lock().unwrap().spans.clone()
+        self.lock().spans.clone()
     }
 
     /// Removes and returns all recorded spans.
     pub fn drain_spans(&self) -> Vec<SpanData> {
-        std::mem::take(&mut self.inner.lock().unwrap().spans)
+        std::mem::take(&mut self.lock().spans)
     }
 
     /// Number of spans currently held.
     pub fn span_count(&self) -> usize {
-        self.inner.lock().unwrap().spans.len()
+        self.lock().spans.len()
     }
 }
 
