@@ -17,17 +17,25 @@
 #                   wall-time gates unreliable in CI.
 #   --perf-strict   same, but regressions beyond the noise band fail the
 #                   script (exit 1). Use locally on a quiet machine.
+#
+# Optional serving smoke:
+#   --serve-smoke   after the gates above, drive a short bursty load
+#                   through the edgepc-serve engine (loadgen --smoke) and
+#                   validate the generated serve.json against the EP005
+#                   schema pin. Fails on panics, hangs, or schema drift.
 set -eu
 
 PERF_MODE=""
+SERVE_SMOKE=0
 RUN_LINT=1
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke)  PERF_MODE="warn" ;;
         --perf-strict) PERF_MODE="strict" ;;
+        --serve-smoke) SERVE_SMOKE=1 ;;
         --no-lint)     RUN_LINT=0 ;;
         *)
-            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict]" >&2
+            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke]" >&2
             exit 2
             ;;
     esac
@@ -66,6 +74,13 @@ if [ -n "$PERF_MODE" ]; then
         cargo run --release -q -p edgepc-bench --bin bench_compare -- \
             results/BENCH.json target/BENCH.smoke.json
     fi
+fi
+
+if [ "$SERVE_SMOKE" = 1 ]; then
+    echo "==> serve smoke: loadgen --smoke + EP005 schema check"
+    cargo run --release -q -p edgepc-serve --bin loadgen -- \
+        --smoke --out target/serve.json
+    cargo run -q -p edgepc-lint --bin lint_all -- --results target/serve.json
 fi
 
 echo "CI OK"

@@ -57,8 +57,13 @@ fn main() -> ExitCode {
     );
     enable_default_auditing();
 
+    // Kernel + pipeline scenarios from edgepc-perf, then the serving
+    // scenarios (they live in edgepc-serve because they need the engine).
+    let mut scenarios = paper_scenarios();
+    scenarios.extend(edgepc_serve::serve_scenarios());
+
     let mut results = Vec::new();
-    for mut scenario in paper_scenarios() {
+    for mut scenario in scenarios {
         let r = run_scenario(&cfg, &mut scenario);
         println!(
             "{:<40} median {:>9.3} ms  mad {:>7.3} ms  min {:>9.3} ms  noise {:>5.1}%{}",

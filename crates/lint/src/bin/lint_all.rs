@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! lint_all [--root <dir>] [--json <path>]
+//! lint_all --results FILE...
 //! ```
 //!
 //! Prints human-readable diagnostics, writes the machine-readable report
 //! (default `target/lint.json`), and exits non-zero on any violation.
 //! `ci.sh` runs this before clippy; `--no-lint` there skips it.
+//!
+//! `--results FILE...` skips the workspace scan and runs only the EP005
+//! results-schema checks over the named artifacts — `ci.sh --serve-smoke`
+//! uses it to validate a freshly generated `target/serve.json`.
 
 #![allow(clippy::print_stdout)]
 
@@ -16,13 +21,18 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root_arg: Option<PathBuf> = None;
     let mut json_arg: Option<PathBuf> = None;
+    let mut results: Option<Vec<PathBuf>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root_arg = args.next().map(PathBuf::from),
             "--json" => json_arg = args.next().map(PathBuf::from),
+            "--results" => {
+                // Every remaining argument is an artifact path.
+                results = Some(args.by_ref().map(PathBuf::from).collect());
+            }
             "--help" | "-h" => {
-                println!("usage: lint_all [--root <dir>] [--json <path>]");
+                println!("usage: lint_all [--root <dir>] [--json <path>] [--results FILE...]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -30,6 +40,32 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if let Some(paths) = results {
+        if paths.is_empty() {
+            println!("lint_all: --results needs at least one file");
+            return ExitCode::from(2);
+        }
+        let diagnostics = match edgepc_lint::check_results_files(&paths) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("lint_all: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for d in &diagnostics {
+            println!("{d}");
+        }
+        if diagnostics.is_empty() {
+            println!(
+                "lint_all: results clean ({} artifact{} checked)",
+                paths.len(),
+                if paths.len() == 1 { "" } else { "s" }
+            );
+            return ExitCode::SUCCESS;
+        }
+        return ExitCode::FAILURE;
     }
 
     let root = match root_arg.or_else(|| {

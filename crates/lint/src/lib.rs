@@ -35,7 +35,9 @@ use rules::RuleSet;
 
 /// Crates whose non-test code must be panic-free (EP001): everything on
 /// the inference hot path.
-pub const HOT_CRATES: &[&str] = &["geom", "morton", "sample", "neighbor", "models", "core"];
+pub const HOT_CRATES: &[&str] = &[
+    "geom", "morton", "sample", "neighbor", "models", "core", "serve",
+];
 
 /// Files whose public functions must open spans (EP003): the stage entry
 /// points behind the paper's latency breakdowns.
@@ -47,6 +49,8 @@ pub const SPAN_COVERED_FILES: &[&str] = &[
     "crates/models/src/fp.rs",
     "crates/models/src/dgcnn.rs",
     "crates/models/src/pointnetpp.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/loadgen.rs",
 ];
 
 /// The outcome of a full workspace run.
@@ -190,6 +194,24 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, String> {
         waived,
         files_scanned,
     })
+}
+
+/// Runs only the EP005 results-schema checks over explicit artifact
+/// paths (committed or freshly generated — e.g. `target/serve.json` from
+/// `ci.sh --serve-smoke`). Pinning is keyed on each file's basename, as
+/// in the workspace run. Errors are environmental (unreadable files).
+pub fn check_results_files(paths: &[PathBuf]) -> Result<Vec<Diagnostic>, String> {
+    let mut diagnostics = Vec::new();
+    for path in paths {
+        let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let shown = path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        diagnostics.extend(rules::ep005::check_results_file(&shown, &src));
+    }
+    Ok(diagnostics)
 }
 
 /// Locates the workspace root from `start` by walking up to the first

@@ -2,11 +2,12 @@
 //!
 //! Committed `results/*.json` artifacts are inputs to the benchmark
 //! comparator and the paper-figure tooling; a file that no longer parses,
-//! or a `BENCH.json` whose schema drifted without a version bump, poisons
-//! every downstream comparison. This rule re-parses each committed
-//! artifact with the std-only JSON parser and pins `BENCH.json` to a
-//! known schema: `"schema": "edgepc-bench"` with `schema_version` in
-//! [`KNOWN_BENCH_VERSIONS`].
+//! or a pinned artifact whose schema drifted without a version bump,
+//! poisons every downstream comparison. This rule re-parses each
+//! committed artifact with the std-only JSON parser and pins the
+//! well-known artifacts to their declared schemas (see
+//! [`PINNED_SCHEMAS`]): `BENCH.json` from `edgepc-perf` and `serve.json`
+//! from `edgepc-serve`.
 
 use crate::diag::Diagnostic;
 use crate::json_lite::{self, JsonValue};
@@ -15,9 +16,20 @@ use crate::json_lite::{self, JsonValue};
 /// `edgepc-perf`'s emitter when the schema changes shape.
 pub const KNOWN_BENCH_VERSIONS: &[i64] = &[1];
 
-/// Checks one committed results artifact. `rel` is repo-relative
-/// (`results/foo.json`); BENCH.json gets the schema pinning on top of the
-/// parse check.
+/// serve.json schema versions this linter understands. Bump alongside
+/// `edgepc-serve`'s emitter when the schema changes shape.
+pub const KNOWN_SERVE_VERSIONS: &[i64] = &[1];
+
+/// Artifacts pinned by basename: `(basename, schema, known versions)`.
+pub const PINNED_SCHEMAS: &[(&str, &str, &[i64])] = &[
+    ("BENCH.json", "edgepc-bench", KNOWN_BENCH_VERSIONS),
+    ("serve.json", "edgepc-serve", KNOWN_SERVE_VERSIONS),
+];
+
+/// Checks one results artifact. `rel` is the path shown in diagnostics
+/// (repo-relative for committed artifacts); pinning is keyed on the
+/// basename, so a freshly generated `target/serve.json` is held to the
+/// same schema as the committed `results/serve.json`.
 pub fn check_results_file(rel: &str, src: &str) -> Vec<Diagnostic> {
     let doc = match json_lite::parse(src) {
         Ok(d) => d,
@@ -35,30 +47,28 @@ pub fn check_results_file(rel: &str, src: &str) -> Vec<Diagnostic> {
             .with_suggestion("re-run the emitting harness or delete the stale artifact")];
         }
     };
-    let is_bench = rel
-        .rsplit('/')
-        .next()
-        .is_some_and(|name| name == "BENCH.json");
-    if !is_bench {
+    let basename = rel.rsplit('/').next().unwrap_or(rel);
+    let Some(&(name, schema, versions)) = PINNED_SCHEMAS.iter().find(|(n, _, _)| *n == basename)
+    else {
         return Vec::new();
-    }
+    };
 
     let mut out = Vec::new();
     match doc.get("schema").and_then(JsonValue::as_str) {
-        Some("edgepc-bench") => {}
+        Some(found) if found == schema => {}
         Some(other) => out.push(Diagnostic::new(
             "EP005",
             rel,
             0,
             0,
-            format!("BENCH.json declares schema {other:?}, expected \"edgepc-bench\""),
+            format!("{name} declares schema {other:?}, expected {schema:?}"),
         )),
         None => out.push(Diagnostic::new(
             "EP005",
             rel,
             0,
             0,
-            "BENCH.json is missing the `schema` marker".to_string(),
+            format!("{name} is missing the `schema` marker"),
         )),
     }
     let version = doc
@@ -74,25 +84,23 @@ pub fn check_results_file(rel: &str, src: &str) -> Vec<Diagnostic> {
             }
         });
     match version {
-        Some(v) if KNOWN_BENCH_VERSIONS.contains(&v) => {}
+        Some(v) if versions.contains(&v) => {}
         Some(v) => out.push(
             Diagnostic::new(
                 "EP005",
                 rel,
                 0,
                 0,
-                format!(
-                    "BENCH.json schema_version {v} is unknown (known: {KNOWN_BENCH_VERSIONS:?})"
-                ),
+                format!("{name} schema_version {v} is unknown (known: {versions:?})"),
             )
-            .with_suggestion("teach edgepc-lint the new version when the perf schema is bumped"),
+            .with_suggestion("teach edgepc-lint the new version when the emitter schema is bumped"),
         ),
         None => out.push(Diagnostic::new(
             "EP005",
             rel,
             0,
             0,
-            "BENCH.json is missing an integer `schema_version`".to_string(),
+            format!("{name} is missing an integer `schema_version`"),
         )),
     }
     out
@@ -133,5 +141,15 @@ mod tests {
             1
         );
         assert_eq!(check_results_file("results/BENCH.json", missing).len(), 2);
+    }
+
+    #[test]
+    fn serve_json_is_pinned_by_basename_anywhere() {
+        let ok = r#"{"schema":"edgepc-serve","schema_version":1,"outcome":{}}"#;
+        assert_eq!(check_results_file("results/serve.json", ok), Vec::new());
+        assert_eq!(check_results_file("target/serve.json", ok), Vec::new());
+        let drifted = r#"{"schema":"edgepc-bench","schema_version":1}"#;
+        assert_eq!(check_results_file("target/serve.json", drifted).len(), 1);
+        assert_eq!(check_results_file("results/serve.json", "{}").len(), 2);
     }
 }

@@ -14,6 +14,7 @@ use edgepc_nn::pool::{global_max_pool, max_pool_groups, PooledGroups};
 use edgepc_nn::{Layer, Sequential, Tensor2};
 use edgepc_sim::StageKind;
 
+use crate::scratch::Scratch;
 use crate::strategy::{PipelineStrategy, SearchStrategy, StageRecord};
 
 /// One EdgeConv module: per point, gather `k` neighbors, build edge
@@ -91,6 +92,25 @@ impl EdgeConv {
         neighbors: &[Vec<usize>],
         records: &mut Vec<StageRecord>,
     ) -> Tensor2 {
+        let mut scratch = Scratch::new();
+        self.forward_scratch(feats, neighbors, records, &mut scratch)
+    }
+
+    /// [`EdgeConv::forward`] with a caller-owned [`Scratch`] pool: the
+    /// `(n*k) x 2C` edge matrix borrows its allocation from the pool and
+    /// returns it after the shared MLP. Numerically identical to `forward`
+    /// (scratch buffers are handed out zero-filled).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`EdgeConv::forward`].
+    pub fn forward_scratch(
+        &mut self,
+        feats: &Tensor2,
+        neighbors: &[Vec<usize>],
+        records: &mut Vec<StageRecord>,
+        scratch: &mut Scratch,
+    ) -> Tensor2 {
         let n = feats.rows();
         assert_eq!(feats.cols(), self.in_channels, "unexpected input width");
         assert_eq!(neighbors.len(), n, "one neighbor list per point");
@@ -103,7 +123,7 @@ impl EdgeConv {
             None,
             records,
             || {
-                let mut edges = Tensor2::zeros(n * k, 2 * c);
+                let mut edges = Tensor2::from_vec(scratch.take_zeroed(n * k * 2 * c), n * k, 2 * c);
                 for (i, nbrs) in neighbors.iter().enumerate() {
                     assert_eq!(nbrs.len(), k, "point {i} has wrong neighbor count");
                     for (slot, &j) in nbrs.iter().enumerate() {
@@ -139,6 +159,7 @@ impl EdgeConv {
                 (t, fc_ops)
             },
         );
+        scratch.give(edges.into_vec());
 
         let pool = max_pool_groups(&transformed, self.k);
         let out = pool.output.clone();
@@ -243,7 +264,12 @@ impl DgcnnBackbone {
     }
 
     /// Runs all modules; returns each module's output (for concat heads).
-    fn forward(&mut self, cloud: &PointCloud, records: &mut Vec<StageRecord>) -> Vec<Tensor2> {
+    fn forward(
+        &mut self,
+        cloud: &PointCloud,
+        records: &mut Vec<StageRecord>,
+        scratch: &mut Scratch,
+    ) -> Vec<Tensor2> {
         let n = cloud.len();
         let mut feats = crate::pointnetpp::xyz_features(cloud.points());
         let all: Vec<usize> = (0..n).collect();
@@ -308,7 +334,7 @@ impl DgcnnBackbone {
                     violation("DGCNN uses k-NN graphs, not ball query")
                 }
             };
-            let out = module.forward(&feats, &neighbors, records);
+            let out = module.forward_scratch(&feats, &neighbors, records, scratch);
             prev_neighbors = Some(neighbors);
             feats = out.clone();
             outputs.push(out);
@@ -386,6 +412,7 @@ pub struct DgcnnClassifier {
     head: Sequential,
     num_classes: usize,
     cache: Option<ClsCache>,
+    scratch: Scratch,
 }
 
 struct ClsCache {
@@ -418,6 +445,7 @@ impl DgcnnClassifier {
             head: Sequential::mlp(&head_dims, 0xc1a55),
             num_classes,
             cache: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -428,9 +456,22 @@ impl DgcnnClassifier {
 
     /// Forward: returns `1 x num_classes` logits plus stage records.
     pub fn forward(&mut self, cloud: &PointCloud) -> (Tensor2, Vec<StageRecord>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.forward_with(cloud, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`DgcnnClassifier::forward`] with a caller-owned [`Scratch`] pool
+    /// (serving workers share one pool across their model replicas).
+    pub fn forward_with(
+        &mut self,
+        cloud: &PointCloud,
+        scratch: &mut Scratch,
+    ) -> (Tensor2, Vec<StageRecord>) {
         let _forward_span = edgepc_trace::span("dgcnn_cls.forward", "model");
         let mut records = Vec::new();
-        let outputs = self.backbone.forward(cloud, &mut records);
+        let outputs = self.backbone.forward(cloud, &mut records, scratch);
         let module_cols: Vec<usize> = outputs.iter().map(|t| t.cols()).collect();
         let mut stacked = outputs[0].clone();
         for t in &outputs[1..] {
@@ -513,6 +554,7 @@ pub struct DgcnnSeg {
     head: Sequential,
     num_classes: usize,
     cache: Option<SegCache>,
+    scratch: Scratch,
 }
 
 struct SegCache {
@@ -548,6 +590,7 @@ impl DgcnnSeg {
             head: Sequential::mlp(&head_dims, 0x5e6),
             num_classes,
             cache: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -558,9 +601,22 @@ impl DgcnnSeg {
 
     /// Forward: returns `N x num_classes` logits plus stage records.
     pub fn forward(&mut self, cloud: &PointCloud) -> (Tensor2, Vec<StageRecord>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.forward_with(cloud, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`DgcnnSeg::forward`] with a caller-owned [`Scratch`] pool
+    /// (serving workers share one pool across their model replicas).
+    pub fn forward_with(
+        &mut self,
+        cloud: &PointCloud,
+        scratch: &mut Scratch,
+    ) -> (Tensor2, Vec<StageRecord>) {
         let _forward_span = edgepc_trace::span("dgcnn_seg.forward", "model");
         let mut records = Vec::new();
-        let outputs = self.backbone.forward(cloud, &mut records);
+        let outputs = self.backbone.forward(cloud, &mut records, scratch);
         let module_cols: Vec<usize> = outputs.iter().map(|t| t.cols()).collect();
         let mut stacked = outputs[0].clone();
         for t in &outputs[1..] {

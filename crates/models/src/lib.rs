@@ -42,6 +42,7 @@ pub mod fp;
 mod observe;
 pub mod pointnetpp;
 pub mod sa;
+pub mod scratch;
 pub mod selection;
 pub mod strategy;
 pub mod trainer;
@@ -50,9 +51,30 @@ pub use dgcnn::{DgcnnClassifier, DgcnnConfig, DgcnnSeg, EdgeConv};
 pub use fp::FeaturePropagation;
 pub use pointnetpp::{PointNetPpConfig, PointNetPpSeg, SaLevelSpec};
 pub use sa::SetAbstraction;
+pub use scratch::Scratch;
 pub use selection::{select, Selection};
 pub use strategy::{
     price_stages, PipelineStrategy, SampleStrategy, SearchStrategy, StageRecord, UpsampleStrategy,
 };
 
 pub use edgepc_geom::OpCounts;
+
+#[cfg(test)]
+mod send_safety {
+    //! The serving runtime moves whole model replicas into worker threads;
+    //! these assertions pin the `Send` bound at the models layer so a
+    //! future `Rc`/raw-pointer cache cannot silently break the engine.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn models_are_send() {
+        assert_send::<PointNetPpSeg>();
+        assert_send::<DgcnnClassifier>();
+        assert_send::<DgcnnSeg>();
+        assert_send::<SetAbstraction>();
+        assert_send::<EdgeConv>();
+        assert_send::<Scratch>();
+    }
+}

@@ -7,6 +7,7 @@ use edgepc_sim::StageKind;
 
 use crate::fp::{FeaturePropagation, InterpSource};
 use crate::sa::SetAbstraction;
+use crate::scratch::Scratch;
 use crate::selection::MortonContext;
 use crate::strategy::{PipelineStrategy, StageRecord};
 use edgepc_geom::OpCounts;
@@ -114,6 +115,7 @@ pub struct PointNetPpSeg {
     num_classes: usize,
     depth: usize,
     cache: Option<ForwardCache>,
+    scratch: Scratch,
 }
 
 #[allow(dead_code)] // retained for debugging / future per-level introspection
@@ -192,6 +194,7 @@ impl PointNetPpSeg {
             num_classes,
             depth,
             cache: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -212,6 +215,24 @@ impl PointNetPpSeg {
     ///
     /// Panics if the cloud is smaller than the first level's sample count.
     pub fn forward(&mut self, cloud: &PointCloud) -> (Tensor2, Vec<StageRecord>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.forward_with(cloud, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`PointNetPpSeg::forward`] with a caller-owned [`Scratch`] pool, so
+    /// serving workers (and tight bench loops) reuse grouping allocations
+    /// across requests. Numerically identical to `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`PointNetPpSeg::forward`].
+    pub fn forward_with(
+        &mut self,
+        cloud: &PointCloud,
+        scratch: &mut Scratch,
+    ) -> (Tensor2, Vec<StageRecord>) {
         let _forward_span = edgepc_trace::span("pointnetpp.forward", "model");
         let mut records = Vec::new();
         let mut level_points: Vec<Vec<Point3>> = vec![cloud.points().to_vec()];
@@ -220,13 +241,14 @@ impl PointNetPpSeg {
 
         // --- SA stack ---
         for sa in self.sa.iter_mut() {
-            let (pts, feats, selection) = sa.forward(
+            let (pts, feats, selection) = sa.forward_scratch(
                 required(
                     level_points.last().map(Vec::as_slice),
                     "levels start non-empty",
                 ),
                 required(level_feats.last(), "levels start non-empty"),
                 &mut records,
+                scratch,
             );
             contexts.push(selection.morton_context);
             level_points.push(pts);

@@ -10,6 +10,7 @@ use edgepc_nn::pool::{max_pool_groups, PooledGroups};
 use edgepc_nn::{Layer, Sequential, Tensor2};
 use edgepc_sim::StageKind;
 
+use crate::scratch::Scratch;
 use crate::selection::{select, Selection};
 use crate::strategy::{SampleStrategy, SearchStrategy, StageRecord};
 
@@ -119,6 +120,28 @@ impl SetAbstraction {
         feats: &Tensor2,
         records: &mut Vec<StageRecord>,
     ) -> (Vec<Point3>, Tensor2, Selection) {
+        let mut scratch = Scratch::new();
+        self.forward_scratch(points, feats, records, &mut scratch)
+    }
+
+    /// [`SetAbstraction::forward`] with a caller-owned [`Scratch`] pool: the
+    /// `(n*k) x (C+3)` grouped matrix borrows its allocation from the pool
+    /// and returns it after the shared MLP, so repeated forwards (serving
+    /// workers, bench loops) stop paying one large allocation per stage.
+    ///
+    /// Numerically identical to `forward` — scratch buffers are handed out
+    /// zero-filled.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SetAbstraction::forward`].
+    pub fn forward_scratch(
+        &mut self,
+        points: &[Point3],
+        feats: &Tensor2,
+        records: &mut Vec<StageRecord>,
+        scratch: &mut Scratch,
+    ) -> (Vec<Point3>, Tensor2, Selection) {
         assert_eq!(feats.rows(), points.len(), "one feature row per point");
         assert_eq!(feats.cols(), self.in_channels, "unexpected input width");
 
@@ -146,7 +169,8 @@ impl SetAbstraction {
             None,
             records,
             || {
-                let mut grouped = Tensor2::zeros(n_out * k, c + 3);
+                let mut grouped =
+                    Tensor2::from_vec(scratch.take_zeroed(n_out * k * (c + 3)), n_out * k, c + 3);
                 for (gi, (&centroid_idx, nbrs)) in selection
                     .sample_indices
                     .iter()
@@ -189,6 +213,7 @@ impl SetAbstraction {
                 (t, fc_ops)
             },
         );
+        scratch.give(grouped.into_vec());
 
         let pool = max_pool_groups(&transformed, self.k);
         let out = pool.output.clone();

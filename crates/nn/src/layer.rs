@@ -15,7 +15,12 @@ use crate::Tensor2;
 ///    parameter gradients, and returns the input gradient,
 /// 3. [`Layer::visit_params`] exposes `(param, grad)` pairs to optimizers
 ///    in a stable order.
-pub trait Layer {
+///
+/// `Send` is a supertrait so whole networks (boxed layer stacks included)
+/// can move into worker threads — the serving runtime (`edgepc-serve`)
+/// builds one model replica per worker. Every layer here is plain owned
+/// data, so the bound costs nothing.
+pub trait Layer: Send {
     /// Computes the layer output, caching activations for backward and
     /// accounting multiply-accumulate work in `ops`.
     fn forward(&mut self, x: &Tensor2, ops: &mut OpCounts) -> Tensor2;

@@ -13,7 +13,7 @@
 //!       "id": "search.window.w128.n8192.q2048.k32",
 //!       "points": 8192,
 //!       "stats_ms": {"median": M, "mad": D, "mean": A,
-//!                    "min": L, "max": H, "p95": P, "runs": 7},
+//!                    "min": L, "max": H, "p95": P, "p99": Q, "runs": 7},
 //!       "ops": { ... OpCounts ... },
 //!       "modeled_ms": null | N,
 //!       "modeled_mj": null | N,
@@ -63,7 +63,7 @@ pub fn bench_json(cfg: &RunnerConfig, results: &[ScenarioResult]) -> String {
         out.push_str(&format!(
             "\n {{\"id\":\"{}\",\"points\":{},\
              \"stats_ms\":{{\"median\":{},\"mad\":{},\"mean\":{},\"min\":{},\
-             \"max\":{},\"p95\":{},\"runs\":{}}},\
+             \"max\":{},\"p95\":{},\"p99\":{},\"runs\":{}}},\
              \"ops\":{},\"modeled_ms\":{},\"modeled_mj\":{},\"quality\":{{",
             escape(&r.id),
             r.points,
@@ -73,6 +73,7 @@ pub fn bench_json(cfg: &RunnerConfig, results: &[ScenarioResult]) -> String {
             fmt_f64(s.min_ms),
             fmt_f64(s.max_ms),
             fmt_f64(s.p95_ms),
+            fmt_f64(s.p99_ms),
             s.n,
             r.ops.to_json(),
             r.modeled_ms.map(fmt_f64).unwrap_or_else(|| "null".into()),

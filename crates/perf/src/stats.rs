@@ -24,6 +24,9 @@ pub struct Stats {
     pub max_ms: f64,
     /// 95th percentile (nearest-rank).
     pub p95_ms: f64,
+    /// 99th percentile (nearest-rank) — the tail the serving runtime's
+    /// latency SLOs are written against.
+    pub p99_ms: f64,
 }
 
 fn median_of_sorted(sorted: &[f64]) -> f64 {
@@ -54,6 +57,7 @@ impl Stats {
         let mut dev: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
         dev.sort_by(f64::total_cmp);
         let rank95 = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+        let rank99 = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
         Stats {
             n,
             mean_ms: sorted.iter().sum::<f64>() / n as f64,
@@ -62,6 +66,7 @@ impl Stats {
             min_ms: sorted[0],
             max_ms: sorted[n - 1],
             p95_ms: sorted[rank95 - 1],
+            p99_ms: sorted[rank99 - 1],
         }
     }
 
@@ -90,6 +95,7 @@ mod tests {
         assert_eq!(s.mean_ms, 2.0);
         assert_eq!(s.mad_ms, 1.0);
         assert_eq!(s.p95_ms, 3.0);
+        assert_eq!(s.p99_ms, 3.0);
     }
 
     #[test]
@@ -116,7 +122,16 @@ mod tests {
         assert_eq!(s.median_ms, 7.5);
         assert_eq!(s.mad_ms, 0.0);
         assert_eq!(s.p95_ms, 7.5);
+        assert_eq!(s.p99_ms, 7.5);
         assert_eq!(s.relative_noise(), 0.0);
+    }
+
+    #[test]
+    fn p99_sits_at_or_above_p95() {
+        let samples: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let s = Stats::from_samples_ms(&samples);
+        assert_eq!(s.p95_ms, 190.0);
+        assert_eq!(s.p99_ms, 198.0);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Engine sizing knobs.
+
+use std::time::Duration;
+
+/// Configuration of an [`Engine`](crate::Engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads. Each worker builds its own replica of every
+    /// configured model (replicas are deterministic, so worker count never
+    /// changes outputs) plus one scratch-buffer pool.
+    pub workers: usize,
+    /// Bound of the submission queue. A submit that would exceed it is
+    /// rejected with [`ServeError::QueueFull`](crate::ServeError::QueueFull)
+    /// — the engine sheds load rather than blocking callers. Capacity 0
+    /// rejects everything (useful as a drain valve and in tests).
+    pub queue_capacity: usize,
+    /// Largest batch a worker forms from same-model queued requests.
+    pub max_batch: usize,
+    /// How long a worker holding a non-full batch waits for more
+    /// compatible requests before running what it has.
+    pub batch_linger: Duration,
+}
+
+impl EngineConfig {
+    /// A config with `workers` threads and serving-oriented defaults:
+    /// queue bound 64, batches up to 4, 2 ms linger.
+    pub fn new(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            queue_capacity: 64,
+            max_batch: 4,
+            batch_linger: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert_eq!(c.workers, 2);
+        assert!(c.queue_capacity >= c.max_batch);
+        assert!(c.batch_linger < Duration::from_millis(50));
+    }
+}

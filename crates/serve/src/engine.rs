@@ -1,0 +1,243 @@
+//! The inference engine: bounded queue, worker pool, dynamic batcher.
+//!
+//! ```text
+//!            submit()            take_batch()
+//!   callers ---------> [queue] <-------------- worker 0 (replicas + scratch)
+//!     |  shed (full)      |                     worker 1 (replicas + scratch)
+//!     +<------------------+  expired -> cancel  ...
+//! ```
+//!
+//! Lifecycle guarantees:
+//! * `submit` never blocks: it returns a [`Ticket`] or a typed rejection.
+//! * every accepted request resolves exactly once — output, cancellation,
+//!   or [`ServeError::WorkerLost`] if the engine dies first.
+//! * `shutdown` refuses new work, drains the queue, and joins the workers
+//!   ("graceful drain"); dropping the engine does the same.
+//! * outputs are worker-count independent: replicas are deterministic and
+//!   forwards are pure, so scheduling affects latency, never results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use edgepc_geom::required;
+use edgepc_models::Scratch;
+use edgepc_trace::{span_in, with_registry, Registry};
+
+use crate::config::EngineConfig;
+use crate::error::ServeError;
+use crate::metrics;
+use crate::model::{ModelSpec, ServeModel};
+use crate::queue::{Pop, SubmitQueue};
+use crate::request::{InferenceOutput, QueuedRequest, Request, Ticket};
+
+/// A running inference engine. See the module docs for the lifecycle.
+pub struct Engine {
+    config: EngineConfig,
+    specs: Arc<Vec<ModelSpec>>,
+    queue: Arc<SubmitQueue>,
+    registry: Arc<Registry>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Starts the engine: spawns `config.workers` threads, each building
+    /// its own replica of every spec. Spans and metrics go to the trace
+    /// registry current on the *calling* thread (global by default, a
+    /// local capture under `with_local`/`with_registry`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `max_batch` is zero, `specs` is empty, or a
+    /// worker thread cannot be spawned.
+    pub fn new(config: EngineConfig, specs: Vec<ModelSpec>) -> Engine {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be positive");
+        assert!(!specs.is_empty(), "need at least one model spec");
+        let registry = edgepc_trace::current_registry();
+        let _init_span = span_in(registry.clone(), "serve.engine_init", "serve");
+        let specs = Arc::new(specs);
+        let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
+        let mut handles = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let specs = Arc::clone(&specs);
+            let cfg = config.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn(move || worker_loop(w, &cfg, &specs, &queue, &registry));
+            handles.push(required(spawned.ok(), "spawn serve worker"));
+        }
+        Engine {
+            config,
+            specs,
+            queue,
+            registry,
+            workers: Mutex::new(handles),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The registry this engine publishes spans and metrics into.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Submits a request. Returns a [`Ticket`] if admitted; rejects with
+    /// [`ServeError::QueueFull`] (shedding — the caller is never blocked),
+    /// [`ServeError::ShuttingDown`], or [`ServeError::UnknownModel`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        let _span = span_in(self.registry.clone(), "serve.enqueue", "serve");
+        if request.model >= self.specs.len() {
+            return Err(ServeError::UnknownModel {
+                index: request.model,
+                models: self.specs.len(),
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let queued = QueuedRequest {
+            id,
+            model: request.model,
+            cloud: request.cloud,
+            enqueued: Instant::now(),
+            deadline: request.deadline,
+            tx,
+        };
+        match self.queue.push(queued) {
+            Ok(()) => {
+                self.registry.incr(metrics::SUBMITTED, 1);
+                self.registry.add_gauge(metrics::QUEUE_DEPTH, 1.0);
+                Ok(Ticket { id, rx })
+            }
+            Err(err) => {
+                if matches!(err, ServeError::QueueFull { .. }) {
+                    self.registry.incr(metrics::SHED, 1);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Requests queued right now (approximate under concurrency).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Graceful drain: refuses new submissions, lets the workers finish
+    /// every queued request, and joins them. Idempotent — later calls (and
+    /// the `Drop` impl) are no-ops.
+    pub fn shutdown(&self) {
+        let _span = span_in(self.registry.clone(), "serve.shutdown", "serve");
+        self.queue.begin_shutdown();
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            // A worker that panicked already poisoned nothing we rely on;
+            // its queued requests resolve as WorkerLost via channel drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    cfg: &EngineConfig,
+    specs: &[ModelSpec],
+    queue: &SubmitQueue,
+    registry: &Arc<Registry>,
+) {
+    // Install the engine's registry as this thread's current one so the
+    // model-internal spans (structurize/sample/neighbor/fc) land beside
+    // the serve.* metrics.
+    with_registry(Arc::clone(registry), || {
+        let mut replicas: Vec<ServeModel> = specs.iter().map(ServeModel::build).collect();
+        let mut scratch = Scratch::new();
+        loop {
+            match queue.take_batch(cfg.max_batch, cfg.batch_linger) {
+                Pop::Shutdown => break,
+                Pop::Work { batch, expired } => {
+                    let removed = (batch.len() + expired.len()) as f64;
+                    if removed > 0.0 {
+                        registry.add_gauge(metrics::QUEUE_DEPTH, -removed);
+                    }
+                    for req in expired {
+                        cancel_expired(registry, req);
+                    }
+                    if !batch.is_empty() {
+                        run_batch(worker, &mut replicas, &mut scratch, registry, batch);
+                    }
+                }
+            }
+        }
+    });
+}
+
+fn cancel_expired(registry: &Registry, req: QueuedRequest) {
+    registry.incr(metrics::EXPIRED, 1);
+    let waited = req.enqueued.elapsed();
+    let deadline = req.deadline.unwrap_or_default();
+    let _ = req
+        .tx
+        .send(Err(ServeError::DeadlineExpired { waited, deadline }));
+}
+
+fn run_batch(
+    worker: usize,
+    replicas: &mut [ServeModel],
+    scratch: &mut Scratch,
+    registry: &Registry,
+    batch: Vec<QueuedRequest>,
+) {
+    let batch_size = batch.len();
+    let _span = edgepc_trace::span("serve.batch", "serve");
+    registry.observe_us(metrics::BATCH_SIZE, batch_size as u64);
+    registry.add_gauge(metrics::IN_FLIGHT, batch_size as f64);
+    for req in batch {
+        // Deadlines are re-checked at execution time: a request can expire
+        // during batch linger or behind an earlier request in this batch.
+        if req.is_expired(Instant::now()) {
+            registry.add_gauge(metrics::IN_FLIGHT, -1.0);
+            cancel_expired(registry, req);
+            continue;
+        }
+        let queue_us = req.enqueued.elapsed().as_micros() as u64;
+        registry.observe_us(metrics::QUEUE_WAIT_US, queue_us);
+        let Some(replica) = replicas.get_mut(req.model) else {
+            // submit() validates indices; stay total regardless.
+            registry.add_gauge(metrics::IN_FLIGHT, -1.0);
+            let _ = req.tx.send(Err(ServeError::UnknownModel {
+                index: req.model,
+                models: replicas.len(),
+            }));
+            continue;
+        };
+        let logits = replica.infer(&req.cloud, scratch);
+        let total_us = req.enqueued.elapsed().as_micros() as u64;
+        registry.observe_us(metrics::LATENCY_US, total_us);
+        registry.incr(metrics::COMPLETED, 1);
+        registry.add_gauge(metrics::IN_FLIGHT, -1.0);
+        let _ = req.tx.send(Ok(InferenceOutput {
+            request_id: req.id,
+            logits,
+            queue_us,
+            total_us,
+            batch_size,
+            worker,
+        }));
+    }
+}

@@ -1,0 +1,54 @@
+//! edgepc-serve: a batched, multi-threaded inference runtime for the
+//! EdgePC pipelines, std-only.
+//!
+//! The paper's kernels make single inferences fast; this crate makes a
+//! *stream* of inferences well-behaved on an edge device:
+//!
+//! * **Admission control** — a bounded submission queue; when it is full,
+//!   [`Engine::submit`] rejects with [`ServeError::QueueFull`] instead of
+//!   blocking the caller (load shedding).
+//! * **Deadlines** — each request may carry one; requests that expire
+//!   while queued (or during batch linger) are cancelled with
+//!   [`ServeError::DeadlineExpired`] rather than executed uselessly.
+//! * **Dynamic batching** — workers group same-model requests up to
+//!   `max_batch`, waiting at most `batch_linger` for stragglers.
+//! * **Worker pool** — plain `std::thread` workers, each with its own
+//!   deterministic model replica and scratch pool, so the hot path takes
+//!   no locks beyond the queue and outputs do not depend on worker count.
+//! * **Observability** — every stage publishes spans and `serve.*`
+//!   metrics into `edgepc-trace` (see [`metrics`]).
+//! * **Load generation** — [`run_loadgen`] drives seeded open-loop
+//!   arrival schedules and [`report::serve_json`] renders the outcome as
+//!   `results/serve.json`.
+//!
+//! ```
+//! use edgepc_serve::{Engine, EngineConfig, ModelSpec, Request};
+//!
+//! let engine = Engine::new(EngineConfig::new(2), vec![ModelSpec::pointnetpp_tiny(4)]);
+//! let cloud = edgepc_data::bunny_with_points(256, 7);
+//! let ticket = engine.submit(Request::new(0, cloud)).expect("admitted");
+//! let output = ticket.wait().expect("completed");
+//! assert_eq!(output.logits.cols(), 4);
+//! engine.shutdown();
+//! ```
+
+mod batch;
+mod queue;
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod loadgen;
+pub mod metrics;
+pub mod model;
+pub mod report;
+pub mod request;
+pub mod scenarios;
+
+pub use config::EngineConfig;
+pub use engine::Engine;
+pub use error::ServeError;
+pub use loadgen::{arrival_offsets, run_loadgen, ArrivalPattern, LoadgenConfig, LoadgenOutcome};
+pub use model::{ModelSpec, ServeModel};
+pub use request::{InferenceOutput, Request, Ticket};
+pub use scenarios::serve_scenarios;

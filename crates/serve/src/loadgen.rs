@@ -1,0 +1,262 @@
+//! Open-loop load generation with deterministic arrival schedules.
+//!
+//! Open-loop means arrivals follow a precomputed schedule, independent of
+//! completions — the generator keeps submitting on time even when the
+//! engine is saturated, which is exactly what exposes queueing and
+//! shedding behavior (a closed loop self-throttles and hides both).
+//!
+//! Determinism: schedules and clouds are derived from the configured seed
+//! through `edgepc_geom::rng::StdRng` — no wall-clock randomness — so two
+//! runs of the same config submit identical requests in an identical
+//! order. (Wall-clock *timing* still varies; the reported latencies are
+//! measurements, the inputs are not.)
+
+use std::time::{Duration, Instant};
+
+use edgepc_data::bunny_with_points;
+use edgepc_geom::rng::StdRng;
+use edgepc_perf::Stats;
+use edgepc_trace::span_in;
+
+use crate::engine::Engine;
+use crate::error::ServeError;
+use crate::request::Request;
+
+/// How request arrival times are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// Evenly spaced at the configured rate.
+    Uniform,
+    /// Poisson process: exponentially distributed gaps (seeded).
+    Poisson,
+    /// Groups of `size` arriving together, groups spaced so the long-run
+    /// rate matches the configured one. Bursts are what force shedding.
+    Burst { size: usize },
+}
+
+impl ArrivalPattern {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Uniform => "uniform",
+            ArrivalPattern::Poisson => "poisson",
+            ArrivalPattern::Burst { .. } => "burst",
+        }
+    }
+}
+
+/// One load-generation run's parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total requests to submit.
+    pub requests: usize,
+    /// Long-run arrival rate (requests per second).
+    pub rate_rps: f64,
+    /// Arrival spacing.
+    pub pattern: ArrivalPattern,
+    /// Seed for the schedule and the per-request clouds.
+    pub seed: u64,
+    /// Points per request cloud.
+    pub points: usize,
+    /// Model index every request targets.
+    pub model: usize,
+    /// Optional per-request deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 256,
+            rate_rps: 400.0,
+            pattern: ArrivalPattern::Burst { size: 32 },
+            seed: 0x10ad,
+            points: 256,
+            model: 0,
+            deadline: Some(Duration::from_millis(250)),
+        }
+    }
+}
+
+/// Deterministic arrival offsets (relative to run start) for `cfg`.
+/// Sorted, `cfg.requests` entries. Pure: depends only on the config.
+pub fn arrival_offsets(cfg: &LoadgenConfig) -> Vec<Duration> {
+    let rate = cfg.rate_rps.max(1e-6);
+    let mut offsets = Vec::with_capacity(cfg.requests);
+    match cfg.pattern {
+        ArrivalPattern::Uniform => {
+            for i in 0..cfg.requests {
+                offsets.push(Duration::from_secs_f64(i as f64 / rate));
+            }
+        }
+        ArrivalPattern::Poisson => {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mut t = 0.0f64;
+            for _ in 0..cfg.requests {
+                // Inverse-CDF exponential gap; 1 - u keeps ln's argument
+                // in (0, 1].
+                let u = rng.next_f64();
+                t += -(1.0 - u).ln() / rate;
+                offsets.push(Duration::from_secs_f64(t));
+            }
+        }
+        ArrivalPattern::Burst { size } => {
+            let size = size.max(1);
+            for i in 0..cfg.requests {
+                let group = i / size;
+                let gap = size as f64 / rate;
+                offsets.push(Duration::from_secs_f64(group as f64 * gap));
+            }
+        }
+    }
+    offsets
+}
+
+/// What one load-generation run observed.
+#[derive(Debug, Clone)]
+pub struct LoadgenOutcome {
+    /// Requests accepted by admission control.
+    pub submitted: usize,
+    /// Requests that produced an output.
+    pub completed: usize,
+    /// Requests rejected with `QueueFull`.
+    pub shed: usize,
+    /// Requests cancelled with `DeadlineExpired`.
+    pub expired: usize,
+    /// Requests lost to any other error.
+    pub lost: usize,
+    /// Wall time of the whole run (submission through last resolution).
+    pub wall: Duration,
+    /// Completions per second of wall time.
+    pub throughput_rps: f64,
+    /// Submission-to-completion latency (ms) over completed requests.
+    pub latency_ms: Option<Stats>,
+    /// Queue-wait (ms) over completed requests.
+    pub queue_wait_ms: Option<Stats>,
+    /// Mean batch size over completed requests.
+    pub mean_batch: f64,
+    /// Largest batch any completed request ran in.
+    pub max_batch: usize,
+}
+
+/// Runs an open-loop load generation against `engine` and waits for every
+/// accepted request to resolve. The engine is left running (callers own
+/// shutdown), so several runs can target one engine.
+pub fn run_loadgen(engine: &Engine, cfg: &LoadgenConfig) -> LoadgenOutcome {
+    let _span = span_in(engine.registry(), "serve.loadgen", "serve");
+
+    // Everything derived from the seed is prepared before the clock
+    // starts, so generation cost never distorts the schedule.
+    let offsets = arrival_offsets(cfg);
+    let clouds: Vec<_> = (0..cfg.requests)
+        .map(|i| bunny_with_points(cfg.points, cfg.seed.wrapping_add(i as u64)))
+        .collect();
+
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(cfg.requests);
+    let mut shed = 0usize;
+    let mut lost = 0usize;
+    for (offset, cloud) in offsets.into_iter().zip(clouds) {
+        // Open loop: hold the schedule regardless of engine state.
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= offset {
+                break;
+            }
+            std::thread::sleep(offset - elapsed);
+        }
+        let mut request = Request::new(cfg.model, cloud);
+        if let Some(d) = cfg.deadline {
+            request = request.with_deadline(d);
+        }
+        match engine.submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::QueueFull { .. }) => shed += 1,
+            Err(_) => lost += 1,
+        }
+    }
+
+    let submitted = tickets.len();
+    let mut completed = 0usize;
+    let mut expired = 0usize;
+    let mut latencies = Vec::with_capacity(submitted);
+    let mut waits = Vec::with_capacity(submitted);
+    let mut batch_total = 0usize;
+    let mut max_batch = 0usize;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(output) => {
+                completed += 1;
+                latencies.push(output.total_us as f64 / 1000.0);
+                waits.push(output.queue_us as f64 / 1000.0);
+                batch_total += output.batch_size;
+                max_batch = max_batch.max(output.batch_size);
+            }
+            Err(ServeError::DeadlineExpired { .. }) => expired += 1,
+            Err(_) => lost += 1,
+        }
+    }
+    let wall = start.elapsed();
+    let wall_s = wall.as_secs_f64().max(1e-9);
+
+    LoadgenOutcome {
+        submitted,
+        completed,
+        shed,
+        expired,
+        lost,
+        wall,
+        throughput_rps: completed as f64 / wall_s,
+        latency_ms: (!latencies.is_empty()).then(|| Stats::from_samples_ms(&latencies)),
+        queue_wait_ms: (!waits.is_empty()).then(|| Stats::from_samples_ms(&waits)),
+        mean_batch: if completed > 0 {
+            batch_total as f64 / completed as f64
+        } else {
+            0.0
+        },
+        max_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pattern: ArrivalPattern) -> LoadgenConfig {
+        LoadgenConfig {
+            requests: 64,
+            rate_rps: 1000.0,
+            pattern,
+            seed: 9,
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn uniform_offsets_are_evenly_spaced() {
+        let offsets = arrival_offsets(&cfg(ArrivalPattern::Uniform));
+        assert_eq!(offsets.len(), 64);
+        assert_eq!(offsets[0], Duration::ZERO);
+        let gap = offsets[1] - offsets[0];
+        assert_eq!(offsets[10] - offsets[9], gap);
+    }
+
+    #[test]
+    fn poisson_offsets_are_deterministic_and_sorted() {
+        let a = arrival_offsets(&cfg(ArrivalPattern::Poisson));
+        let b = arrival_offsets(&cfg(ArrivalPattern::Poisson));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let mut other = cfg(ArrivalPattern::Poisson);
+        other.seed = 10;
+        assert_ne!(a, arrival_offsets(&other));
+    }
+
+    #[test]
+    fn burst_offsets_arrive_in_groups() {
+        let offsets = arrival_offsets(&cfg(ArrivalPattern::Burst { size: 16 }));
+        assert_eq!(offsets[0], offsets[15]);
+        assert!(offsets[16] > offsets[15]);
+        assert_eq!(offsets[16], offsets[31]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Metric names the runtime publishes into the `edgepc-trace` registry.
+//!
+//! Everything is published into whatever registry was current on the
+//! thread that built the [`Engine`](crate::Engine) — the global registry
+//! in a binary, a local capture in tests — so serving metrics land next to
+//! the model-internal spans (`sa1.sample`, `ec1.search(...)`, `*.fc`) the
+//! kernels already emit.
+//!
+//! Counters (monotonic): [`SUBMITTED`], [`COMPLETED`], [`SHED`],
+//! [`EXPIRED`]. Gauges (instantaneous): [`QUEUE_DEPTH`], [`IN_FLIGHT`].
+//! Histograms (µs unless noted): [`LATENCY_US`], [`QUEUE_WAIT_US`], and
+//! [`BATCH_SIZE`] (dimensionless batch sizes, one observation per batch).
+
+/// Counter: requests accepted into the queue.
+pub const SUBMITTED: &str = "serve.submitted";
+/// Counter: requests that completed with an output.
+pub const COMPLETED: &str = "serve.completed";
+/// Counter: requests rejected by admission control (queue full).
+pub const SHED: &str = "serve.shed";
+/// Counter: requests cancelled because their deadline passed in the queue.
+pub const EXPIRED: &str = "serve.expired";
+/// Gauge: requests currently sitting in the submission queue.
+pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Gauge: requests currently being executed by workers.
+pub const IN_FLIGHT: &str = "serve.in_flight";
+/// Histogram (µs): submission-to-completion latency.
+pub const LATENCY_US: &str = "serve.latency";
+/// Histogram (µs): submission-to-execution queue wait.
+pub const QUEUE_WAIT_US: &str = "serve.queue_wait";
+/// Histogram (batch size, one observation per executed batch).
+pub const BATCH_SIZE: &str = "serve.batch_size";

@@ -1,0 +1,163 @@
+//! Model specifications and per-worker replicas.
+//!
+//! A [`ModelSpec`] is a *description* — cheap to clone, `Send + Sync`, and
+//! deterministic: building it twice yields bit-identical weights, because
+//! every constructor in `edgepc-models` seeds its layers from fixed
+//! constants. That determinism is what lets every worker hold its own
+//! [`ServeModel`] replica (no locks on the hot path) while the engine
+//! still guarantees worker-count-independent outputs.
+
+use edgepc_geom::PointCloud;
+use edgepc_models::{
+    DgcnnClassifier, DgcnnConfig, DgcnnSeg, PipelineStrategy, PointNetPpConfig, PointNetPpSeg,
+    Scratch,
+};
+use edgepc_nn::Tensor2;
+
+/// A deterministic description of one servable model.
+#[derive(Debug, Clone)]
+pub enum ModelSpec {
+    /// Reduced PointNet++ segmentation (2 SA + 2 FP), sized for ~256-point
+    /// clouds. Needs at least 64 input points.
+    PointNetPpTiny {
+        classes: usize,
+        strategy: PipelineStrategy,
+    },
+    /// Paper-shaped PointNet++ segmentation for `n_input`-point clouds.
+    PointNetPpPaper {
+        n_input: usize,
+        classes: usize,
+        strategy: PipelineStrategy,
+    },
+    /// Reduced DGCNN cloud classifier (3 EdgeConv modules).
+    DgcnnClsTiny {
+        classes: usize,
+        strategy: PipelineStrategy,
+    },
+    /// Reduced DGCNN per-point segmenter (3 EdgeConv modules).
+    DgcnnSegTiny {
+        classes: usize,
+        strategy: PipelineStrategy,
+    },
+}
+
+impl ModelSpec {
+    /// Tiny PointNet++ with the paper's EdgePC strategy (Morton sampling +
+    /// window search on both levels).
+    pub fn pointnetpp_tiny(classes: usize) -> Self {
+        ModelSpec::PointNetPpTiny {
+            classes,
+            strategy: PipelineStrategy::edgepc_pointnetpp(2, 16),
+        }
+    }
+
+    /// Tiny DGCNN classifier with the paper's EdgePC strategy (Morton
+    /// window on module 1, reuse/exact alternation after).
+    pub fn dgcnn_cls_tiny(classes: usize) -> Self {
+        ModelSpec::DgcnnClsTiny {
+            classes,
+            strategy: PipelineStrategy::edgepc_dgcnn(3, 24),
+        }
+    }
+
+    /// Smallest cloud this model accepts (the forward pass asserts it).
+    pub fn min_points(&self) -> usize {
+        match self {
+            ModelSpec::PointNetPpTiny { .. } => 64,
+            ModelSpec::PointNetPpPaper { n_input, .. } => (n_input / 8).max(4),
+            // DGCNN keeps all points but needs more points than neighbors
+            // (tiny config: k = 8).
+            ModelSpec::DgcnnClsTiny { .. } | ModelSpec::DgcnnSegTiny { .. } => 9,
+        }
+    }
+}
+
+/// One worker's executable replica of a [`ModelSpec`].
+pub enum ServeModel {
+    PointNetPp(Box<PointNetPpSeg>),
+    DgcnnCls(Box<DgcnnClassifier>),
+    DgcnnSeg(Box<DgcnnSeg>),
+}
+
+impl ServeModel {
+    /// Builds the replica. Deterministic: all weight seeds are fixed by
+    /// the model constructors, so replicas on different workers are
+    /// bit-identical.
+    pub fn build(spec: &ModelSpec) -> ServeModel {
+        match spec {
+            ModelSpec::PointNetPpTiny { classes, strategy } => {
+                let cfg = PointNetPpConfig::tiny(*classes, strategy.clone());
+                ServeModel::PointNetPp(Box::new(PointNetPpSeg::new(&cfg, *classes)))
+            }
+            ModelSpec::PointNetPpPaper {
+                n_input,
+                classes,
+                strategy,
+            } => {
+                let cfg = PointNetPpConfig::paper(*n_input, strategy.clone());
+                ServeModel::PointNetPp(Box::new(PointNetPpSeg::new(&cfg, *classes)))
+            }
+            ModelSpec::DgcnnClsTiny { classes, strategy } => {
+                let cfg = DgcnnConfig::tiny(strategy.clone());
+                ServeModel::DgcnnCls(Box::new(DgcnnClassifier::new(&cfg, *classes)))
+            }
+            ModelSpec::DgcnnSegTiny { classes, strategy } => {
+                let cfg = DgcnnConfig::tiny(strategy.clone());
+                ServeModel::DgcnnSeg(Box::new(DgcnnSeg::new(&cfg, *classes)))
+            }
+        }
+    }
+
+    /// Runs one forward pass with the worker's scratch pool. Stage spans
+    /// (structurize, sample, neighbor, fc) are published to the thread's
+    /// current trace registry by the models themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is smaller than the spec's
+    /// [`min_points`](ModelSpec::min_points).
+    pub fn infer(&mut self, cloud: &PointCloud, scratch: &mut Scratch) -> Tensor2 {
+        match self {
+            ServeModel::PointNetPp(m) => m.forward_with(cloud, scratch).0,
+            ServeModel::DgcnnCls(m) => m.forward_with(cloud, scratch).0,
+            ServeModel::DgcnnSeg(m) => m.forward_with(cloud, scratch).0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgepc_data::bunny_with_points;
+
+    #[test]
+    fn replicas_are_deterministic() {
+        let spec = ModelSpec::pointnetpp_tiny(4);
+        let cloud = bunny_with_points(256, 11);
+        let mut scratch_a = Scratch::new();
+        let mut scratch_b = Scratch::new();
+        let a = ServeModel::build(&spec).infer(&cloud, &mut scratch_a);
+        let b = ServeModel::build(&spec).infer(&cloud, &mut scratch_b);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn dgcnn_replica_classifies() {
+        let spec = ModelSpec::dgcnn_cls_tiny(5);
+        let cloud = bunny_with_points(64, 3);
+        let mut scratch = Scratch::new();
+        let logits = ServeModel::build(&spec).infer(&cloud, &mut scratch);
+        assert_eq!((logits.rows(), logits.cols()), (1, 5));
+    }
+
+    #[test]
+    fn min_points_reflects_first_level() {
+        assert_eq!(ModelSpec::pointnetpp_tiny(2).min_points(), 64);
+        let paper = ModelSpec::PointNetPpPaper {
+            n_input: 8192,
+            classes: 6,
+            strategy: PipelineStrategy::baseline(),
+        };
+        assert_eq!(paper.min_points(), 1024);
+    }
+}

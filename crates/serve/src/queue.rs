@@ -1,0 +1,255 @@
+//! The bounded submission queue shared by the submitter and the workers.
+//!
+//! Admission control happens at the push side: a full queue rejects
+//! immediately (shedding), it never blocks the caller. The pop side is
+//! where batches form — a worker takes an anchor request, gathers
+//! same-model requests up to the batch bound, and lingers briefly for
+//! more before running what it has. Deadline-expired requests are culled
+//! during formation and handed back so the worker can cancel them.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::batch::{gather_compatible, split_expired};
+use crate::error::ServeError;
+use crate::request::QueuedRequest;
+
+/// What a worker pulled off the queue.
+pub(crate) enum Pop {
+    /// Requests to run (possibly empty if only cancellations were found),
+    /// plus requests whose deadline expired while queued.
+    Work {
+        batch: Vec<QueuedRequest>,
+        expired: Vec<QueuedRequest>,
+    },
+    /// The queue is shut down and fully drained; the worker should exit.
+    Shutdown,
+}
+
+pub(crate) struct SubmitQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+#[derive(Default)]
+struct Inner {
+    items: VecDeque<QueuedRequest>,
+    shutdown: bool,
+}
+
+impl SubmitQueue {
+    pub fn new(capacity: usize) -> Self {
+        SubmitQueue {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// A poisoned mutex only means another thread panicked mid-operation;
+    /// the deque is still structurally sound, so recover the guard rather
+    /// than cascading the panic through the engine.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current queue depth (for gauges and tests).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Admission control: enqueues `req` or rejects it without blocking.
+    /// A rejected request is dropped here, which closes its response
+    /// channel; the caller still holds the typed rejection to return.
+    pub fn push(&self, req: QueuedRequest) -> Result<(), ServeError> {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        inner.items.push_back(req);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Marks the queue as draining: future pushes are refused, and workers
+    /// finish the remaining items before exiting.
+    pub fn begin_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Blocks until work (or shutdown) is available, then forms a batch:
+    /// the oldest live request anchors it, same-model requests join up to
+    /// `max_batch`, and the worker lingers up to `linger` for stragglers.
+    /// During shutdown the queue drains without lingering.
+    pub fn take_batch(&self, max_batch: usize, linger: Duration) -> Pop {
+        let mut expired = Vec::new();
+        let mut inner = self.lock();
+        loop {
+            expired.extend(split_expired(&mut inner.items, Instant::now()));
+            if !inner.items.is_empty() || inner.shutdown {
+                break;
+            }
+            if !expired.is_empty() {
+                // Cancel promptly rather than sitting on the expired
+                // requests until the next live submission.
+                return Pop::Work {
+                    batch: Vec::new(),
+                    expired,
+                };
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+
+        let Some(anchor) = inner.items.pop_front() else {
+            // Shut down and drained.
+            return if expired.is_empty() {
+                Pop::Shutdown
+            } else {
+                Pop::Work {
+                    batch: Vec::new(),
+                    expired,
+                }
+            };
+        };
+
+        let model = anchor.model;
+        let mut batch = vec![anchor];
+        let linger_until = Instant::now() + linger;
+        loop {
+            let room = max_batch.saturating_sub(batch.len());
+            batch.extend(gather_compatible(&mut inner.items, model, room));
+            if batch.len() >= max_batch || inner.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= linger_until {
+                break;
+            }
+            let (guard, _timed_out) = match self.available.wait_timeout(inner, linger_until - now) {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            inner = guard;
+        }
+        drop(inner);
+        Pop::Work { batch, expired }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    use edgepc_geom::PointCloud;
+
+    fn req(id: u64, model: usize, deadline: Option<Duration>) -> QueuedRequest {
+        let (tx, _rx) = mpsc::channel();
+        QueuedRequest {
+            id,
+            model,
+            cloud: PointCloud::new(),
+            enqueued: Instant::now(),
+            deadline,
+            tx,
+        }
+    }
+
+    #[test]
+    fn push_rejects_when_full_and_after_shutdown() {
+        let q = SubmitQueue::new(1);
+        assert!(q.push(req(0, 0, None)).is_ok());
+        let err = q.push(req(1, 0, None)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 1 });
+        q.begin_shutdown();
+        let err = q.push(req(2, 0, None)).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn capacity_zero_rejects_everything() {
+        let q = SubmitQueue::new(0);
+        let err = q.push(req(0, 0, None)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 0 });
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn take_batch_groups_same_model_and_culls_expired() {
+        let q = SubmitQueue::new(8);
+        q.push(req(0, 1, None)).unwrap();
+        q.push(req(1, 1, Some(Duration::ZERO))).unwrap();
+        q.push(req(2, 2, None)).unwrap();
+        q.push(req(3, 1, None)).unwrap();
+        match q.take_batch(4, Duration::ZERO) {
+            Pop::Work { batch, expired } => {
+                let batch_ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+                let expired_ids: Vec<u64> = expired.iter().map(|r| r.id).collect();
+                assert_eq!(batch_ids, vec![0, 3]);
+                assert_eq!(expired_ids, vec![1]);
+            }
+            Pop::Shutdown => panic!("expected work"),
+        }
+        // The other-model request is still queued.
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn take_batch_respects_max_batch() {
+        let q = SubmitQueue::new(8);
+        for i in 0..5 {
+            q.push(req(i, 0, None)).unwrap();
+        }
+        match q.take_batch(2, Duration::ZERO) {
+            Pop::Work { batch, .. } => assert_eq!(batch.len(), 2),
+            Pop::Shutdown => panic!("expected work"),
+        }
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn drains_then_reports_shutdown() {
+        let q = SubmitQueue::new(8);
+        q.push(req(0, 0, None)).unwrap();
+        q.begin_shutdown();
+        match q.take_batch(4, Duration::from_millis(50)) {
+            Pop::Work { batch, .. } => assert_eq!(batch.len(), 1),
+            Pop::Shutdown => panic!("should drain first"),
+        }
+        assert!(matches!(
+            q.take_batch(4, Duration::from_millis(50)),
+            Pop::Shutdown
+        ));
+    }
+
+    #[test]
+    fn linger_waits_for_stragglers() {
+        let q = std::sync::Arc::new(SubmitQueue::new(8));
+        q.push(req(0, 0, None)).unwrap();
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            q2.push(req(1, 0, None)).unwrap();
+        });
+        match q.take_batch(4, Duration::from_millis(250)) {
+            Pop::Work { batch, .. } => {
+                // The straggler submitted mid-linger joins the batch.
+                assert_eq!(batch.len(), 2);
+            }
+            Pop::Shutdown => panic!("expected work"),
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,139 @@
+//! Requests, responses, and the caller-side completion handle.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use edgepc_geom::PointCloud;
+use edgepc_nn::Tensor2;
+
+use crate::error::ServeError;
+
+/// One inference request: a cloud, the index of the model to run it
+/// through, and an optional deadline.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Index into the engine's model list.
+    pub model: usize,
+    /// The input cloud.
+    pub cloud: PointCloud,
+    /// Optional deadline, relative to submission. A request whose deadline
+    /// passes while it is still queued is cancelled with
+    /// [`ServeError::DeadlineExpired`] instead of running late.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with no deadline.
+    pub fn new(model: usize, cloud: PointCloud) -> Self {
+        Request {
+            model,
+            cloud,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline (relative to submission time).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct InferenceOutput {
+    /// The id [`Engine::submit`](crate::Engine::submit) assigned.
+    pub request_id: u64,
+    /// Per-point (or per-cloud) logits from the model.
+    pub logits: Tensor2,
+    /// Microseconds the request waited in the queue before its forward
+    /// pass started.
+    pub queue_us: u64,
+    /// Microseconds from submission to completion.
+    pub total_us: u64,
+    /// Size of the batch this request ran in.
+    pub batch_size: usize,
+    /// Index of the worker that ran it.
+    pub worker: usize,
+}
+
+/// Caller-side handle to an accepted request. The engine guarantees every
+/// accepted request eventually resolves: with an output, a typed
+/// cancellation, or [`ServeError::WorkerLost`] if the engine dies first.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<Result<InferenceOutput, ServeError>>,
+}
+
+impl Ticket {
+    /// The id the engine assigned to this request.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(self) -> Result<InferenceOutput, ServeError> {
+        match self.rx.recv() {
+            Ok(resolution) => resolution,
+            Err(mpsc::RecvError) => Err(ServeError::WorkerLost),
+        }
+    }
+}
+
+/// A request as it sits in the submission queue: the caller's request plus
+/// the bookkeeping the batcher and workers need.
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    pub id: u64,
+    pub model: usize,
+    pub cloud: PointCloud,
+    pub enqueued: Instant,
+    pub deadline: Option<Duration>,
+    pub tx: mpsc::Sender<Result<InferenceOutput, ServeError>>,
+}
+
+impl QueuedRequest {
+    /// Whether this request's deadline has passed as of `now`. A zero
+    /// deadline counts as already expired.
+    pub fn is_expired(&self, now: Instant) -> bool {
+        self.deadline
+            .is_some_and(|d| now.saturating_duration_since(self.enqueued) >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(deadline: Option<Duration>) -> QueuedRequest {
+        let (tx, _rx) = mpsc::channel();
+        QueuedRequest {
+            id: 0,
+            model: 0,
+            cloud: PointCloud::new(),
+            enqueued: Instant::now(),
+            deadline,
+            tx,
+        }
+    }
+
+    #[test]
+    fn no_deadline_never_expires() {
+        let q = queued(None);
+        assert!(!q.is_expired(Instant::now() + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn zero_deadline_is_immediately_expired() {
+        let q = queued(Some(Duration::ZERO));
+        assert!(q.is_expired(Instant::now()));
+    }
+
+    #[test]
+    fn future_deadline_not_yet_expired() {
+        let q = queued(Some(Duration::from_secs(60)));
+        assert!(!q.is_expired(Instant::now()));
+        assert!(q.is_expired(q.enqueued + Duration::from_secs(61)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Engine lifecycle and queue edge cases: admission control, deadline
+//! cancellation, graceful drain, batching, and metric accounting.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgepc_data::bunny_with_points;
+use edgepc_serve::{metrics, Engine, EngineConfig, ModelSpec, Request, ServeError};
+use edgepc_trace::{with_registry, Registry};
+
+fn cloud(seed: u64) -> edgepc_geom::PointCloud {
+    bunny_with_points(128, seed)
+}
+
+fn slow_config(workers: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::new(workers);
+    // A long linger keeps the worker parked in take_batch after the first
+    // pop, which lets tests control what is still queued.
+    cfg.batch_linger = Duration::from_millis(100);
+    cfg
+}
+
+#[test]
+fn capacity_zero_rejects_every_submission() {
+    let mut cfg = EngineConfig::new(1);
+    cfg.queue_capacity = 0;
+    let engine = Engine::new(cfg, vec![ModelSpec::pointnetpp_tiny(4)]);
+    for i in 0..3 {
+        let err = engine.submit(Request::new(0, cloud(i))).err();
+        assert_eq!(err, Some(ServeError::QueueFull { capacity: 0 }));
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn unknown_model_is_rejected_before_queueing() {
+    let engine = Engine::new(EngineConfig::new(1), vec![ModelSpec::pointnetpp_tiny(4)]);
+    let err = engine.submit(Request::new(5, cloud(0))).err();
+    assert_eq!(
+        err,
+        Some(ServeError::UnknownModel {
+            index: 5,
+            models: 1
+        })
+    );
+    assert_eq!(engine.queue_depth(), 0);
+    engine.shutdown();
+}
+
+#[test]
+fn deadline_expired_while_queued_is_cancelled_not_executed() {
+    let registry = Arc::new(Registry::new());
+    with_registry(registry.clone(), || {
+        let mut cfg = slow_config(1);
+        cfg.max_batch = 1;
+        let engine = Engine::new(cfg, vec![ModelSpec::pointnetpp_tiny(4)]);
+        // Occupy the single worker, then queue a request that is already
+        // expired on arrival: the worker must cancel it, not run it.
+        let busy = engine.submit(Request::new(0, cloud(1))).expect("admitted");
+        let doomed = engine
+            .submit(Request::new(0, cloud(2)).with_deadline(Duration::ZERO))
+            .expect("admitted");
+        assert!(busy.wait().is_ok());
+        match doomed.wait() {
+            Err(ServeError::DeadlineExpired { deadline, .. }) => {
+                assert_eq!(deadline, Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        engine.shutdown();
+    });
+    assert_eq!(registry.counter(metrics::EXPIRED), 1);
+    assert_eq!(registry.counter(metrics::COMPLETED), 1);
+}
+
+#[test]
+fn shutdown_drains_queued_requests_then_refuses_new_ones() {
+    let engine = Engine::new(slow_config(2), vec![ModelSpec::pointnetpp_tiny(4)]);
+    let tickets: Vec<_> = (0..6)
+        .map(|i| engine.submit(Request::new(0, cloud(i))).expect("admitted"))
+        .collect();
+    engine.shutdown();
+    // Graceful drain: every request admitted before shutdown resolves
+    // with an output, none is dropped.
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok());
+    }
+    let err = engine.submit(Request::new(0, cloud(99))).err();
+    assert_eq!(err, Some(ServeError::ShuttingDown));
+}
+
+#[test]
+fn full_queue_sheds_instead_of_blocking() {
+    let registry = Arc::new(Registry::new());
+    with_registry(registry.clone(), || {
+        let mut cfg = slow_config(1);
+        cfg.queue_capacity = 2;
+        cfg.max_batch = 1;
+        let engine = Engine::new(cfg, vec![ModelSpec::pointnetpp_tiny(4)]);
+        let mut accepted = Vec::new();
+        let mut shed = 0;
+        for i in 0..12 {
+            match engine.submit(Request::new(0, cloud(i))) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected rejection: {other:?}"),
+            }
+        }
+        assert!(shed > 0, "12 rapid submits into capacity 2 must shed");
+        for ticket in accepted {
+            assert!(ticket.wait().is_ok(), "accepted requests still complete");
+        }
+        engine.shutdown();
+    });
+    let shed_metric = registry.counter(metrics::SHED);
+    assert!(shed_metric > 0, "shed requests must be counted");
+}
+
+#[test]
+fn batcher_groups_requests_when_workers_are_saturated() {
+    let mut cfg = EngineConfig::new(1);
+    cfg.max_batch = 4;
+    cfg.batch_linger = Duration::from_millis(50);
+    let engine = Engine::new(cfg, vec![ModelSpec::pointnetpp_tiny(4)]);
+    let tickets: Vec<_> = (0..8)
+        .map(|i| engine.submit(Request::new(0, cloud(i))).expect("admitted"))
+        .collect();
+    let outputs: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("completed"))
+        .collect();
+    let max_batch = outputs.iter().map(|o| o.batch_size).max().unwrap_or(0);
+    assert!(
+        max_batch > 1,
+        "8 rapid submits against 1 lingering worker must form a batch"
+    );
+    assert!(max_batch <= 4, "batches never exceed max_batch");
+    engine.shutdown();
+}
+
+#[test]
+fn metrics_account_for_every_submission() {
+    let registry = Arc::new(Registry::new());
+    with_registry(registry.clone(), || {
+        let engine = Engine::new(EngineConfig::new(2), vec![ModelSpec::pointnetpp_tiny(4)]);
+        let tickets: Vec<_> = (0..5)
+            .map(|i| engine.submit(Request::new(0, cloud(i))).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        engine.shutdown();
+    });
+    assert_eq!(registry.counter(metrics::SUBMITTED), 5);
+    assert_eq!(registry.counter(metrics::COMPLETED), 5);
+    // Queue and in-flight gauges return to zero once everything resolved.
+    assert_eq!(registry.gauge(metrics::QUEUE_DEPTH), Some(0.0));
+    assert_eq!(registry.gauge(metrics::IN_FLIGHT), Some(0.0));
+    let latency = registry.histogram(metrics::LATENCY_US).expect("latency");
+    assert_eq!(latency.count(), 5);
+}

@@ -93,6 +93,18 @@ impl Registry {
         inner.gauges.insert(name.to_string(), value);
     }
 
+    /// Adds `delta` (which may be negative) to the named gauge, treating an
+    /// unset gauge as 0, and returns the new value. This is the atomic
+    /// read-modify-write the serving runtime needs for queue-depth and
+    /// in-flight gauges updated from many worker threads — a `gauge` +
+    /// `set_gauge` pair would race.
+    pub fn add_gauge(&self, name: &str, delta: f64) -> f64 {
+        let mut inner = self.lock();
+        let slot = inner.gauges.entry(name.to_string()).or_insert(0.0);
+        *slot += delta;
+        *slot
+    }
+
     /// Current value of a gauge, if it was ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.lock().gauges.get(name).copied()
@@ -256,6 +268,17 @@ mod tests {
                 "audit.search.recall_at_k".to_string()
             ]
         );
+    }
+
+    #[test]
+    fn add_gauge_accumulates_and_interoperates_with_set() {
+        let reg = Registry::new();
+        assert_eq!(reg.add_gauge("serve.queue_depth", 1.0), 1.0);
+        assert_eq!(reg.add_gauge("serve.queue_depth", 2.0), 3.0);
+        assert_eq!(reg.add_gauge("serve.queue_depth", -3.0), 0.0);
+        assert_eq!(reg.gauge("serve.queue_depth"), Some(0.0));
+        reg.set_gauge("serve.queue_depth", 7.0);
+        assert_eq!(reg.add_gauge("serve.queue_depth", 1.0), 8.0);
     }
 
     #[test]
