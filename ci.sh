@@ -23,19 +23,33 @@
 #                   through the edgepc-serve engine (loadgen --smoke) and
 #                   validate the generated serve.json against the EP005
 #                   schema pin. Fails on panics, hangs, or schema drift.
+#
+# Benchmark regression gate:
+#   --bench-gate    run bench_all in CI smoke mode (reduced repeats) and
+#                   bench_compare the fresh recording against the
+#                   committed results/BENCH.json, failing on any
+#                   regression beyond the noise gate. Unlike --perf-smoke
+#                   this is strict by design: it is the check that keeps
+#                   the edgepc-par kernel rewrites honest. Smoke mode has
+#                   fewer repeats than the committed paper-mode baseline,
+#                   so the band is widened to 15% — wide enough to absorb
+#                   run-to-run drift, tight enough to catch a kernel that
+#                   actually got slower.
 set -eu
 
 PERF_MODE=""
 SERVE_SMOKE=0
+BENCH_GATE=0
 RUN_LINT=1
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke)  PERF_MODE="warn" ;;
         --perf-strict) PERF_MODE="strict" ;;
         --serve-smoke) SERVE_SMOKE=1 ;;
+        --bench-gate)  BENCH_GATE=1 ;;
         --no-lint)     RUN_LINT=0 ;;
         *)
-            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke]" >&2
+            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke] [--bench-gate]" >&2
             exit 2
             ;;
     esac
@@ -74,6 +88,14 @@ if [ -n "$PERF_MODE" ]; then
         cargo run --release -q -p edgepc-bench --bin bench_compare -- \
             results/BENCH.json target/BENCH.smoke.json
     fi
+fi
+
+if [ "$BENCH_GATE" = 1 ]; then
+    echo "==> bench gate: bench_all --smoke vs committed results/BENCH.json (strict)"
+    cargo run --release -q -p edgepc-bench --bin bench_all -- \
+        --smoke --out target/BENCH.gate.json
+    cargo run --release -q -p edgepc-bench --bin bench_compare -- \
+        results/BENCH.json target/BENCH.gate.json --threshold-pct 15
 fi
 
 if [ "$SERVE_SMOKE" = 1 ]; then

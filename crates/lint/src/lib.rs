@@ -36,12 +36,13 @@ use rules::RuleSet;
 /// Crates whose non-test code must be panic-free (EP001): everything on
 /// the inference hot path.
 pub const HOT_CRATES: &[&str] = &[
-    "geom", "morton", "sample", "neighbor", "models", "core", "serve",
+    "geom", "morton", "par", "sample", "neighbor", "models", "core", "serve",
 ];
 
 /// Files whose public functions must open spans (EP003): the stage entry
 /// points behind the paper's latency breakdowns.
 pub const SPAN_COVERED_FILES: &[&str] = &[
+    "crates/par/src/pool.rs",
     "crates/sample/src/morton_sampler.rs",
     "crates/sample/src/upsample.rs",
     "crates/neighbor/src/window.rs",

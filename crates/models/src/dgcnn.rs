@@ -123,20 +123,31 @@ impl EdgeConv {
             None,
             records,
             || {
-                let mut edges = Tensor2::from_vec(scratch.take_zeroed(n * k * 2 * c), n * k, 2 * c);
-                for (i, nbrs) in neighbors.iter().enumerate() {
-                    assert_eq!(nbrs.len(), k, "point {i} has wrong neighbor count");
-                    for (slot, &j) in nbrs.iter().enumerate() {
-                        let row = edges.row_mut(i * k + slot);
-                        row[..c].copy_from_slice(feats.row(i));
-                        for (dst, (&fj, &fi)) in row[c..]
-                            .iter_mut()
-                            .zip(feats.row(j).iter().zip(feats.row(i)))
-                        {
-                            *dst = fj - fi;
+                // Parallel edge build over fixed 32-point blocks: each
+                // point's k edge rows live in exactly one block, so the
+                // matrix is bit-identical for any thread count.
+                let row_w = 2 * c;
+                let point_elems = k * row_w;
+                let mut buf = scratch.take_zeroed(n * point_elems);
+                edgepc_par::par_chunks_mut(&mut buf, 32 * point_elems, |ci, block| {
+                    let i0 = ci * 32;
+                    for (il, rows) in block.chunks_mut(point_elems).enumerate() {
+                        let i = i0 + il;
+                        let nbrs = &neighbors[i];
+                        assert_eq!(nbrs.len(), k, "point {i} has wrong neighbor count");
+                        let fi_row = feats.row(i);
+                        for (slot, &j) in nbrs.iter().enumerate() {
+                            let row = &mut rows[slot * row_w..(slot + 1) * row_w];
+                            row[..c].copy_from_slice(fi_row);
+                            for (dst, (&fj, &fi)) in
+                                row[c..].iter_mut().zip(feats.row(j).iter().zip(fi_row))
+                            {
+                                *dst = fj - fi;
+                            }
                         }
                     }
-                }
+                });
+                let edges = Tensor2::from_vec(buf, n * k, row_w);
                 let ops = OpCounts {
                     gathered_bytes: (n * k * 2 * c * 4) as u64,
                     seq_rounds: 1,
@@ -380,25 +391,40 @@ pub fn feature_knn(feats: &Tensor2, k: usize) -> (Vec<Vec<usize>>, OpCounts) {
     let n = feats.rows();
     assert!(k < n, "k must be smaller than the point count");
     let mut ops = OpCounts::ZERO;
+    // Parallel across fixed 32-query ranges; each query's top-k is
+    // independent, so thread count cannot affect the lists.
+    let per_chunk = edgepc_par::par_ranges(n, 32, |range| {
+        range
+            .map(|i| {
+                let fi = feats.row(i);
+                let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let mut d = 0.0f32;
+                    for (a, b) in fi.iter().zip(feats.row(j)) {
+                        let t = a - b;
+                        d += t * t;
+                    }
+                    // A candidate no closer than the current k-th can
+                    // never enter the list; skip the binary search.
+                    if best.len() == k && d >= best[k - 1].0 {
+                        continue;
+                    }
+                    let pos = best.partition_point(|&(bd, _)| bd <= d);
+                    if pos < k {
+                        best.insert(pos, (d, j));
+                        best.truncate(k);
+                    }
+                }
+                best.into_iter().map(|(_, j)| j).collect::<Vec<usize>>()
+            })
+            .collect::<Vec<Vec<usize>>>()
+    });
     let mut neighbors = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
-        for j in 0..n {
-            if j == i {
-                continue;
-            }
-            let mut d = 0.0f32;
-            for (a, b) in feats.row(i).iter().zip(feats.row(j)) {
-                let t = a - b;
-                d += t * t;
-            }
-            let pos = best.partition_point(|&(bd, _)| bd <= d);
-            if pos < k {
-                best.insert(pos, (d, j));
-                best.truncate(k);
-            }
-        }
-        neighbors.push(best.into_iter().map(|(_, j)| j).collect());
+    for mut lists in per_chunk {
+        neighbors.append(&mut lists);
     }
     ops.feat_flops = (n * (n - 1) * 3 * feats.cols()) as u64;
     ops.cmp = (n * (n - 1)) as u64;

@@ -42,16 +42,18 @@ pub mod fp;
 mod observe;
 pub mod pointnetpp;
 pub mod sa;
-pub mod scratch;
 pub mod selection;
 pub mod strategy;
 pub mod trainer;
 
 pub use dgcnn::{DgcnnClassifier, DgcnnConfig, DgcnnSeg, EdgeConv};
+/// Re-exported from `edgepc_nn`, where the pool moved so the blocked
+/// matmul kernel can recycle its pack buffers too.
+pub use edgepc_nn::scratch;
+pub use edgepc_nn::Scratch;
 pub use fp::FeaturePropagation;
 pub use pointnetpp::{PointNetPpConfig, PointNetPpSeg, SaLevelSpec};
 pub use sa::SetAbstraction;
-pub use scratch::Scratch;
 pub use selection::{select, Selection};
 pub use strategy::{
     price_stages, PipelineStrategy, SampleStrategy, SearchStrategy, StageRecord, UpsampleStrategy,

@@ -35,10 +35,12 @@ pub mod encode;
 pub mod grid;
 pub mod hilbert;
 pub mod locality;
+pub mod radix;
 pub mod structurize;
 
 pub use encode::{decode, encode, MAX_BITS_PER_AXIS};
 pub use grid::VoxelGrid;
+pub use radix::{sort_pairs, RADIX_MIN_LEN};
 pub use structurize::{Structurized, Structurizer};
 
 pub use edgepc_geom::OpCounts;

@@ -1,0 +1,227 @@
+//! Stable LSD radix sort over `(morton_code, original_index)` pairs.
+//!
+//! Algo. 1 line 10 calls for sorting the Morton codes; a comparison sort
+//! costs `O(N log N)` comparisons, while the codes are bounded integers
+//! (`code_bits = 3 * bits_per_axis`, 30 for the paper default), so an
+//! LSD radix sort finishes in `code_bits.div_ceil(8)` counting passes —
+//! 4 for the paper default — each a linear scan.
+//!
+//! Every pass runs three data-parallel rounds on the [`edgepc_par`]
+//! pool, all with chunk boundaries fixed by [`RADIX_CHUNK`] (never the
+//! worker count), so the permutation is bit-identical for any thread
+//! count:
+//!
+//! 1. **histogram** — per-chunk 256-bin digit counts
+//!    ([`edgepc_par::par_chunk_map`]),
+//! 2. **prefix** — digit starts via an exclusive prefix sum over the
+//!    global digit totals, then per-chunk scatter bases by accumulating
+//!    the chunk histograms in chunk order (sequential, `O(256 *
+//!    n_chunks)`),
+//! 3. **scatter** — each chunk writes its elements to precomputed,
+//!    provably disjoint destinations ([`edgepc_par::par_for`]). The
+//!    workspace denies `unsafe`, so the destination is a pair of
+//!    atomic arrays written with `Relaxed` stores (plain stores on
+//!    x86/ARM; the scope join publishes them).
+//!
+//! LSD passes preserve the relative order of equal digits, so the sort
+//! is stable on tied codes; because callers feed ascending original
+//! indices, the result is exactly `sort_unstable()` on the pairs.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use edgepc_par::{par_chunk_map, par_chunks_mut, par_for};
+
+/// Fixed chunk size for histogram/scatter rounds. Part of the
+/// determinism contract: boundaries depend only on this constant and
+/// the input length.
+pub const RADIX_CHUNK: usize = 2048;
+
+/// Below this length a comparison sort wins (histogram setup costs more
+/// than `n log n` comparisons on tiny inputs); callers should keep
+/// `sort_unstable` under it.
+pub const RADIX_MIN_LEN: usize = 1024;
+
+const RADIX_BITS: u32 = 8;
+const BINS: usize = 1 << RADIX_BITS;
+
+/// Number of counting passes needed for `code_bits`-wide codes.
+pub fn passes_for(code_bits: u32) -> u32 {
+    code_bits.div_ceil(RADIX_BITS).max(1)
+}
+
+/// Sorts `keyed` ascending by code (index breaking ties, given callers
+/// supply ascending indices) with a stable LSD radix sort; returns the
+/// number of counting passes executed. Codes must fit in `code_bits`
+/// bits — higher bits are never inspected.
+pub fn sort_pairs(keyed: &mut [(u64, u32)], code_bits: u32) -> u32 {
+    let passes = passes_for(code_bits);
+    let n = keyed.len();
+    if n <= 1 {
+        return passes;
+    }
+    // Scatter destination, rebuilt into `keyed` after every pass.
+    let dst_codes: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let dst_idx: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+
+    for pass in 0..passes {
+        let shift = pass * RADIX_BITS;
+
+        // Round 1: per-chunk digit histograms.
+        let hists: Vec<[u32; BINS]> = par_chunk_map(&*keyed, RADIX_CHUNK, |_, c| {
+            let mut h = [0u32; BINS];
+            for &(code, _) in c {
+                h[((code >> shift) & 0xff) as usize] += 1;
+            }
+            h
+        });
+
+        // Round 2 (sequential): exclusive prefix sum over global digit
+        // totals, then per-chunk scatter bases in chunk order — chunk
+        // `ci`'s run of digit `d` starts at
+        // `digit_start[d] + sum of hists[..ci][d]`.
+        let mut digit_start = [0usize; BINS];
+        let mut total = 0usize;
+        for (d, start) in digit_start.iter_mut().enumerate() {
+            *start = total;
+            total += hists.iter().map(|h| h[d] as usize).sum::<usize>();
+        }
+        let mut bases: Vec<[usize; BINS]> = Vec::with_capacity(hists.len());
+        let mut running = digit_start;
+        for h in &hists {
+            bases.push(running);
+            for (d, r) in running.iter_mut().enumerate() {
+                *r += h[d] as usize;
+            }
+        }
+
+        // Round 3: scatter. Each chunk owns a disjoint set of
+        // destination slots by construction, so `Relaxed` stores into
+        // the atomic arrays are race-free and thread-count independent.
+        let src: &[(u64, u32)] = keyed;
+        par_for(bases.len(), |ci| {
+            let mut off = bases[ci];
+            let lo = ci * RADIX_CHUNK;
+            let hi = (lo + RADIX_CHUNK).min(n);
+            for &(code, idx) in &src[lo..hi] {
+                let d = ((code >> shift) & 0xff) as usize;
+                let p = off[d];
+                off[d] += 1;
+                dst_codes[p].store(code, Ordering::Relaxed);
+                dst_idx[p].store(idx, Ordering::Relaxed);
+            }
+        });
+
+        // Copy back for the next pass (or as the final order).
+        par_chunks_mut(keyed, RADIX_CHUNK, |ci, c| {
+            let base = ci * RADIX_CHUNK;
+            for (j, slot) in c.iter_mut().enumerate() {
+                *slot = (
+                    dst_codes[base + j].load(Ordering::Relaxed),
+                    dst_idx[base + j].load(Ordering::Relaxed),
+                );
+            }
+        });
+    }
+    passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* stream for property inputs.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    fn pairs(codes: impl IntoIterator<Item = u64>) -> Vec<(u64, u32)> {
+        codes
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, i as u32))
+            .collect()
+    }
+
+    /// Radix result must equal `sort_unstable` on the pairs (which is
+    /// stable-equivalent because indices are unique and ascending).
+    fn assert_matches_sort_unstable(codes: Vec<u64>, code_bits: u32) {
+        let mut expect = pairs(codes.iter().copied());
+        expect.sort_unstable();
+        for t in [1usize, 2, 8] {
+            let mut got = pairs(codes.iter().copied());
+            let passes = edgepc_par::with_threads(t, || sort_pairs(&mut got, code_bits));
+            assert_eq!(passes, passes_for(code_bits));
+            assert_eq!(got, expect, "thread count {t}, bits {code_bits}");
+        }
+    }
+
+    #[test]
+    fn random_codes_match_sort_unstable() {
+        let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+        for &(n, bits) in &[(5usize, 30u32), (1000, 30), (5000, 30), (3000, 63)] {
+            let mask = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            let codes: Vec<u64> = (0..n).map(|_| rng.next() & mask).collect();
+            assert_matches_sort_unstable(codes, bits);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_codes_match_sort_unstable() {
+        let mut rng = Rng(42);
+        // Only 7 distinct codes over 4096 elements: long runs of ties.
+        let codes: Vec<u64> = (0..4096).map(|_| rng.next() % 7).collect();
+        assert_matches_sort_unstable(codes, 30);
+    }
+
+    #[test]
+    fn already_sorted_input_is_preserved() {
+        let codes: Vec<u64> = (0..3000u64).map(|i| i * 3).collect();
+        assert_matches_sort_unstable(codes, 30);
+    }
+
+    #[test]
+    fn reverse_sorted_input_matches() {
+        let codes: Vec<u64> = (0..3000u64).rev().collect();
+        assert_matches_sort_unstable(codes, 30);
+    }
+
+    #[test]
+    fn stability_on_tied_codes() {
+        // All-equal codes: the permutation must be the identity, i.e.
+        // original (ascending-index) order survives every pass.
+        let mut keyed = pairs(std::iter::repeat_n(5u64, 2500));
+        sort_pairs(&mut keyed, 30);
+        for (pos, &(code, idx)) in keyed.iter().enumerate() {
+            assert_eq!(code, 5);
+            assert_eq!(idx as usize, pos, "tied codes must keep input order");
+        }
+    }
+
+    #[test]
+    fn passes_scale_with_code_bits() {
+        assert_eq!(passes_for(1), 1);
+        assert_eq!(passes_for(8), 1);
+        assert_eq!(passes_for(9), 2);
+        assert_eq!(passes_for(30), 4);
+        assert_eq!(passes_for(63), 8);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_fine() {
+        let mut empty: Vec<(u64, u32)> = Vec::new();
+        assert_eq!(sort_pairs(&mut empty, 30), 4);
+        let mut one = vec![(9u64, 0u32)];
+        assert_eq!(sort_pairs(&mut one, 30), 4);
+        assert_eq!(one, vec![(9, 0)]);
+    }
+}

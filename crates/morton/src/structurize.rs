@@ -85,28 +85,48 @@ impl Structurizer {
     /// (or batches) must share one quantization.
     pub fn structurize_with_grid(&self, cloud: &PointCloud, grid: VoxelGrid) -> Structurized {
         let n = cloud.len();
-        // Algo. 1 lines 3-5: fully parallel code generation.
-        let mut keyed: Vec<(u64, u32)> = cloud
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (grid.morton_code(p), i as u32))
-            .collect();
-        // Algo. 1 line 10: merge_sort(MC). Sorting (code, original index)
-        // pairs makes the unstable sort deterministic and stable-equivalent.
-        keyed.sort_unstable();
+        // Algo. 1 lines 3-5: fully parallel code generation, chunked on
+        // fixed boundaries so the key array is thread-count independent.
+        let per_chunk =
+            edgepc_par::par_chunk_map(cloud.points(), crate::radix::RADIX_CHUNK, |ci, pts| {
+                let base = ci * crate::radix::RADIX_CHUNK;
+                pts.iter()
+                    .enumerate()
+                    .map(|(j, p)| (grid.morton_code(*p), (base + j) as u32))
+                    .collect::<Vec<(u64, u32)>>()
+            });
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n);
+        for mut v in per_chunk {
+            keyed.append(&mut v);
+        }
+
+        // Algo. 1 line 10: sort(MC). Large clouds take the stable LSD
+        // radix path of `crate::radix` (code_bits/8 counting passes, each
+        // histogram → prefix → scatter); tiny clouds keep the comparison
+        // sort, whose (code, index) keys are stable-equivalent.
+        let mut ops = OpCounts::ZERO;
+        ops.morton_encodes = n as u64;
+        if n >= crate::radix::RADIX_MIN_LEN {
+            let passes = crate::radix::sort_pairs(&mut keyed, self.code_bits());
+            // Each radix pass touches every element once.
+            ops.sorted_elems = n as u64 * u64::from(passes);
+            // Encode is one parallel round; each radix pass is one more
+            // (histogram/prefix/scatter pipeline per pass).
+            ops.seq_rounds = 1 + u64::from(passes);
+        } else {
+            keyed.sort_unstable();
+            ops.sorted_elems = n as u64;
+            // One encode round; a parallel comparison sort is O(log N)
+            // rounds deep.
+            ops.seq_rounds = 1 + (n.max(2) as f64).log2().ceil() as u64;
+        }
 
         let permutation: Vec<usize> = keyed.iter().map(|&(_, i)| i as usize).collect();
         let codes: Vec<u64> = keyed.iter().map(|&(c, _)| c).collect();
         let reordered = cloud.permuted(&permutation);
 
-        let mut ops = OpCounts::ZERO;
-        ops.morton_encodes = n as u64;
-        ops.sorted_elems = n as u64;
         // 12 bytes of coordinates move per point during the re-order gather.
         ops.gathered_bytes = 12 * n as u64;
-        // Encode is one parallel round; a parallel merge/bitonic sort is
-        // O(log N) rounds deep.
-        ops.seq_rounds = 1 + (n.max(2) as f64).log2().ceil() as u64;
 
         Structurized {
             cloud: reordered,
@@ -257,6 +277,40 @@ mod tests {
         assert_eq!(ops.sorted_elems, 5);
         assert!(ops.seq_rounds >= 2, "encode round + log-depth sort");
         assert_eq!(ops.dist3, 0, "structurization computes no distances");
+    }
+
+    #[test]
+    fn large_cloud_radix_path_matches_comparison_sort() {
+        // Above RADIX_MIN_LEN structurize takes the radix path; its
+        // permutation must match a direct comparison sort of the keys,
+        // and op accounting must count every radix pass.
+        let n = 2048usize;
+        let cloud: PointCloud = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                Point3::new(
+                    (h & 0x3ff) as f32,
+                    ((h >> 10) & 0x3ff) as f32,
+                    ((h >> 20) & 0x3ff) as f32,
+                )
+            })
+            .collect();
+        let s = Structurizer::new(10).structurize(&cloud);
+        assert!(s.codes().windows(2).all(|w| w[0] <= w[1]));
+
+        let grid = s.grid();
+        let mut expect: Vec<(u64, u32)> = cloud
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (grid.morton_code(p), i as u32))
+            .collect();
+        expect.sort_unstable();
+        let expect_perm: Vec<usize> = expect.iter().map(|&(_, i)| i as usize).collect();
+        assert_eq!(s.permutation(), expect_perm.as_slice());
+
+        // 30-bit codes → 4 radix passes over all n elements.
+        assert_eq!(s.ops().sorted_elems, 4 * n as u64);
+        assert_eq!(s.ops().seq_rounds, 1 + 4);
     }
 
     #[test]

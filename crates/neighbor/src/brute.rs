@@ -54,24 +54,34 @@ impl NeighborSearcher for BruteKnn {
         let mut span = edgepc_trace::span("knn.search", "search");
         let points = cloud.points();
         let mut ops = OpCounts::ZERO;
-        let mut cmp = 0u64;
-        let neighbors: Vec<Vec<usize>> = queries
-            .iter()
-            .map(|&q| {
-                let qp = points[q];
-                select_k_nearest(
-                    points
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, _)| j != q)
-                        .map(|(j, &p)| (qp.distance_squared(p), j)),
-                    k,
-                    &mut cmp,
-                )
-            })
-            .collect();
+        // Parallel across fixed 16-query chunks (each query is O(N), so
+        // chunks are coarse enough already); comparison tallies fold in
+        // chunk order for thread-count-independent counts.
+        let per_chunk = edgepc_par::par_chunk_map(queries, 16, |_, qs| {
+            let mut cmp = 0u64;
+            let lists: Vec<Vec<usize>> = qs
+                .iter()
+                .map(|&q| {
+                    let qp = points[q];
+                    select_k_nearest(
+                        points
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != q)
+                            .map(|(j, &p)| (qp.distance_squared(p), j)),
+                        k,
+                        &mut cmp,
+                    )
+                })
+                .collect();
+            (lists, cmp)
+        });
+        let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(queries.len());
+        for (mut lists, cmp) in per_chunk {
+            neighbors.append(&mut lists);
+            ops.cmp += cmp;
+        }
         ops.dist3 = (queries.len() * (points.len() - 1)) as u64;
-        ops.cmp = cmp;
         // Parallel across queries; per-query scan reduces in ~log N depth.
         ops.seq_rounds = (points.len().max(2) as f64).log2().ceil() as u64;
         span.set_ops(ops);

@@ -6,6 +6,10 @@ use edgepc_morton::{Structurized, Structurizer};
 
 use crate::{select_k_nearest, validate_search_args, NeighborResult, NeighborSearcher};
 
+/// Queries per parallel chunk. Fixed (never derived from the worker
+/// count) so results are deterministic for any thread budget.
+const QUERY_CHUNK: usize = 64;
+
 /// Approximate neighbor search on a Morton-structurized cloud: the `k`
 /// neighbors of the point at sorted position `j` are taken from the index
 /// window `{j - W/2, ..., j + W/2}`, reducing per-query work from `O(N)` to
@@ -99,36 +103,51 @@ impl MortonWindowSearcher {
         let mut span = edgepc_trace::span("window.search", "search");
         let mut ops = OpCounts::ZERO;
 
-        let neighbors: Vec<Vec<usize>> = query_positions
-            .iter()
-            .map(|&j| {
-                // Keep a full W+1-wide span even at the array boundaries by
-                // shifting the window inward.
-                let lo = j.saturating_sub(half);
-                let hi = (lo + self.window).min(n - 1);
-                let lo = hi.saturating_sub(self.window);
-                let cand_count = hi - lo; // excludes the query itself
-                if cand_count <= k {
-                    // Degenerate pick: all window positions, no distances.
-                    let mut out: Vec<usize> = (lo..=hi).filter(|&p| p != j).collect();
-                    if let Some(&first) = out.first() {
-                        while out.len() < k {
-                            out.push(first);
+        // Parallel across fixed 64-query chunks; each chunk carries its
+        // own op tally and the tallies fold in chunk order, so both the
+        // neighbor lists and the counts are thread-count independent.
+        let per_chunk = edgepc_par::par_chunk_map(query_positions, QUERY_CHUNK, |_, qs| {
+            let mut dist3 = 0u64;
+            let mut cmp = 0u64;
+            let lists: Vec<Vec<usize>> = qs
+                .iter()
+                .map(|&j| {
+                    // Keep a full W+1-wide span even at the array
+                    // boundaries by shifting the window inward.
+                    let lo = j.saturating_sub(half);
+                    let hi = (lo + self.window).min(n - 1);
+                    let lo = hi.saturating_sub(self.window);
+                    let cand_count = hi - lo; // excludes the query itself
+                    if cand_count <= k {
+                        // Degenerate pick: all window positions, no
+                        // distances.
+                        let mut out: Vec<usize> = (lo..=hi).filter(|&p| p != j).collect();
+                        if let Some(&first) = out.first() {
+                            while out.len() < k {
+                                out.push(first);
+                            }
                         }
+                        out
+                    } else {
+                        dist3 += cand_count as u64;
+                        select_k_nearest(
+                            (lo..=hi)
+                                .filter(|&p| p != j)
+                                .map(|p| (points[j].distance_squared(points[p]), p)),
+                            k,
+                            &mut cmp,
+                        )
                     }
-                    out
-                } else {
-                    ops.dist3 += cand_count as u64;
-                    select_k_nearest(
-                        (lo..=hi)
-                            .filter(|&p| p != j)
-                            .map(|p| (points[j].distance_squared(points[p]), p)),
-                        k,
-                        &mut ops.cmp,
-                    )
-                }
-            })
-            .collect();
+                })
+                .collect();
+            (lists, dist3, cmp)
+        });
+        let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(query_positions.len());
+        for (mut lists, dist3, cmp) in per_chunk {
+            neighbors.append(&mut lists);
+            ops.dist3 += dist3;
+            ops.cmp += cmp;
+        }
         // Fully parallel across queries; per-query top-k over W elements.
         ops.seq_rounds = (self.window.max(2) as f64).log2().ceil() as u64;
         span.set_ops(ops);

@@ -51,10 +51,12 @@ pub mod layer;
 pub mod loss;
 pub mod optim;
 pub mod pool;
+pub mod scratch;
 pub mod tensor;
 
 pub use layer::{BatchNorm1d, Dropout, Layer, Linear, ReLU, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use scratch::Scratch;
 pub use tensor::Tensor2;
 
 pub use edgepc_geom::OpCounts;

@@ -6,7 +6,9 @@
 //! On a request-serving worker that is one multi-megabyte allocation per
 //! stage per request. A [`Scratch`] pool keeps those backing vectors
 //! alive between forwards: stages take a zero-filled buffer from the pool
-//! and give the allocation back once the shared MLP has consumed it.
+//! and give the allocation back once the shared MLP has consumed it. The
+//! blocked matmul kernel in [`crate::tensor`] recycles its B-pack buffers
+//! through a thread-local pool of the same type.
 //!
 //! Buffers are handed out *zero-filled* (`take_zeroed`), so a recycled
 //! buffer is bit-for-bit indistinguishable from a fresh

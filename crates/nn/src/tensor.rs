@@ -2,6 +2,17 @@
 
 use std::fmt;
 
+/// Scalar-MAC threshold (`rows * K * cols`) below which [`Tensor2::matmul`]
+/// keeps the naive loop: packing overhead beats the cache savings on tiny
+/// products, and the tiny path preserves the historical zero-skip numerics.
+const SMALL_MATMUL_WORK: usize = 32 * 1024;
+/// Register-tile rows of the blocked micro-kernel.
+const MATMUL_MR: usize = 4;
+/// Register-tile columns = B panel width.
+const MATMUL_NR: usize = 8;
+/// Rows per parallel block (the `par_chunks_mut` chunk, in rows).
+const MATMUL_MC: usize = 64;
+
 /// A dense row-major `rows x cols` matrix of `f32`.
 ///
 /// This is deliberately small: exactly the operations the point-cloud CNNs
@@ -127,11 +138,30 @@ impl Tensor2 {
 
     /// Matrix product `self * other`.
     ///
+    /// Small products run a row-times-row loop with a zero-skip (grouped
+    /// matrices are sparse in padded slots); anything larger than
+    /// [`SMALL_MATMUL_WORK`] scalar MACs takes the cache-blocked,
+    /// B-packed micro-kernel of [`Tensor2::matmul_blocked`], parallelized
+    /// over fixed row blocks. Both paths accumulate each output element
+    /// in ascending-`k` order within their path, and the dispatch depends
+    /// only on the shapes, so results are deterministic and independent
+    /// of the `edgepc_par` thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Tensor2) -> Tensor2 {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        if self.rows * self.cols * other.cols < SMALL_MATMUL_WORK {
+            return self.matmul_naive(other);
+        }
+        self.matmul_blocked(other)
+    }
+
+    /// The original triple loop, kept for small shapes where packing
+    /// costs more than it saves. The `a == 0.0` skip exploits zero-padded
+    /// grouping slots (see LINT.toml's EP002 waiver).
+    fn matmul_naive(&self, other: &Tensor2) -> Tensor2 {
         let mut out = Tensor2::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -146,6 +176,71 @@ impl Tensor2 {
                 }
             }
         }
+        out
+    }
+
+    /// Cache-blocked matmul: `B` is packed once on the calling thread
+    /// into [`MATMUL_NR`]-column panels (k-major inside each panel,
+    /// zero-padded tails) so the inner loop streams both operands
+    /// contiguously; output rows are computed in [`MATMUL_MR`] x
+    /// [`MATMUL_NR`] register tiles, parallelized over [`MATMUL_MC`]-row
+    /// blocks with `edgepc_par::par_chunks_mut`. Each output element is
+    /// written by exactly one worker with `k`-ascending accumulation, so
+    /// the result is bit-identical for every thread count.
+    fn matmul_blocked(&self, other: &Tensor2) -> Tensor2 {
+        use std::cell::RefCell;
+        thread_local! {
+            /// Pack-buffer pool: reused across the many matmuls of one
+            /// forward pass without threading a `Scratch` through every
+            /// layer signature.
+            static PACK_POOL: RefCell<crate::Scratch> = RefCell::new(crate::Scratch::new());
+        }
+
+        let (m, kk, n) = (self.rows, self.cols, other.cols);
+        let n_panels = n.div_ceil(MATMUL_NR);
+        let mut packed = PACK_POOL.with(|s| s.borrow_mut().take_zeroed(n_panels * kk * MATMUL_NR));
+        for p in 0..n_panels {
+            let c0 = p * MATMUL_NR;
+            let w = MATMUL_NR.min(n - c0);
+            let base = p * kk * MATMUL_NR;
+            for k in 0..kk {
+                let at = base + k * MATMUL_NR;
+                packed[at..at + w].copy_from_slice(&other.row(k)[c0..c0 + w]);
+            }
+        }
+
+        let mut out = Tensor2::zeros(m, n);
+        let a = &self.data;
+        let packed_ref: &[f32] = &packed;
+        edgepc_par::par_chunks_mut(&mut out.data, MATMUL_MC * n, |ci, chunk| {
+            let r0 = ci * MATMUL_MC;
+            let rows_here = chunk.len() / n;
+            let mut r = 0;
+            while r < rows_here {
+                let mr = MATMUL_MR.min(rows_here - r);
+                for p in 0..n_panels {
+                    let c0 = p * MATMUL_NR;
+                    let w = MATMUL_NR.min(n - c0);
+                    let base = p * kk * MATMUL_NR;
+                    let mut acc = [[0.0f32; MATMUL_NR]; MATMUL_MR];
+                    for k in 0..kk {
+                        let b = &packed_ref[base + k * MATMUL_NR..base + (k + 1) * MATMUL_NR];
+                        for (ri, acc_row) in acc.iter_mut().take(mr).enumerate() {
+                            let av = a[(r0 + r + ri) * kk + k];
+                            for (x, &bv) in acc_row.iter_mut().zip(b) {
+                                *x += av * bv;
+                            }
+                        }
+                    }
+                    for (ri, acc_row) in acc.iter().take(mr).enumerate() {
+                        let at = (r + ri) * n + c0;
+                        chunk[at..at + w].copy_from_slice(&acc_row[..w]);
+                    }
+                }
+                r += mr;
+            }
+        });
+        PACK_POOL.with(|s| s.borrow_mut().give(packed));
         out
     }
 
@@ -329,6 +424,51 @@ mod tests {
         let a = Tensor2::from_vec((0..9).map(|v| v as f32).collect(), 3, 3);
         assert_eq!(a.matmul(&Tensor2::eye(3)), a);
         assert_eq!(Tensor2::eye(3).matmul(&a), a);
+    }
+
+    /// Deterministic pseudo-random tensor with strictly positive entries
+    /// (positive values sidestep the naive path's `-0.0` zero-skip
+    /// subtlety, letting the reference comparison demand bit equality).
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor2 {
+        let mut s = seed.max(1);
+        let data = (0..rows * cols)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 40) as f32) / (1 << 24) as f32 + 0.25
+            })
+            .collect();
+        Tensor2::from_vec(data, rows, cols)
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        // 37*41*29 = 43_993 MACs > SMALL_MATMUL_WORK: public matmul takes
+        // the blocked path; ragged tails exercise every padding edge.
+        let a = random_tensor(37, 41, 7);
+        let b = random_tensor(41, 29, 11);
+        const { assert!(37 * 41 * 29 >= SMALL_MATMUL_WORK) };
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn blocked_matmul_is_thread_count_independent() {
+        let a = random_tensor(64, 48, 3);
+        let b = random_tensor(48, 40, 5);
+        let serial = edgepc_par::with_threads(1, || a.matmul(&b));
+        for t in [2usize, 8] {
+            let got = edgepc_par::with_threads(t, || a.matmul(&b));
+            assert_eq!(got, serial, "thread count {t}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_exact_tile_multiples() {
+        // Shapes landing exactly on MR/NR/MC boundaries.
+        let a = random_tensor(128, 32, 17);
+        let b = random_tensor(32, 16, 19);
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b));
     }
 
     #[test]

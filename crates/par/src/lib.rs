@@ -1,0 +1,176 @@
+//! # edgepc-par
+//!
+//! A std-only, deterministic data-parallel runtime for the EdgePC hot
+//! kernels: a scoped-thread (`std::thread::scope`) fork/join pool with
+//! chunked [`par_map`] / [`par_chunks_mut`] / [`par_reduce`] primitives.
+//!
+//! ## Determinism contract
+//!
+//! Every primitive takes an explicit `chunk` size and fixes the chunk
+//! boundaries from it — *never* from the worker count. Workers are
+//! assigned whole chunks round-robin, each chunk is processed by exactly
+//! one worker with the same per-chunk code the serial path runs, and
+//! chunk results are recombined in chunk order on the calling thread.
+//! Consequently the result of any primitive is **bit-identical for every
+//! thread count, including 1** — floating-point accumulation order, tie
+//! breaks, and output layout cannot depend on scheduling. The kernel
+//! rewrites built on top (radix-sorted structurization, blocked matmul,
+//! windowed neighbor search) inherit the guarantee, which is what lets
+//! `edgepc-serve` keep its outputs worker-count independent while adding
+//! intra-batch parallelism.
+//!
+//! ## Thread-count resolution
+//!
+//! [`threads`] resolves the worker budget, first match wins:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by the
+//!    determinism tests and by serve workers to give each worker its own
+//!    budget without races),
+//! 2. the process-global value set by [`set_threads`],
+//! 3. the `EDGEPC_THREADS` environment variable (read once),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! On a single-core host all primitives take a zero-spawn serial fast
+//! path, so parallelization never taxes the machines it cannot help.
+
+mod pool;
+
+pub use pool::{par_chunk_map, par_chunks_mut, par_for, par_map, par_ranges, par_reduce};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard ceiling on the worker count, bounding scoped-spawn cost even
+/// under a nonsensical `EDGEPC_THREADS`.
+pub const MAX_THREADS: usize = 64;
+
+/// Process-global worker budget; 0 means "not set" (fall through to the
+/// environment / detected parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`]; 0 = none.
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The `EDGEPC_THREADS` environment variable, parsed once per process
+/// (0 when absent or unparsable).
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("EDGEPC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The worker budget parallel primitives use on this thread right now.
+/// See the crate docs for the resolution order. Always at least 1 and at
+/// most [`MAX_THREADS`].
+pub fn threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local > 0 {
+        return local.min(MAX_THREADS);
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global.min(MAX_THREADS);
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env.min(MAX_THREADS);
+    }
+    detected_threads()
+}
+
+/// [`std::thread::available_parallelism`], detected once per process —
+/// the resolution fallback sits on the hot path of every primitive and
+/// must not re-issue the affinity syscall per call.
+fn detected_threads() -> usize {
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_THREADS)
+    })
+}
+
+/// Sets the process-global worker budget. `0` resets to automatic
+/// resolution (`EDGEPC_THREADS`, then detected parallelism). Thread-local
+/// [`with_threads`] overrides still win.
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the worker budget overridden to `n` on the *current*
+/// thread only (`n == 0` removes any override for the scope). The
+/// previous override is restored on exit, including on unwind.
+///
+/// This is how tests pin `threads() ∈ {1, 2, 8}` without racing each
+/// other, and how serve workers scope an intra-batch budget to
+/// themselves.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|c| {
+        let p = c.get();
+        c.set(n);
+        p
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+        assert!(threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let ambient = threads();
+        let inner = with_threads(3, threads);
+        assert_eq!(inner, 3);
+        assert_eq!(threads(), ambient, "override must not leak");
+    }
+
+    #[test]
+    fn with_threads_nests_and_survives_unwind() {
+        with_threads(5, || {
+            assert_eq!(threads(), 5);
+            let r = std::panic::catch_unwind(|| {
+                with_threads(2, || -> usize {
+                    assert_eq!(threads(), 2);
+                    panic!("boom")
+                })
+            });
+            assert!(r.is_err());
+            assert_eq!(threads(), 5, "unwind must restore the outer override");
+        });
+    }
+
+    #[test]
+    fn with_threads_zero_clears_override() {
+        let ambient = with_threads(0, threads);
+        with_threads(7, || {
+            assert_eq!(with_threads(0, threads), ambient);
+        });
+    }
+
+    #[test]
+    fn override_caps_at_max_threads() {
+        assert_eq!(with_threads(1_000_000, threads), MAX_THREADS);
+    }
+}

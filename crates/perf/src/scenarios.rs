@@ -1,7 +1,8 @@
 //! The canonical benchmark scenario set, at the paper's configurations.
 //!
-//! Eight scenarios cover the pipeline bottom-up — samplers and searchers
-//! in isolation, then full model forwards — at Table 1 scales, so the
+//! Ten scenarios cover the pipeline bottom-up — samplers, the radix
+//! structurization sort, searchers, and the blocked matmul kernel in
+//! isolation, then full model forwards — at Table 1 scales, so the
 //! committed baseline tracks exactly the operating points the paper
 //! reports. Inputs come from the same workload datasets the figure
 //! harnesses use (W2's scannet-like 8192-point scene, W3's modelnet-like
@@ -20,6 +21,7 @@ use edgepc_models::{
 };
 use edgepc_morton::{Structurized, Structurizer};
 use edgepc_neighbor::{BruteKnn, MortonWindowSearcher, NeighborSearcher};
+use edgepc_nn::Tensor2;
 use edgepc_sample::{FarthestPointSampler, MortonSampler, Sampler};
 use edgepc_sim::{EnergyModel, ExecMode, PowerState, StageKind, XavierModel};
 
@@ -84,7 +86,7 @@ fn sum_ops(records: &[StageRecord]) -> OpCounts {
     records.iter().map(|r| r.ops).sum()
 }
 
-/// The eight canonical scenarios, in pipeline order.
+/// The ten canonical scenarios, in pipeline order.
 pub fn paper_scenarios() -> Vec<Scenario> {
     let mut scenarios = Vec::new();
 
@@ -110,6 +112,22 @@ pub fn paper_scenarios() -> Vec<Scenario> {
                 let cloud = cloud.get_or_insert_with(|| cloud_for(Workload::W2));
                 let r = MortonSampler::paper_default().sample(cloud, SAMPLES);
                 (r.ops, priced(StageKind::Sample, r.ops, true))
+            },
+        ));
+    }
+
+    // --- Structurization sort (Sec. 4.1, Algo. 1 line 10): the radix
+    // path in isolation — no sampling pick, no audit — at W2 scale. ---
+    {
+        let mut cloud: Option<PointCloud> = None;
+        scenarios.push(Scenario::new(
+            "sort.radix.n8192".to_string(),
+            8192,
+            move || {
+                let cloud = cloud.get_or_insert_with(|| cloud_for(Workload::W2));
+                let s = Structurizer::paper_default().structurize(cloud);
+                let ops = s.ops();
+                (ops, priced(StageKind::Sample, ops, true))
             },
         ));
     }
@@ -144,6 +162,44 @@ pub fn paper_scenarios() -> Vec<Scenario> {
                 });
                 let r = MortonWindowSearcher::new(WINDOW, 10).search_structurized(s, positions, K);
                 (r.ops, priced(StageKind::NeighborSearch, r.ops, true))
+            },
+        ));
+    }
+
+    // --- Blocked matmul (the shifted bottleneck of Sec. 5.4): an SA1-
+    // shaped shared-MLP product, (n*k) x C times C x C'. ---
+    {
+        let mut state: Option<(Tensor2, Tensor2)> = None;
+        scenarios.push(Scenario::new(
+            "nn.matmul.m4096.k64.n64".to_string(),
+            4096,
+            move || {
+                let (a, b) = state.get_or_insert_with(|| {
+                    let fill = |rows: usize, cols: usize, seed: u64| {
+                        let mut s = seed;
+                        Tensor2::from_vec(
+                            (0..rows * cols)
+                                .map(|_| {
+                                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                    ((s >> 40) as f32) / (1 << 24) as f32 - 0.5
+                                })
+                                .collect(),
+                            rows,
+                            cols,
+                        )
+                    };
+                    (fill(4096, 64, 0xb10c), fill(64, 64, 0x9a57))
+                });
+                let c = a.matmul(b);
+                // Keep the result observable so the multiply cannot be
+                // optimized away.
+                assert!(c.norm().is_finite());
+                let ops = OpCounts {
+                    mac: (4096 * 64 * 64) as u64,
+                    seq_rounds: 1,
+                    ..OpCounts::ZERO
+                };
+                (ops, priced(StageKind::FeatureCompute, ops, false))
             },
         ));
     }
@@ -208,15 +264,17 @@ mod tests {
         // Construction must be cheap (lazy bodies) and ids stable: the
         // BENCH.json comparison is keyed on them.
         let scenarios = paper_scenarios();
-        assert_eq!(scenarios.len(), 8);
+        assert_eq!(scenarios.len(), 10);
         let ids: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(
             ids,
             vec![
                 "sample.fps.n8192.s1024",
                 "sample.morton.n8192.s1024",
+                "sort.radix.n8192",
                 "search.knn.n8192.q2048.k32",
                 "search.window.w128.n8192.q2048.k32",
+                "nn.matmul.m4096.k64.n64",
                 "model.pointnetpp.base.n8192",
                 "model.pointnetpp.edgepc.n8192",
                 "model.dgcnn.base.n1024",
@@ -224,7 +282,7 @@ mod tests {
             ]
         );
         for s in &scenarios {
-            assert!(s.points == 8192 || s.points == 1024);
+            assert!(s.points == 8192 || s.points == 4096 || s.points == 1024);
         }
     }
 }

@@ -226,8 +226,9 @@ mod tests {
         let r = MortonSampler::paper_default().sample(&cloud, 512);
         assert_eq!(r.ops.dist3, 0);
         assert_eq!(r.ops.morton_encodes, 4096);
-        assert_eq!(r.ops.sorted_elems, 4096);
-        // log2(4096) = 12 sort rounds + encode + pick.
+        // 4096 points take the radix path: 4 passes over every element.
+        assert_eq!(r.ops.sorted_elems, 4 * 4096);
+        // Encode round + 4 radix passes + pick.
         assert!(r.ops.seq_rounds <= 20);
     }
 

@@ -19,17 +19,25 @@ pub struct EngineConfig {
     /// How long a worker holding a non-full batch waits for more
     /// compatible requests before running what it has.
     pub batch_linger: Duration,
+    /// Intra-batch parallelism: the `edgepc_par` worker budget each serve
+    /// worker scopes around its forwards (`0` keeps the ambient
+    /// resolution — `EDGEPC_THREADS`, then detected parallelism). The
+    /// parallel kernels are deterministic for every budget, so this knob
+    /// trades latency for CPU without affecting outputs.
+    pub intra_threads: usize,
 }
 
 impl EngineConfig {
     /// A config with `workers` threads and serving-oriented defaults:
-    /// queue bound 64, batches up to 4, 2 ms linger.
+    /// queue bound 64, batches up to 4, 2 ms linger, ambient intra-batch
+    /// parallelism.
     pub fn new(workers: usize) -> Self {
         EngineConfig {
             workers,
             queue_capacity: 64,
             max_batch: 4,
             batch_linger: Duration::from_millis(2),
+            intra_threads: 0,
         }
     }
 }

@@ -163,28 +163,41 @@ fn worker_loop(
 ) {
     // Install the engine's registry as this thread's current one so the
     // model-internal spans (structurize/sample/neighbor/fc) land beside
-    // the serve.* metrics.
+    // the serve.* metrics, and scope the configured intra-batch worker
+    // budget to this thread (0 leaves the ambient resolution in place).
     with_registry(Arc::clone(registry), || {
-        let mut replicas: Vec<ServeModel> = specs.iter().map(ServeModel::build).collect();
-        let mut scratch = Scratch::new();
-        loop {
-            match queue.take_batch(cfg.max_batch, cfg.batch_linger) {
-                Pop::Shutdown => break,
-                Pop::Work { batch, expired } => {
-                    let removed = (batch.len() + expired.len()) as f64;
-                    if removed > 0.0 {
-                        registry.add_gauge(metrics::QUEUE_DEPTH, -removed);
-                    }
-                    for req in expired {
-                        cancel_expired(registry, req);
-                    }
-                    if !batch.is_empty() {
-                        run_batch(worker, &mut replicas, &mut scratch, registry, batch);
-                    }
+        edgepc_par::with_threads(cfg.intra_threads, || {
+            worker_body(worker, cfg, specs, queue, registry);
+        });
+    });
+}
+
+fn worker_body(
+    worker: usize,
+    cfg: &EngineConfig,
+    specs: &[ModelSpec],
+    queue: &SubmitQueue,
+    registry: &Arc<Registry>,
+) {
+    let mut replicas: Vec<ServeModel> = specs.iter().map(ServeModel::build).collect();
+    let mut scratch = Scratch::new();
+    loop {
+        match queue.take_batch(cfg.max_batch, cfg.batch_linger) {
+            Pop::Shutdown => break,
+            Pop::Work { batch, expired } => {
+                let removed = (batch.len() + expired.len()) as f64;
+                if removed > 0.0 {
+                    registry.add_gauge(metrics::QUEUE_DEPTH, -removed);
+                }
+                for req in expired {
+                    cancel_expired(registry, req);
+                }
+                if !batch.is_empty() {
+                    run_batch(worker, &mut replicas, &mut scratch, registry, batch);
                 }
             }
         }
-    });
+    }
 }
 
 fn cancel_expired(registry: &Registry, req: QueuedRequest) {

@@ -32,8 +32,10 @@ pub struct XavierModel {
     pub feat_flops_per_ms: f64,
     /// Morton encodes per millisecond (voxelize + interleave).
     pub encode_per_ms: f64,
-    /// Sort throughput in elements per millisecond (radix sort; the log
-    /// factor is folded into the constant at workload sizes).
+    /// Sort throughput in per-pass element moves per millisecond.
+    /// `OpCounts::sorted_elems` counts `n * passes` for the LSD radix
+    /// sort (4 passes at the default 30-bit codes), so this constant is
+    /// a single histogram+scatter pass, not a whole sort.
     pub sort_elems_per_ms: f64,
     /// Effective LPDDR4x bandwidth for gather/scatter, bytes per
     /// millisecond.
@@ -65,7 +67,7 @@ impl XavierModel {
             cmp_per_ms: 2.0e8,
             feat_flops_per_ms: 4.0e8,
             encode_per_ms: 2.0e5,
-            sort_elems_per_ms: 3.0e5,
+            sort_elems_per_ms: 1.2e6,
             mem_bytes_per_ms: 1.0e8,
             mac_per_ms_cuda: 4.0e8,
             tensor_core_speedup: 2.2,

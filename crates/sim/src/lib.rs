@@ -30,9 +30,10 @@
 //! let xavier = XavierModel::jetson_agx_xavier();
 //! // FPS-like work: 8.4M distance evals over 1024 dependent rounds.
 //! let fps = OpCounts { dist3: 8_400_000, seq_rounds: 1024, ..OpCounts::default() };
-//! // Morton-like work: encode + sort, 14 dependent rounds.
+//! // Morton-like work: encode + a 4-pass radix sort (sorted_elems
+//! // counts element moves per pass), 5 dependent rounds.
 //! let mc = OpCounts {
-//!     morton_encodes: 8192, sorted_elems: 8192, seq_rounds: 14,
+//!     morton_encodes: 8192, sorted_elems: 4 * 8192, seq_rounds: 5,
 //!     ..OpCounts::default()
 //! };
 //! let t_fps = xavier.stage_time_ms(&fps, ExecMode::Pipeline);

@@ -1,0 +1,73 @@
+//! The `edgepc-par` determinism contract, end to end: full model
+//! forwards — radix-sorted structurization, parallel neighbor search,
+//! blocked matmuls, parallel grouping — must be bit-identical for every
+//! thread budget, because chunk boundaries are fixed and results
+//! recombine in chunk order regardless of worker count.
+
+use edgepc::prelude::*;
+
+fn bunny_cloud() -> PointCloud {
+    // Large enough to drive the radix sort (>= 1024 points) and the
+    // blocked matmul path through the tiny models' MLPs.
+    edgepc_data::bunny_with_points(2048, 9)
+}
+
+/// Runs `f` under each thread budget and asserts the outputs match the
+/// single-thread run bit for bit.
+fn assert_thread_count_invariant<R: PartialEq + std::fmt::Debug>(
+    label: &str,
+    mut f: impl FnMut() -> R,
+) {
+    let solo = edgepc_par::with_threads(1, &mut f);
+    for t in [2usize, 8] {
+        let got = edgepc_par::with_threads(t, &mut f);
+        assert_eq!(got, solo, "{label} diverged between 1 and {t} threads");
+    }
+}
+
+#[test]
+fn pointnetpp_forward_is_thread_count_invariant() {
+    let cloud = bunny_cloud();
+    let config = PointNetPpConfig::tiny(3, PipelineStrategy::edgepc_pointnetpp(2, 16));
+    assert_thread_count_invariant("pointnetpp logits", || {
+        // A fresh model per run: same seed, so replicas are identical and
+        // any divergence must come from the parallel kernels.
+        let mut m = PointNetPpSeg::new(&config, 3);
+        let (logits, _) = m.forward(&cloud);
+        logits.as_slice().to_vec()
+    });
+}
+
+#[test]
+fn pointnetpp_op_counts_are_thread_count_invariant() {
+    let cloud = bunny_cloud();
+    let config = PointNetPpConfig::tiny(3, PipelineStrategy::edgepc_pointnetpp(2, 16));
+    assert_thread_count_invariant("pointnetpp stage ops", || {
+        let mut m = PointNetPpSeg::new(&config, 3);
+        let (_, records) = m.forward(&cloud);
+        records
+            .into_iter()
+            .map(|r| (r.name, r.ops))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn dgcnn_forward_is_thread_count_invariant() {
+    let cloud = bunny_cloud();
+    let config = DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 24));
+    assert_thread_count_invariant("dgcnn logits", || {
+        let mut m = DgcnnClassifier::new(&config, 3);
+        let (logits, _) = m.forward(&cloud);
+        logits.as_slice().to_vec()
+    });
+}
+
+#[test]
+fn structurization_is_thread_count_invariant() {
+    let cloud = bunny_cloud();
+    assert_thread_count_invariant("structurization", || {
+        let s = Structurizer::paper_default().structurize(&cloud);
+        (s.permutation().to_vec(), s.codes().to_vec())
+    });
+}

@@ -10,11 +10,13 @@ use edgepc_serve::{
 };
 
 /// Runs the same 12 requests through an engine with `workers` workers and
-/// returns every logits vector in submission order.
-fn run_with_workers(workers: usize) -> Vec<Vec<f32>> {
+/// `intra_threads` of intra-batch parallelism, returning every logits
+/// vector in submission order.
+fn run_with(workers: usize, intra_threads: usize) -> Vec<Vec<f32>> {
     let mut cfg = EngineConfig::new(workers);
     cfg.max_batch = 3;
     cfg.batch_linger = Duration::from_millis(2);
+    cfg.intra_threads = intra_threads;
     let engine = Engine::new(
         cfg,
         vec![ModelSpec::pointnetpp_tiny(4), ModelSpec::dgcnn_cls_tiny(5)],
@@ -47,11 +49,30 @@ fn outputs_are_worker_count_independent() {
     // bit-identical logits for every request, in submission order. This
     // is the determinism contract: replicas are seeded identically and
     // forwards are pure, so scheduling affects latency, never results.
-    let solo = run_with_workers(1);
-    let quad = run_with_workers(4);
+    let solo = run_with(1, 0);
+    let quad = run_with(4, 0);
     assert_eq!(solo.len(), quad.len());
     for (i, (a, b)) in solo.iter().zip(&quad).enumerate() {
         assert_eq!(a, b, "request {i} diverged between 1 and 4 workers");
+    }
+}
+
+#[test]
+fn outputs_are_unchanged_by_intra_batch_parallelism() {
+    // Turning on intra-batch parallelism (each worker scoping an
+    // edgepc_par budget around its forwards) must not change a single
+    // bit: the parallel kernels fix their chunk boundaries independently
+    // of the thread budget. Cross-check both worker counts.
+    let baseline = run_with(1, 1);
+    for (workers, intra) in [(1usize, 4usize), (2, 2), (2, 8)] {
+        let got = run_with(workers, intra);
+        assert_eq!(baseline.len(), got.len());
+        for (i, (a, b)) in baseline.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a, b,
+                "request {i} diverged with {workers} workers x {intra} intra-threads"
+            );
+        }
     }
 }
 
