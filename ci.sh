@@ -24,6 +24,15 @@
 #                   validate the generated serve.json against the EP005
 #                   schema pin. Fails on panics, hangs, or schema drift.
 #
+# Optional observability smoke:
+#   --obs-smoke     run loadgen --smoke with the live telemetry endpoint
+#                   enabled, query all three snapshot verbs (metrics /
+#                   registry / flightrec) through obsctl WHILE the load
+#                   runs, release the run with the quit verb, and EP005
+#                   schema-check the generated serve.json and the saved
+#                   flightrec.json. Fails if the endpoint is unreachable,
+#                   any snapshot is malformed, or a schema drifted.
+#
 # Benchmark regression gate:
 #   --bench-gate    run bench_all in CI smoke mode (reduced repeats) and
 #                   bench_compare the fresh recording against the
@@ -39,6 +48,7 @@ set -eu
 
 PERF_MODE=""
 SERVE_SMOKE=0
+OBS_SMOKE=0
 BENCH_GATE=0
 RUN_LINT=1
 for arg in "$@"; do
@@ -46,10 +56,11 @@ for arg in "$@"; do
         --perf-smoke)  PERF_MODE="warn" ;;
         --perf-strict) PERF_MODE="strict" ;;
         --serve-smoke) SERVE_SMOKE=1 ;;
+        --obs-smoke)   OBS_SMOKE=1 ;;
         --bench-gate)  BENCH_GATE=1 ;;
         --no-lint)     RUN_LINT=0 ;;
         *)
-            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke] [--bench-gate]" >&2
+            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke] [--obs-smoke] [--bench-gate]" >&2
             exit 2
             ;;
     esac
@@ -103,6 +114,46 @@ if [ "$SERVE_SMOKE" = 1 ]; then
     cargo run --release -q -p edgepc-serve --bin loadgen -- \
         --smoke --out target/serve.json
     cargo run -q -p edgepc-lint --bin lint_all -- --results target/serve.json
+fi
+
+if [ "$OBS_SMOKE" = 1 ]; then
+    echo "==> obs smoke: loadgen under live telemetry endpoint + obsctl check"
+    rm -rf target/obs
+    mkdir -p target/obs
+    # Prebuild both binaries so the background loadgen and the obsctl
+    # queries do not fight over the cargo build lock mid-smoke.
+    cargo build --release -q -p edgepc-serve --bin loadgen --bin obsctl
+    cargo run --release -q -p edgepc-serve --bin loadgen -- \
+        --smoke --requests 384 --rate 250 \
+        --out target/obs/serve.json \
+        --telemetry 127.0.0.1:0 \
+        --telemetry-addr-file target/obs/endpoint.addr \
+        --hold-ms 30000 \
+        --flightrec target/obs/flightrec-trigger.json &
+    LOADGEN_PID=$!
+    ADDR=""
+    tries=0
+    while [ "$tries" -lt 150 ]; do
+        if [ -s target/obs/endpoint.addr ]; then
+            ADDR=$(cat target/obs/endpoint.addr)
+            break
+        fi
+        tries=$((tries + 1))
+        sleep 0.2
+    done
+    if [ -z "$ADDR" ]; then
+        echo "obs smoke: telemetry endpoint never published an address" >&2
+        kill "$LOADGEN_PID" 2>/dev/null || true
+        exit 1
+    fi
+    # Query all three snapshot verbs while the load is in flight; check
+    # exits non-zero unless every snapshot is well-formed.
+    cargo run --release -q -p edgepc-serve --bin obsctl -- "$ADDR" check --out target/obs
+    # Release the --hold-ms window and let loadgen finish writing serve.json.
+    cargo run --release -q -p edgepc-serve --bin obsctl -- "$ADDR" quit >/dev/null
+    wait "$LOADGEN_PID"
+    cargo run -q -p edgepc-lint --bin lint_all -- --results \
+        target/obs/serve.json target/obs/flightrec.json
 fi
 
 echo "CI OK"

@@ -12,7 +12,24 @@
 //! Messages passed here surface verbatim, so `#[should_panic(expected)]`
 //! tests keep working across the migration from `.expect(…)`.
 
-/// Diverges on a violated internal invariant or misused API.
+use std::sync::OnceLock;
+
+type ViolationHook = Box<dyn Fn(&str) + Send + Sync>;
+
+static HOOK: OnceLock<ViolationHook> = OnceLock::new();
+
+/// Installs a process-wide observer called (once, with the message) just
+/// before [`violation`] panics. Returns `false` if a hook was already
+/// installed (first install wins — the telemetry plane registers one hook
+/// per process and fans out internally). The hook runs on the panicking
+/// thread and must not panic itself; it is for last-gasp telemetry such
+/// as flight-recorder dumps, not for recovery.
+pub fn set_violation_hook(hook: impl Fn(&str) + Send + Sync + 'static) -> bool {
+    HOOK.set(Box::new(hook)).is_ok()
+}
+
+/// Diverges on a violated internal invariant or misused API, notifying
+/// the [`set_violation_hook`] observer (if any) first.
 ///
 /// # Panics
 ///
@@ -20,6 +37,9 @@
 #[cold]
 #[inline(never)]
 pub fn violation(msg: &str) -> ! {
+    if let Some(hook) = HOOK.get() {
+        hook(msg);
+    }
     panic!("{msg}")
 }
 
@@ -47,5 +67,26 @@ mod tests {
     #[should_panic(expected = "exact message preserved")]
     fn required_panics_with_the_given_message() {
         let _: u32 = required(None, "exact message preserved");
+    }
+
+    #[test]
+    fn violation_hook_sees_the_message_before_the_panic() {
+        use std::sync::Mutex;
+        static SEEN: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        // First install wins; a second install reports failure. Hooks are
+        // process-global, so this test tolerates other tests' violations
+        // landing in SEEN too.
+        set_violation_hook(|msg| {
+            SEEN.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(msg.to_string());
+        });
+        assert!(!set_violation_hook(|_| {}));
+        let unwound = std::panic::catch_unwind(|| violation("hooked message"));
+        assert!(unwound.is_err());
+        let seen = SEEN
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(seen.iter().any(|m| m == "hooked message"));
     }
 }

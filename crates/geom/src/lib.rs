@@ -39,7 +39,7 @@ pub use aabb::Aabb;
 pub use cloud::PointCloud;
 pub use counters::OpCounts;
 pub use feature::FeatureMatrix;
-pub use guard::{required, violation};
+pub use guard::{required, set_violation_hook, violation};
 pub use metrics::{
     chamfer_distance, coverage_radius, mean_nearest_sample_distance, sample_spacing,
 };

@@ -52,6 +52,8 @@ pub const SPAN_COVERED_FILES: &[&str] = &[
     "crates/models/src/pointnetpp.rs",
     "crates/serve/src/engine.rs",
     "crates/serve/src/loadgen.rs",
+    "crates/serve/src/telemetry.rs",
+    "crates/trace/src/flight.rs",
 ];
 
 /// The outcome of a full workspace run.

@@ -6,8 +6,9 @@
 //! poisons every downstream comparison. This rule re-parses each
 //! committed artifact with the std-only JSON parser and pins the
 //! well-known artifacts to their declared schemas (see
-//! [`PINNED_SCHEMAS`]): `BENCH.json` from `edgepc-perf` and `serve.json`
-//! from `edgepc-serve`.
+//! [`PINNED_SCHEMAS`]): `BENCH.json` from `edgepc-perf`, `serve.json`
+//! from `edgepc-serve`, and `flightrec.json` from the flight recorder in
+//! `edgepc-trace`.
 
 use crate::diag::Diagnostic;
 use crate::json_lite::{self, JsonValue};
@@ -20,10 +21,19 @@ pub const KNOWN_BENCH_VERSIONS: &[i64] = &[1];
 /// `edgepc-serve`'s emitter when the schema changes shape.
 pub const KNOWN_SERVE_VERSIONS: &[i64] = &[1];
 
+/// flightrec.json schema versions this linter understands. Bump alongside
+/// `edgepc_trace::flight`'s emitter when the schema changes shape.
+pub const KNOWN_FLIGHTREC_VERSIONS: &[i64] = &[1];
+
 /// Artifacts pinned by basename: `(basename, schema, known versions)`.
 pub const PINNED_SCHEMAS: &[(&str, &str, &[i64])] = &[
     ("BENCH.json", "edgepc-bench", KNOWN_BENCH_VERSIONS),
     ("serve.json", "edgepc-serve", KNOWN_SERVE_VERSIONS),
+    (
+        "flightrec.json",
+        "edgepc-flightrec",
+        KNOWN_FLIGHTREC_VERSIONS,
+    ),
 ];
 
 /// Checks one results artifact. `rel` is the path shown in diagnostics
@@ -141,6 +151,17 @@ mod tests {
             1
         );
         assert_eq!(check_results_file("results/BENCH.json", missing).len(), 2);
+    }
+
+    #[test]
+    fn flightrec_json_is_pinned() {
+        let ok = r#"{"schema":"edgepc-flightrec","schema_version":1,"events":[],"spans":[]}"#;
+        assert_eq!(check_results_file("target/flightrec.json", ok), Vec::new());
+        let drifted = r#"{"schema":"edgepc-flightrec","schema_version":7,"events":[]}"#;
+        assert_eq!(
+            check_results_file("target/flightrec.json", drifted).len(),
+            1
+        );
     }
 
     #[test]

@@ -127,6 +127,27 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_quantiles_at_tiny_n() {
+        // Nearest-rank with rank = clamp(ceil(q*n), 1, n). These pins
+        // document the degenerate small-n behavior the serving reports
+        // rely on: quantiles never interpolate and never fall outside the
+        // observed samples.
+        // n=1: every quantile is the sample.
+        let one = Stats::from_samples_ms(&[5.0]);
+        assert_eq!((one.median_ms, one.p95_ms, one.p99_ms), (5.0, 5.0, 5.0));
+        // n=2: ceil(0.95*2)=2 and ceil(0.99*2)=2, so both tail quantiles
+        // are the max; only the median interpolates (it is not
+        // nearest-rank).
+        let two = Stats::from_samples_ms(&[5.0, 9.0]);
+        assert_eq!(two.median_ms, 7.0);
+        assert_eq!((two.p95_ms, two.p99_ms), (9.0, 9.0));
+        // n=3: ceil(0.95*3)=3 and ceil(0.99*3)=3 — still the max.
+        let three = Stats::from_samples_ms(&[5.0, 9.0, 1.0]);
+        assert_eq!(three.median_ms, 5.0);
+        assert_eq!((three.p95_ms, three.p99_ms), (9.0, 9.0));
+    }
+
+    #[test]
     fn p99_sits_at_or_above_p95() {
         let samples: Vec<f64> = (1..=200).map(|i| i as f64).collect();
         let s = Stats::from_samples_ms(&samples);

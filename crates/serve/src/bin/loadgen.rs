@@ -6,17 +6,29 @@
 //!         [--linger-us U] [--rate RPS] [--pattern uniform|poisson|burst]
 //!         [--seed S] [--deadline-ms D|none] [--points P]
 //!         [--smoke] [--out PATH]
+//!         [--telemetry ADDR] [--telemetry-addr-file PATH]
+//!         [--hold-ms N] [--flightrec PATH]
 //! ```
 //!
 //! `--smoke` shrinks the run for CI (64 requests, small clouds) while
 //! keeping the shape — bursty arrivals against a deliberately small queue
 //! so shedding and deadline handling are actually exercised.
+//!
+//! `--telemetry ADDR` serves the live telemetry endpoint (see
+//! `edgepc_serve::telemetry`) for the duration of the run;
+//! `--telemetry-addr-file PATH` writes the bound address there, so
+//! scripts can use an ephemeral port (`--telemetry 127.0.0.1:0`).
+//! `--hold-ms N` keeps the engine and endpoint alive after the run for up
+//! to N ms — or until a client sends the `quit` verb — so external tools
+//! can query steady-state snapshots. `--flightrec PATH` arms the flight
+//! recorder's automatic dump triggers to write there.
 #![allow(clippy::print_stderr)]
 
 use std::time::Duration;
 
 use edgepc_serve::{
     report, run_loadgen, ArrivalPattern, Engine, EngineConfig, LoadgenConfig, ModelSpec,
+    TelemetryServer,
 };
 
 fn main() {
@@ -44,6 +56,9 @@ fn run(args: &[String]) -> Result<String, String> {
     engine_cfg.queue_capacity = 16;
     let mut load_cfg = LoadgenConfig::default();
     let mut out: Option<std::path::PathBuf> = None;
+    let mut telemetry: Option<String> = None;
+    let mut addr_file: Option<std::path::PathBuf> = None;
+    let mut hold = Duration::ZERO;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -89,6 +104,16 @@ fn run(args: &[String]) -> Result<String, String> {
                 let path: String = parse_value(arg, it.next())?;
                 out = Some(std::path::PathBuf::from(path));
             }
+            "--telemetry" => telemetry = Some(parse_value(arg, it.next())?),
+            "--telemetry-addr-file" => {
+                let path: String = parse_value(arg, it.next())?;
+                addr_file = Some(std::path::PathBuf::from(path));
+            }
+            "--hold-ms" => hold = Duration::from_millis(parse_value(arg, it.next())?),
+            "--flightrec" => {
+                let path: String = parse_value(arg, it.next())?;
+                engine_cfg.flight.dump_path = Some(std::path::PathBuf::from(path));
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -100,7 +125,28 @@ fn run(args: &[String]) -> Result<String, String> {
     }
 
     let engine = Engine::new(engine_cfg.clone(), vec![ModelSpec::pointnetpp_tiny(4)]);
+    let server = match &telemetry {
+        Some(addr) => {
+            let server = TelemetryServer::start(&engine, addr)
+                .map_err(|e| format!("--telemetry: bind {addr}: {e}"))?;
+            if let Some(path) = &addr_file {
+                std::fs::write(path, format!("{}\n", server.local_addr()))
+                    .map_err(|e| format!("--telemetry-addr-file: write {}: {e}", path.display()))?;
+            }
+            eprintln!("telemetry endpoint on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let outcome = run_loadgen(&engine, &load_cfg);
+    if let Some(server) = &server {
+        if !hold.is_zero() {
+            // Hold the engine and endpoint open so external tools can read
+            // steady-state snapshots; a `quit` verb releases us early.
+            server.wait_quit(hold);
+        }
+    }
+    drop(server);
     engine.shutdown();
 
     let doc = report::serve_json(&engine_cfg, &load_cfg, &outcome);
@@ -122,6 +168,7 @@ fn run(args: &[String]) -> Result<String, String> {
     };
     Ok(format!(
         "{} requests: {} completed, {} shed, {} expired, {} lost in {:.0} ms\n\
+         slo: {}/{} in deadline, attainment {:.3}\n\
          throughput {:.1} rps; latency p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms; \
          mean batch {:.2} (max {})\nwrote {}",
         load_cfg.requests,
@@ -130,6 +177,9 @@ fn run(args: &[String]) -> Result<String, String> {
         outcome.expired,
         outcome.lost,
         outcome.wall.as_secs_f64() * 1000.0,
+        outcome.completed_in_deadline,
+        outcome.offered(),
+        outcome.attainment(),
         outcome.throughput_rps,
         p(&outcome.latency_ms, |s| s.median_ms),
         p(&outcome.latency_ms, |s| s.p95_ms),

@@ -1,9 +1,58 @@
 //! Engine sizing knobs.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
+/// Telemetry-plane knobs: flight-recorder sizing, dump triggers, and
+/// tail-sampling policy. Embedded in [`EngineConfig`]; the defaults keep
+/// the recorder always-on at negligible cost (a shard lock and one
+/// 40-byte write per lifecycle edge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightConfig {
+    /// Total event capacity of the flight-recorder ring.
+    pub capacity: usize,
+    /// Ring shards (rounded up to a power of two). More shards, less
+    /// recording contention.
+    pub shards: usize,
+    /// Where triggered dumps are written. `None` disables dumping (the
+    /// ring still records and stays queryable via the telemetry
+    /// endpoint / [`Engine::flightrec_json`](crate::Engine::flightrec_json)).
+    pub dump_path: Option<PathBuf>,
+    /// Deadline misses within [`window`](Self::window) that trigger a dump.
+    pub miss_burst: u64,
+    /// Sheds (`QueueFull`) within [`window`](Self::window) that trigger a dump.
+    pub shed_burst: u64,
+    /// Sliding window over which bursts are counted.
+    pub window: Duration,
+    /// Minimum spacing between dumps, so a sustained storm produces one
+    /// dump per interval instead of one per miss.
+    pub min_dump_interval: Duration,
+    /// Latency quantile the tail sampler tracks; requests at or above the
+    /// running estimate keep their full span trees.
+    pub tail_quantile: f64,
+    /// Completions before the sampler starts dropping span trees
+    /// (everything is retained while the estimate warms up).
+    pub tail_warmup: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 8192,
+            shards: 8,
+            dump_path: None,
+            miss_burst: 8,
+            shed_burst: 32,
+            window: Duration::from_secs(1),
+            min_dump_interval: Duration::from_secs(2),
+            tail_quantile: 0.99,
+            tail_warmup: 64,
+        }
+    }
+}
+
 /// Configuration of an [`Engine`](crate::Engine).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads. Each worker builds its own replica of every
     /// configured model (replicas are deterministic, so worker count never
@@ -25,6 +74,8 @@ pub struct EngineConfig {
     /// parallel kernels are deterministic for every budget, so this knob
     /// trades latency for CPU without affecting outputs.
     pub intra_threads: usize,
+    /// Telemetry plane: flight recorder, dump triggers, tail sampling.
+    pub flight: FlightConfig,
 }
 
 impl EngineConfig {
@@ -38,6 +89,7 @@ impl EngineConfig {
             max_batch: 4,
             batch_linger: Duration::from_millis(2),
             intra_threads: 0,
+            flight: FlightConfig::default(),
         }
     }
 }

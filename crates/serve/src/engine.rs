@@ -16,17 +16,17 @@
 //! * outputs are worker-count independent: replicas are deterministic and
 //!   forwards are pure, so scheduling affects latency, never results.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use edgepc_geom::required;
 use edgepc_models::Scratch;
-use edgepc_trace::{span_in, with_registry, Registry};
+use edgepc_trace::{next_trace_id, span_in, with_registry, with_trace, Registry};
 
 use crate::config::EngineConfig;
 use crate::error::ServeError;
+use crate::flight::TelemetryPlane;
 use crate::metrics;
 use crate::model::{ModelSpec, ServeModel};
 use crate::queue::{Pop, SubmitQueue};
@@ -38,8 +38,8 @@ pub struct Engine {
     specs: Arc<Vec<ModelSpec>>,
     queue: Arc<SubmitQueue>,
     registry: Arc<Registry>,
+    plane: Arc<TelemetryPlane>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    next_id: AtomicU64,
 }
 
 impl Engine {
@@ -60,15 +60,17 @@ impl Engine {
         let _init_span = span_in(registry.clone(), "serve.engine_init", "serve");
         let specs = Arc::new(specs);
         let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
+        let plane = TelemetryPlane::new(Arc::clone(&registry), config.flight.clone());
         let mut handles = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let queue = Arc::clone(&queue);
             let registry = Arc::clone(&registry);
             let specs = Arc::clone(&specs);
+            let plane = Arc::clone(&plane);
             let cfg = config.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("serve-worker-{w}"))
-                .spawn(move || worker_loop(w, &cfg, &specs, &queue, &registry));
+                .spawn(move || worker_loop(w, &cfg, &specs, &queue, &registry, &plane));
             handles.push(required(spawned.ok(), "spawn serve worker"));
         }
         Engine {
@@ -76,8 +78,8 @@ impl Engine {
             specs,
             queue,
             registry,
+            plane,
             workers: Mutex::new(handles),
-            next_id: AtomicU64::new(0),
         }
     }
 
@@ -91,18 +93,42 @@ impl Engine {
         Arc::clone(&self.registry)
     }
 
+    /// The engine's telemetry plane (flight recorder, triggers, sampler).
+    pub(crate) fn plane(&self) -> Arc<TelemetryPlane> {
+        Arc::clone(&self.plane)
+    }
+
+    /// Renders the flight recorder's current window — every retained
+    /// telemetry event plus the span timelines of the trace ids it
+    /// implicates — as a `flightrec.json` document (schema
+    /// `edgepc-flightrec` v1). This is the same document the automatic
+    /// triggers dump to `FlightConfig::dump_path`; `reason` is stamped
+    /// into it (triggers use `deadline_miss_burst` / `shed_storm` /
+    /// `guard_violation`, callers typically `manual`).
+    pub fn flightrec_json(&self, reason: &str) -> String {
+        self.plane.render(reason)
+    }
+
     /// Submits a request. Returns a [`Ticket`] if admitted; rejects with
     /// [`ServeError::QueueFull`] (shedding — the caller is never blocked),
     /// [`ServeError::ShuttingDown`], or [`ServeError::UnknownModel`].
+    ///
+    /// The ticket's id doubles as the request's **trace id**: every span
+    /// and telemetry event the request produces — enqueue, batch, exec,
+    /// and the model-internal stages — carries it, so the full segment
+    /// timeline is reconstructible from a capture or a flight-recorder
+    /// dump.
     pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
-        let _span = span_in(self.registry.clone(), "serve.enqueue", "serve");
+        let mut span = span_in(self.registry.clone(), "serve.enqueue", "serve");
         if request.model >= self.specs.len() {
             return Err(ServeError::UnknownModel {
                 index: request.model,
                 models: self.specs.len(),
             });
         }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = next_trace_id();
+        span.set_trace(id);
+        let deadline_us = request.deadline.map(|d| d.as_micros() as u64).unwrap_or(0);
         let (tx, rx) = mpsc::channel();
         let queued = QueuedRequest {
             id,
@@ -112,15 +138,20 @@ impl Engine {
             deadline: request.deadline,
             tx,
         };
-        match self.queue.push(queued) {
-            Ok(()) => {
-                self.registry.incr(metrics::SUBMITTED, 1);
-                self.registry.add_gauge(metrics::QUEUE_DEPTH, 1.0);
-                Ok(Ticket { id, rx })
-            }
+        // Admission telemetry runs under the queue lock so the enqueued
+        // event is ordered before any worker can pop (and possibly cull)
+        // the request.
+        let admitted = self.queue.push_with(queued, |depth| {
+            self.registry.incr(metrics::SUBMITTED, 1);
+            self.registry.add_gauge(metrics::QUEUE_DEPTH, 1.0);
+            self.plane.note_enqueued(id, depth as u64, deadline_us);
+        });
+        match admitted {
+            Ok(()) => Ok(Ticket { id, rx }),
             Err(err) => {
-                if matches!(err, ServeError::QueueFull { .. }) {
+                if let ServeError::QueueFull { capacity } = err {
                     self.registry.incr(metrics::SHED, 1);
+                    self.plane.note_shed(id, capacity as u64);
                 }
                 Err(err)
             }
@@ -160,6 +191,7 @@ fn worker_loop(
     specs: &[ModelSpec],
     queue: &SubmitQueue,
     registry: &Arc<Registry>,
+    plane: &Arc<TelemetryPlane>,
 ) {
     // Install the engine's registry as this thread's current one so the
     // model-internal spans (structurize/sample/neighbor/fc) land beside
@@ -167,7 +199,7 @@ fn worker_loop(
     // budget to this thread (0 leaves the ambient resolution in place).
     with_registry(Arc::clone(registry), || {
         edgepc_par::with_threads(cfg.intra_threads, || {
-            worker_body(worker, cfg, specs, queue, registry);
+            worker_body(worker, cfg, specs, queue, registry, plane);
         });
     });
 }
@@ -178,6 +210,7 @@ fn worker_body(
     specs: &[ModelSpec],
     queue: &SubmitQueue,
     registry: &Arc<Registry>,
+    plane: &TelemetryPlane,
 ) {
     let mut replicas: Vec<ServeModel> = specs.iter().map(ServeModel::build).collect();
     let mut scratch = Scratch::new();
@@ -190,20 +223,25 @@ fn worker_body(
                     registry.add_gauge(metrics::QUEUE_DEPTH, -removed);
                 }
                 for req in expired {
-                    cancel_expired(registry, req);
+                    cancel_expired(registry, plane, req);
                 }
                 if !batch.is_empty() {
-                    run_batch(worker, &mut replicas, &mut scratch, registry, batch);
+                    run_batch(worker, &mut replicas, &mut scratch, registry, plane, batch);
                 }
             }
         }
     }
 }
 
-fn cancel_expired(registry: &Registry, req: QueuedRequest) {
+fn cancel_expired(registry: &Registry, plane: &TelemetryPlane, req: QueuedRequest) {
     registry.incr(metrics::EXPIRED, 1);
     let waited = req.enqueued.elapsed();
     let deadline = req.deadline.unwrap_or_default();
+    plane.note_culled(
+        req.id,
+        waited.as_micros() as u64,
+        deadline.as_micros() as u64,
+    );
     let _ = req
         .tx
         .send(Err(ServeError::DeadlineExpired { waited, deadline }));
@@ -214,6 +252,7 @@ fn run_batch(
     replicas: &mut [ServeModel],
     scratch: &mut Scratch,
     registry: &Registry,
+    plane: &TelemetryPlane,
     batch: Vec<QueuedRequest>,
 ) {
     let batch_size = batch.len();
@@ -221,15 +260,20 @@ fn run_batch(
     registry.observe_us(metrics::BATCH_SIZE, batch_size as u64);
     registry.add_gauge(metrics::IN_FLIGHT, batch_size as f64);
     for req in batch {
+        plane.note_batch_formed(
+            req.id,
+            batch_size as u64,
+            req.enqueued.elapsed().as_micros() as u64,
+        );
         // Deadlines are re-checked at execution time: a request can expire
         // during batch linger or behind an earlier request in this batch.
         if req.is_expired(Instant::now()) {
             registry.add_gauge(metrics::IN_FLIGHT, -1.0);
-            cancel_expired(registry, req);
+            cancel_expired(registry, plane, req);
             continue;
         }
         let queue_us = req.enqueued.elapsed().as_micros() as u64;
-        registry.observe_us(metrics::QUEUE_WAIT_US, queue_us);
+        registry.observe_us_tagged(metrics::QUEUE_WAIT_US, queue_us, req.id);
         let Some(replica) = replicas.get_mut(req.model) else {
             // submit() validates indices; stay total regardless.
             registry.add_gauge(metrics::IN_FLIGHT, -1.0);
@@ -239,11 +283,22 @@ fn run_batch(
             }));
             continue;
         };
-        let logits = replica.infer(&req.cloud, scratch);
+        plane.note_exec_begin(req.id, worker as u64, batch_size as u64);
+        // Ambient trace scope: the serve.exec span and every model-internal
+        // span the forward opens inherit this request's trace id.
+        let logits = with_trace(req.id, || {
+            let _exec = edgepc_trace::span("serve.exec", "serve");
+            replica.infer(&req.cloud, scratch)
+        });
         let total_us = req.enqueued.elapsed().as_micros() as u64;
-        registry.observe_us(metrics::LATENCY_US, total_us);
+        registry.observe_us_tagged(metrics::LATENCY_US, total_us, req.id);
         registry.incr(metrics::COMPLETED, 1);
         registry.add_gauge(metrics::IN_FLIGHT, -1.0);
+        // Tail sampling: fast requests give up their span trees; the
+        // aggregate metrics they already fed are unaffected.
+        if !plane.note_done(req.id, total_us, batch_size as u64) {
+            registry.discard_trace(req.id);
+        }
         let _ = req.tx.send(Ok(InferenceOutput {
             request_id: req.id,
             logits,

@@ -33,6 +33,7 @@
 //! ```
 
 mod batch;
+mod flight;
 mod queue;
 
 pub mod config;
@@ -44,11 +45,13 @@ pub mod model;
 pub mod report;
 pub mod request;
 pub mod scenarios;
+pub mod telemetry;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, FlightConfig};
 pub use engine::Engine;
 pub use error::ServeError;
 pub use loadgen::{arrival_offsets, run_loadgen, ArrivalPattern, LoadgenConfig, LoadgenOutcome};
 pub use model::{ModelSpec, ServeModel};
 pub use request::{InferenceOutput, Request, Ticket};
 pub use scenarios::serve_scenarios;
+pub use telemetry::TelemetryServer;

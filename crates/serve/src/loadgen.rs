@@ -125,6 +125,9 @@ pub struct LoadgenOutcome {
     pub expired: usize,
     /// Requests lost to any other error.
     pub lost: usize,
+    /// Completions that finished within the configured deadline (equal to
+    /// `completed` when no deadline was set — every completion counts).
+    pub completed_in_deadline: usize,
     /// Wall time of the whole run (submission through last resolution).
     pub wall: Duration,
     /// Completions per second of wall time.
@@ -137,6 +140,27 @@ pub struct LoadgenOutcome {
     pub mean_batch: f64,
     /// Largest batch any completed request ran in.
     pub max_batch: usize,
+}
+
+impl LoadgenOutcome {
+    /// Requests offered to the engine: admitted plus shed. (Requests
+    /// `lost` to other submission errors sit outside both buckets; loadgen
+    /// runs produce none.)
+    pub fn offered(&self) -> usize {
+        self.submitted + self.shed
+    }
+
+    /// SLO attainment: the fraction of *offered* requests that completed
+    /// within their deadline. Shed and expired requests count against it
+    /// — a runtime that sheds 30% of its load does not get to report 100%
+    /// attainment on the remainder.
+    pub fn attainment(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.completed_in_deadline as f64 / offered as f64
+    }
 }
 
 /// Runs an open-loop load generation against `engine` and waits for every
@@ -177,7 +201,9 @@ pub fn run_loadgen(engine: &Engine, cfg: &LoadgenConfig) -> LoadgenOutcome {
     }
 
     let submitted = tickets.len();
+    let deadline_us = cfg.deadline.map(|d| d.as_micros() as u64);
     let mut completed = 0usize;
+    let mut completed_in_deadline = 0usize;
     let mut expired = 0usize;
     let mut latencies = Vec::with_capacity(submitted);
     let mut waits = Vec::with_capacity(submitted);
@@ -187,6 +213,9 @@ pub fn run_loadgen(engine: &Engine, cfg: &LoadgenConfig) -> LoadgenOutcome {
         match ticket.wait() {
             Ok(output) => {
                 completed += 1;
+                if deadline_us.is_none_or(|d| output.total_us <= d) {
+                    completed_in_deadline += 1;
+                }
                 latencies.push(output.total_us as f64 / 1000.0);
                 waits.push(output.queue_us as f64 / 1000.0);
                 batch_total += output.batch_size;
@@ -205,6 +234,7 @@ pub fn run_loadgen(engine: &Engine, cfg: &LoadgenConfig) -> LoadgenOutcome {
         shed,
         expired,
         lost,
+        completed_in_deadline,
         wall,
         throughput_rps: completed as f64 / wall_s,
         latency_ms: (!latencies.is_empty()).then(|| Stats::from_samples_ms(&latencies)),

@@ -7,9 +7,13 @@
 //! kernels already emit.
 //!
 //! Counters (monotonic): [`SUBMITTED`], [`COMPLETED`], [`SHED`],
-//! [`EXPIRED`]. Gauges (instantaneous): [`QUEUE_DEPTH`], [`IN_FLIGHT`].
+//! [`EXPIRED`], [`FLIGHT_DUMPS`], [`TAIL_RETAINED`]. Gauges
+//! (instantaneous): [`QUEUE_DEPTH`], [`IN_FLIGHT`], [`TAIL_THRESHOLD_US`].
 //! Histograms (µs unless noted): [`LATENCY_US`], [`QUEUE_WAIT_US`], and
 //! [`BATCH_SIZE`] (dimensionless batch sizes, one observation per batch).
+//! The latency histograms carry exemplar trace ids (see
+//! `edgepc_trace::metrics::Histogram::exemplars`), so their tails link to
+//! concrete request traces.
 
 /// Counter: requests accepted into the queue.
 pub const SUBMITTED: &str = "serve.submitted";
@@ -29,3 +33,12 @@ pub const LATENCY_US: &str = "serve.latency";
 pub const QUEUE_WAIT_US: &str = "serve.queue_wait";
 /// Histogram (batch size, one observation per executed batch).
 pub const BATCH_SIZE: &str = "serve.batch_size";
+/// Counter: flight-recorder dumps triggered (deadline-miss bursts, shed
+/// storms, guard violations) — whether or not a dump path was configured.
+pub const FLIGHT_DUMPS: &str = "serve.flightrec_dumps";
+/// Counter: completed requests whose full span trees the tail sampler
+/// retained (everything during warmup, only the tail after).
+pub const TAIL_RETAINED: &str = "serve.tail_retained";
+/// Gauge: the tail sampler's current latency threshold estimate (µs);
+/// completions at or above it keep their span trees.
+pub const TAIL_THRESHOLD_US: &str = "serve.tail_threshold_us";

@@ -60,10 +60,28 @@ impl SubmitQueue {
         self.lock().items.len()
     }
 
+    /// [`push_with`](Self::push_with) without admission telemetry; the
+    /// engine always wants the callback, so this stays test-only.
+    #[cfg(test)]
+    pub fn push(&self, req: QueuedRequest) -> Result<(), ServeError> {
+        self.push_with(req, |_| {})
+    }
+
     /// Admission control: enqueues `req` or rejects it without blocking.
     /// A rejected request is dropped here, which closes its response
     /// channel; the caller still holds the typed rejection to return.
-    pub fn push(&self, req: QueuedRequest) -> Result<(), ServeError> {
+    ///
+    /// `on_admit(depth_after_push)` runs while the queue lock is still
+    /// held, so telemetry recorded there is ordered before any worker can
+    /// pop the request — without this, a worker could cull an
+    /// already-expired request (and trigger a flight-recorder dump) before
+    /// the submitter logged its admission, leaving a timeline whose first
+    /// event is the cull.
+    pub fn push_with(
+        &self,
+        req: QueuedRequest,
+        on_admit: impl FnOnce(usize),
+    ) -> Result<(), ServeError> {
         let mut inner = self.lock();
         if inner.shutdown {
             return Err(ServeError::ShuttingDown);
@@ -74,6 +92,7 @@ impl SubmitQueue {
             });
         }
         inner.items.push_back(req);
+        on_admit(inner.items.len());
         drop(inner);
         self.available.notify_one();
         Ok(())

@@ -12,6 +12,8 @@
 //!            "seed": S, "points": P, "deadline_ms": D | null},
 //!   "outcome": {"submitted": n, "completed": n, "shed": n,
 //!               "expired": n, "lost": n},
+//!   "slo": {"completed_in_deadline": n, "deadline_misses": n,
+//!           "shed": n, "attainment": A},
 //!   "wall_ms": T,
 //!   "throughput_rps": X,
 //!   "latency_ms": {"p50": .., "p95": .., "p99": .., "mean": ..,
@@ -22,7 +24,11 @@
 //! ```
 //!
 //! Consumers must ignore unknown fields (additive evolution); removing or
-//! renaming fields bumps `schema_version`.
+//! renaming fields bumps `schema_version`. The `slo` block was added
+//! under version 1: `deadline_misses` counts requests that expired in
+//! queue *plus* completions that beat the engine but not their deadline,
+//! and `attainment` is `completed_in_deadline / (submitted + shed)` —
+//! shed load counts against the SLO.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -66,6 +72,7 @@ pub fn serve_json(engine: &EngineConfig, load: &LoadgenConfig, out: &LoadgenOutc
          \"engine\":{{\"workers\":{},\"queue_capacity\":{},\"max_batch\":{},\"linger_us\":{}}},\n\
          \"load\":{{\"requests\":{},\"rate_rps\":{},\"pattern\":\"{}\",\"seed\":{},\"points\":{},\"deadline_ms\":{}}},\n\
          \"outcome\":{{\"submitted\":{},\"completed\":{},\"shed\":{},\"expired\":{},\"lost\":{}}},\n\
+         \"slo\":{{\"completed_in_deadline\":{},\"deadline_misses\":{},\"shed\":{},\"attainment\":{}}},\n\
          \"wall_ms\":{},\n\
          \"throughput_rps\":{},\n\
          \"latency_ms\":{},\n\
@@ -87,6 +94,10 @@ pub fn serve_json(engine: &EngineConfig, load: &LoadgenConfig, out: &LoadgenOutc
         out.shed,
         out.expired,
         out.lost,
+        out.completed_in_deadline,
+        out.expired + out.completed.saturating_sub(out.completed_in_deadline),
+        out.shed,
+        fmt_f64(out.attainment()),
         fmt_f64(out.wall.as_secs_f64() * 1000.0),
         fmt_f64(out.throughput_rps),
         quantiles_json(&out.latency_ms),
@@ -123,6 +134,7 @@ mod tests {
             shed: 1,
             expired: 1,
             lost: 0,
+            completed_in_deadline: 7,
             wall: Duration::from_millis(120),
             throughput_rps: 66.7,
             latency_ms: Some(Stats::from_samples_ms(&[4.0, 5.0, 6.0, 9.0])),
@@ -150,6 +162,22 @@ mod tests {
         assert_eq!(latency.get("p99").and_then(|x| x.as_f64()), Some(9.0));
         let out = v.get("outcome").expect("outcome block");
         assert_eq!(out.get("shed").and_then(|x| x.as_f64()), Some(1.0));
+        let slo = v.get("slo").expect("slo block");
+        assert_eq!(
+            slo.get("completed_in_deadline").and_then(|x| x.as_f64()),
+            Some(7.0)
+        );
+        // expired (1) + late completions (8 - 7 = 1).
+        assert_eq!(
+            slo.get("deadline_misses").and_then(|x| x.as_f64()),
+            Some(2.0)
+        );
+        // 7 in-deadline completions over 11 offered (10 submitted + 1 shed).
+        let attainment = slo
+            .get("attainment")
+            .and_then(|x| x.as_f64())
+            .expect("ratio");
+        assert!((attainment - 7.0 / 11.0).abs() < 1e-9);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use crate::Registry;
 ///
 /// Each event's `args` carries the stage's op counts and, when the
 /// recording site priced the stage, the modeled Xavier `modeled_ms` /
-/// `modeled_mj` next to the measured wall time.
+/// `modeled_mj` next to the measured wall time. Spans attributed to a
+/// request also carry `"trace": <id>` in `args`, so one request's
+/// events can be filtered out of a mixed capture in the viewer.
 pub fn chrome_trace_json(spans: &[SpanData]) -> String {
     let mut out = String::from("[");
     for (i, s) in spans.iter().enumerate() {
@@ -35,6 +37,9 @@ pub fn chrome_trace_json(spans: &[SpanData]) -> String {
             s.tid,
             s.ops.to_json(),
         ));
+        if s.trace_id != 0 {
+            out.push_str(&format!(",\"trace\":{}", s.trace_id));
+        }
         if let Some(ms) = s.modeled_ms {
             out.push_str(&format!(",\"modeled_ms\":{}", fmt_f64(ms)));
         }
@@ -138,8 +143,14 @@ pub fn breakdown_json(title: &str, rows: &[StageBreakdown]) -> String {
 /// {"counters": {"span.sample": 3, ...},
 ///  "gauges": {"audit.search.recall_at_k": 0.94, ...},
 ///  "histograms": {"sa1.sample": {"count": 3, "mean_us": M,
-///    "min_us": L, "p50_us": A, "p95_us": B, "p99_us": C, "max_us": H}, ...}}
+///    "min_us": L, "p50_us": A, "p95_us": B, "p99_us": C, "max_us": H,
+///    "exemplars": [{"value_us": V, "trace": T}, ...]}, ...}}
 /// ```
+///
+/// `exemplars` (present only when non-empty) lists the largest tagged
+/// observations with their trace ids — the concrete requests behind the
+/// histogram's tail (see
+/// [`Histogram::exemplars`](crate::metrics::Histogram::exemplars)).
 ///
 /// An empty registry exports as three empty objects — still valid JSON, so
 /// downstream tooling never needs a special case. Spans are *not* included
@@ -176,7 +187,7 @@ pub fn registry_json(reg: &Registry) -> String {
         }
         out.push_str(&format!(
             "\n \"{}\":{{\"count\":{},\"mean_us\":{},\"min_us\":{},\
-             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}",
             escape(name),
             h.count(),
             fmt_f64(h.mean()),
@@ -186,8 +197,69 @@ pub fn registry_json(reg: &Registry) -> String {
             h.p99(),
             h.max(),
         ));
+        if !h.exemplars().is_empty() {
+            out.push_str(",\"exemplars\":[");
+            for (j, e) in h.exemplars().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"value_us\":{},\"trace\":{}}}",
+                    e.value, e.trace_id
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push_str("}}\n");
+    out
+}
+
+/// Renders a registry's metrics in a line-oriented text form, the
+/// `metrics` verb of the live telemetry endpoint:
+///
+/// ```text
+/// counter serve.submitted 384
+/// gauge serve.queue_depth 3
+/// hist serve.latency count 384 mean_us 812.4 min_us 120 p50_us 640 p95_us 2100 p99_us 3900 max_us 5100
+/// ```
+///
+/// One metric per line, space-separated, names escaped via [`escape`] so
+/// hostile names cannot inject newlines. Stable field order; scrapers can
+/// split on whitespace.
+pub fn metrics_text(reg: &Registry) -> String {
+    let mut out = String::new();
+    for name in reg.counter_names() {
+        out.push_str(&format!(
+            "counter {} {}\n",
+            escape(&name),
+            reg.counter(&name)
+        ));
+    }
+    for name in reg.gauge_names() {
+        out.push_str(&format!(
+            "gauge {} {}\n",
+            escape(&name),
+            fmt_f64(reg.gauge(&name).unwrap_or(0.0))
+        ));
+    }
+    for name in reg.histogram_names() {
+        let Some(h) = reg.histogram(&name) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "hist {} count {} mean_us {} min_us {} p50_us {} p95_us {} p99_us {} max_us {}\n",
+            escape(&name),
+            h.count(),
+            fmt_f64(h.mean()),
+            h.min(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max(),
+        ));
+    }
     out
 }
 
@@ -233,6 +305,7 @@ mod tests {
             SpanData {
                 name: "forward".into(),
                 kind: "model".into(),
+                trace_id: 0,
                 depth: 0,
                 start_us: 0,
                 dur_us: 1000,
@@ -244,6 +317,7 @@ mod tests {
             SpanData {
                 name: "sa1.sample(\"quoted\")".into(),
                 kind: "sample".into(),
+                trace_id: 11,
                 depth: 1,
                 start_us: 100,
                 dur_us: 200,
@@ -258,6 +332,7 @@ mod tests {
             SpanData {
                 name: "sa1.sample(\"quoted\")".into(),
                 kind: "sample".into(),
+                trace_id: 12,
                 depth: 1,
                 start_us: 400,
                 dur_us: 300,
@@ -299,6 +374,12 @@ mod tests {
             s.get("args").unwrap().get("modeled_ms").unwrap().as_f64(),
             Some(0.5)
         );
+        // Attributed spans carry their trace id; unattributed ones omit it.
+        assert_eq!(
+            s.get("args").unwrap().get("trace").unwrap().as_f64(),
+            Some(11.0)
+        );
+        assert!(events[0].get("args").unwrap().get("trace").is_none());
     }
 
     #[test]
@@ -358,6 +439,49 @@ mod tests {
         let h = v.get("histograms").unwrap().get("sa1.sample").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
         assert!(h.get("p95_us").unwrap().as_f64().unwrap() >= 120.0);
+    }
+
+    #[test]
+    fn registry_json_includes_histogram_exemplars() {
+        let reg = Registry::new();
+        reg.observe_us_tagged("serve.latency", 120, 41);
+        reg.observe_us_tagged("serve.latency", 9_800, 42);
+        reg.observe_us("sa1.sample", 50); // untagged: no exemplars key
+        let doc = registry_json(&reg);
+        let v = parse(&doc).unwrap();
+        let lat = v.get("histograms").unwrap().get("serve.latency").unwrap();
+        let ex = lat.get("exemplars").unwrap().as_arr().unwrap();
+        assert_eq!(ex.len(), 2);
+        // Sorted ascending: the last exemplar is the worst request.
+        assert_eq!(ex[1].get("value_us").unwrap().as_f64(), Some(9_800.0));
+        assert_eq!(ex[1].get("trace").unwrap().as_f64(), Some(42.0));
+        let plain = v.get("histograms").unwrap().get("sa1.sample").unwrap();
+        assert!(plain.get("exemplars").is_none());
+    }
+
+    #[test]
+    fn metrics_text_lists_every_metric_on_one_line() {
+        let reg = Registry::new();
+        reg.incr("serve.submitted", 7);
+        reg.set_gauge("serve.queue_depth", 3.0);
+        reg.observe_us("serve.latency", 250);
+        reg.observe_us("serve.latency", 750);
+        let text = metrics_text(&reg);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "counter serve.submitted 7");
+        assert_eq!(lines[1], "gauge serve.queue_depth 3");
+        let hist: Vec<&str> = lines[2].split_whitespace().collect();
+        assert_eq!(hist[0], "hist");
+        assert_eq!(hist[1], "serve.latency");
+        assert_eq!(hist[2], "count");
+        assert_eq!(hist[3], "2");
+        assert!(hist.contains(&"p99_us"));
+        // A hostile metric name cannot break the line protocol.
+        reg.incr("evil\nname", 1);
+        let text = metrics_text(&reg);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("counter evil\\nname 1"));
     }
 
     #[test]

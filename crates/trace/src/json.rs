@@ -9,6 +9,12 @@
 use std::collections::BTreeMap;
 
 /// Escapes a string for embedding inside JSON quotes.
+///
+/// Control characters *and* everything outside printable ASCII are
+/// `\u`-escaped (astral characters as UTF-16 surrogate pairs), so the
+/// emitted documents are pure ASCII. Span and metric names are caller
+/// data — a hostile name must never be able to break an exported
+/// document or smuggle raw control bytes into a log pipeline.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -18,8 +24,19 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            ' '..='~' => out.push(c),
+            c => {
+                let cp = c as u32;
+                if cp <= 0xFFFF {
+                    out.push_str(&format!("\\u{cp:04x}"));
+                } else {
+                    // Astral plane: encode as a UTF-16 surrogate pair.
+                    let v = cp - 0x1_0000;
+                    let hi = 0xD800 + (v >> 10);
+                    let lo = 0xDC00 + (v & 0x3FF);
+                    out.push_str(&format!("\\u{hi:04x}\\u{lo:04x}"));
+                }
+            }
         }
     }
     out
@@ -173,6 +190,15 @@ impl Parser<'_> {
             .ok_or_else(|| format!("bad number at byte {start}"))
     }
 
+    /// Reads the four hex digits of a `\u` escape starting at byte `at`.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        self.b
+            .get(at..at + 4)
+            .and_then(|hex| std::str::from_utf8(hex).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("bad \\u escape at byte {at}"))
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -195,16 +221,26 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .b
-                                .get(self.i + 1..self.i + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4(self.i + 1)?;
                             self.i += 4;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: must be followed by
+                                // `\uDC00..\uDFFF` to form one scalar.
+                                if self.b.get(self.i + 1..self.i + 3) == Some(b"\\u") {
+                                    let lo = self.hex4(self.i + 3)?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        self.i += 6;
+                                        let cp = 0x1_0000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                                    } else {
+                                        out.push('\u{fffd}');
+                                    }
+                                } else {
+                                    out.push('\u{fffd}');
+                                }
+                            } else {
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
                         }
                         _ => return Err(format!("bad escape at byte {}", self.i)),
                     }
@@ -286,6 +322,39 @@ mod tests {
         let doc = format!("{{\"k\":\"{}\"}}", escape(nasty));
         let v = parse(&doc).unwrap();
         assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn escape_emits_pure_ascii_and_round_trips_hostile_names() {
+        // Span/metric names are caller data; the exporter must survive
+        // control chars, BMP non-ASCII, and astral-plane scalars.
+        for nasty in [
+            "sa1.sample\u{0}\u{7}\u{1b}[31m",
+            "sök.näher(π≈3)",
+            "emoji.\u{1F600}.stage\u{10FFFF}",
+            "\u{2028}line\u{2029}sep",
+            "mix \"q\" \\b\\ \u{FEFF}",
+        ] {
+            let esc = escape(nasty);
+            assert!(esc.is_ascii(), "escape({nasty:?}) left non-ASCII: {esc:?}");
+            assert!(
+                esc.bytes().all(|b| (0x20..0x7f).contains(&b)),
+                "escape({nasty:?}) left a raw control byte: {esc:?}"
+            );
+            let doc = format!("{{\"k\":\"{esc}\"}}");
+            let v = parse(&doc).unwrap();
+            assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+        }
+    }
+
+    #[test]
+    fn lone_surrogates_decode_to_replacement_char() {
+        let v = parse("{\"k\":\"\\ud83d x\"}").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("\u{fffd} x"));
+        // A high surrogate followed by a non-low-surrogate escape leaves
+        // the second escape to decode on its own.
+        let v = parse("{\"k\":\"\\ud83d\\u0041\"}").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("\u{fffd}A"));
     }
 
     #[test]

@@ -15,8 +15,15 @@
 //!    name, with p50/p95/p99 queries.
 //! 3. **Exporters** ([`export`]): a Chrome `trace_event` JSON file
 //!    (loadable in `chrome://tracing` / Perfetto), a flat per-stage
-//!    breakdown record (hand-rolled JSON, see [`json`]), and a human
-//!    [`export::Summary`] table.
+//!    breakdown record (hand-rolled JSON, see [`json`]), a line-oriented
+//!    [`export::metrics_text`] snapshot, and a human [`export::Summary`]
+//!    table.
+//! 4. **Request telemetry** ([`flight`], [`tail`], [`with_trace`]):
+//!    request-scoped trace ids that spans inherit from an ambient
+//!    thread-local scope, an always-on fixed-capacity
+//!    [`flight::FlightRecorder`] ring of compact lifecycle events, and a
+//!    P² streaming-quantile [`tail::TailSampler`] that decides online
+//!    which requests keep their full span trees.
 //!
 //! # Capturing a trace
 //!
@@ -39,10 +46,12 @@
 //! ```
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 mod registry;
 mod span;
+pub mod tail;
 
 pub use registry::{current_registry, global, with_local, with_registry, Registry};
-pub use span::{span, span_in, SpanData, SpanGuard};
+pub use span::{current_trace_id, next_trace_id, span, span_in, with_trace, SpanData, SpanGuard};

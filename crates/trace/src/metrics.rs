@@ -14,6 +14,21 @@ pub const SUB_BUCKETS: u64 = 16;
 const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
 const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
 
+/// Most exemplars a histogram retains (the largest-valued observations).
+pub const MAX_EXEMPLARS: usize = 4;
+
+/// A retained (observation, trace id) pair: the concrete request behind
+/// one of the histogram's largest observations. This is what lets
+/// `serve.latency` p99 link to an actual trace instead of an anonymous
+/// bucket count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (µs for latency histograms).
+    pub value: u64,
+    /// The trace id tagged on the observation (never 0).
+    pub trace_id: u64,
+}
+
 /// A log-linear histogram of `u64` observations (microseconds, here).
 #[derive(Clone)]
 pub struct Histogram {
@@ -22,6 +37,7 @@ pub struct Histogram {
     sum: u128,
     min: u64,
     max: u64,
+    exemplars: Vec<Exemplar>,
 }
 
 impl Default for Histogram {
@@ -60,6 +76,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: Vec::new(),
         }
     }
 
@@ -70,6 +87,32 @@ impl Histogram {
         self.sum += v as u128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Records one observation tagged with the trace id of the request it
+    /// came from. The histogram keeps the [`MAX_EXEMPLARS`] largest tagged
+    /// observations as [`Exemplar`]s, so its tail quantiles point at
+    /// concrete traces. `trace_id` 0 (unattributed) records no exemplar.
+    pub fn observe_tagged(&mut self, v: u64, trace_id: u64) {
+        self.observe(v);
+        if trace_id == 0 {
+            return;
+        }
+        if self.exemplars.len() < MAX_EXEMPLARS {
+            self.exemplars.push(Exemplar { value: v, trace_id });
+            self.exemplars.sort_by_key(|e| e.value);
+        } else if let Some(smallest) = self.exemplars.first_mut() {
+            if v > smallest.value {
+                *smallest = Exemplar { value: v, trace_id };
+                self.exemplars.sort_by_key(|e| e.value);
+            }
+        }
+    }
+
+    /// The retained exemplars, sorted ascending by value (so the last one
+    /// is the worst observation seen with a trace attached).
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
     }
 
     /// Number of observations.
@@ -240,6 +283,23 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn exemplars_keep_the_largest_tagged_observations() {
+        let mut h = Histogram::new();
+        h.observe_tagged(50, 0); // unattributed: counted, no exemplar
+        for (v, t) in [(100, 1), (900, 2), (300, 3), (700, 4), (500, 5)] {
+            h.observe_tagged(v, t);
+        }
+        assert_eq!(h.count(), 6);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), MAX_EXEMPLARS);
+        // The smallest tagged value (100, trace 1) was evicted.
+        let values: Vec<u64> = ex.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![300, 500, 700, 900]);
+        assert_eq!(ex.last().map(|e| e.trace_id), Some(2));
+        assert!(ex.iter().all(|e| e.trace_id != 0));
     }
 
     #[test]

@@ -83,6 +83,19 @@ impl Registry {
             .observe(us);
     }
 
+    /// Records one latency observation (µs) in the named histogram and
+    /// tags it with a trace id the histogram may retain as an exemplar
+    /// (see [`Histogram::exemplars`]). `trace_id` 0 means "unattributed"
+    /// and is recorded without an exemplar.
+    pub fn observe_us_tagged(&self, name: &str, us: u64, trace_id: u64) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe_tagged(us, trace_id);
+    }
+
     /// Sets the named gauge to `value` (last write wins).
     ///
     /// Gauges carry instantaneous *measurements* rather than monotonic
@@ -144,6 +157,38 @@ impl Registry {
     /// Copies out all recorded spans (in completion order).
     pub fn spans(&self) -> Vec<SpanData> {
         self.lock().spans.clone()
+    }
+
+    /// Copies out the spans recorded with the given trace id, ordered by
+    /// start time — a single request's segment timeline as reconstructed
+    /// from a mixed multi-request capture.
+    pub fn spans_for_trace(&self, trace_id: u64) -> Vec<SpanData> {
+        let mut spans: Vec<SpanData> = self
+            .lock()
+            .spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect();
+        spans.sort_by_key(|s| s.start_us);
+        spans
+    }
+
+    /// Removes every span recorded with the given nonzero trace id,
+    /// returning how many were dropped. The serving runtime's tail
+    /// sampler calls this for requests judged too fast to keep, so
+    /// steady-state span memory is bounded by the tail rate — the
+    /// aggregate counters and histograms the spans already fed are
+    /// untouched. `trace_id` 0 is a no-op (unattributed spans are never
+    /// sampled away).
+    pub fn discard_trace(&self, trace_id: u64) -> usize {
+        if trace_id == 0 {
+            return 0;
+        }
+        let mut inner = self.lock();
+        let before = inner.spans.len();
+        inner.spans.retain(|s| s.trace_id != trace_id);
+        before - inner.spans.len()
     }
 
     /// Removes and returns all recorded spans.

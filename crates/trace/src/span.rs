@@ -22,6 +22,13 @@ pub struct SpanData {
     pub name: String,
     /// Category, e.g. `"sample"`, `"search"`, `"fc"`, `"model"`.
     pub kind: String,
+    /// Request-scoped trace id (0 = not attributed to any request). Spans
+    /// inherit the ambient id installed by [`with_trace`](crate::with_trace)
+    /// at open time, so every stage a request executes — queue handling,
+    /// batch exec, and the model-internal sample/search/fc spans — carries
+    /// the same id and a single request's tree is reconstructible from a
+    /// mixed multi-request capture.
+    pub trace_id: u64,
     /// Nesting depth at record time (0 = top level on its thread).
     pub depth: usize,
     /// Microseconds since the registry's epoch.
@@ -55,9 +62,11 @@ impl SpanData {
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
     static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+    static TRACE: Cell<u64> = const { Cell::new(0) };
 }
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 
 fn thread_id() -> u64 {
     TID.with(|t| {
@@ -66,6 +75,36 @@ fn thread_id() -> u64 {
         }
         t.get()
     })
+}
+
+/// Allocates a fresh, process-wide-unique trace id (never 0). The serving
+/// runtime calls this once per admitted request; ids stay unique across
+/// engines, so captures that mix several engines still separate cleanly.
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id spans opened on this thread currently inherit (0 when no
+/// [`with_trace`] scope is active).
+pub fn current_trace_id() -> u64 {
+    TRACE.with(Cell::get)
+}
+
+/// Runs `f` with `trace_id` installed as this thread's ambient trace id:
+/// every span opened inside (including spans opened by code that knows
+/// nothing about tracing, like the model forwards) records `trace_id` in
+/// its [`SpanData`]. Scopes nest; the previous id is restored on exit,
+/// even on unwind.
+pub fn with_trace<T>(trace_id: u64, f: impl FnOnce() -> T) -> T {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TRACE.with(|t| t.set(self.0));
+        }
+    }
+    let prev = TRACE.with(|t| t.replace(trace_id));
+    let _restore = Restore(prev);
+    f()
 }
 
 /// An in-flight span. Records itself into its registry when dropped.
@@ -78,6 +117,7 @@ pub struct SpanGuard {
     reg: Arc<Registry>,
     name: String,
     kind: String,
+    trace_id: u64,
     depth: usize,
     start: Instant,
     start_us: u64,
@@ -104,6 +144,7 @@ pub fn span_in(reg: Arc<Registry>, name: impl Into<String>, kind: impl Into<Stri
         reg,
         name: name.into(),
         kind: kind.into(),
+        trace_id: current_trace_id(),
         depth,
         start: Instant::now(),
         start_us,
@@ -131,6 +172,14 @@ impl SpanGuard {
         self.set_ops(ops);
         self
     }
+
+    /// Overrides the trace id this span records (normally inherited from
+    /// the ambient [`with_trace`] scope at open time). The serving
+    /// runtime's submit path uses this: the id is allocated *inside* the
+    /// already-open `serve.enqueue` span.
+    pub fn set_trace(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
+    }
 }
 
 impl Drop for SpanGuard {
@@ -140,6 +189,7 @@ impl Drop for SpanGuard {
         let data = SpanData {
             name: std::mem::take(&mut self.name),
             kind: std::mem::take(&mut self.kind),
+            trace_id: self.trace_id,
             depth: self.depth,
             start_us: self.start_us,
             dur_us,
@@ -181,6 +231,33 @@ mod tests {
         assert_eq!(spans[1].name, "outer");
         assert_eq!(spans[1].depth, 0);
         assert!(spans[1].encloses(&spans[0]));
+    }
+
+    #[test]
+    fn spans_inherit_the_ambient_trace_id_and_scopes_nest() {
+        let reg = Arc::new(Registry::new());
+        assert_eq!(current_trace_id(), 0);
+        let outer = next_trace_id();
+        let inner = next_trace_id();
+        assert_ne!(outer, 0);
+        assert_ne!(outer, inner);
+        with_trace(outer, || {
+            let _a = span_in(reg.clone(), "outer", "serve");
+            with_trace(inner, || {
+                let _b = span_in(reg.clone(), "inner", "serve");
+            });
+            assert_eq!(current_trace_id(), outer);
+        });
+        assert_eq!(current_trace_id(), 0);
+        {
+            let mut c = span_in(reg.clone(), "manual", "serve");
+            c.set_trace(777);
+        }
+        let spans = reg.drain_spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).map(|s| s.trace_id);
+        assert_eq!(by_name("outer"), Some(outer));
+        assert_eq!(by_name("inner"), Some(inner));
+        assert_eq!(by_name("manual"), Some(777));
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Online tail sampling: a streaming quantile estimator decides, at
+//! completion time, whether a request was slow enough that its full span
+//! tree is worth keeping.
+//!
+//! [`P2Quantile`] is the classic P² algorithm (Jain & Chlamtac, CACM
+//! 1985): five markers track the running quantile with O(1) memory and
+//! O(1) update cost, no samples stored. Below five observations it falls
+//! back to nearest-rank on the exact values. [`TailSampler`] wraps it
+//! with a warmup phase (sample everything until the estimate means
+//! something) and answers the single question the serving runtime asks:
+//! "retain this request's spans?".
+
+/// Streaming estimate of a single quantile via the P² algorithm.
+///
+/// Memory is five markers regardless of stream length; the estimate's
+/// error is small for smooth distributions and bounded by neighboring
+/// marker heights in general.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (the five tracked values), sorted.
+    heights: [f64; 5],
+    /// Actual marker positions, 1-based.
+    pos: [f64; 5],
+    /// Desired marker positions.
+    want: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    dwant: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)` (clamped).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(0.001, 0.999);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            want: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            dwant: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            // Keep the prefix sorted so both the <5 estimate and the
+            // transition to marker mode see ordered heights.
+            let filled = self.count as usize;
+            self.heights[..filled].sort_by(f64::total_cmp);
+            return;
+        }
+        self.count += 1;
+
+        // 1. Find the cell k with heights[k] <= x < heights[k+1],
+        //    extending the extreme markers when x falls outside.
+        let h = &mut self.heights;
+        let k = if x < h[0] {
+            h[0] = x;
+            0
+        } else if x >= h[4] {
+            h[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            while k < 3 && x >= h[k + 1] {
+                k += 1;
+            }
+            k
+        };
+
+        // 2. Shift actual positions above the cell; advance desired ones.
+        for i in (k + 1)..5 {
+            self.pos[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.want[i] += self.dwant[i];
+        }
+
+        // 3. Nudge interior markers toward their desired positions, using
+        //    the piecewise-parabolic (P²) height prediction when it stays
+        //    between the neighbors, linear interpolation otherwise.
+        for i in 1..4 {
+            let d = self.want[i] - self.pos[i];
+            let room_up = self.pos[i + 1] - self.pos[i] > 1.0;
+            let room_down = self.pos[i - 1] - self.pos[i] < -1.0;
+            if (d >= 1.0 && room_up) || (d <= -1.0 && room_down) {
+                let d = d.signum();
+                let parabolic = self.heights[i]
+                    + d / (self.pos[i + 1] - self.pos[i - 1])
+                        * ((self.pos[i] - self.pos[i - 1] + d)
+                            * (self.heights[i + 1] - self.heights[i])
+                            / (self.pos[i + 1] - self.pos[i])
+                            + (self.pos[i + 1] - self.pos[i] - d)
+                                * (self.heights[i] - self.heights[i - 1])
+                                / (self.pos[i] - self.pos[i - 1]));
+                self.heights[i] = if self.heights[i - 1] < parabolic
+                    && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else if d > 0.0 {
+                    self.heights[i]
+                        + (self.heights[i + 1] - self.heights[i]) / (self.pos[i + 1] - self.pos[i])
+                } else {
+                    self.heights[i]
+                        - (self.heights[i - 1] - self.heights[i]) / (self.pos[i - 1] - self.pos[i])
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    /// Current estimate of the tracked quantile (0.0 before any input;
+    /// nearest-rank on the exact values below five observations).
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let n = self.count as usize;
+            let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+            return self.heights[rank - 1];
+        }
+        self.heights[2]
+    }
+}
+
+/// Decides online which requests keep their full span trees.
+///
+/// During warmup every request is retained (the estimate is noise until
+/// it has seen real traffic); afterwards only requests at or above the
+/// running quantile estimate are. The serving runtime drops the span
+/// trees of everything else, so steady-state span memory is bounded by
+/// the tail rate rather than the request rate.
+#[derive(Debug, Clone)]
+pub struct TailSampler {
+    p2: P2Quantile,
+    warmup: u64,
+}
+
+impl TailSampler {
+    /// Creates a sampler retaining requests above quantile `q`, keeping
+    /// everything for the first `warmup` observations.
+    pub fn new(q: f64, warmup: u64) -> Self {
+        TailSampler {
+            p2: P2Quantile::new(q),
+            warmup,
+        }
+    }
+
+    /// Feeds one completed request's total latency and answers whether
+    /// its span tree should be retained, plus the threshold estimate the
+    /// decision used (µs; 0 during warmup's always-retain phase means
+    /// "no threshold yet").
+    pub fn observe_admit(&mut self, total_us: u64) -> (bool, u64) {
+        let warming = self.p2.count() < self.warmup;
+        let threshold = self.p2.estimate();
+        self.p2.observe(total_us as f64);
+        if warming {
+            (true, threshold as u64)
+        } else {
+            (total_us as f64 >= threshold, threshold as u64)
+        }
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> u64 {
+        self.p2.count()
+    }
+
+    /// Current threshold estimate (µs).
+    pub fn threshold_us(&self) -> u64 {
+        self.p2.estimate() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_streams_use_nearest_rank() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), 0.0);
+        p.observe(10.0);
+        assert_eq!(p.estimate(), 10.0);
+        p.observe(30.0);
+        // n=2, p50: rank ceil(0.5*2)=1 → smaller value.
+        assert_eq!(p.estimate(), 10.0);
+        p.observe(20.0);
+        // n=3, p50: rank ceil(1.5)=2 → middle value.
+        assert_eq!(p.estimate(), 20.0);
+        let mut p99 = P2Quantile::new(0.99);
+        p99.observe(5.0);
+        p99.observe(1.0);
+        // Any high quantile of two samples is the max.
+        assert_eq!(p99.estimate(), 5.0);
+    }
+
+    #[test]
+    fn median_of_uniform_stream_converges() {
+        let mut p = P2Quantile::new(0.5);
+        // Deterministic LCG over [0, 1000).
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            p.observe((x >> 33) as f64 % 1000.0);
+        }
+        let est = p.estimate();
+        assert!(
+            (est - 500.0).abs() < 50.0,
+            "p50 of U[0,1000) ~ 500, got {est}"
+        );
+    }
+
+    #[test]
+    fn p99_of_bimodal_stream_lands_in_the_slow_mode() {
+        let mut p = P2Quantile::new(0.99);
+        for i in 0..5_000u64 {
+            // 2% slow requests interleaved deterministically.
+            if i % 50 == 0 {
+                p.observe(10_000.0 + (i % 7) as f64);
+            } else {
+                p.observe(100.0 + (i % 13) as f64);
+            }
+        }
+        let est = p.estimate();
+        assert!(
+            (1_000.0..=11_000.0).contains(&est),
+            "p99 should leave the fast mode, got {est}"
+        );
+    }
+
+    #[test]
+    fn monotone_stream_estimate_is_ordered() {
+        let mut p = P2Quantile::new(0.9);
+        for v in 0..1_000 {
+            p.observe(v as f64);
+        }
+        let est = p.estimate();
+        assert!((700.0..1000.0).contains(&est), "p90 of 0..1000, got {est}");
+    }
+
+    #[test]
+    fn sampler_retains_everything_during_warmup_then_only_the_tail() {
+        let mut s = TailSampler::new(0.95, 16);
+        for i in 0..16u64 {
+            let (admit, _) = s.observe_admit(100 + i);
+            assert!(admit, "warmup observation {i} must be retained");
+        }
+        // Steady traffic at ~100µs: a 100µs request is usually dropped,
+        // a 10_000µs outlier always retained.
+        let mut kept_fast = 0;
+        for _ in 0..200 {
+            let (admit, _) = s.observe_admit(100);
+            if admit {
+                kept_fast += 1;
+            }
+        }
+        let (admit_slow, threshold) = s.observe_admit(10_000);
+        assert!(
+            admit_slow,
+            "outlier above threshold {threshold} must be kept"
+        );
+        assert!(
+            kept_fast < 200,
+            "tail sampling must drop some steady-state requests"
+        );
+    }
+
+    #[test]
+    fn identical_observations_pin_the_estimate() {
+        let mut p = P2Quantile::new(0.99);
+        for _ in 0..1_000 {
+            p.observe(42.0);
+        }
+        assert_eq!(p.estimate(), 42.0);
+    }
+}
