@@ -68,7 +68,13 @@ done
 
 if [ "$RUN_LINT" = 1 ]; then
     echo "==> lint_all: workspace static analysis (EP rules, see DESIGN.md)"
-    cargo run -q -p edgepc-lint --bin lint_all
+    LINT_T0=$(date +%s)
+    cargo run -q -p edgepc-lint --bin lint_all -- --json target/lint.json
+    LINT_T1=$(date +%s)
+    echo "==> lint_all: gate took $((LINT_T1 - LINT_T0))s wall (per-rule breakdown in the summary above)"
+    # The report the gate just emitted must itself satisfy the EP005
+    # schema pin — lint.json is a pinned artifact like BENCH/serve.json.
+    cargo run -q -p edgepc-lint --bin lint_all -- --results target/lint.json
 else
     echo "==> lint_all: skipped (--no-lint)"
 fi

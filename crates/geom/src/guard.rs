@@ -18,6 +18,160 @@ type ViolationHook = Box<dyn Fn(&str) + Send + Sync>;
 
 static HOOK: OnceLock<ViolationHook> = OnceLock::new();
 
+#[cfg(debug_assertions)]
+mod rank {
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        /// `(rank, name)` of every ranked lock this thread currently holds.
+        pub(super) static HELD: RefCell<Vec<(u16, &'static str)>> =
+            const { RefCell::new(Vec::new()) };
+        /// Sticky per-thread kill switch: set before a rank violation
+        /// diverges (and before the violation hook runs), because the
+        /// unwind path is allowed to take locks in any order for last-gasp
+        /// telemetry.
+        pub(super) static OFF: Cell<bool> = const { Cell::new(false) };
+    }
+}
+
+/// Proof that a ranked lock acquisition passed the debug-build lock-order
+/// check; dropping it marks the lock released. Created by [`rank_scope`]
+/// (for guards that must stay bare, e.g. `Condvar::wait` loops) or
+/// carried inside a [`Ranked`] wrapper. In release builds this is a
+/// zero-sized no-op.
+pub struct RankToken {
+    #[cfg(debug_assertions)]
+    rank: u16,
+    #[cfg(debug_assertions)]
+    pushed: bool,
+}
+
+/// Declares that the current thread is about to acquire the lock with the
+/// given `rank` (see the `[lock]` ranking in `LINT.toml`; higher ranks
+/// must be acquired while holding only lower ones). In debug builds this
+/// checks the thread's held-lock stack and diverges through [`violation`]
+/// on a same-or-lower-rank acquisition; in release builds it is free.
+///
+/// Call it *before* blocking on the mutex so an ordering bug is reported
+/// even when it would have deadlocked. The token must outlive the guard
+/// it ranks; it may be dropped in any order relative to other tokens.
+#[must_use = "the rank token must be held as long as the lock guard it ranks"]
+#[cfg(debug_assertions)]
+pub fn rank_scope(rank: u16, name: &'static str) -> RankToken {
+    enum Outcome {
+        Pushed,
+        Skipped,
+        Conflict(u16, &'static str),
+    }
+    if rank::OFF.with(std::cell::Cell::get) {
+        return RankToken {
+            rank,
+            pushed: false,
+        };
+    }
+    let outcome = rank::HELD.with(|held| match held.try_borrow_mut() {
+        Ok(mut held) => {
+            if let Some(&(held_rank, held_name)) = held.iter().find(|&&(r, _)| r >= rank) {
+                Outcome::Conflict(held_rank, held_name)
+            } else {
+                held.push((rank, name));
+                Outcome::Pushed
+            }
+        }
+        // A re-entrant check (the stack is already borrowed higher up this
+        // call chain) skips validation rather than risking a panic inside
+        // the checker itself.
+        Err(_) => Outcome::Skipped,
+    });
+    match outcome {
+        Outcome::Pushed => RankToken { rank, pushed: true },
+        Outcome::Skipped => RankToken {
+            rank,
+            pushed: false,
+        },
+        Outcome::Conflict(held_rank, held_name) => {
+            // Stop checking on this thread before diverging: the violation
+            // hook's last-gasp telemetry takes its own locks.
+            rank::OFF.with(|off| off.set(true));
+            let msg = if held_rank == rank {
+                format!(
+                    "lock-rank violation: re-entrant acquisition of {name:?} (rank {rank}) \
+                     while already holding {held_name:?} at the same rank"
+                )
+            } else {
+                format!(
+                    "lock-rank violation: acquiring {name:?} (rank {rank}) while holding \
+                     {held_name:?} (rank {held_rank}); locks must be taken in ascending rank"
+                )
+            };
+            violation(&msg)
+        }
+    }
+}
+
+/// Release-build [`rank_scope`]: a zero-cost no-op.
+#[must_use = "the rank token must be held as long as the lock guard it ranks"]
+#[cfg(not(debug_assertions))]
+pub fn rank_scope(_rank: u16, _name: &'static str) -> RankToken {
+    RankToken {}
+}
+
+impl Drop for RankToken {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        if self.pushed {
+            rank::HELD.with(|held| {
+                if let Ok(mut held) = held.try_borrow_mut() {
+                    if let Some(i) = held.iter().rposition(|&(r, _)| r == self.rank) {
+                        held.remove(i);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// A lock guard paired with its [`RankToken`]: dereferences to the guard,
+/// releases the lock *before* popping the rank (field order), so the
+/// held-lock stack never understates what this thread holds.
+pub struct Ranked<G> {
+    guard: G,
+    _token: RankToken,
+}
+
+impl<G> std::ops::Deref for Ranked<G> {
+    type Target = G;
+    fn deref(&self) -> &G {
+        &self.guard
+    }
+}
+
+impl<G> std::ops::DerefMut for Ranked<G> {
+    fn deref_mut(&mut self) -> &mut G {
+        &mut self.guard
+    }
+}
+
+/// Rank-checks *then* acquires: runs the [`rank_scope`] check before
+/// calling `acquire` (so a would-be deadlock is reported instead of hung)
+/// and returns the guard wrapped in [`Ranked`]. This is the sanctioned
+/// shape for the `Registry::lock`-style poison-tolerant wrapper idiom:
+///
+/// ```ignore
+/// fn lock(&self) -> Ranked<MutexGuard<'_, Inner>> {
+///     ranked_with(rank::INNER, "crate.inner", || {
+///         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+///     })
+/// }
+/// ```
+pub fn ranked_with<G>(rank: u16, name: &'static str, acquire: impl FnOnce() -> G) -> Ranked<G> {
+    let token = rank_scope(rank, name);
+    Ranked {
+        guard: acquire(),
+        _token: token,
+    }
+}
+
 /// Installs a process-wide observer called (once, with the message) just
 /// before [`violation`] panics. Returns `false` if a hook was already
 /// installed (first install wins — the telemetry plane registers one hook
@@ -38,6 +192,11 @@ pub fn set_violation_hook(hook: impl Fn(&str) + Send + Sync + 'static) -> bool {
 #[inline(never)]
 pub fn violation(msg: &str) -> ! {
     if let Some(hook) = HOOK.get() {
+        // The hook's last-gasp telemetry (flight-recorder dumps) takes
+        // locks of its own; this thread is about to unwind, so lock-rank
+        // checking stops here rather than second-guessing the panic path.
+        #[cfg(debug_assertions)]
+        rank::OFF.with(|off| off.set(true));
         hook(msg);
     }
     panic!("{msg}")
@@ -67,6 +226,93 @@ mod tests {
     #[should_panic(expected = "exact message preserved")]
     fn required_panics_with_the_given_message() {
         let _: u32 = required(None, "exact message preserved");
+    }
+
+    #[test]
+    fn ascending_ranks_pass_and_release_frees_the_rank() {
+        std::thread::spawn(|| {
+            let a = rank_scope(10, "a");
+            {
+                let b = rank_scope(20, "b");
+                drop(b);
+            }
+            // Rank 20 was released, so it is acquirable again.
+            let c = rank_scope(20, "c");
+            drop(c);
+            drop(a);
+            // Stack is empty again: a low rank passes.
+            let d = rank_scope(5, "d");
+            drop(d);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn out_of_order_release_pops_the_matching_entry() {
+        std::thread::spawn(|| {
+            let a = rank_scope(10, "a");
+            let b = rank_scope(20, "b");
+            drop(a); // release the LOW rank first
+            let c = rank_scope(30, "c");
+            drop(b);
+            drop(c);
+            // Both mid ranks are free again.
+            let d = rank_scope(20, "d");
+            drop(d);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn descending_and_reentrant_acquisitions_diverge_in_debug() {
+        // Dedicated thread: a detected violation stops rank checking on
+        // its thread for good, which must not leak into other tests.
+        let (descending, reentrant) = std::thread::spawn(|| {
+            let descending = {
+                let _hi = rank_scope(50, "hi");
+                std::panic::catch_unwind(|| {
+                    let _lo = rank_scope(10, "lo");
+                })
+                .is_err()
+            };
+            let reentrant = std::thread::spawn(|| {
+                let _a = rank_scope(40, "a");
+                std::panic::catch_unwind(|| {
+                    let _b = rank_scope(40, "b");
+                })
+                .is_err()
+            })
+            .join()
+            .unwrap();
+            (descending, reentrant)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(descending, cfg!(debug_assertions));
+        assert_eq!(reentrant, cfg!(debug_assertions));
+    }
+
+    #[test]
+    fn ranked_with_wraps_a_real_guard_transparently() {
+        use std::sync::Mutex;
+        std::thread::spawn(|| {
+            let m = Mutex::new(vec![1, 2]);
+            let mut g = ranked_with(10, "m", || {
+                m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+            });
+            g.push(3);
+            assert_eq!(g.len(), 3);
+            drop(g);
+            // The guard (and its rank) were released.
+            let g2 = ranked_with(10, "m", || {
+                m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+            });
+            assert_eq!(**g2, vec![1, 2, 3]);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

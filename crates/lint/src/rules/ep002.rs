@@ -15,8 +15,9 @@
 use crate::diag::Diagnostic;
 use crate::lexer::TokenKind;
 use crate::rules::SourceModel;
+use crate::syntax::FileSyntax;
 
-pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
+pub fn check(model: &SourceModel, syntax: &FileSyntax) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let code = model.code_indices();
     for (ci, &ti) in code.iter().enumerate() {
@@ -41,22 +42,26 @@ pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
                 .is_some_and(|&i| model.token(i).is_float_literal())
         };
         if prev_float || next_float {
-            out.push(
-                Diagnostic::new(
-                    "EP002",
-                    &model.rel,
-                    tok.line,
-                    tok.col,
-                    format!(
-                        "float literal compared with `{}` in non-test code",
-                        tok.text
-                    ),
-                )
-                .with_suggestion(
-                    "compare with a tolerance ((a - b).abs() < eps), use total_cmp, or \
-                     restructure the guard (e.g. `scale > 0.0`)",
+            let mut d = Diagnostic::new(
+                "EP002",
+                &model.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "float literal compared with `{}` in non-test code",
+                    tok.text
                 ),
+            )
+            .with_suggestion(
+                "compare with a tolerance ((a - b).abs() < eps), use total_cmp, or \
+                 restructure the guard (e.g. `scale > 0.0`)",
             );
+            // The syntactic tier names the enclosing fn so waivers can be
+            // item-scoped instead of silencing the whole file.
+            if let Some(f) = syntax.enclosing_fn(ci) {
+                d = d.with_item(f.name.clone());
+            }
+            out.push(d);
         }
     }
     out
@@ -67,7 +72,9 @@ mod tests {
     use super::*;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        check(&SourceModel::new("crates/nn/src/x.rs", src))
+        let model = SourceModel::new("crates/nn/src/x.rs", src);
+        let syntax = FileSyntax::parse(&model);
+        check(&model, &syntax)
     }
 
     #[test]
@@ -80,7 +87,10 @@ pub fn f(x: f32, acc: f64) -> bool {
     a && b && c
 }
 "#;
-        assert_eq!(run(src).len(), 3);
+        let diags = run(src);
+        assert_eq!(diags.len(), 3);
+        // Diagnostics are item-scoped to the enclosing fn.
+        assert!(diags.iter().all(|d| d.item.as_deref() == Some("f")));
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub const KNOWN_SERVE_VERSIONS: &[i64] = &[1];
 /// `edgepc_trace::flight`'s emitter when the schema changes shape.
 pub const KNOWN_FLIGHTREC_VERSIONS: &[i64] = &[1];
 
+/// lint.json schema versions this linter understands. Bump alongside
+/// `LintReport::to_json` when the report changes shape — the linter's own
+/// output is a schema-checked artifact like any other.
+pub const KNOWN_LINT_VERSIONS: &[i64] = &[1];
+
 /// Artifacts pinned by basename: `(basename, schema, known versions)`.
 pub const PINNED_SCHEMAS: &[(&str, &str, &[i64])] = &[
     ("BENCH.json", "edgepc-bench", KNOWN_BENCH_VERSIONS),
@@ -34,6 +39,7 @@ pub const PINNED_SCHEMAS: &[(&str, &str, &[i64])] = &[
         "edgepc-flightrec",
         KNOWN_FLIGHTREC_VERSIONS,
     ),
+    ("lint.json", "edgepc-lint", KNOWN_LINT_VERSIONS),
 ];
 
 /// Checks one results artifact. `rel` is the path shown in diagnostics

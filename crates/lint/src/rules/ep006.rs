@@ -1,0 +1,841 @@
+//! EP006 — lock discipline.
+//!
+//! The serving plane takes multiple locks per request; a single inverted
+//! pair anywhere in `serve`/`trace` is a latent deadlock that runtime
+//! tests only catch if they hit the bad interleaving. This rule checks
+//! the ordering *statically*:
+//!
+//! 1. Every mutex acquisition site is declared in `LINT.toml`
+//!    (`[[lock.site]]`: file + receiver chain + lock name), and every
+//!    lock has a rank — its position in `lock.ranking`.
+//! 2. The analysis extracts per-function acquisition sites (including
+//!    the poison-tolerant wrapper idiom `fn lock(&self) ->
+//!    MutexGuard<…>`), estimates each guard's held region (chained
+//!    temporary → to end of statement; `let`-bound → to `drop(guard)` or
+//!    the end of the enclosing block), and propagates acquisition sets
+//!    over the call graph — including closures passed to functions that
+//!    invoke a callback parameter while holding a lock (the
+//!    `push_with(req, |depth| …)` shape).
+//! 3. Every held-while-acquiring edge `L → M` must ascend the declared
+//!    ranking. Descending or reentrant edges, undeclared `.lock()`
+//!    calls in scoped crates, and stale declarations (a site or ranking
+//!    entry matching nothing) are diagnostics.
+//!
+//! The analysis is a sound-enough approximation, not an alias analysis:
+//! receiver chains are matched textually per file, callees are resolved
+//! same-file-first then by name across the scoped crates, and `Condvar::
+//! wait` is understood to *release* its guard (blocking with a rank
+//! token held is safe — the lock itself is free).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::LockConfig;
+use crate::diag::Diagnostic;
+use crate::rules::SourceModel;
+use crate::syntax::{self, FileSyntax};
+
+/// Adapter methods that are part of an acquisition expression, not a use
+/// of the guard: `lock().unwrap_or_else(PoisonError::into_inner)` etc.
+const POISON_ADAPTERS: &[&str] = &["unwrap_or_else", "unwrap", "expect"];
+
+/// One file participating in the analysis.
+pub struct LockFile<'a> {
+    pub rel: &'a str,
+    pub model: &'a SourceModel,
+    pub syntax: &'a FileSyntax,
+}
+
+/// One mutex acquisition inside a function body.
+#[derive(Debug, Clone)]
+struct Acq {
+    /// Index into `LockConfig::ranking`.
+    lock: usize,
+    /// Code index of the acquiring token (`lock` ident or wrapper callee).
+    ci: usize,
+    /// Code-index extent over which the guard is considered held.
+    region: (usize, usize),
+}
+
+/// A call site surviving classification (not itself an acquisition).
+#[derive(Debug, Clone)]
+struct Call {
+    ci: usize,
+    /// Indices into the fn table of possible callees.
+    callees: Vec<usize>,
+    /// Argument paren range, for closure-literal extraction.
+    args: (usize, usize),
+}
+
+struct FnNode {
+    file: usize,
+    name: String,
+    /// `Some(type)` when the fn sits in an `impl` block.
+    impl_of: Option<String>,
+    body: Option<(usize, usize)>,
+    /// Callback-typed parameter names (`impl FnOnce(…)` etc.).
+    callback_params: Vec<String>,
+    /// Returns a guard (`-> MutexGuard<…>`): calls to it acquire its
+    /// direct locks in the *caller*.
+    is_wrapper: bool,
+    acqs: Vec<Acq>,
+    calls: Vec<Call>,
+    /// Locks this fn may acquire, transitively.
+    acquires: BTreeSet<usize>,
+    /// Locks held at the point(s) where this fn invokes its callback
+    /// parameters.
+    callbacks_under: BTreeSet<usize>,
+}
+
+/// Runs the workspace-level lock-discipline analysis over the files of
+/// the crates named in `cfg.crates`.
+pub fn check_workspace(files: &[LockFile<'_>], cfg: &LockConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // ---- fn table ---------------------------------------------------------
+    let mut fns: Vec<FnNode> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for info in &file.syntax.fns {
+            if info.is_test {
+                continue;
+            }
+            fns.push(FnNode {
+                file: fi,
+                name: info.name.clone(),
+                impl_of: info.impl_of.clone(),
+                body: info.body,
+                callback_params: info
+                    .params
+                    .iter()
+                    .filter(|p| p.is_callback())
+                    .map(|p| p.name.clone())
+                    .collect(),
+                is_wrapper: info.ret.contains("MutexGuard") || info.ret.contains("Ranked"),
+                acqs: Vec::new(),
+                calls: Vec::new(),
+                acquires: BTreeSet::new(),
+                callbacks_under: BTreeSet::new(),
+            });
+        }
+    }
+
+    // Nested fns: when scanning a body, skip sub-ranges owned by other fns.
+    let child_ranges = |fidx: usize, fns: &[FnNode]| -> Vec<(usize, usize)> {
+        let Some((open, close)) = fns[fidx].body else {
+            return Vec::new();
+        };
+        fns.iter()
+            .enumerate()
+            .filter(|&(j, f)| {
+                j != fidx
+                    && f.file == fns[fidx].file
+                    && f.body.is_some_and(|(o, c)| open < o && c < close)
+            })
+            .filter_map(|(_, f)| f.body)
+            .collect()
+    };
+
+    // ---- pass 1: direct acquisitions + undeclared-lock diagnostics --------
+    let mut site_used = vec![false; cfg.sites.len()];
+    for fidx in 0..fns.len() {
+        let Some((open, close)) = fns[fidx].body else {
+            continue;
+        };
+        let file = &files[fns[fidx].file];
+        let skip = child_ranges(fidx, &fns);
+        let code = file.model.code_indices();
+        let mut acqs = Vec::new();
+        for call in syntax::calls_in(file.model, open + 1, close.saturating_sub(1)) {
+            if call.name != "lock" || !call.is_method {
+                continue;
+            }
+            if in_ranges(call.ci, &skip) {
+                continue;
+            }
+            let recv = call.recv_path();
+            let matched = cfg
+                .sites
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.path == file.rel && s.recv == recv);
+            if let Some((si, site)) = matched {
+                site_used[si] = true;
+                // rank() is total here: parse_config rejects sites whose
+                // lock is absent from the ranking.
+                if let Some(lock) = cfg.rank(&site.lock) {
+                    let region = guard_region(file.model, call.ci, close);
+                    acqs.push(Acq {
+                        lock,
+                        ci: call.ci,
+                        region,
+                    });
+                }
+                continue;
+            }
+            // `self.lock()` (and friends): a wrapper call, classified in
+            // pass 2. Anything else is an undeclared acquisition.
+            if resolve_callees(&fns, fidx, &call.name, &call.recv, call.is_method)
+                .iter()
+                .any(|&c| fns[c].is_wrapper)
+            {
+                continue;
+            }
+            let tok = file.model.token(code[call.ci]);
+            out.push(
+                Diagnostic::new(
+                    "EP006",
+                    file.rel,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "undeclared mutex acquisition `{recv}.lock()` in `{}`: every lock in a \
+                         ranked crate needs a `[[lock.site]]` entry in LINT.toml",
+                        fns[fidx].name
+                    ),
+                )
+                .with_item(fns[fidx].name.clone())
+                .with_suggestion(
+                    "declare the site (lock name, path, recv) and place the lock in `lock.ranking`",
+                ),
+            );
+        }
+        fns[fidx].acqs = acqs;
+    }
+
+    // ---- pass 2: wrapper calls become acquisitions; remaining calls -------
+    for fidx in 0..fns.len() {
+        let Some((open, close)) = fns[fidx].body else {
+            continue;
+        };
+        let file = &files[fns[fidx].file];
+        let skip = child_ranges(fidx, &fns);
+        let mut calls = Vec::new();
+        let mut wrapper_acqs = Vec::new();
+        for call in syntax::calls_in(file.model, open + 1, close.saturating_sub(1)) {
+            if in_ranges(call.ci, &skip) {
+                continue;
+            }
+            // Already classified as a direct acquisition in pass 1.
+            if fns[fidx].acqs.iter().any(|a| a.ci == call.ci) {
+                continue;
+            }
+            let callees = resolve_callees(&fns, fidx, &call.name, &call.recv, call.is_method);
+            if callees.is_empty() {
+                continue;
+            }
+            let wrapped: BTreeSet<usize> = callees
+                .iter()
+                .filter(|&&c| fns[c].is_wrapper)
+                .flat_map(|&c| fns[c].acqs.iter().map(|a| a.lock))
+                .collect();
+            if !wrapped.is_empty() {
+                let region = guard_region(file.model, call.ci, close);
+                for lock in wrapped {
+                    wrapper_acqs.push(Acq {
+                        lock,
+                        ci: call.ci,
+                        region,
+                    });
+                }
+                continue;
+            }
+            calls.push(Call {
+                ci: call.ci,
+                callees,
+                args: call.args,
+            });
+        }
+        fns[fidx].acqs.extend(wrapper_acqs);
+        fns[fidx].calls = calls;
+    }
+
+    // ---- pass 3: transitive acquisition sets (fixpoint) -------------------
+    for f in &mut fns {
+        f.acquires = f.acqs.iter().map(|a| a.lock).collect();
+    }
+    loop {
+        let mut changed = false;
+        for fidx in 0..fns.len() {
+            let mut add: BTreeSet<usize> = BTreeSet::new();
+            for call in &fns[fidx].calls {
+                for &callee in &call.callees {
+                    add.extend(fns[callee].acquires.iter().copied());
+                }
+            }
+            for lock in add {
+                changed |= fns[fidx].acquires.insert(lock);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- pass 4: callbacks_under — callback invoked inside a held region --
+    for fidx in 0..fns.len() {
+        if fns[fidx].callback_params.is_empty() {
+            continue;
+        }
+        let mut under = BTreeSet::new();
+        for acq in &fns[fidx].acqs {
+            let invoked = fns[fidx].calls.iter().any(|c| {
+                acq.region.0 <= c.ci && c.ci <= acq.region.1 && {
+                    let file = &files[fns[fidx].file];
+                    let code = file.model.code_indices();
+                    let name = &file.model.token(code[c.ci]).text;
+                    fns[fidx].callback_params.contains(name)
+                }
+            });
+            // Call extraction drops calls it can't resolve to a workspace
+            // fn, so re-scan the region for `param(` directly.
+            let file = &files[fns[fidx].file];
+            let direct = syntax::calls_in(file.model, acq.region.0, acq.region.1)
+                .iter()
+                .any(|c| fns[fidx].callback_params.contains(&c.name) && c.recv.is_empty());
+            if invoked || direct {
+                under.insert(acq.lock);
+            }
+        }
+        fns[fidx].callbacks_under = under;
+    }
+
+    // ---- pass 5: edges ----------------------------------------------------
+    // (from, to, file, line, col, via) — BTreeMap dedupes repeat sites.
+    let mut edges: BTreeMap<(usize, usize), (usize, usize, usize, String)> = BTreeMap::new();
+    for fidx in 0..fns.len() {
+        let file = &files[fns[fidx].file];
+        let code = file.model.code_indices();
+        let skip = child_ranges(fidx, &fns);
+        for acq in &fns[fidx].acqs {
+            // Inner acquisitions while this guard is held.
+            for inner in &fns[fidx].acqs {
+                if inner.ci > acq.ci && inner.ci <= acq.region.1 && !in_ranges(inner.ci, &skip) {
+                    let tok = file.model.token(code[inner.ci]);
+                    edges.entry((acq.lock, inner.lock)).or_insert((
+                        fns[fidx].file,
+                        tok.line,
+                        tok.col,
+                        fns[fidx].name.clone(),
+                    ));
+                }
+            }
+            // Calls into lock-acquiring fns while this guard is held.
+            for call in &fns[fidx].calls {
+                if call.ci <= acq.ci || call.ci > acq.region.1 || in_ranges(call.ci, &skip) {
+                    continue;
+                }
+                let tok = file.model.token(code[call.ci]);
+                for &callee in &call.callees {
+                    for &lock in &fns[callee].acquires {
+                        edges.entry((acq.lock, lock)).or_insert((
+                            fns[fidx].file,
+                            tok.line,
+                            tok.col,
+                            format!("{} -> {}", fns[fidx].name, fns[callee].name),
+                        ));
+                    }
+                }
+            }
+        }
+        // Closure arguments passed to fns that run their callback under a
+        // lock: the closure body executes with those locks held.
+        for call in &fns[fidx].calls {
+            let held: BTreeSet<usize> = call
+                .callees
+                .iter()
+                .flat_map(|&c| fns[c].callbacks_under.iter().copied())
+                .collect();
+            if held.is_empty() {
+                continue;
+            }
+            for closure in syntax::closures_in(file.model, call.args.0 + 1, call.args.1) {
+                let (b0, b1) = closure.body;
+                // Acquisitions inside the closure body.
+                for inner in &fns[fidx].acqs {
+                    if b0 <= inner.ci && inner.ci <= b1 {
+                        let tok = file.model.token(code[inner.ci]);
+                        for &h in &held {
+                            edges.entry((h, inner.lock)).or_insert((
+                                fns[fidx].file,
+                                tok.line,
+                                tok.col,
+                                format!("closure in {}", fns[fidx].name),
+                            ));
+                        }
+                    }
+                }
+                // Calls inside the closure body into acquiring fns.
+                for inner_call in &fns[fidx].calls {
+                    if !(b0 <= inner_call.ci && inner_call.ci <= b1) {
+                        continue;
+                    }
+                    let tok = file.model.token(code[inner_call.ci]);
+                    for &callee in &inner_call.callees {
+                        for &lock in &fns[callee].acquires {
+                            for &h in &held {
+                                edges.entry((h, lock)).or_insert((
+                                    fns[fidx].file,
+                                    tok.line,
+                                    tok.col,
+                                    format!(
+                                        "closure in {} -> {}",
+                                        fns[fidx].name, fns[callee].name
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- pass 6: judge edges against the ranking --------------------------
+    for ((from, to), (fi, line, col, via)) in &edges {
+        if from < to {
+            continue; // ascends the declared ranking
+        }
+        let rel = files[*fi].rel;
+        let (from_name, to_name) = (&cfg.ranking[*from], &cfg.ranking[*to]);
+        let msg = if from == to {
+            format!("reentrant acquisition: `{to_name}` taken while already held (via {via})")
+        } else {
+            format!(
+                "lock order violation: `{to_name}` (rank {to}) acquired while holding \
+                 `{from_name}` (rank {from}) — the declared ranking requires the reverse (via {via})"
+            )
+        };
+        out.push(
+            Diagnostic::new("EP006", rel, *line, *col, msg)
+                .with_item(to_name.clone())
+                .with_suggestion(
+                    "release the outer guard first, or adjust `lock.ranking` if the design order changed",
+                ),
+        );
+    }
+
+    // ---- pass 7: stale declarations ---------------------------------------
+    for (si, used) in site_used.iter().enumerate() {
+        if !used {
+            let site = &cfg.sites[si];
+            out.push(
+                Diagnostic::new(
+                    "EP006",
+                    "LINT.toml",
+                    0,
+                    0,
+                    format!(
+                        "stale lock site: `{}` at `{}` (recv `{}`) matches no acquisition",
+                        site.lock, site.path, site.recv
+                    ),
+                )
+                .with_item(site.lock.clone())
+                .with_suggestion("delete the entry or fix its path/recv"),
+            );
+        }
+    }
+    for (li, lock) in cfg.ranking.iter().enumerate() {
+        if !cfg.sites.iter().any(|s| cfg.rank(&s.lock) == Some(li)) {
+            out.push(
+                Diagnostic::new(
+                    "EP006",
+                    "LINT.toml",
+                    0,
+                    0,
+                    format!("ranked lock `{lock}` has no `[[lock.site]]` declaration"),
+                )
+                .with_item(lock.clone())
+                .with_suggestion("declare its acquisition site or drop it from `lock.ranking`"),
+            );
+        }
+    }
+
+    out
+}
+
+fn in_ranges(ci: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(o, c)| o < ci && ci < c)
+}
+
+/// Resolves a call by name:
+///
+/// * `drop(x)` is `std::mem::drop` — never a workspace callee (explicit
+///   guard releases must not resolve to `Drop` impls, which are invoked
+///   implicitly and would fabricate edges at every release site);
+/// * `self.m()` binds to the enclosing impl's method first, then any
+///   same-file fn, then any method with that name in scope;
+/// * other method calls (`x.m()`) match every impl method named `m` —
+///   a union over possible receiver types, conservative but sound;
+/// * path calls (`Type::f`, `Self::f`) bind to that type's impl (so
+///   `Vec::new()` resolves to nothing rather than to every `new`);
+/// * bare calls (`helper(…)`) bind to free fns named `helper`.
+fn resolve_callees(
+    fns: &[FnNode],
+    caller: usize,
+    name: &str,
+    recv: &[String],
+    is_method: bool,
+) -> Vec<usize> {
+    if name == "drop" {
+        return Vec::new();
+    }
+    let caller_file = fns[caller].file;
+    let by = |pred: &dyn Fn(&FnNode) -> bool| -> Vec<usize> {
+        fns.iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == name && pred(f))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    if is_method {
+        if recv.len() == 1 && recv[0] == "self" {
+            let same_impl = by(&|f: &FnNode| {
+                f.file == caller_file && f.impl_of == fns[caller].impl_of && f.impl_of.is_some()
+            });
+            if !same_impl.is_empty() {
+                return same_impl;
+            }
+            let same_file = by(&|f: &FnNode| f.file == caller_file);
+            if !same_file.is_empty() {
+                return same_file;
+            }
+        }
+        return by(&|f: &FnNode| f.impl_of.is_some());
+    }
+    match recv.last() {
+        Some(seg) => {
+            let ty = if seg == "Self" {
+                fns[caller].impl_of.clone()
+            } else {
+                Some(seg.clone())
+            };
+            let assoc = by(&|f: &FnNode| f.impl_of == ty);
+            if !assoc.is_empty() {
+                return assoc;
+            }
+            // `module::free_fn(…)`: the last path segment is a module,
+            // not a type — fall through to free fns.
+            by(&|f: &FnNode| f.impl_of.is_none())
+        }
+        None => by(&|f: &FnNode| f.impl_of.is_none()),
+    }
+}
+
+/// Estimates the code-index extent over which the guard produced at
+/// `acq_ci` is held. `body_close` bounds the scan.
+fn guard_region(model: &SourceModel, acq_ci: usize, body_close: usize) -> (usize, usize) {
+    let code = model.code_indices();
+    let text = |j: usize| model.token(code[j]).text.as_str();
+
+    // Step over the acquisition expression: `(…)` then poison adapters.
+    let mut j = acq_ci + 1;
+    if j < code.len() && text(j) == "(" {
+        j = syntax::match_parens(model, j)
+            .map(|c| c + 1)
+            .unwrap_or(j + 1);
+    }
+    loop {
+        if j + 2 < code.len()
+            && text(j) == "."
+            && POISON_ADAPTERS.contains(&text(j + 1))
+            && text(j + 2) == "("
+        {
+            j = syntax::match_parens(model, j + 2)
+                .map(|c| c + 1)
+                .unwrap_or(j + 3);
+        } else {
+            break;
+        }
+    }
+
+    // Is the statement a `let` binding? Walk back to the statement start.
+    let mut k = acq_ci;
+    let mut is_let = false;
+    let mut binding: Option<String> = None;
+    while k > 0 {
+        k -= 1;
+        match text(k) {
+            ";" | "{" | "}" => break,
+            "let" => {
+                is_let = true;
+                // Binding name: first ident after `let` (skipping `mut`).
+                let mut b = k + 1;
+                while b < acq_ci {
+                    let t = text(b);
+                    if t != "mut" && t != "(" {
+                        binding = Some(t.to_string());
+                        break;
+                    }
+                    b += 1;
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    if is_let {
+        // Held to `drop(binding)` or to the end of the enclosing block.
+        let block_end = enclosing_block_end(model, acq_ci, body_close);
+        if let Some(name) = binding {
+            let mut d = j;
+            while d < block_end {
+                if text(d) == "drop"
+                    && d + 2 < code.len()
+                    && text(d + 1) == "("
+                    && text(d + 2) == name
+                {
+                    return (acq_ci, d);
+                }
+                d += 1;
+            }
+        }
+        (acq_ci, block_end)
+    } else {
+        // Chained temporary: held to the end of the statement.
+        let mut depth = 0i32;
+        let mut d = j;
+        while d <= body_close && d < code.len() {
+            match text(d) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" if depth > 0 => depth -= 1,
+                ")" | "]" | "}" => return (acq_ci, d.saturating_sub(1)),
+                ";" | "," if depth == 0 => return (acq_ci, d),
+                _ => {}
+            }
+            d += 1;
+        }
+        (acq_ci, body_close)
+    }
+}
+
+/// The code index of the `}` closing the innermost block containing
+/// `ci`, bounded by `body_close`.
+fn enclosing_block_end(model: &SourceModel, ci: usize, body_close: usize) -> usize {
+    let code = model.code_indices();
+    let text = |j: usize| model.token(code[j]).text.as_str();
+    let mut depth = 0i32;
+    let mut d = ci;
+    while d <= body_close && d < code.len() {
+        match text(d) {
+            "{" => depth += 1,
+            "}" => {
+                if depth == 0 {
+                    return d;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        d += 1;
+    }
+    body_close
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse_config;
+
+    fn run(sources: &[(&str, &str)], cfg_src: &str) -> Vec<Diagnostic> {
+        let cfg = parse_config(cfg_src).expect("config");
+        let lock = cfg.lock.expect("lock section");
+        let models: Vec<(String, SourceModel)> = sources
+            .iter()
+            .map(|(rel, src)| ((*rel).to_string(), SourceModel::new(rel, src)))
+            .collect();
+        let syntaxes: Vec<FileSyntax> = models.iter().map(|(_, m)| FileSyntax::parse(m)).collect();
+        let files: Vec<LockFile<'_>> = models
+            .iter()
+            .zip(&syntaxes)
+            .map(|((rel, model), syntax)| LockFile { rel, model, syntax })
+            .collect();
+        check_workspace(&files, &lock)
+    }
+
+    const CFG: &str = r#"
+[lock]
+ranking = ["t.low", "t.high"]
+crates = ["serve"]
+
+[[lock.site]]
+lock = "t.low"
+path = "crates/serve/src/a.rs"
+recv = "self.low"
+
+[[lock.site]]
+lock = "t.high"
+path = "crates/serve/src/a.rs"
+recv = "self.high"
+"#;
+
+    #[test]
+    fn ascending_nesting_is_clean() {
+        let src = r#"
+use std::sync::{Mutex, MutexGuard, PoisonError};
+pub struct S { low: Mutex<u64>, high: Mutex<u64> }
+impl S {
+    pub fn ok(&self) {
+        let mut a = self.low.lock().unwrap_or_else(PoisonError::into_inner);
+        *a += 1;
+        let b = self.high.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(b);
+    }
+}
+"#;
+        let diags = run(&[("crates/serve/src/a.rs", src)], CFG);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn descending_nesting_is_flagged() {
+        let src = r#"
+use std::sync::{Mutex, PoisonError};
+pub struct S { low: Mutex<u64>, high: Mutex<u64> }
+impl S {
+    pub fn bad(&self) {
+        let mut b = self.high.lock().unwrap_or_else(PoisonError::into_inner);
+        *b += 1;
+        let a = self.low.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(a);
+        drop(b);
+    }
+}
+"#;
+        let diags = run(&[("crates/serve/src/a.rs", src)], CFG);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("lock order violation")),
+            "expected order violation: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn early_drop_releases_the_guard() {
+        let src = r#"
+use std::sync::{Mutex, PoisonError};
+pub struct S { low: Mutex<u64>, high: Mutex<u64> }
+impl S {
+    pub fn fine(&self) {
+        let mut b = self.high.lock().unwrap_or_else(PoisonError::into_inner);
+        *b += 1;
+        drop(b);
+        let a = self.low.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(a);
+    }
+}
+"#;
+        let diags = run(&[("crates/serve/src/a.rs", src)], CFG);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn interprocedural_edge_through_wrapper_and_call() {
+        let a = r#"
+use std::sync::{Mutex, MutexGuard, PoisonError};
+pub struct S { low: Mutex<u64>, high: Mutex<u64> }
+impl S {
+    fn lock(&self) -> MutexGuard<'_, u64> {
+        self.high.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+    pub fn outer(&self) {
+        let g = self.lock();
+        self.touch_low();
+        drop(g);
+    }
+    pub fn touch_low(&self) {
+        let a = self.low.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(a);
+    }
+}
+"#;
+        let diags = run(&[("crates/serve/src/a.rs", a)], CFG);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("lock order violation")
+                    && d.message.contains("outer -> touch_low")),
+            "expected interprocedural violation: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn callback_under_lock_propagates_to_closure_argument() {
+        let cfg = r#"
+[lock]
+ranking = ["t.inner", "t.q"]
+crates = ["serve"]
+
+[[lock.site]]
+lock = "t.q"
+path = "crates/serve/src/q.rs"
+recv = "self.inner"
+
+[[lock.site]]
+lock = "t.inner"
+path = "crates/serve/src/e.rs"
+recv = "self.state"
+"#;
+        let q = r#"
+use std::sync::{Mutex, PoisonError};
+pub struct Q { inner: Mutex<u64> }
+impl Q {
+    pub fn push_with(&self, on_admit: impl FnOnce(u64)) {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        *g += 1;
+        on_admit(*g);
+        drop(g);
+    }
+}
+"#;
+        let e = r#"
+use std::sync::{Mutex, PoisonError};
+pub struct E { state: Mutex<u64> }
+impl E {
+    pub fn submit(&self, q: &super::q::Q) {
+        q.push_with(|depth| {
+            let s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = depth + *s;
+        });
+    }
+}
+"#;
+        let diags = run(
+            &[("crates/serve/src/q.rs", q), ("crates/serve/src/e.rs", e)],
+            cfg,
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("lock order violation")
+                    && d.message.contains("closure in submit")),
+            "expected closure-under-lock violation: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn undeclared_and_stale_sites_are_flagged() {
+        let src = r#"
+use std::sync::{Mutex, PoisonError};
+pub struct S { mystery: Mutex<u64> }
+impl S {
+    pub fn poke(&self) {
+        let g = self.mystery.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(g);
+    }
+}
+"#;
+        let diags = run(&[("crates/serve/src/a.rs", src)], CFG);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("undeclared mutex acquisition")));
+        // Both declared sites match nothing in this source.
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.message.contains("stale lock site"))
+                .count(),
+            2
+        );
+    }
+}

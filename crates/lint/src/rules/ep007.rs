@@ -1,0 +1,359 @@
+//! EP007 — determinism hygiene.
+//!
+//! The repo's headline invariant is bit-identical outputs at any thread
+//! budget (`par_determinism` pins). This rule flags the three classic
+//! ways that invariant erodes in the deterministic crates:
+//!
+//! * **(a) hash-order leaks**: iterating a `HashMap`/`HashSet`
+//!   (`iter`/`keys`/`values`/`drain`/`into_iter`) inside a fn that
+//!   returns a value — hash iteration order is randomized per process,
+//!   so anything derived from it must be sorted first. A later `sort*`
+//!   call on the iteration result inside the same fn sanitizes the site.
+//!   Keyed access (`get`/`entry`/`contains_key`/`insert`) is fine.
+//! * **(b) wall-clock and identity values**: `Instant::now`,
+//!   `SystemTime`, `ThreadId` / `thread::current()` in non-test code —
+//!   timing belongs in spans (the `trace` crate is exempt by
+//!   configuration), never in results.
+//! * **(c) unordered cross-chunk communication in parallel folds**:
+//!   closures passed to the `par_*` primitives that use read-modify-write
+//!   atomics (`fetch_add`…, `compare_exchange`) or take mutexes — both
+//!   make the result depend on chunk scheduling. Plain `store`/`load`
+//!   (the disjoint-index radix scatter idiom) and chunk-order
+//!   recombination stay allowed.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::SourceModel;
+use crate::syntax::{self, FileSyntax};
+
+/// Crates under the bit-identical-results contract. `serve`/`trace`/
+/// `perf` are exempt: they measure wall time by design.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "geom", "morton", "par", "sample", "neighbor", "models", "core", "nn",
+];
+
+const HASH_ITERATORS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+const PAR_ENTRY_POINTS: &[&str] = &[
+    "par_for",
+    "par_map",
+    "par_chunk_map",
+    "par_chunks_mut",
+    "par_ranges",
+    "par_reduce",
+];
+
+const RMW_ATOMICS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+pub fn check(model: &SourceModel, syn: &FileSyntax) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let code = model.code_indices();
+    let text = |ci: usize| model.token(code[ci]).text.as_str();
+    let kind = |ci: usize| model.token(code[ci]).kind;
+    let is_test = |ci: usize| model.in_test(code[ci]);
+
+    // --- (a) names bound to hash collections -------------------------------
+    let mut hash_names: Vec<String> = Vec::new();
+    for ci in 0..code.len() {
+        if kind(ci) != TokenKind::Ident || !matches!(text(ci), "HashMap" | "HashSet") {
+            continue;
+        }
+        // Walk back over the path (`std :: collections :: HashMap`) and
+        // any reference/mutability tokens (`&`, `mut`, lifetimes).
+        let mut j = ci;
+        while j >= 2 && text(j - 1) == "::" && kind(j - 2) == TokenKind::Ident {
+            j -= 2;
+        }
+        while j >= 1 && (matches!(text(j - 1), "&" | "mut") || kind(j - 1) == TokenKind::Lifetime) {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let name = match text(j - 1) {
+            // `name: HashMap<…>` (binding or field or param).
+            ":" if j >= 2 && kind(j - 2) == TokenKind::Ident => text(j - 2),
+            // `let name = HashMap::new()` / `= HashSet::from(…)`.
+            "=" if j >= 2 && kind(j - 2) == TokenKind::Ident => text(j - 2),
+            _ => continue,
+        };
+        if !hash_names.iter().any(|n| n == name) {
+            hash_names.push(name.to_string());
+        }
+    }
+    for ci in 0..code.len() {
+        if kind(ci) != TokenKind::Ident
+            || !HASH_ITERATORS.contains(&text(ci))
+            || is_test(ci)
+            || ci + 1 >= code.len()
+            || text(ci + 1) != "("
+            || ci == 0
+            || text(ci - 1) != "."
+        {
+            continue;
+        }
+        let (recv, _) = syntax::recv_chain(model, ci);
+        let Some(hashed) = recv.iter().find(|c| {
+            let base = c.trim_end_matches("()");
+            hash_names.iter().any(|n| n == base)
+        }) else {
+            continue;
+        };
+        let Some(f) = syn.enclosing_fn(ci) else {
+            continue;
+        };
+        if f.ret.is_empty() {
+            continue; // nothing returned; iteration feeds no result value
+        }
+        // Sanitized if the iteration result is sorted later in the fn.
+        let sorted_after = f.body.is_some_and(|(_, close)| {
+            (ci..=close.min(code.len().saturating_sub(1))).any(|j| {
+                kind(j) == TokenKind::Ident
+                    && text(j).starts_with("sort")
+                    && j > 0
+                    && text(j - 1) == "."
+            })
+        });
+        if sorted_after {
+            continue;
+        }
+        let tok = model.token(code[ci]);
+        out.push(
+            Diagnostic::new(
+                "EP007",
+                &model.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "hash-order leak: `{hashed}.{}()` iterates a HashMap/HashSet inside `{}`, \
+                     which returns a value — iteration order is randomized per process",
+                    text(ci),
+                    f.name
+                ),
+            )
+            .with_item(f.name.clone())
+            .with_suggestion("sort the iteration result (or collect into a sorted structure) before it feeds the return value"),
+        );
+    }
+
+    // --- (b) wall-clock / thread-identity sources --------------------------
+    for ci in 0..code.len() {
+        if kind(ci) != TokenKind::Ident || is_test(ci) {
+            continue;
+        }
+        let offender = match text(ci) {
+            "Instant" if ci + 2 < code.len() && text(ci + 1) == "::" && text(ci + 2) == "now" => {
+                Some("Instant::now")
+            }
+            "SystemTime" => Some("SystemTime"),
+            "ThreadId" => Some("ThreadId"),
+            "current" if ci >= 2 && text(ci - 1) == "::" && text(ci - 2) == "thread" => {
+                Some("thread::current")
+            }
+            _ => None,
+        };
+        let Some(offender) = offender else { continue };
+        let tok = model.token(code[ci]);
+        let item = syn.enclosing_fn(ci).map(|f| f.name.clone());
+        let mut d = Diagnostic::new(
+            "EP007",
+            &model.rel,
+            tok.line,
+            tok.col,
+            format!(
+                "nondeterministic source `{offender}` in a deterministic crate — timing and \
+                 thread identity belong in spans (edgepc-trace), never in results"
+            ),
+        )
+        .with_suggestion("move the measurement into a span or behind the trace registry");
+        if let Some(item) = item {
+            d = d.with_item(item);
+        }
+        out.push(d);
+    }
+
+    // --- (c) scheduling-dependent state in par_* closures ------------------
+    for f in &syn.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        for call in syntax::calls_in(model, open + 1, close.saturating_sub(1)) {
+            if !PAR_ENTRY_POINTS.contains(&call.name.as_str()) {
+                continue;
+            }
+            for closure in syntax::closures_in(model, call.args.0 + 1, call.args.1) {
+                scan_par_closure(model, syn, &call.name, closure.body, &mut out);
+            }
+        }
+    }
+
+    out
+}
+
+fn scan_par_closure(
+    model: &SourceModel,
+    syn: &FileSyntax,
+    par_fn: &str,
+    body: (usize, usize),
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = model.code_indices();
+    let text = |ci: usize| model.token(code[ci]).text.as_str();
+    let kind = |ci: usize| model.token(code[ci]).kind;
+    for ci in body.0..=body.1.min(code.len().saturating_sub(1)) {
+        if kind(ci) != TokenKind::Ident || ci == 0 || text(ci - 1) != "." {
+            continue;
+        }
+        if ci + 1 >= code.len() || text(ci + 1) != "(" {
+            continue;
+        }
+        let name = text(ci);
+        let offender = if RMW_ATOMICS.contains(&name) {
+            Some("read-modify-write atomic")
+        } else if name == "lock" {
+            Some("mutex acquisition")
+        } else {
+            None
+        };
+        let Some(offender) = offender else { continue };
+        if model.in_test(code[ci]) {
+            continue;
+        }
+        let tok = model.token(code[ci]);
+        let item = syn
+            .enclosing_fn(ci)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| par_fn.to_string());
+        out.push(
+            Diagnostic::new(
+                "EP007",
+                &model.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "{offender} `.{name}()` inside a `{par_fn}` closure makes the fold depend on \
+                     chunk scheduling — recombine per-chunk results in chunk order instead"
+                ),
+            )
+            .with_item(item)
+            .with_suggestion(
+                "return per-chunk values and combine them after the parallel section (chunk-order recombination)",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = SourceModel::new("crates/geom/src/x.rs", src);
+        let syn = FileSyntax::parse(&model);
+        check(&model, &syn)
+    }
+
+    #[test]
+    fn unsorted_hash_iteration_feeding_return_is_flagged() {
+        let src = r#"
+use std::collections::HashMap;
+pub fn skewed(m: &HashMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect()
+}
+"#;
+        let diags = run(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("hash-order leak"));
+        assert_eq!(diags[0].item.as_deref(), Some("skewed"));
+    }
+
+    #[test]
+    fn sorted_iteration_and_keyed_access_are_clean() {
+        let src = r#"
+use std::collections::HashMap;
+pub fn ordered(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut names: Vec<String> = m.keys().cloned().collect();
+    names.sort();
+    names
+}
+pub fn keyed(m: &HashMap<String, u64>, k: &str) -> u64 {
+    m.get(k).copied().unwrap_or(0)
+}
+pub fn side_effect_only(m: &HashMap<String, u64>) {
+    for v in m.values() {
+        let _ = v;
+    }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_sources_are_flagged_outside_tests() {
+        let src = r#"
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}
+"#;
+        let diags = run(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn rmw_atomics_in_par_closures_are_flagged_but_store_is_fine() {
+        let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn bad_fold(xs: &[u64], total: &AtomicU64) -> u64 {
+    edgepc_par::par_reduce(
+        xs,
+        8,
+        |chunk| {
+            total.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            chunk.iter().sum()
+        },
+        |a, b| a + b,
+    )
+}
+pub fn scatter(xs: &[u64], out: &[AtomicU64]) {
+    edgepc_par::par_for(xs.len(), 8, |i| {
+        out[i].store(xs[i], Ordering::Relaxed);
+    });
+}
+"#;
+        let diags = run(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("fetch_add"));
+        assert_eq!(diags[0].item.as_deref(), Some("bad_fold"));
+    }
+}

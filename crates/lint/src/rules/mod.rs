@@ -13,6 +13,9 @@ pub mod ep002;
 pub mod ep003;
 pub mod ep004;
 pub mod ep005;
+pub mod ep006;
+pub mod ep007;
+pub mod ep008;
 
 use crate::lexer::{self, Token, TokenKind};
 
@@ -27,6 +30,8 @@ pub struct RuleSet {
     pub float_eq: bool,
     /// EP003 span coverage (designated hot modules only).
     pub span_coverage: bool,
+    /// EP007 determinism hygiene (deterministic crates only).
+    pub determinism: bool,
 }
 
 /// A tokenized source file with test regions resolved.
@@ -193,7 +198,7 @@ fn scan_attribute(tokens: &[Token], code: &[usize], ci: usize) -> Option<(usize,
 }
 
 /// Given `ci` pointing at `{`, returns the code index of the matching `}`.
-fn match_braces(tokens: &[Token], code: &[usize], ci: usize) -> Option<usize> {
+pub fn match_braces(tokens: &[Token], code: &[usize], ci: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (j, &ti) in code.iter().enumerate().skip(ci) {
         match tokens[ti].text.as_str() {
@@ -210,18 +215,25 @@ fn match_braces(tokens: &[Token], code: &[usize], ci: usize) -> Option<usize> {
     None
 }
 
-/// Runs the enabled per-file rules over one Rust source text.
+/// Runs the enabled per-file rules over one Rust source text. The engine
+/// in `lib.rs` dispatches rules individually (sharing one parsed
+/// [`SourceModel`] + syntax tree and timing each rule); this is the
+/// single-file convenience entry point.
 pub fn lint_rust_source(rel: &str, src: &str, rules: RuleSet) -> Vec<crate::diag::Diagnostic> {
     let model = SourceModel::new(rel, src);
+    let syntax = crate::syntax::FileSyntax::parse(&model);
     let mut out = Vec::new();
     if rules.panic_freedom {
         out.extend(ep001::check(&model));
     }
     if rules.float_eq {
-        out.extend(ep002::check(&model));
+        out.extend(ep002::check(&model, &syntax));
     }
     if rules.span_coverage {
         out.extend(ep003::check(&model));
+    }
+    if rules.determinism {
+        out.extend(ep007::check(&model, &syntax));
     }
     out
 }

@@ -1,0 +1,10 @@
+//! The sanctioned determinism shape: hash-map iteration is fine when the
+//! result is sorted before it escapes.
+
+use std::collections::HashMap;
+
+pub fn sorted_keys(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}

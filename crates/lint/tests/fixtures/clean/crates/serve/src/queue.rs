@@ -1,0 +1,35 @@
+//! The sanctioned locking shapes: ascending acquisition through a
+//! poison-tolerant wrapper, and an early drop that ends the held region
+//! before the next acquisition.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct Queue {
+    low: Mutex<u32>,
+    high: Mutex<u32>,
+}
+
+impl Queue {
+    /// The poison-tolerant wrapper idiom EP006 classifies as an
+    /// acquisition of `fixture.low` at every call site.
+    fn lock_low(&self) -> MutexGuard<'_, u32> {
+        self.low.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Ascending nesting: `fixture.low` then `fixture.high`.
+    pub fn ascending(&self) -> u32 {
+        let l = self.lock_low();
+        let h = self.high.lock().unwrap_or_else(PoisonError::into_inner);
+        *l + *h
+    }
+
+    /// Early drop: the low guard is released before the high acquisition,
+    /// so no edge exists at all.
+    pub fn sequential(&self) -> u32 {
+        let l = self.lock_low();
+        let low = *l;
+        drop(l);
+        let h = self.high.lock().unwrap_or_else(PoisonError::into_inner);
+        low + *h
+    }
+}

@@ -1,0 +1,26 @@
+//! Planted EP006 violations: a descending lock acquisition and an
+//! undeclared mutex. The fixture LINT.toml ranks `fixture.low` below
+//! `fixture.high` and declares a stale site plus a ghost ranking entry.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Queue {
+    low: Mutex<u32>,
+    high: Mutex<u32>,
+    count: Mutex<u32>,
+}
+
+impl Queue {
+    /// EP006: acquires `fixture.low` while holding `fixture.high` — the
+    /// declared ranking requires the reverse.
+    pub fn descending(&self) -> u32 {
+        let h = self.high.lock().unwrap_or_else(PoisonError::into_inner);
+        let l = self.low.lock().unwrap_or_else(PoisonError::into_inner);
+        *h + *l
+    }
+
+    /// EP006: `self.count` has no `[[lock.site]]` declaration.
+    pub fn undeclared(&self) -> u32 {
+        *self.count.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,13 @@
+//! Planted EP008 violations: heap allocations inside a function the
+//! fixture LINT.toml designates steady-state allocation-free.
+
+pub fn record_hot(name: &str) -> String {
+    let key = format!("span.{name}");
+    let copy = key.clone();
+    copy
+}
+
+/// Not designated: the same allocations are fine here.
+pub fn render_cold(name: &str) -> String {
+    format!("cold.{name}")
+}

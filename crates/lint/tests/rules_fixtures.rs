@@ -1,6 +1,6 @@
 //! End-to-end runs over the fixture mini-workspaces in
 //! `tests/fixtures/`: the violating tree must trip every rule (EP000
-//! through EP005) and the clean tree none, both through the library API
+//! through EP008) and the clean tree none, both through the library API
 //! and through the `lint_all` binary.
 
 // Test-support helpers sit outside #[test] fns, where clippy.toml's
@@ -21,7 +21,9 @@ fn fixture(name: &str) -> PathBuf {
 fn violating_fixture_trips_every_rule() {
     let report = edgepc_lint::run_workspace(&fixture("violating")).expect("fixture run");
     let rules: BTreeSet<&str> = report.violations.iter().map(|d| d.rule).collect();
-    for expected in ["EP000", "EP001", "EP002", "EP003", "EP004", "EP005"] {
+    for expected in [
+        "EP000", "EP001", "EP002", "EP003", "EP004", "EP005", "EP006", "EP007", "EP008",
+    ] {
         assert!(
             rules.contains(expected),
             "expected a {expected} violation, got rules {rules:?}:\n{}",
@@ -63,6 +65,57 @@ fn violating_fixture_pinpoints_the_planted_sites() {
         .any(|d| d.rule == "EP005" && d.file == "results/broken.json"));
     // EP000: the deliberately stale waiver.
     assert!(has("EP000", "LINT.toml", "crates/morton/src/lib.rs"));
+    // EP006: the descending acquisition, the undeclared mutex, the stale
+    // site declaration, and the ghost ranking entry.
+    assert!(has(
+        "EP006",
+        "crates/serve/src/queue.rs",
+        "lock order violation"
+    ));
+    assert!(has(
+        "EP006",
+        "crates/serve/src/queue.rs",
+        "undeclared mutex acquisition `self.count.lock()`"
+    ));
+    assert!(has("EP006", "LINT.toml", "stale lock site"));
+    assert!(has("EP006", "LINT.toml", "fixture.ghost"));
+    // EP007: hash-order leak, wall-clock read, and the par-fold race.
+    assert!(has("EP007", "crates/geom/src/detmap.rs", "hash-order leak"));
+    assert!(has("EP007", "crates/geom/src/detmap.rs", "Instant::now"));
+    assert!(has("EP007", "crates/geom/src/detmap.rs", "par_for"));
+    // EP008: both planted allocations in the designated fn, and none in
+    // the undesignated sibling.
+    assert!(has("EP008", "crates/serve/src/record.rs", "`format!`"));
+    assert!(has("EP008", "crates/serve/src/record.rs", "`.clone()`"));
+    assert!(!report
+        .violations
+        .iter()
+        .any(|d| d.rule == "EP008" && d.item.as_deref() == Some("render_cold")));
+}
+
+#[test]
+fn rules_filter_runs_only_the_named_rules() {
+    let report = edgepc_lint::run_workspace_with(
+        &fixture("violating"),
+        Some(&["EP006".to_string(), "EP008".to_string()]),
+    )
+    .expect("filtered run");
+    let rules: BTreeSet<&str> = report.violations.iter().map(|d| d.rule).collect();
+    assert!(rules.contains("EP006"));
+    assert!(rules.contains("EP008"));
+    // Skipped rules report nothing — including EP000 for the stale EP001
+    // waiver, which is exempt while its rule is not running.
+    for skipped in [
+        "EP000", "EP001", "EP002", "EP003", "EP004", "EP005", "EP007",
+    ] {
+        assert!(!rules.contains(skipped), "unexpected {skipped} diagnostic");
+    }
+    // Only the enabled rules (plus parse) are timed.
+    assert!(report.timings_us.iter().any(|(r, _)| *r == "EP006"));
+    assert!(!report.timings_us.iter().any(|(r, _)| *r == "EP007"));
+
+    let unknown = edgepc_lint::run_workspace_with(&fixture("violating"), Some(&["EP999".into()]));
+    assert!(unknown.is_err(), "unknown rule names must be rejected");
 }
 
 #[test]
@@ -108,6 +161,61 @@ fn lint_all_binary_fails_on_violating_fixture() {
         Some(false),
         "report must say clean=false"
     );
+}
+
+#[test]
+fn lint_all_binary_honors_rules_filter() {
+    let json = Path::new(env!("CARGO_TARGET_TMPDIR")).join("filtered_lint.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_lint_all"))
+        .arg("--root")
+        .arg(fixture("violating"))
+        .arg("--rules")
+        .arg("EP001")
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("spawn lint_all --rules");
+    assert_eq!(out.status.code(), Some(1), "EP001 findings must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("[EP001]"),
+        "stdout missing EP001:\n{stdout}"
+    );
+    for absent in ["EP002", "EP005", "EP000"] {
+        assert!(
+            !stdout.contains(&format!("[{absent}]")),
+            "filtered run leaked {absent} diagnostics:\n{stdout}"
+        );
+    }
+    // The summary carries per-rule wall time for the rules that ran.
+    assert!(
+        stdout.contains("EP001 ") && stdout.contains("ms"),
+        "summary missing per-rule timing:\n{stdout}"
+    );
+}
+
+/// The report `lint_all` emits must itself satisfy the EP005 schema pin:
+/// a second invocation in `--results` mode validates the first run's
+/// lint.json, which is exactly the check `ci.sh` performs after the gate.
+#[test]
+fn emitted_lint_json_passes_the_ep005_schema_pin() {
+    let json = Path::new(env!("CARGO_TARGET_TMPDIR")).join("self_check_lint.json");
+    run_lint_all(&fixture("clean"), &json);
+    let out = Command::new(env!("CARGO_BIN_EXE_lint_all"))
+        .arg("--results")
+        .arg(&json)
+        .output()
+        .expect("spawn lint_all --results");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "lint.json failed its own schema pin; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // The timing breakdown rides along under the same schema version.
+    let doc = edgepc_lint::json_lite::parse(&std::fs::read_to_string(&json).expect("lint.json"))
+        .expect("valid report json");
+    assert!(doc.get("timings_us").is_some(), "report missing timings_us");
 }
 
 #[test]

@@ -20,6 +20,7 @@ use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use edgepc_geom::guard::ranked_with;
 use edgepc_geom::required;
 use edgepc_models::Scratch;
 use edgepc_trace::{next_trace_id, span_in, with_registry, with_trace, Registry};
@@ -27,6 +28,7 @@ use edgepc_trace::{next_trace_id, span_in, with_registry, with_trace, Registry};
 use crate::config::EngineConfig;
 use crate::error::ServeError;
 use crate::flight::TelemetryPlane;
+use crate::lockrank;
 use crate::metrics;
 use crate::model::{ModelSpec, ServeModel};
 use crate::queue::{Pop, SubmitQueue};
@@ -169,8 +171,12 @@ impl Engine {
     pub fn shutdown(&self) {
         let _span = span_in(self.registry.clone(), "serve.shutdown", "serve");
         self.queue.begin_shutdown();
-        let handles =
-            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        let handles = {
+            let mut workers = ranked_with(lockrank::WORKERS, "serve.workers", || {
+                self.workers.lock().unwrap_or_else(PoisonError::into_inner)
+            });
+            std::mem::take(&mut **workers)
+        };
         for handle in handles {
             // A worker that panicked already poisoned nothing we rely on;
             // its queued requests resolve as WorkerLost via channel drop.

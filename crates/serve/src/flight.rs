@@ -17,13 +17,15 @@
 //! request's full span tree is retained in the registry or discarded.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, Once, PoisonError, Weak};
+use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError, Weak};
 
+use edgepc_geom::guard::{ranked_with, Ranked};
 use edgepc_trace::flight::{flightrec_json, EventKind, FlightRecorder, TelemetryEvent};
 use edgepc_trace::tail::TailSampler;
 use edgepc_trace::Registry;
 
 use crate::config::FlightConfig;
+use crate::lockrank;
 use crate::metrics;
 
 /// Sliding-window burst counters behind the dump triggers.
@@ -115,7 +117,9 @@ impl TelemetryPlane {
     pub(crate) fn note_done(&self, trace_id: u64, total_us: u64, batch_size: u64) -> bool {
         self.event(trace_id, EventKind::Done, total_us, batch_size);
         let (retain, threshold_us) = {
-            let mut sampler = self.sampler.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut sampler = ranked_with(lockrank::SAMPLER, "serve.sampler", || {
+                self.sampler.lock().unwrap_or_else(PoisonError::into_inner)
+            });
             sampler.observe_admit(total_us)
         };
         self.registry
@@ -157,8 +161,10 @@ impl TelemetryPlane {
         }
     }
 
-    fn lock_trigger(&self) -> std::sync::MutexGuard<'_, TriggerState> {
-        self.trigger.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_trigger(&self) -> Ranked<MutexGuard<'_, TriggerState>> {
+        ranked_with(lockrank::TRIGGER, "serve.trigger", || {
+            self.trigger.lock().unwrap_or_else(PoisonError::into_inner)
+        })
     }
 
     /// Rate limit shared by all triggers; records the dump time when it
@@ -220,7 +226,9 @@ static PLANES: Mutex<Vec<Weak<TelemetryPlane>>> = Mutex::new(Vec::new());
 static HOOK_INSTALL: Once = Once::new();
 
 fn register_for_guard_hook(plane: &Arc<TelemetryPlane>) {
-    let mut planes = PLANES.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut planes = ranked_with(lockrank::PLANES, "serve.planes", || {
+        PLANES.lock().unwrap_or_else(PoisonError::into_inner)
+    });
     planes.retain(|w| w.strong_count() > 0);
     planes.push(Arc::downgrade(plane));
     drop(planes);
@@ -228,12 +236,12 @@ fn register_for_guard_hook(plane: &Arc<TelemetryPlane>) {
         // First install wins process-wide; if another subsystem got there
         // first we simply lose violation dumps, never correctness.
         let _ = edgepc_geom::set_violation_hook(|_msg| {
-            let planes: Vec<Arc<TelemetryPlane>> = PLANES
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .iter()
-                .filter_map(Weak::upgrade)
-                .collect();
+            let planes: Vec<Arc<TelemetryPlane>> = {
+                let held = ranked_with(lockrank::PLANES, "serve.planes", || {
+                    PLANES.lock().unwrap_or_else(PoisonError::into_inner)
+                });
+                held.iter().filter_map(Weak::upgrade).collect()
+            };
             for plane in planes {
                 plane.note_violation();
             }

@@ -34,6 +34,7 @@
 
 mod batch;
 mod flight;
+mod lockrank;
 mod queue;
 
 pub mod config;

@@ -1,0 +1,33 @@
+//! Runtime lock ranks for the serving runtime's mutexes.
+//!
+//! These mirror the positions of `serve.*` in the workspace lock ranking
+//! declared in `LINT.toml` (`[lock] ranking`, enforced statically by lint
+//! rule EP006): a thread may only acquire a lock whose rank is strictly
+//! greater than every rank it already holds. The debug-build validator in
+//! [`edgepc_geom::guard`] checks the same ordering at runtime through
+//! [`edgepc_geom::guard::rank_scope`] / [`edgepc_geom::guard::ranked_with`].
+//!
+//! Ordering rationale: the violation hook walks the `PLANES` list and
+//! then fans out into per-plane trigger state and the trace registry, so
+//! `PLANES` ranks first; admission telemetry runs under the queue lock
+//! and records into the registry and flight recorder (ranks 70/80 in
+//! `edgepc_trace::lockrank`), so the queue ranks below both.
+
+/// `serve.planes` — the process-wide list of live telemetry planes the
+/// `guard::violation` hook fans out to.
+pub(crate) const PLANES: u16 = 10;
+
+/// `serve.workers` — the engine's worker `JoinHandle` vector.
+pub(crate) const WORKERS: u16 = 20;
+
+/// `serve.queue` — the bounded submission queue.
+pub(crate) const QUEUE: u16 = 30;
+
+/// `serve.trigger` — the flight-dump trigger burst counters.
+pub(crate) const TRIGGER: u16 = 40;
+
+/// `serve.sampler` — the tail sampler's P² state.
+pub(crate) const SAMPLER: u16 = 50;
+
+/// `serve.telemetry` — the telemetry endpoint's quit flag.
+pub(crate) const TELEMETRY: u16 = 60;

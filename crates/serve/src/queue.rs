@@ -11,8 +11,11 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use edgepc_geom::guard::{rank_scope, ranked_with, Ranked};
+
 use crate::batch::{gather_compatible, split_expired};
 use crate::error::ServeError;
+use crate::lockrank;
 use crate::request::QueuedRequest;
 
 /// What a worker pulled off the queue.
@@ -50,9 +53,12 @@ impl SubmitQueue {
 
     /// A poisoned mutex only means another thread panicked mid-operation;
     /// the deque is still structurally sound, so recover the guard rather
-    /// than cascading the panic through the engine.
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// than cascading the panic through the engine. The rank wrapper
+    /// asserts (in debug builds) that no higher-ranked lock is held.
+    fn lock(&self) -> Ranked<MutexGuard<'_, Inner>> {
+        ranked_with(lockrank::QUEUE, "serve.queue", || {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        })
     }
 
     /// Current queue depth (for gauges and tests).
@@ -111,7 +117,13 @@ impl SubmitQueue {
     /// During shutdown the queue drains without lingering.
     pub fn take_batch(&self, max_batch: usize, linger: Duration) -> Pop {
         let mut expired = Vec::new();
-        let mut inner = self.lock();
+        // The condvar waits below consume and re-issue the bare guard, so
+        // the rank is scoped to the whole formation instead of riding in a
+        // `Ranked` wrapper. Holding it across a wait is sound: this thread
+        // is blocked while the mutex is released, so it cannot acquire
+        // anything else in between.
+        let _rank = rank_scope(lockrank::QUEUE, "serve.queue");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             expired.extend(split_expired(&mut inner.items, Instant::now()));
             if !inner.items.is_empty() || inner.shutdown {

@@ -24,11 +24,13 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use edgepc_geom::guard::{rank_scope, ranked_with};
 use edgepc_trace::export::{metrics_text, registry_json};
 use edgepc_trace::{span_in, Registry};
 
 use crate::engine::Engine;
 use crate::flight::TelemetryPlane;
+use crate::lockrank;
 
 /// How long the accept loop sleeps between polls of the nonblocking
 /// listener (bounds both stop latency and idle CPU).
@@ -97,6 +99,11 @@ impl TelemetryServer {
         // exactly how long the run sat open for external inspection.
         let _span = edgepc_trace::span("serve.hold", "serve");
         let deadline = Instant::now() + timeout;
+        // The condvar waits below consume and re-issue the bare guard, so
+        // the rank rides in a fn-scoped token instead of a `Ranked`
+        // wrapper (sound across waits: this thread is blocked while the
+        // mutex is released).
+        let _rank = rank_scope(lockrank::TELEMETRY, "serve.telemetry");
         let mut requested = self
             .quit
             .requested
@@ -177,10 +184,14 @@ fn handle_conn(
         "registry" => registry_json(registry),
         "flightrec" => plane.render("endpoint"),
         "quit" => {
-            *quit
-                .requested
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner) = true;
+            {
+                let mut requested = ranked_with(lockrank::TELEMETRY, "serve.telemetry", || {
+                    quit.requested
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                });
+                **requested = true;
+            }
             quit.cv.notify_all();
             "ok\n".to_string()
         }

@@ -20,7 +20,10 @@
 
 use std::sync::Mutex;
 
+use edgepc_geom::guard::ranked_with;
+
 use crate::json::escape;
+use crate::lockrank;
 use crate::span::SpanData;
 
 /// What happened to a request at one lifecycle edge.
@@ -134,10 +137,11 @@ impl FlightRecorder {
     /// Records one event (lock one shard, write one slot). Oldest events
     /// in the same shard are overwritten once the ring is full.
     pub fn record(&self, ev: TelemetryEvent) {
-        let mut shard = self
-            .shard(ev.trace_id)
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut shard = ranked_with(lockrank::FLIGHT, "trace.flight", || {
+            self.shard(ev.trace_id)
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        });
         shard.total += 1;
         if shard.buf.len() < self.shard_cap {
             shard.buf.push(ev);
@@ -153,9 +157,10 @@ impl FlightRecorder {
         self.shards
             .iter()
             .map(|s| {
-                s.lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .total
+                ranked_with(lockrank::FLIGHT, "trace.flight", || {
+                    s.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+                })
+                .total
             })
             .sum()
     }
@@ -165,7 +170,9 @@ impl FlightRecorder {
     pub fn snapshot(&self) -> Vec<TelemetryEvent> {
         let mut out = Vec::new();
         for s in &self.shards {
-            let shard = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let shard = ranked_with(lockrank::FLIGHT, "trace.flight", || {
+                s.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+            });
             out.extend_from_slice(&shard.buf);
         }
         out.sort_by_key(|e| (e.t_us, e.trace_id));

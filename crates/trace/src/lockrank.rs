@@ -1,0 +1,19 @@
+//! Runtime lock ranks for the trace crate's mutexes.
+//!
+//! These mirror the positions of `trace.*` in the workspace lock ranking
+//! declared in `LINT.toml` (`[lock] ranking`, enforced statically by lint
+//! rule EP006): a thread may only acquire a lock whose rank is strictly
+//! greater than every rank it already holds. The debug-build validator in
+//! [`edgepc_geom::guard`] checks the same ordering at runtime through
+//! [`edgepc_geom::guard::rank_scope`] / [`edgepc_geom::guard::ranked_with`].
+//!
+//! The trace locks rank *last* (highest): the registry and the
+//! flight-recorder shards are leaf infrastructure that every other
+//! subsystem records into while holding its own locks — they themselves
+//! never call back out while held.
+
+/// `trace.registry` — the span/metric aggregation state.
+pub(crate) const REGISTRY: u16 = 70;
+
+/// `trace.flight` — one flight-recorder ring shard (leaf lock).
+pub(crate) const FLIGHT: u16 = 80;

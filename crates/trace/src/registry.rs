@@ -8,9 +8,12 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use edgepc_geom::guard::{ranked_with, Ranked};
+
+use crate::lockrank;
 use crate::metrics::Histogram;
 use crate::span::SpanData;
 
@@ -26,6 +29,26 @@ struct Inner {
     counters: HashMap<String, u64>,
     gauges: HashMap<String, f64>,
     histograms: HashMap<String, Histogram>,
+    /// Reusable scratch for composing derived metric keys (`span.<kind>`)
+    /// under the lock, so steady-state recording never formats into a
+    /// fresh `String` (lint rule EP008).
+    key_buf: String,
+}
+
+/// Borrows the slot for `key`, inserting `init()` under a freshly
+/// allocated key only on first sight. The designated EP008 hot fns below
+/// route every map access through this helper: after warmup each metric
+/// name already exists, so recording is two hash lookups and zero
+/// allocations. (`HashMap::entry` would allocate the owned key on *every*
+/// call just to probe.)
+fn slot<'m, V>(map: &'m mut HashMap<String, V>, key: &str, init: impl FnOnce() -> V) -> &'m mut V {
+    if !map.contains_key(key) {
+        map.insert(key.to_string(), init());
+    }
+    match map.get_mut(key) {
+        Some(v) => v,
+        None => edgepc_geom::violation("registry slot vanished between insert and lookup"),
+    }
 }
 
 impl Registry {
@@ -40,10 +63,14 @@ impl Registry {
     /// Locks the aggregation state. A poisoned mutex only means some other
     /// thread panicked mid-record; the maps are still structurally sound,
     /// so recover the guard rather than cascading the panic into callers.
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// The rank wrapper asserts (in debug builds) that no higher-ranked
+    /// lock is already held on this thread.
+    fn lock(&self) -> Ranked<MutexGuard<'_, Inner>> {
+        ranked_with(lockrank::REGISTRY, "trace.registry", || {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
     }
 
     /// Microseconds since this registry was created.
@@ -55,32 +82,26 @@ impl Registry {
     /// (counter `span.<kind>`, histogram keyed by the span name).
     pub fn record(&self, span: SpanData) {
         let mut inner = self.lock();
-        *inner
-            .counters
-            .entry(format!("span.{}", span.kind))
-            .or_insert(0) += 1;
-        inner
-            .histograms
-            .entry(span.name.clone())
-            .or_default()
-            .observe(span.dur_us);
+        // Reborrow so the key scratch and the maps borrow disjoint fields.
+        let inner = &mut **inner;
+        inner.key_buf.clear();
+        inner.key_buf.push_str("span.");
+        inner.key_buf.push_str(&span.kind);
+        *slot(&mut inner.counters, &inner.key_buf, || 0) += 1;
+        slot(&mut inner.histograms, &span.name, Histogram::default).observe(span.dur_us);
         inner.spans.push(span);
     }
 
     /// Increments the named monotonic counter.
     pub fn incr(&self, name: &str, by: u64) {
         let mut inner = self.lock();
-        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+        *slot(&mut inner.counters, name, || 0) += by;
     }
 
     /// Records one latency observation (µs) in the named histogram.
     pub fn observe_us(&self, name: &str, us: u64) {
         let mut inner = self.lock();
-        inner
-            .histograms
-            .entry(name.to_string())
-            .or_default()
-            .observe(us);
+        slot(&mut inner.histograms, name, Histogram::default).observe(us);
     }
 
     /// Records one latency observation (µs) in the named histogram and
@@ -89,11 +110,7 @@ impl Registry {
     /// and is recorded without an exemplar.
     pub fn observe_us_tagged(&self, name: &str, us: u64, trace_id: u64) {
         let mut inner = self.lock();
-        inner
-            .histograms
-            .entry(name.to_string())
-            .or_default()
-            .observe_tagged(us, trace_id);
+        slot(&mut inner.histograms, name, Histogram::default).observe_tagged(us, trace_id);
     }
 
     /// Sets the named gauge to `value` (last write wins).
@@ -103,7 +120,7 @@ impl Registry {
     /// rate, recall@k, and sampling-coverage readings.
     pub fn set_gauge(&self, name: &str, value: f64) {
         let mut inner = self.lock();
-        inner.gauges.insert(name.to_string(), value);
+        *slot(&mut inner.gauges, name, || 0.0) = value;
     }
 
     /// Adds `delta` (which may be negative) to the named gauge, treating an
@@ -113,9 +130,9 @@ impl Registry {
     /// `set_gauge` pair would race.
     pub fn add_gauge(&self, name: &str, delta: f64) -> f64 {
         let mut inner = self.lock();
-        let slot = inner.gauges.entry(name.to_string()).or_insert(0.0);
-        *slot += delta;
-        *slot
+        let g = slot(&mut inner.gauges, name, || 0.0);
+        *g += delta;
+        *g
     }
 
     /// Current value of a gauge, if it was ever set.
