@@ -33,6 +33,14 @@
 #                   flightrec.json. Fails if the endpoint is unreachable,
 #                   any snapshot is malformed, or a schema drifted.
 #
+# Optional network smoke:
+#   --net-smoke     stand up the sharded TCP front end (2 engine shards
+#                   behind the router on an ephemeral loopback port),
+#                   drive it with netgen --smoke over real sockets, and
+#                   validate the generated net.json against the EP005
+#                   schema pin. Fails on panics, hangs, refused
+#                   connections, or schema drift.
+#
 # Benchmark regression gate:
 #   --bench-gate    run bench_all in CI smoke mode (reduced repeats) and
 #                   bench_compare the fresh recording against the
@@ -49,6 +57,7 @@ set -eu
 PERF_MODE=""
 SERVE_SMOKE=0
 OBS_SMOKE=0
+NET_SMOKE=0
 BENCH_GATE=0
 RUN_LINT=1
 for arg in "$@"; do
@@ -57,10 +66,11 @@ for arg in "$@"; do
         --perf-strict) PERF_MODE="strict" ;;
         --serve-smoke) SERVE_SMOKE=1 ;;
         --obs-smoke)   OBS_SMOKE=1 ;;
+        --net-smoke)   NET_SMOKE=1 ;;
         --bench-gate)  BENCH_GATE=1 ;;
         --no-lint)     RUN_LINT=0 ;;
         *)
-            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke] [--obs-smoke] [--bench-gate]" >&2
+            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke] [--obs-smoke] [--net-smoke] [--bench-gate]" >&2
             exit 2
             ;;
     esac
@@ -160,6 +170,15 @@ if [ "$OBS_SMOKE" = 1 ]; then
     wait "$LOADGEN_PID"
     cargo run -q -p edgepc-lint --bin lint_all -- --results \
         target/obs/serve.json target/obs/flightrec.json
+fi
+
+if [ "$NET_SMOKE" = 1 ]; then
+    echo "==> net smoke: netgen --smoke over loopback sockets + EP005 schema check"
+    # Self-hosts 2 engine shards behind the router on an ephemeral port
+    # and drives them over real TCP connections.
+    cargo run --release -q -p edgepc-net --bin netgen -- \
+        --smoke --out target/net.json
+    cargo run -q -p edgepc-lint --bin lint_all -- --results target/net.json
 fi
 
 echo "CI OK"

@@ -57,10 +57,12 @@ fn main() -> ExitCode {
     );
     enable_default_auditing();
 
-    // Kernel + pipeline scenarios from edgepc-perf, then the serving
-    // scenarios (they live in edgepc-serve because they need the engine).
+    // Kernel + pipeline scenarios from edgepc-perf, then the serving and
+    // network scenarios (they live in edgepc-serve / edgepc-net because
+    // they need the engine and the front end respectively).
     let mut scenarios = paper_scenarios();
     scenarios.extend(edgepc_serve::serve_scenarios());
+    scenarios.extend(edgepc_net::net_scenarios());
 
     let mut results = Vec::new();
     for mut scenario in scenarios {

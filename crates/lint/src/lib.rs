@@ -56,7 +56,7 @@ pub const ALL_RULES: &[&str] = &[
 /// Crates whose non-test code must be panic-free (EP001): everything on
 /// the inference hot path.
 pub const HOT_CRATES: &[&str] = &[
-    "geom", "morton", "par", "sample", "neighbor", "models", "core", "serve",
+    "geom", "morton", "par", "sample", "neighbor", "models", "core", "serve", "net",
 ];
 
 /// Files whose public functions must open spans (EP003): the stage entry
@@ -74,6 +74,8 @@ pub const SPAN_COVERED_FILES: &[&str] = &[
     "crates/serve/src/loadgen.rs",
     "crates/serve/src/telemetry.rs",
     "crates/trace/src/flight.rs",
+    "crates/net/src/router.rs",
+    "crates/net/src/server.rs",
 ];
 
 /// The outcome of a full workspace run.

@@ -25,6 +25,10 @@ pub const KNOWN_SERVE_VERSIONS: &[i64] = &[1];
 /// `edgepc_trace::flight`'s emitter when the schema changes shape.
 pub const KNOWN_FLIGHTREC_VERSIONS: &[i64] = &[1];
 
+/// net.json schema versions this linter understands. Bump alongside
+/// `edgepc_net::report`'s emitter when the schema changes shape.
+pub const KNOWN_NET_VERSIONS: &[i64] = &[1];
+
 /// lint.json schema versions this linter understands. Bump alongside
 /// `LintReport::to_json` when the report changes shape — the linter's own
 /// output is a schema-checked artifact like any other.
@@ -40,6 +44,7 @@ pub const PINNED_SCHEMAS: &[(&str, &str, &[i64])] = &[
         KNOWN_FLIGHTREC_VERSIONS,
     ),
     ("lint.json", "edgepc-lint", KNOWN_LINT_VERSIONS),
+    ("net.json", "edgepc-net", KNOWN_NET_VERSIONS),
 ];
 
 /// Checks one results artifact. `rel` is the path shown in diagnostics

@@ -1,0 +1,52 @@
+//! Metric names the network tier publishes (`net.*` namespace).
+//!
+//! Everything lands in the `edgepc_trace` registry current when the
+//! router/server was constructed, beside the `serve.*` metrics of the
+//! shards it fronts — one registry snapshot (obsctl `registry`, the
+//! telemetry endpoint, a flightrec dump) shows the whole path.
+
+/// Counter: requests the router was asked to place (before any outcome).
+pub const REQUESTS: &str = "net.requests";
+
+/// Counter: requests that resolved with logits.
+pub const COMPLETED: &str = "net.completed";
+
+/// Counter: requests rejected because every eligible shard was full.
+pub const SHED: &str = "net.shed";
+
+/// Counter: submissions retried on another shard after the preferred one
+/// refused (queue full or shutting down).
+pub const FAILOVERS: &str = "net.failovers";
+
+/// Counter: hedged retries launched (primary still unresolved past the
+/// deadline-risk threshold).
+pub const HEDGES: &str = "net.hedges";
+
+/// Counter: hedged retries whose result arrived before the primary's.
+pub const HEDGE_WINS: &str = "net.hedge_wins";
+
+/// Counter: frames that failed wire-protocol decoding.
+pub const MALFORMED: &str = "net.malformed";
+
+/// Counter: connections accepted.
+pub const CONNS_ACCEPTED: &str = "net.conns_accepted";
+
+/// Counter: connections refused at the connection cap.
+pub const CONNS_REFUSED: &str = "net.conns_refused";
+
+/// Counter: request frames read off sockets.
+pub const FRAMES_IN: &str = "net.frames_in";
+
+/// Counter: response frames written to sockets.
+pub const FRAMES_OUT: &str = "net.frames_out";
+
+/// Counter: times a connection reader blocked on its full response
+/// pipeline — the moment backpressure reaches the socket.
+pub const BACKPRESSURE_WAITS: &str = "net.backpressure_waits";
+
+/// Gauge: currently open connections.
+pub const OPEN_CONNS: &str = "net.open_conns";
+
+/// Histogram (µs, trace-tagged): server-side end-to-end latency, router
+/// admission to resolution (hedges included).
+pub const E2E_US: &str = "net.e2e";

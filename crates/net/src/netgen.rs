@@ -1,0 +1,498 @@
+//! netgen: the multi-connection open-loop client driver.
+//!
+//! Generalizes loadgen's seeded arrival schedules across C persistent
+//! connections: each connection gets its own deterministic
+//! [`arrival_offsets`] schedule (seed derived from the run seed and the
+//! connection index) and a seeded per-tenant mix (skewed toward low
+//! tenant ids, so consistent-hash routing sees realistic hot tenants).
+//! Requests are pipelined — a sender thread writes on schedule
+//! regardless of completions (open loop), a receiver thread matches
+//! responses by `seq` and records **end-to-end latency including wire
+//! time**.
+//!
+//! [`run_sweep`] is the canonical producer of `results/net.json`: for
+//! each shard count it builds a router + front end in-process on an
+//! ephemeral loopback port, drives it over real sockets, and reads the
+//! hedge counters straight from the run's isolated registry.
+//! [`run_against`] drives an external server instead (hedge accounting
+//! then comes from response flags only).
+//!
+//! Everything is seeded: the same config produces the same request
+//! bytes, in the same per-connection order, at every shard count — which
+//! is exactly what the over-the-wire determinism test leans on.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use edgepc_data::bunny_with_points;
+use edgepc_geom::rng::StdRng;
+use edgepc_geom::PointCloud;
+use edgepc_perf::Stats;
+use edgepc_serve::{arrival_offsets, ArrivalPattern, EngineConfig, LoadgenConfig, ModelSpec};
+use edgepc_trace::{with_registry, Registry};
+
+use crate::proto::{self, decode_body, encode_request, ErrCode, Frame, FrameRead, RequestFrame};
+use crate::router::{HedgeConfig, RoutePolicy, Router};
+use crate::server::{NetConfig, NetServer};
+
+/// One netgen run's parameters.
+#[derive(Debug, Clone)]
+pub struct NetgenConfig {
+    /// Shard counts to sweep (one report row each).
+    pub shards: Vec<usize>,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total requests per row, split across the connections.
+    pub requests: usize,
+    /// Aggregate offered rate (split evenly across connections).
+    pub rate_rps: f64,
+    /// Arrival spacing per connection.
+    pub pattern: ArrivalPattern,
+    /// Master seed; per-connection schedules and tenant mixes derive
+    /// from it.
+    pub seed: u64,
+    /// Points per request cloud.
+    pub points: usize,
+    /// Tenant-id space for the per-request tenant mix.
+    pub tenants: u64,
+    /// Per-request deadline (also the SLO bound for attainment).
+    pub deadline: Duration,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Submission-queue bound per shard.
+    pub queue_capacity: usize,
+    /// Max dynamic batch per shard.
+    pub max_batch: usize,
+    /// Routing policy.
+    pub policy: RoutePolicy,
+    /// Hedged-retry threshold; `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Chaos knob: stall shard 0's workers by this much per batch
+    /// (self-hosted rows only), so the sweep records degraded operation.
+    pub chaos_slow_shard: Option<Duration>,
+}
+
+impl Default for NetgenConfig {
+    fn default() -> Self {
+        NetgenConfig {
+            shards: vec![1, 2, 3],
+            connections: 4,
+            requests: 256,
+            rate_rps: 500.0,
+            pattern: ArrivalPattern::Burst { size: 32 },
+            seed: 0x0e7,
+            points: 256,
+            tenants: 8,
+            deadline: Duration::from_millis(250),
+            workers_per_shard: 2,
+            queue_capacity: 64,
+            max_batch: 4,
+            policy: RoutePolicy::LeastLoaded,
+            // Sits between the sweep's typical p50 and p99, so the tail
+            // of a burst actually hedges in the committed artifact.
+            hedge_after: Some(Duration::from_millis(35)),
+            chaos_slow_shard: None,
+        }
+    }
+}
+
+impl NetgenConfig {
+    /// A seconds-scale config for CI smoke runs: 2 shards, 2 connections,
+    /// small clouds.
+    pub fn smoke() -> Self {
+        NetgenConfig {
+            shards: vec![2],
+            connections: 2,
+            requests: 96,
+            rate_rps: 400.0,
+            points: 128,
+            workers_per_shard: 1,
+            queue_capacity: 32,
+            hedge_after: Some(Duration::from_millis(50)),
+            ..NetgenConfig::default()
+        }
+    }
+}
+
+/// Typed-error tallies a client run observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErrTally {
+    /// `Shed` responses (every eligible shard full).
+    pub shed: usize,
+    /// `DeadlineExpired` responses.
+    pub expired: usize,
+    /// Every other typed error (unknown model, too few points,
+    /// shutting down, busy, malformed, internal).
+    pub other: usize,
+}
+
+/// What one row's client side measured.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Requests written to sockets.
+    pub sent: usize,
+    /// Responses carrying logits.
+    pub completed: usize,
+    /// Completions within the deadline, measured client-side (wire
+    /// included).
+    pub in_deadline: usize,
+    /// Responses whose `hedged` flag was set (hedge wins observed).
+    pub hedged_responses: usize,
+    /// Typed errors.
+    pub errors: ErrTally,
+    /// Requests that never got a response (connection died).
+    pub lost: usize,
+    /// Completions per shard id.
+    pub per_shard: Vec<usize>,
+    /// Client-side end-to-end latencies (ms) of completions.
+    pub latencies_ms: Vec<f64>,
+    /// Wall time of the whole client run.
+    pub wall: Duration,
+}
+
+/// One report row: a client outcome plus the serving-side context it ran
+/// against.
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Shard count (0 for external runs where it is unknown).
+    pub shards: usize,
+    /// Hedges launched (registry truth for self-hosted rows; observed
+    /// wins for external rows).
+    pub hedges_attempted: u64,
+    /// Hedges that beat the primary.
+    pub hedge_wins: u64,
+    /// The client-side measurements.
+    pub outcome: ClientOutcome,
+}
+
+impl NetRow {
+    /// SLO attainment: in-deadline completions over everything offered.
+    pub fn attainment(&self) -> f64 {
+        if self.outcome.sent == 0 {
+            return 0.0;
+        }
+        self.outcome.in_deadline as f64 / self.outcome.sent as f64
+    }
+
+    /// Completions per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.outcome.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.outcome.completed as f64 / secs
+    }
+
+    /// Latency summary, if anything completed.
+    pub fn latency(&self) -> Option<Stats> {
+        if self.outcome.latencies_ms.is_empty() {
+            None
+        } else {
+            Some(Stats::from_samples_ms(&self.outcome.latencies_ms))
+        }
+    }
+}
+
+/// A full sweep: one row per configured shard count.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// The driving config.
+    pub config: NetgenConfig,
+    /// One row per entry of `config.shards`, in order.
+    pub rows: Vec<NetRow>,
+}
+
+/// splitmix64 finalizer (same mix the router's ring uses) for deriving
+/// per-connection seeds.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn thread_err(what: &str) -> io::Error {
+    io::Error::other(format!("netgen {what} thread panicked"))
+}
+
+/// The deterministic request set for connection `conn`: for each request
+/// index, (send offset, tenant, cloud index). Pure in the config.
+fn conn_schedule(cfg: &NetgenConfig, conn: usize, n: usize) -> Vec<(Duration, u64, usize)> {
+    let per_conn_rate = (cfg.rate_rps / cfg.connections.max(1) as f64).max(1e-6);
+    let offsets = arrival_offsets(&LoadgenConfig {
+        requests: n,
+        rate_rps: per_conn_rate,
+        pattern: cfg.pattern,
+        seed: mix64(cfg.seed ^ (conn as u64)),
+        points: cfg.points,
+        model: 0,
+        deadline: Some(cfg.deadline),
+    });
+    let mut rng = StdRng::seed_from_u64(mix64(cfg.seed.wrapping_add(0x7e4a) ^ (conn as u64)));
+    let tenants = cfg.tenants.max(1);
+    offsets
+        .into_iter()
+        .enumerate()
+        .map(|(i, off)| {
+            // Product of two uniforms skews the mix toward low tenant ids
+            // — hot tenants, which is what makes sticky routing matter.
+            let t = (rng.next_f64() * rng.next_f64() * tenants as f64) as u64;
+            (off, t.min(tenants - 1), (conn + i) % CLOUD_POOL)
+        })
+        .collect()
+}
+
+/// Distinct clouds cycled across requests (generating a fresh bunny per
+/// request would dominate the client's CPU budget).
+const CLOUD_POOL: usize = 8;
+
+fn cloud_pool(cfg: &NetgenConfig) -> Vec<PointCloud> {
+    (0..CLOUD_POOL as u64)
+        .map(|i| bunny_with_points(cfg.points.max(20), cfg.seed.wrapping_add(i)))
+        .collect()
+}
+
+struct ConnResult {
+    sent: usize,
+    completed: usize,
+    in_deadline: usize,
+    hedged: usize,
+    errors: ErrTally,
+    lost: usize,
+    per_shard: Vec<usize>,
+    latencies_ms: Vec<f64>,
+}
+
+/// Drives one connection: sender on this thread, receiver on a helper.
+fn run_connection(
+    addr: SocketAddr,
+    cfg: &NetgenConfig,
+    conn: usize,
+    n: usize,
+    clouds: &[PointCloud],
+) -> io::Result<ConnResult> {
+    let schedule = conn_schedule(cfg, conn, n);
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut read_half = stream.try_clone()?;
+    read_half.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let (meta_tx, meta_rx) = mpsc::channel::<(u64, Instant)>();
+    let deadline = cfg.deadline;
+    let max_frame = proto::DEFAULT_MAX_FRAME;
+    let receiver = std::thread::Builder::new()
+        .name(format!("netgen-recv-{conn}"))
+        .spawn(move || receive_responses(&mut read_half, n, &meta_rx, deadline, max_frame))?;
+
+    let deadline_us = cfg.deadline.as_micros() as u64;
+    let mut write_half = stream;
+    let start = Instant::now();
+    let mut sent = 0usize;
+    for (i, (off, tenant, cloud_ix)) in schedule.into_iter().enumerate() {
+        let target = start + off;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let seq = ((conn as u64) << 32) | i as u64;
+        let frame = encode_request(&RequestFrame {
+            seq,
+            trace_id: 0,
+            model: 0,
+            tenant,
+            deadline_us,
+            points: clouds[cloud_ix % clouds.len()].points().to_vec(),
+        });
+        // Register the send before writing so the receiver can never see
+        // a response for a seq it does not know.
+        let _ = meta_tx.send((seq, Instant::now()));
+        write_half.write_all(&frame)?;
+        sent += 1;
+    }
+    drop(meta_tx);
+    let mut result = match receiver.join() {
+        Ok(r) => r,
+        Err(_) => return Err(thread_err("receiver")),
+    };
+    result.sent = sent;
+    result.lost = sent.saturating_sub(result.completed + tally_total(&result.errors));
+    Ok(result)
+}
+
+fn tally_total(t: &ErrTally) -> usize {
+    t.shed + t.expired + t.other
+}
+
+fn receive_responses(
+    stream: &mut TcpStream,
+    expected: usize,
+    meta_rx: &mpsc::Receiver<(u64, Instant)>,
+    deadline: Duration,
+    max_frame: u32,
+) -> ConnResult {
+    let mut result = ConnResult {
+        sent: 0,
+        completed: 0,
+        in_deadline: 0,
+        hedged: 0,
+        errors: ErrTally::default(),
+        lost: 0,
+        per_shard: Vec::new(),
+        latencies_ms: Vec::new(),
+    };
+    let mut sends: HashMap<u64, Instant> = HashMap::new();
+    for _ in 0..expected {
+        let body = match proto::read_frame(stream, max_frame) {
+            Ok(FrameRead::Body(b)) => b,
+            // EOF, framing violation, or read timeout: the rest is lost.
+            Ok(FrameRead::Eof) | Ok(FrameRead::Malformed(_)) | Err(_) => break,
+        };
+        let now = Instant::now();
+        while let Ok((seq, at)) = meta_rx.try_recv() {
+            sends.insert(seq, at);
+        }
+        match decode_body(&body) {
+            Ok(Frame::Ok(ok)) => {
+                result.completed += 1;
+                if ok.hedged {
+                    result.hedged += 1;
+                }
+                let shard = ok.shard as usize;
+                if result.per_shard.len() <= shard {
+                    result.per_shard.resize(shard + 1, 0);
+                }
+                result.per_shard[shard] += 1;
+                if let Some(at) = sends.get(&ok.seq) {
+                    let e2e = now.saturating_duration_since(*at);
+                    result.latencies_ms.push(e2e.as_secs_f64() * 1000.0);
+                    if e2e <= deadline {
+                        result.in_deadline += 1;
+                    }
+                }
+            }
+            Ok(Frame::Err(err)) => match err.code {
+                ErrCode::Shed => result.errors.shed += 1,
+                ErrCode::DeadlineExpired => result.errors.expired += 1,
+                _ => result.errors.other += 1,
+            },
+            Ok(Frame::Request(_)) | Err(_) => result.errors.other += 1,
+        }
+    }
+    result
+}
+
+/// Drives `cfg.connections` connections against `addr` and aggregates.
+pub fn run_against(addr: SocketAddr, cfg: &NetgenConfig) -> io::Result<ClientOutcome> {
+    let clouds = Arc::new(cloud_pool(cfg));
+    let conns = cfg.connections.max(1);
+    let base = cfg.requests / conns;
+    let extra = cfg.requests % conns;
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(conns);
+    for c in 0..conns {
+        let n = base + usize::from(c < extra);
+        let cfg = cfg.clone();
+        let clouds = Arc::clone(&clouds);
+        let handle = std::thread::Builder::new()
+            .name(format!("netgen-conn-{c}"))
+            .spawn(move || run_connection(addr, &cfg, c, n, &clouds))?;
+        handles.push(handle);
+    }
+    let mut agg = ClientOutcome {
+        sent: 0,
+        completed: 0,
+        in_deadline: 0,
+        hedged_responses: 0,
+        errors: ErrTally::default(),
+        lost: 0,
+        per_shard: Vec::new(),
+        latencies_ms: Vec::new(),
+        wall: Duration::ZERO,
+    };
+    let mut first_err = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(r)) => {
+                agg.sent += r.sent;
+                agg.completed += r.completed;
+                agg.in_deadline += r.in_deadline;
+                agg.hedged_responses += r.hedged;
+                agg.errors.shed += r.errors.shed;
+                agg.errors.expired += r.errors.expired;
+                agg.errors.other += r.errors.other;
+                agg.lost += r.lost;
+                if agg.per_shard.len() < r.per_shard.len() {
+                    agg.per_shard.resize(r.per_shard.len(), 0);
+                }
+                for (s, count) in r.per_shard.iter().enumerate() {
+                    agg.per_shard[s] += count;
+                }
+                agg.latencies_ms.extend_from_slice(&r.latencies_ms);
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => first_err = first_err.or_else(|| Some(thread_err("connection"))),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    agg.wall = t0.elapsed();
+    Ok(agg)
+}
+
+/// Runs one self-hosted row: builds `shards` engines behind a router and
+/// front end on an ephemeral loopback port (under a fresh, isolated
+/// registry), drives the client against it over real sockets, and reads
+/// hedge accounting from the registry.
+pub fn run_row(cfg: &NetgenConfig, shards: usize) -> io::Result<NetRow> {
+    let registry = Arc::new(Registry::new());
+    with_registry(Arc::clone(&registry), || -> io::Result<NetRow> {
+        let shard_cfgs = (0..shards.max(1))
+            .map(|s| {
+                let mut c = EngineConfig::new(cfg.workers_per_shard.max(1));
+                c.queue_capacity = cfg.queue_capacity;
+                c.max_batch = cfg.max_batch.max(1);
+                if s == 0 {
+                    if let Some(delay) = cfg.chaos_slow_shard {
+                        c.exec_delay = delay;
+                    }
+                }
+                c
+            })
+            .collect();
+        let router = Arc::new(Router::new(
+            shard_cfgs,
+            vec![ModelSpec::pointnetpp_tiny(16)],
+            cfg.policy,
+            cfg.hedge_after.map(HedgeConfig::after),
+        ));
+        let server = NetServer::start(Arc::clone(&router), "127.0.0.1:0", NetConfig::default())?;
+        let addr = server.local_addr();
+        let mut outcome = run_against(addr, cfg)?;
+        server.stop();
+        router.shutdown();
+        if outcome.per_shard.len() < shards {
+            outcome.per_shard.resize(shards, 0);
+        }
+        Ok(NetRow {
+            shards,
+            hedges_attempted: registry.counter(crate::metrics::HEDGES),
+            hedge_wins: registry.counter(crate::metrics::HEDGE_WINS),
+            outcome,
+        })
+    })
+}
+
+/// Runs the full shard-count sweep.
+pub fn run_sweep(cfg: &NetgenConfig) -> io::Result<NetReport> {
+    let mut rows = Vec::with_capacity(cfg.shards.len());
+    for &shards in &cfg.shards {
+        rows.push(run_row(cfg, shards)?);
+    }
+    Ok(NetReport {
+        config: cfg.clone(),
+        rows,
+    })
+}

@@ -1,0 +1,629 @@
+//! The wire protocol: tiny, length-prefixed, binary, versioned.
+//!
+//! Every frame is a `u32` little-endian body length followed by exactly
+//! that many body bytes. The body starts with a fixed header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"EPCN"
+//! 4       1     version (currently 1)
+//! 5       1     kind    (1 = request, 2 = ok response, 3 = error response)
+//! 6       8     trace id (LE; 0 from clients, server-assigned in responses)
+//! ```
+//!
+//! The trace id in the header is how flight-recorder timelines span the
+//! wire: the server stamps the engine-assigned trace id into every
+//! response, so a client (or netgen) can take a slow response straight to
+//! `spans_for_trace` / a flightrec dump and see the same request's
+//! enqueue → batch → exec timeline inside the shard.
+//!
+//! Kind-specific payloads (all integers little-endian):
+//!
+//! * request: `seq u64, model u16, tenant u64, deadline_us u64 (0 = none),
+//!   n_points u32, n_points × (x f32, y f32, z f32)`
+//! * ok: `seq u64, shard u16, hedged u8, queue_us u64, total_us u64,
+//!   rows u32, cols u32, rows*cols × f32 logits`
+//! * error: `seq u64, code u8, a u64, b u64` (a/b are code-specific
+//!   details, e.g. capacity for `Shed`)
+//!
+//! Decoding is **total**: every malformed input — truncated header, bad
+//! magic, unknown version or kind, declared lengths that disagree with
+//! the body — comes back as a typed [`WireError`], never a panic. Floats
+//! ride as `to_le_bytes`/`from_le_bytes`, which round-trips every bit
+//! pattern exactly; that is what makes determinism survive the wire.
+
+use std::io::{self, Read};
+
+use edgepc_geom::Point3;
+
+/// Frame body magic: the first four body bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"EPCN";
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Default per-frame body bound (4 MiB ≈ a 349k-point cloud), enforced on
+/// both read (before buffering) and write.
+pub const DEFAULT_MAX_FRAME: u32 = 4 << 20;
+
+const HEADER_LEN: usize = 14;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_OK: u8 = 2;
+const KIND_ERR: u8 = 3;
+
+/// Typed decoding failure. Everything malformed lands here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before a declared field.
+    Truncated { needed: usize, got: usize },
+    /// The length prefix exceeds the negotiated max frame size.
+    FrameTooLarge { len: u32, max: u32 },
+    /// The first four body bytes were not `b"EPCN"`.
+    BadMagic([u8; 4]),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Declared element counts disagree with the remaining body length.
+    LengthMismatch { declared: usize, actual: usize },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds max {max}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::LengthMismatch { declared, actual } => {
+                write!(f, "declared payload of {declared} bytes, body has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed error codes carried by error-response frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// Every eligible shard's queue was full; `a` = last shard's capacity.
+    Shed = 1,
+    /// The deadline passed while queued; `a` = waited µs, `b` = deadline µs.
+    DeadlineExpired = 2,
+    /// Model index out of range; `a` = requested index, `b` = model count.
+    UnknownModel = 3,
+    /// The request frame itself was malformed.
+    Malformed = 4,
+    /// The router (or every eligible shard) is shutting down.
+    ShuttingDown = 5,
+    /// Fewer points than the model's floor; `a` = sent, `b` = required.
+    TooFewPoints = 6,
+    /// The server is at its connection cap.
+    Busy = 7,
+    /// Catch-all for internal failures (worker lost, etc.).
+    Internal = 8,
+}
+
+impl ErrCode {
+    /// Total decode; unknown codes collapse to `Internal` so old clients
+    /// survive new servers.
+    pub fn from_u8(code: u8) -> ErrCode {
+        match code {
+            1 => ErrCode::Shed,
+            2 => ErrCode::DeadlineExpired,
+            3 => ErrCode::UnknownModel,
+            4 => ErrCode::Malformed,
+            5 => ErrCode::ShuttingDown,
+            6 => ErrCode::TooFewPoints,
+            7 => ErrCode::Busy,
+            _ => ErrCode::Internal,
+        }
+    }
+}
+
+/// A decoded inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id, echoed verbatim in the response. The
+    /// protocol allows pipelining, so responses can arrive out of order.
+    pub seq: u64,
+    /// Trace id from the header; clients send 0.
+    pub trace_id: u64,
+    /// Index into the router's model list.
+    pub model: u16,
+    /// Tenant id: the consistent-hash routing key.
+    pub tenant: u64,
+    /// Deadline in microseconds, measured from server-side admission
+    /// (wire time is not charged against it); 0 means no deadline.
+    pub deadline_us: u64,
+    /// The point payload.
+    pub points: Vec<Point3>,
+}
+
+/// A decoded successful response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OkFrame {
+    /// Echo of the request's `seq`.
+    pub seq: u64,
+    /// Server-assigned trace id (the engine ticket id).
+    pub trace_id: u64,
+    /// Shard that produced the logits.
+    pub shard: u16,
+    /// Whether this result came from a hedged retry rather than the
+    /// primary submission.
+    pub hedged: bool,
+    /// Microseconds the request waited queued inside the shard.
+    pub queue_us: u64,
+    /// Microseconds from shard admission to completion.
+    pub total_us: u64,
+    /// Logits, row-major `rows × cols`.
+    pub rows: u32,
+    /// Logit row width.
+    pub cols: u32,
+    /// `rows * cols` values.
+    pub logits: Vec<f32>,
+}
+
+/// A decoded error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrFrame {
+    /// Echo of the request's `seq` (0 when the request was too mangled to
+    /// recover one).
+    pub seq: u64,
+    /// Server-assigned trace id, when one was allocated before failing.
+    pub trace_id: u64,
+    /// What went wrong.
+    pub code: ErrCode,
+    /// Code-specific detail (see [`ErrCode`]).
+    pub a: u64,
+    /// Second code-specific detail.
+    pub b: u64,
+}
+
+/// Any decoded frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    Request(RequestFrame),
+    Ok(OkFrame),
+    Err(ErrFrame),
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated {
+            needed: usize::MAX,
+            got: self.buf.len(),
+        })?;
+        let slice = self.buf.get(self.pos..end).ok_or(WireError::Truncated {
+            needed: end,
+            got: self.buf.len(),
+        })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+}
+
+fn push_header(out: &mut Vec<u8>, kind: u8, trace_id: u64) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&trace_id.to_le_bytes());
+}
+
+/// Wraps a finished body in the length prefix.
+fn finish(mut body: Vec<u8>) -> Vec<u8> {
+    let len = (body.len().saturating_sub(4)) as u32;
+    body[0..4].copy_from_slice(&len.to_le_bytes());
+    body
+}
+
+/// Encodes a request as a complete frame (length prefix included).
+pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + 30 + req.points.len() * 12);
+    out.extend_from_slice(&[0; 4]);
+    push_header(&mut out, KIND_REQUEST, req.trace_id);
+    out.extend_from_slice(&req.seq.to_le_bytes());
+    out.extend_from_slice(&req.model.to_le_bytes());
+    out.extend_from_slice(&req.tenant.to_le_bytes());
+    out.extend_from_slice(&req.deadline_us.to_le_bytes());
+    out.extend_from_slice(&(req.points.len() as u32).to_le_bytes());
+    for p in &req.points {
+        out.extend_from_slice(&p.x.to_le_bytes());
+        out.extend_from_slice(&p.y.to_le_bytes());
+        out.extend_from_slice(&p.z.to_le_bytes());
+    }
+    finish(out)
+}
+
+/// Encodes a successful response as a complete frame.
+pub fn encode_ok(ok: &OkFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + 35 + ok.logits.len() * 4);
+    out.extend_from_slice(&[0; 4]);
+    push_header(&mut out, KIND_OK, ok.trace_id);
+    out.extend_from_slice(&ok.seq.to_le_bytes());
+    out.extend_from_slice(&ok.shard.to_le_bytes());
+    out.push(u8::from(ok.hedged));
+    out.extend_from_slice(&ok.queue_us.to_le_bytes());
+    out.extend_from_slice(&ok.total_us.to_le_bytes());
+    out.extend_from_slice(&ok.rows.to_le_bytes());
+    out.extend_from_slice(&ok.cols.to_le_bytes());
+    for v in &ok.logits {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    finish(out)
+}
+
+/// Encodes an error response as a complete frame.
+pub fn encode_err(err: &ErrFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + 25);
+    out.extend_from_slice(&[0; 4]);
+    push_header(&mut out, KIND_ERR, err.trace_id);
+    out.extend_from_slice(&err.seq.to_le_bytes());
+    out.push(err.code as u8);
+    out.extend_from_slice(&err.a.to_le_bytes());
+    out.extend_from_slice(&err.b.to_le_bytes());
+    finish(out)
+}
+
+/// Decodes one frame body (the bytes after the length prefix). Total:
+/// every malformed input is a typed [`WireError`].
+pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut cur = Cursor::new(body);
+    let magic = cur.take(4)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic([
+            magic[0], magic[1], magic[2], magic[3],
+        ]));
+    }
+    let version = cur.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = cur.u8()?;
+    let trace_id = cur.u64()?;
+    match kind {
+        KIND_REQUEST => {
+            let seq = cur.u64()?;
+            let model = cur.u16()?;
+            let tenant = cur.u64()?;
+            let deadline_us = cur.u64()?;
+            let n = cur.u32()? as usize;
+            let declared = n.saturating_mul(12);
+            if cur.remaining() != declared {
+                return Err(WireError::LengthMismatch {
+                    declared,
+                    actual: cur.remaining(),
+                });
+            }
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = cur.f32()?;
+                let y = cur.f32()?;
+                let z = cur.f32()?;
+                points.push(Point3 { x, y, z });
+            }
+            Ok(Frame::Request(RequestFrame {
+                seq,
+                trace_id,
+                model,
+                tenant,
+                deadline_us,
+                points,
+            }))
+        }
+        KIND_OK => {
+            let seq = cur.u64()?;
+            let shard = cur.u16()?;
+            let hedged = cur.u8()? != 0;
+            let queue_us = cur.u64()?;
+            let total_us = cur.u64()?;
+            let rows = cur.u32()?;
+            let cols = cur.u32()?;
+            let n = (rows as usize).saturating_mul(cols as usize);
+            let declared = n.saturating_mul(4);
+            if cur.remaining() != declared {
+                return Err(WireError::LengthMismatch {
+                    declared,
+                    actual: cur.remaining(),
+                });
+            }
+            let mut logits = Vec::with_capacity(n);
+            for _ in 0..n {
+                logits.push(cur.f32()?);
+            }
+            Ok(Frame::Ok(OkFrame {
+                seq,
+                trace_id,
+                shard,
+                hedged,
+                queue_us,
+                total_us,
+                rows,
+                cols,
+                logits,
+            }))
+        }
+        KIND_ERR => {
+            let seq = cur.u64()?;
+            let code = ErrCode::from_u8(cur.u8()?);
+            let a = cur.u64()?;
+            let b = cur.u64()?;
+            if cur.remaining() != 0 {
+                return Err(WireError::LengthMismatch {
+                    declared: 0,
+                    actual: cur.remaining(),
+                });
+            }
+            Ok(Frame::Err(ErrFrame {
+                seq,
+                trace_id,
+                code,
+                a,
+                b,
+            }))
+        }
+        other => Err(WireError::BadKind(other)),
+    }
+}
+
+/// How a blocking frame read ended.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete body (length prefix stripped, bounds already checked).
+    Body(Vec<u8>),
+    /// Clean EOF on a frame boundary (peer finished sending).
+    Eof,
+    /// The peer violated framing: EOF mid-frame or an oversize prefix.
+    Malformed(WireError),
+}
+
+/// Reads one complete frame from a blocking stream. Used by clients (and
+/// tests); the server's reader has its own loop so it can interleave
+/// stop-flag checks with read timeouts.
+pub fn read_frame(stream: &mut impl Read, max_frame: u32) -> io::Result<FrameRead> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = stream.read(&mut prefix[got..])?;
+        if n == 0 {
+            return Ok(if got == 0 {
+                FrameRead::Eof
+            } else {
+                FrameRead::Malformed(WireError::Truncated { needed: 4, got })
+            });
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > max_frame {
+        return Ok(FrameRead::Malformed(WireError::FrameTooLarge {
+            len,
+            max: max_frame,
+        }));
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < body.len() {
+        let n = stream.read(&mut body[filled..])?;
+        if n == 0 {
+            return Ok(FrameRead::Malformed(WireError::Truncated {
+                needed: body.len(),
+                got: filled,
+            }));
+        }
+        filled += n;
+    }
+    Ok(FrameRead::Body(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestFrame {
+        RequestFrame {
+            seq: 7,
+            trace_id: 0,
+            model: 2,
+            tenant: 0xDEAD_BEEF,
+            deadline_us: 250_000,
+            points: vec![
+                Point3 {
+                    x: 1.5,
+                    y: -2.25,
+                    z: 0.0,
+                },
+                Point3 {
+                    x: f32::MIN_POSITIVE,
+                    y: -0.0,
+                    z: 123.456,
+                },
+            ],
+        }
+    }
+
+    fn body_of(frame: &[u8]) -> &[u8] {
+        &frame[4..]
+    }
+
+    #[test]
+    fn request_roundtrip_is_bit_exact() {
+        let req = sample_request();
+        let frame = encode_request(&req);
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+        assert_eq!(len as usize, frame.len() - 4);
+        match decode_body(body_of(&frame)) {
+            Ok(Frame::Request(decoded)) => {
+                assert_eq!(decoded.seq, req.seq);
+                assert_eq!(decoded.tenant, req.tenant);
+                assert_eq!(decoded.deadline_us, req.deadline_us);
+                for (a, b) in decoded.points.iter().zip(&req.points) {
+                    assert_eq!(a.x.to_bits(), b.x.to_bits());
+                    assert_eq!(a.y.to_bits(), b.y.to_bits());
+                    assert_eq!(a.z.to_bits(), b.z.to_bits());
+                }
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ok_and_err_roundtrip() {
+        let ok = OkFrame {
+            seq: 9,
+            trace_id: 42,
+            shard: 1,
+            hedged: true,
+            queue_us: 10,
+            total_us: 20,
+            rows: 1,
+            cols: 3,
+            logits: vec![0.25, -1.0, f32::NAN],
+        };
+        match decode_body(body_of(&encode_ok(&ok))) {
+            Ok(Frame::Ok(d)) => {
+                assert_eq!(d.seq, 9);
+                assert_eq!(d.trace_id, 42);
+                assert!(d.hedged);
+                assert_eq!(d.logits[0].to_bits(), ok.logits[0].to_bits());
+                assert_eq!(d.logits[2].to_bits(), ok.logits[2].to_bits());
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        let err = ErrFrame {
+            seq: 3,
+            trace_id: 0,
+            code: ErrCode::Shed,
+            a: 64,
+            b: 0,
+        };
+        assert_eq!(decode_body(body_of(&encode_err(&err))), Ok(Frame::Err(err)));
+    }
+
+    #[test]
+    fn zero_point_request_is_decodable() {
+        let mut req = sample_request();
+        req.points.clear();
+        match decode_body(body_of(&encode_request(&req))) {
+            Ok(Frame::Request(d)) => assert!(d.points.is_empty()),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors() {
+        let frame = encode_request(&sample_request());
+        let body = body_of(&frame);
+
+        // Truncation at every prefix length decodes to an error, never a
+        // panic.
+        for cut in 0..body.len() {
+            assert!(decode_body(&body[..cut]).is_err(), "cut at {cut}");
+        }
+
+        let mut bad = body.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(decode_body(&bad), Err(WireError::BadMagic(_))));
+
+        let mut bad = body.to_vec();
+        bad[4] = 99;
+        assert!(matches!(decode_body(&bad), Err(WireError::BadVersion(99))));
+
+        let mut bad = body.to_vec();
+        bad[5] = 77;
+        assert!(matches!(decode_body(&bad), Err(WireError::BadKind(77))));
+
+        // Point count that disagrees with the body length.
+        let mut bad = body.to_vec();
+        let count_off = HEADER_LEN + 8 + 2 + 8 + 8;
+        bad[count_off..count_off + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(
+            decode_body(&bad),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn read_frame_handles_eof_and_oversize() {
+        let frame = encode_request(&sample_request());
+
+        let mut ok = io::Cursor::new(frame.clone());
+        assert!(matches!(
+            read_frame(&mut ok, DEFAULT_MAX_FRAME),
+            Ok(FrameRead::Body(_))
+        ));
+
+        let mut empty = io::Cursor::new(Vec::new());
+        assert!(matches!(
+            read_frame(&mut empty, DEFAULT_MAX_FRAME),
+            Ok(FrameRead::Eof)
+        ));
+
+        // EOF mid-prefix and mid-body are both framing violations.
+        let mut cut = io::Cursor::new(frame[..2].to_vec());
+        assert!(matches!(
+            read_frame(&mut cut, DEFAULT_MAX_FRAME),
+            Ok(FrameRead::Malformed(WireError::Truncated { .. }))
+        ));
+        let mut cut = io::Cursor::new(frame[..frame.len() - 3].to_vec());
+        assert!(matches!(
+            read_frame(&mut cut, DEFAULT_MAX_FRAME),
+            Ok(FrameRead::Malformed(WireError::Truncated { .. }))
+        ));
+
+        let mut oversize = Vec::new();
+        oversize.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cur = io::Cursor::new(oversize);
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Ok(FrameRead::Malformed(WireError::FrameTooLarge { .. }))
+        ));
+    }
+}

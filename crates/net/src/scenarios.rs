@@ -1,0 +1,156 @@
+//! Network-tier scenarios for the workspace benchmark harness.
+//!
+//! Same placement logic as serve's scenarios: they live here because
+//! they need the router and front end, and `edgepc-net` already depends
+//! on `edgepc-perf` for [`edgepc_perf::Stats`]. `bench_all` chains them
+//! after the serving scenarios.
+//!
+//! * `net.proto.n2048` — pure codec cost: encode + decode one 2048-point
+//!   request frame. No sockets; isolates serialization from transport.
+//! * `net.loopback.s2.c2.n128` — transport cost: a 2-shard front end on a
+//!   loopback socket, two persistent connections pipelining 8 requests
+//!   each per iteration. Measures the full wire path (framing, kernel
+//!   round-trip, routing, settle) minus model time that `serve.*`
+//!   already prices.
+//!
+//! The loopback scenario keeps its server and connections alive across
+//! runner iterations — startup is not what we are measuring.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use edgepc_data::bunny_with_points;
+use edgepc_geom::{required, OpCounts};
+use edgepc_perf::Scenario;
+use edgepc_serve::{EngineConfig, ModelSpec};
+
+use crate::proto::{self, decode_body, encode_request, Frame, FrameRead, RequestFrame};
+use crate::router::{RoutePolicy, Router};
+use crate::server::{NetConfig, NetServer};
+
+const PIPELINED: usize = 8;
+
+fn request(points: usize, seq: u64) -> RequestFrame {
+    RequestFrame {
+        seq,
+        trace_id: 0,
+        model: 0,
+        tenant: seq % 4,
+        deadline_us: 0,
+        points: bunny_with_points(points, 0xca_u64.wrapping_add(seq))
+            .points()
+            .to_vec(),
+    }
+}
+
+struct Loopback {
+    // Dropped last; held to keep the listener and shards alive.
+    _server: NetServer,
+    conns: Vec<TcpStream>,
+}
+
+fn loopback(shards: usize) -> Loopback {
+    let cfgs = (0..shards)
+        .map(|_| {
+            let mut c = EngineConfig::new(1);
+            c.queue_capacity = 64;
+            c
+        })
+        .collect();
+    let router = Arc::new(Router::new(
+        cfgs,
+        vec![ModelSpec::pointnetpp_tiny(4)],
+        RoutePolicy::LeastLoaded,
+        None,
+    ));
+    let server = required(
+        NetServer::start(router, "127.0.0.1:0", NetConfig::default()).ok(),
+        "bench server must bind",
+    );
+    let conns = (0..2)
+        .map(|_| {
+            let s = required(
+                TcpStream::connect(server.local_addr()).ok(),
+                "bench conn must connect",
+            );
+            let _ = s.set_nodelay(true);
+            s
+        })
+        .collect();
+    Loopback {
+        _server: server,
+        conns,
+    }
+}
+
+/// Pipelines `PIPELINED` pre-encoded requests down each connection and
+/// reads every response back.
+fn drive(lb: &mut Loopback, frames: &[Vec<u8>]) {
+    for conn in &mut lb.conns {
+        for frame in frames {
+            required(conn.write_all(frame).ok(), "bench write must succeed");
+        }
+    }
+    for conn in &mut lb.conns {
+        for _ in frames {
+            let body = required(
+                match proto::read_frame(conn, proto::DEFAULT_MAX_FRAME) {
+                    Ok(FrameRead::Body(b)) => Some(b),
+                    _ => None,
+                },
+                "bench response must arrive intact",
+            );
+            let ok = required(
+                match decode_body(&body) {
+                    Ok(Frame::Ok(ok)) => Some(ok),
+                    _ => None,
+                },
+                "bench response must be logits",
+            );
+            assert!(!ok.logits.is_empty());
+        }
+    }
+}
+
+/// The two network benchmark scenarios (see module docs).
+pub fn net_scenarios() -> Vec<Scenario> {
+    let mut lb: Option<(Loopback, Vec<Vec<u8>>)> = None;
+    vec![
+        Scenario::new("net.proto.n2048", 2048, move || {
+            let req = request(2048, 7);
+            let frame = encode_request(&req);
+            // Frame = 4-byte length prefix + body; decode takes the body.
+            let decoded = required(
+                match decode_body(&frame[4..]) {
+                    Ok(Frame::Request(r)) => Some(r),
+                    _ => None,
+                },
+                "bench frame must round-trip as a request",
+            );
+            assert_eq!(decoded.points.len(), req.points.len());
+            (OpCounts::ZERO, None)
+        }),
+        Scenario::new("net.loopback.s2.c2.n128", 128, move || {
+            let (lb, frames) = lb.get_or_insert_with(|| {
+                let frames = (0..PIPELINED as u64)
+                    .map(|i| encode_request(&request(128, i)))
+                    .collect();
+                (loopback(2), frames)
+            });
+            drive(lb, frames);
+            (OpCounts::ZERO, None)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_ids_are_stable() {
+        let ids: Vec<_> = net_scenarios().iter().map(|s| s.id.clone()).collect();
+        assert_eq!(ids, ["net.proto.n2048", "net.loopback.s2.c2.n128"]);
+    }
+}

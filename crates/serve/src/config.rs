@@ -74,6 +74,12 @@ pub struct EngineConfig {
     /// parallel kernels are deterministic for every budget, so this knob
     /// trades latency for CPU without affecting outputs.
     pub intra_threads: usize,
+    /// Chaos knob: stall every worker for this long before it runs a
+    /// batch. `Duration::ZERO` (the default) disables it. Used by the
+    /// chaos tests and by netgen's degraded-shard sweeps to simulate a
+    /// slow shard without touching the model code; it delays execution
+    /// only, so outputs are unchanged.
+    pub exec_delay: Duration,
     /// Telemetry plane: flight recorder, dump triggers, tail sampling.
     pub flight: FlightConfig,
 }
@@ -89,6 +95,7 @@ impl EngineConfig {
             max_batch: 4,
             batch_linger: Duration::from_millis(2),
             intra_threads: 0,
+            exec_delay: Duration::ZERO,
             flight: FlightConfig::default(),
         }
     }

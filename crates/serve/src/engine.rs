@@ -16,6 +16,7 @@
 //! * outputs are worker-count independent: replicas are deterministic and
 //!   forwards are pure, so scheduling affects latency, never results.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -42,6 +43,10 @@ pub struct Engine {
     registry: Arc<Registry>,
     plane: Arc<TelemetryPlane>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Admitted-but-unresolved requests (queued + in flight). Kept as a
+    /// dedicated atomic so shard routers can rank engines by load without
+    /// touching the queue lock or the trace registry.
+    outstanding: Arc<AtomicUsize>,
 }
 
 impl Engine {
@@ -63,16 +68,20 @@ impl Engine {
         let specs = Arc::new(specs);
         let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
         let plane = TelemetryPlane::new(Arc::clone(&registry), config.flight.clone());
+        let outstanding = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let queue = Arc::clone(&queue);
             let registry = Arc::clone(&registry);
             let specs = Arc::clone(&specs);
             let plane = Arc::clone(&plane);
+            let outstanding = Arc::clone(&outstanding);
             let cfg = config.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("serve-worker-{w}"))
-                .spawn(move || worker_loop(w, &cfg, &specs, &queue, &registry, &plane));
+                .spawn(move || {
+                    worker_loop(w, &cfg, &specs, &queue, &registry, &plane, &outstanding)
+                });
             handles.push(required(spawned.ok(), "spawn serve worker"));
         }
         Engine {
@@ -82,6 +91,7 @@ impl Engine {
             registry,
             plane,
             workers: Mutex::new(handles),
+            outstanding,
         }
     }
 
@@ -144,6 +154,7 @@ impl Engine {
         // event is ordered before any worker can pop (and possibly cull)
         // the request.
         let admitted = self.queue.push_with(queued, |depth| {
+            self.outstanding.fetch_add(1, Ordering::Relaxed);
             self.registry.incr(metrics::SUBMITTED, 1);
             self.registry.add_gauge(metrics::QUEUE_DEPTH, 1.0);
             self.plane.note_enqueued(id, depth as u64, deadline_us);
@@ -160,9 +171,17 @@ impl Engine {
         }
     }
 
-    /// Requests queued right now (approximate under concurrency).
+    /// Requests queued right now (approximate under concurrency). Lock-free.
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// Admitted requests not yet resolved — queued plus in flight.
+    /// Lock-free and approximate under concurrency; this is the signal a
+    /// least-loaded shard router ranks engines by (queue depth alone goes
+    /// to zero the moment a worker pops a batch, hiding a busy shard).
+    pub fn load(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed)
     }
 
     /// Graceful drain: refuses new submissions, lets the workers finish
@@ -198,6 +217,7 @@ fn worker_loop(
     queue: &SubmitQueue,
     registry: &Arc<Registry>,
     plane: &Arc<TelemetryPlane>,
+    outstanding: &AtomicUsize,
 ) {
     // Install the engine's registry as this thread's current one so the
     // model-internal spans (structurize/sample/neighbor/fc) land beside
@@ -205,7 +225,7 @@ fn worker_loop(
     // budget to this thread (0 leaves the ambient resolution in place).
     with_registry(Arc::clone(registry), || {
         edgepc_par::with_threads(cfg.intra_threads, || {
-            worker_body(worker, cfg, specs, queue, registry, plane);
+            worker_body(worker, cfg, specs, queue, registry, plane, outstanding);
         });
     });
 }
@@ -217,6 +237,7 @@ fn worker_body(
     queue: &SubmitQueue,
     registry: &Arc<Registry>,
     plane: &TelemetryPlane,
+    outstanding: &AtomicUsize,
 ) {
     let mut replicas: Vec<ServeModel> = specs.iter().map(ServeModel::build).collect();
     let mut scratch = Scratch::new();
@@ -229,17 +250,36 @@ fn worker_body(
                     registry.add_gauge(metrics::QUEUE_DEPTH, -removed);
                 }
                 for req in expired {
-                    cancel_expired(registry, plane, req);
+                    cancel_expired(registry, plane, outstanding, req);
                 }
                 if !batch.is_empty() {
-                    run_batch(worker, &mut replicas, &mut scratch, registry, plane, batch);
+                    // Chaos knob: a configured execution delay stalls this
+                    // worker before the batch runs, simulating a slow shard.
+                    if !cfg.exec_delay.is_zero() {
+                        std::thread::sleep(cfg.exec_delay);
+                    }
+                    run_batch(
+                        worker,
+                        &mut replicas,
+                        &mut scratch,
+                        registry,
+                        plane,
+                        outstanding,
+                        batch,
+                    );
                 }
             }
         }
     }
 }
 
-fn cancel_expired(registry: &Registry, plane: &TelemetryPlane, req: QueuedRequest) {
+fn cancel_expired(
+    registry: &Registry,
+    plane: &TelemetryPlane,
+    outstanding: &AtomicUsize,
+    req: QueuedRequest,
+) {
+    outstanding.fetch_sub(1, Ordering::Relaxed);
     registry.incr(metrics::EXPIRED, 1);
     let waited = req.enqueued.elapsed();
     let deadline = req.deadline.unwrap_or_default();
@@ -259,6 +299,7 @@ fn run_batch(
     scratch: &mut Scratch,
     registry: &Registry,
     plane: &TelemetryPlane,
+    outstanding: &AtomicUsize,
     batch: Vec<QueuedRequest>,
 ) {
     let batch_size = batch.len();
@@ -275,7 +316,7 @@ fn run_batch(
         // during batch linger or behind an earlier request in this batch.
         if req.is_expired(Instant::now()) {
             registry.add_gauge(metrics::IN_FLIGHT, -1.0);
-            cancel_expired(registry, plane, req);
+            cancel_expired(registry, plane, outstanding, req);
             continue;
         }
         let queue_us = req.enqueued.elapsed().as_micros() as u64;
@@ -283,6 +324,7 @@ fn run_batch(
         let Some(replica) = replicas.get_mut(req.model) else {
             // submit() validates indices; stay total regardless.
             registry.add_gauge(metrics::IN_FLIGHT, -1.0);
+            outstanding.fetch_sub(1, Ordering::Relaxed);
             let _ = req.tx.send(Err(ServeError::UnknownModel {
                 index: req.model,
                 models: replicas.len(),
@@ -300,6 +342,7 @@ fn run_batch(
         registry.observe_us_tagged(metrics::LATENCY_US, total_us, req.id);
         registry.incr(metrics::COMPLETED, 1);
         registry.add_gauge(metrics::IN_FLIGHT, -1.0);
+        outstanding.fetch_sub(1, Ordering::Relaxed);
         // Tail sampling: fast requests give up their span trees; the
         // aggregate metrics they already fed are unaffected.
         if !plane.note_done(req.id, total_us, batch_size as u64) {

@@ -8,6 +8,7 @@
 //! during formation and handed back so the worker can cancel them.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -34,6 +35,12 @@ pub(crate) struct SubmitQueue {
     capacity: usize,
     inner: Mutex<Inner>,
     available: Condvar,
+    /// Mirror of `inner.items.len()`, refreshed under the lock at every
+    /// mutation. Lets [`depth`](Self::depth) answer without taking the
+    /// lock — shard routers poll it on every routing decision, and a
+    /// routing tier that contends the submission lock would serialize the
+    /// very shards it is balancing.
+    depth: AtomicUsize,
 }
 
 #[derive(Default)]
@@ -48,7 +55,14 @@ impl SubmitQueue {
             capacity,
             inner: Mutex::new(Inner::default()),
             available: Condvar::new(),
+            depth: AtomicUsize::new(0),
         }
+    }
+
+    /// Refreshes the lock-free depth mirror; call after any `items`
+    /// mutation, while the lock is still held.
+    fn sync_depth(&self, inner: &Inner) {
+        self.depth.store(inner.items.len(), Ordering::Relaxed);
     }
 
     /// A poisoned mutex only means another thread panicked mid-operation;
@@ -61,9 +75,10 @@ impl SubmitQueue {
         })
     }
 
-    /// Current queue depth (for gauges and tests).
+    /// Current queue depth. Lock-free (reads the atomic mirror), so it is
+    /// safe to call from hot routing paths.
     pub fn depth(&self) -> usize {
-        self.lock().items.len()
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// [`push_with`](Self::push_with) without admission telemetry; the
@@ -98,6 +113,7 @@ impl SubmitQueue {
             });
         }
         inner.items.push_back(req);
+        self.sync_depth(&inner);
         on_admit(inner.items.len());
         drop(inner);
         self.available.notify_one();
@@ -126,6 +142,7 @@ impl SubmitQueue {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             expired.extend(split_expired(&mut inner.items, Instant::now()));
+            self.sync_depth(&inner);
             if !inner.items.is_empty() || inner.shutdown {
                 break;
             }
@@ -143,7 +160,9 @@ impl SubmitQueue {
                 .unwrap_or_else(PoisonError::into_inner);
         }
 
-        let Some(anchor) = inner.items.pop_front() else {
+        let anchor = inner.items.pop_front();
+        self.sync_depth(&inner);
+        let Some(anchor) = anchor else {
             // Shut down and drained.
             return if expired.is_empty() {
                 Pop::Shutdown
@@ -161,6 +180,7 @@ impl SubmitQueue {
         loop {
             let room = max_batch.saturating_sub(batch.len());
             batch.extend(gather_compatible(&mut inner.items, model, room));
+            self.sync_depth(&inner);
             if batch.len() >= max_batch || inner.shutdown {
                 break;
             }

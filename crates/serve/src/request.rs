@@ -79,6 +79,19 @@ impl Ticket {
             Err(mpsc::RecvError) => Err(ServeError::WorkerLost),
         }
     }
+
+    /// Waits up to `timeout` for the request to resolve without consuming
+    /// the ticket: `None` means still pending. This is the primitive
+    /// hedged retries are built from — a router polls the primary ticket
+    /// for its deadline-risk threshold and, on `None`, submits a hedge to
+    /// another shard while this ticket stays live.
+    pub fn poll(&self, timeout: Duration) -> Option<Result<InferenceOutput, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resolution) => Some(resolution),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
 }
 
 /// A request as it sits in the submission queue: the caller's request plus

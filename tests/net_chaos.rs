@@ -1,0 +1,169 @@
+//! Chaos tests for the network tier: a slow shard, a killed shard, and a
+//! queue-full storm. The invariant under every fault is *graceful
+//! degradation* — hedges win over stalls, the router sheds or fails over
+//! instead of hanging, and the net.json report records the degraded run
+//! honestly.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use edgepc_data::bunny_with_points;
+use edgepc_net::metrics;
+use edgepc_net::{net_json, run_row, HedgeConfig, NetgenConfig, RoutePolicy, Router};
+use edgepc_serve::{ArrivalPattern, EngineConfig, ModelSpec, ServeError};
+use edgepc_trace::{json::parse, with_registry, Registry};
+
+fn specs() -> Vec<ModelSpec> {
+    vec![ModelSpec::pointnetpp_tiny(4)]
+}
+
+/// A shard whose workers stall 200 ms per batch is the primary for some
+/// tenant; with hedging armed, the hedge to the healthy shard must win
+/// and the client must not eat the stall.
+#[test]
+fn slow_shard_hedge_wins() {
+    let registry = Arc::new(Registry::new());
+    with_registry(Arc::clone(&registry), || {
+        let slow = Duration::from_millis(200);
+        let mut cfg0 = EngineConfig::new(1);
+        cfg0.exec_delay = slow; // chaos: shard 0 stalls every batch
+        let cfg1 = EngineConfig::new(1);
+        let router = Router::new(
+            vec![cfg0, cfg1],
+            specs(),
+            RoutePolicy::TenantHash,
+            Some(HedgeConfig::after(Duration::from_millis(20))),
+        );
+        // Find a tenant whose sticky primary is the slow shard.
+        let tenant = (0..64u64)
+            .find(|&t| router.route_for(0, t) == Some(0))
+            .expect("some tenant lands on shard 0");
+        let cloud = bunny_with_points(96, 0xbad);
+        let t0 = Instant::now();
+        let rt = router.submit(0, tenant, cloud, None).expect("admitted");
+        assert_eq!(rt.shard(), 0, "primary is the slow shard");
+        let out = router.settle(rt).expect("resolved");
+        let elapsed = t0.elapsed();
+        assert!(out.hedged, "the hedge must win against a stalled shard");
+        assert_eq!(out.shard, 1, "resolved on the healthy shard");
+        assert!(
+            elapsed < slow,
+            "client waited {elapsed:?}, the full stall is {slow:?}"
+        );
+        assert!(registry.counter(metrics::HEDGES) >= 1);
+        assert!(registry.counter(metrics::HEDGE_WINS) >= 1);
+        router.shutdown();
+    });
+}
+
+/// A shard killed mid-load: the router marks it down on the first
+/// `ShuttingDown` refusal and fails over; nothing hangs, and health
+/// reflects the loss.
+#[test]
+fn killed_shard_fails_over_without_hanging() {
+    let registry = Arc::new(Registry::new());
+    with_registry(Arc::clone(&registry), || {
+        let router = Router::new(
+            vec![EngineConfig::new(1), EngineConfig::new(1)],
+            specs(),
+            RoutePolicy::LeastLoaded,
+            None,
+        );
+        // Kill shard 0 out from under the router.
+        router.shard_engine(0).expect("shard 0").shutdown();
+        assert_eq!(router.healthy(), vec![true, true], "not yet observed");
+        for i in 0..6u64 {
+            let rt = router
+                .submit(0, i, bunny_with_points(96, i), None)
+                .expect("failover admits on the live shard");
+            let out = router.settle(rt).expect("resolved");
+            assert_eq!(out.shard, 1, "all work lands on the survivor");
+        }
+        // The dead shard was observed and marked down.
+        assert_eq!(router.healthy(), vec![false, true]);
+        assert!(registry.counter(metrics::FAILOVERS) >= 1);
+        router.shutdown();
+    });
+}
+
+/// Queue-full storm: every eligible queue saturated. The router must
+/// shed with a typed error immediately — degradation is refusal, never a
+/// hang — and admitted work still completes.
+#[test]
+fn queue_full_storm_sheds_typed_and_finishes() {
+    let registry = Arc::new(Registry::new());
+    with_registry(Arc::clone(&registry), || {
+        let mut cfg = EngineConfig::new(1);
+        cfg.queue_capacity = 2;
+        cfg.max_batch = 1;
+        cfg.exec_delay = Duration::from_millis(30); // keep the queue full
+        let router = Router::new(vec![cfg], specs(), RoutePolicy::LeastLoaded, None);
+        let t0 = Instant::now();
+        let mut admitted = Vec::new();
+        let mut shed = 0usize;
+        for i in 0..12u64 {
+            match router.submit(0, i, bunny_with_points(96, i), None) {
+                Ok(rt) => admitted.push(rt),
+                Err(ServeError::QueueFull { .. }) => shed += 1,
+                Err(other) => panic!("storm must shed typed, got {other}"),
+            }
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "submission under storm must not block"
+        );
+        assert!(shed > 0, "a 2-deep queue cannot absorb 12 instant arrivals");
+        assert_eq!(registry.counter(metrics::SHED), shed as u64);
+        for rt in admitted {
+            router.settle(rt).expect("admitted work completes");
+        }
+        router.shutdown();
+    });
+}
+
+/// A netgen run over real sockets with the slow-shard chaos knob set:
+/// the sweep completes and the written report records the degraded
+/// operation — the chaos knob itself, and the hedges it forced.
+#[test]
+fn chaos_run_records_degradation_in_report() {
+    let cfg = NetgenConfig {
+        shards: vec![2],
+        connections: 2,
+        requests: 32,
+        rate_rps: 200.0,
+        pattern: ArrivalPattern::Burst { size: 8 },
+        seed: 0xc4a05,
+        points: 96,
+        tenants: 6,
+        deadline: Duration::from_secs(2),
+        workers_per_shard: 1,
+        queue_capacity: 64,
+        max_batch: 4,
+        policy: RoutePolicy::TenantHash, // sticky tenants cannot dodge the slow shard
+        hedge_after: Some(Duration::from_millis(30)),
+        chaos_slow_shard: Some(Duration::from_millis(150)),
+    };
+    let row = run_row(&cfg, 2).expect("chaos row runs");
+    assert_eq!(row.outcome.lost, 0, "degradation, not lost responses");
+    assert!(
+        row.hedges_attempted > 0,
+        "sticky tenants on a 150ms-stalled shard past a 30ms hedge threshold must hedge"
+    );
+    assert!(row.outcome.completed > 0, "the healthy shard still serves");
+
+    let report = edgepc_net::NetReport {
+        config: cfg,
+        rows: vec![row],
+    };
+    let doc = net_json(&report);
+    let v = parse(&doc).expect("report parses");
+    let load = v.get("load").expect("load block");
+    assert_eq!(
+        load.get("chaos_slow_shard_ms").and_then(|x| x.as_f64()),
+        Some(150.0),
+        "the chaos knob is recorded, not hidden"
+    );
+    let sweep = v.get("sweep").and_then(|s| s.as_arr()).expect("sweep");
+    let hedges = sweep[0].get("hedges").expect("hedges block");
+    assert!(hedges.get("attempted").and_then(|x| x.as_f64()).expect("n") > 0.0);
+}
