@@ -41,6 +41,14 @@
 #                   schema pin. Fails on panics, hangs, refused
 #                   connections, or schema drift.
 #
+# Optional IR smoke:
+#   --ir-smoke      compile every model forward path through the edgepc-ir
+#                   graph scheduler, run the compiled plans against the
+#                   eager oracles, and fail unless the logits are
+#                   bit-identical; then EP005 schema-check the generated
+#                   ir_smoke.json. This is the cheap end-to-end proof that
+#                   fusion + arena scheduling changed nothing numerically.
+#
 # Benchmark regression gate:
 #   --bench-gate    run bench_all in CI smoke mode (reduced repeats) and
 #                   bench_compare the fresh recording against the
@@ -58,6 +66,7 @@ PERF_MODE=""
 SERVE_SMOKE=0
 OBS_SMOKE=0
 NET_SMOKE=0
+IR_SMOKE=0
 BENCH_GATE=0
 RUN_LINT=1
 for arg in "$@"; do
@@ -67,10 +76,11 @@ for arg in "$@"; do
         --serve-smoke) SERVE_SMOKE=1 ;;
         --obs-smoke)   OBS_SMOKE=1 ;;
         --net-smoke)   NET_SMOKE=1 ;;
+        --ir-smoke)    IR_SMOKE=1 ;;
         --bench-gate)  BENCH_GATE=1 ;;
         --no-lint)     RUN_LINT=0 ;;
         *)
-            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke] [--obs-smoke] [--net-smoke] [--bench-gate]" >&2
+            echo "usage: ci.sh [--no-lint] [--perf-smoke | --perf-strict] [--serve-smoke] [--obs-smoke] [--net-smoke] [--ir-smoke] [--bench-gate]" >&2
             exit 2
             ;;
     esac
@@ -170,6 +180,13 @@ if [ "$OBS_SMOKE" = 1 ]; then
     wait "$LOADGEN_PID"
     cargo run -q -p edgepc-lint --bin lint_all -- --results \
         target/obs/serve.json target/obs/flightrec.json
+fi
+
+if [ "$IR_SMOKE" = 1 ]; then
+    echo "==> ir smoke: compiled plans vs eager oracles + EP005 schema check"
+    cargo run --release -q -p edgepc-bench --bin ir_smoke -- \
+        --out target/ir_smoke.json
+    cargo run -q -p edgepc-lint --bin lint_all -- --results target/ir_smoke.json
 fi
 
 if [ "$NET_SMOKE" = 1 ]; then

@@ -10,6 +10,8 @@
 use edgepc::prelude::*;
 use edgepc::Workload;
 use edgepc_bench::{banner, pct, report, speedup};
+use edgepc_geom::OpCounts;
+use edgepc_models::{CompiledPointNetPp, PipelineStrategy, PointNetPpConfig, PointNetPpSeg};
 
 fn main() {
     banner(
@@ -33,11 +35,26 @@ fn main() {
             let queries = &sampled.indices;
             let k_eff = k.min(level_cloud.len() - 1);
 
-            let exact = BruteKnn::new().search(&level_cloud, queries, k_eff);
+            // Distinct per-module span names: the searchers' own spans all
+            // share one name ("knn.search"), which the breakdown folds into
+            // a single row — these wrappers keep each module's op counts
+            // (including gathered_bytes) attributed to its own site in the
+            // results JSON.
+            let exact = {
+                let mut sp = edgepc_trace::span(format!("layer{module}.search(exact)"), "search");
+                let r = BruteKnn::new().search(&level_cloud, queries, k_eff);
+                sp.set_ops(r.ops);
+                r
+            };
             // The paper's per-module study uses its default design point: the
             // degenerate index pick reusing the sampler's Morton codes.
-            let approx =
-                MortonWindowSearcher::degenerate(k_eff).search(&level_cloud, queries, k_eff);
+            let approx = {
+                let mut sp = edgepc_trace::span(format!("layer{module}.search(window)"), "search");
+                let r =
+                    MortonWindowSearcher::degenerate(k_eff).search(&level_cloud, queries, k_eff);
+                sp.set_ops(r.ops);
+                r
+            };
 
             let t_exact = device.stage_time_ms(&exact.ops, ExecMode::Pipeline);
             let t_approx = device.stage_time_ms(&approx.ops, ExecMode::Pipeline);
@@ -51,6 +68,36 @@ fn main() {
                 pct(fnr)
             );
             level_cloud = sampled.extract(&level_cloud);
+        }
+
+        // Per-gather-site grouping traffic: the IR scheduler's fused-gather
+        // accounting, one row per SA module. Each site gets its own span
+        // (named after the site), so the results JSON attributes
+        // gathered_bytes per module instead of folding every grouping into
+        // one aggregated row.
+        println!(
+            "\n{:<12} {:>14} {:>14} {:>10}",
+            "gather site", "eager bytes", "fused bytes", "saved"
+        );
+        let model = PointNetPpSeg::new(
+            &PointNetPpConfig::paper(8192, PipelineStrategy::baseline()),
+            6,
+        );
+        let compiled = CompiledPointNetPp::compile(&model, 8192);
+        for site in compiled.gather_sites() {
+            let mut sp = edgepc_trace::span(site.label.clone(), "group");
+            sp.set_ops(OpCounts {
+                gathered_bytes: site.fused_bytes,
+                ..OpCounts::ZERO
+            });
+            drop(sp);
+            println!(
+                "{:<12} {:>14} {:>14} {:>10}",
+                site.label,
+                site.eager_bytes,
+                site.fused_bytes,
+                pct(1.0 - site.fused_bytes as f64 / site.eager_bytes.max(1) as f64)
+            );
         }
     });
     println!();

@@ -1,0 +1,185 @@
+//! CI smoke for the edgepc-ir lowering: compiles every forward path
+//! (PointNet++ segmentation, DGCNN classification and segmentation, each
+//! under the baseline and EdgePC strategies), runs the compiled plans
+//! against the eager oracles on a deterministic cloud, and writes a
+//! schema-pinned `ir_smoke.json` recording the exact logit diff per
+//! model. The IR contract is bit-identity, so any nonzero diff fails the
+//! smoke (exit 1); the report also carries each plan's arena size and the
+//! per-site eager/fused gather traffic the scheduler claims to save.
+//!
+//! ```text
+//! ir_smoke [--points N] [--out PATH]
+//! ```
+#![allow(clippy::print_stderr)]
+
+use edgepc_bench::{banner, row};
+use edgepc_geom::PointCloud;
+use edgepc_models::{
+    CompiledDgcnn, CompiledPointNetPp, DgcnnClassifier, DgcnnConfig, DgcnnSeg, ExecState,
+    PipelineStrategy, PointNetPpConfig, PointNetPpSeg,
+};
+use edgepc_nn::Tensor2;
+
+/// One compiled-vs-eager comparison, ready for the JSON report.
+struct ModelRow {
+    name: String,
+    max_abs_diff: f64,
+    bitwise_equal: bool,
+    arena_f32: usize,
+    eager_gather_bytes: u64,
+    fused_gather_bytes: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!("ir_smoke: compiled logits diverged from eager");
+            std::process::exit(1);
+        }
+        Err(msg) => {
+            eprintln!("ir_smoke: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut points = 512usize;
+    let mut out = std::path::PathBuf::from("target/ir_smoke.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--points" => {
+                let raw = it.next().ok_or("--points needs a value")?;
+                points = raw
+                    .parse()
+                    .map_err(|_| format!("--points: cannot parse {raw:?}"))?;
+            }
+            "--out" => {
+                out = it.next().ok_or("--out needs a value")?.into();
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    banner(
+        "ir smoke: compiled plans vs eager oracles",
+        "compiled forward paths are bit-identical to eager (max |diff| = 0)",
+    );
+    let cloud = edgepc_data::bunny_with_points(points, 9);
+    let mut state = ExecState::new();
+    let mut rows = Vec::new();
+
+    for (tag, strategy) in [
+        ("base", PipelineStrategy::baseline()),
+        ("edgepc", PipelineStrategy::edgepc_pointnetpp(2, 16)),
+    ] {
+        let mut model = PointNetPpSeg::new(&PointNetPpConfig::tiny(3, strategy), 3);
+        let compiled = CompiledPointNetPp::compile(&model, cloud.len());
+        let eager = model.forward(&cloud).0;
+        rows.push(compare(
+            format!("pointnetpp.seg.{tag}"),
+            &eager,
+            &compiled.run(&cloud, &mut state).0,
+            &mut state,
+            &compiled.gather_sites(),
+        ));
+    }
+    for (tag, strategy) in [
+        ("base", PipelineStrategy::baseline_dgcnn(3)),
+        ("edgepc", PipelineStrategy::edgepc_dgcnn(3, 32)),
+    ] {
+        let mut cls = DgcnnClassifier::new(&DgcnnConfig::tiny(strategy.clone()), 5);
+        let compiled = CompiledDgcnn::classifier(&cls, cloud.len());
+        let eager = cls.forward(&cloud).0;
+        rows.push(compare(
+            format!("dgcnn.cls.{tag}"),
+            &eager,
+            &compiled.run(&cloud, &mut state).0,
+            &mut state,
+            &compiled.gather_sites(),
+        ));
+
+        let mut seg = DgcnnSeg::new(&DgcnnConfig::tiny(strategy), 4);
+        let compiled = CompiledDgcnn::segmenter(&seg, cloud.len());
+        let eager = seg.forward(&cloud).0;
+        rows.push(compare(
+            format!("dgcnn.seg.{tag}"),
+            &eager,
+            &compiled.run(&cloud, &mut state).0,
+            &mut state,
+            &compiled.gather_sites(),
+        ));
+    }
+
+    let all_exact = rows.iter().all(|r| r.bitwise_equal);
+    let doc = render(points, &cloud, &rows);
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&out, doc).map_err(|e| format!("write {}: {e}", out.display()))?;
+    eprintln!("wrote {} ({} models)", out.display(), rows.len());
+    Ok(all_exact)
+}
+
+fn compare(
+    name: String,
+    eager: &Tensor2,
+    compiled: &Tensor2,
+    state: &mut ExecState,
+    sites: &[edgepc_ir::GatherSite],
+) -> ModelRow {
+    let max_abs_diff = eager
+        .as_slice()
+        .iter()
+        .zip(compiled.as_slice())
+        .map(|(a, b)| f64::from((a - b).abs()))
+        .fold(0.0f64, f64::max);
+    let bitwise_equal = eager.as_slice() == compiled.as_slice();
+    let r = ModelRow {
+        name,
+        max_abs_diff,
+        bitwise_equal,
+        arena_f32: state.arena_capacity(),
+        eager_gather_bytes: sites.iter().map(|s| s.eager_bytes).sum(),
+        fused_gather_bytes: sites.iter().map(|s| s.fused_bytes).sum(),
+    };
+    row(
+        &r.name,
+        "bit-identical",
+        format!(
+            "max|diff| {} ({}), gather {} -> {} B",
+            r.max_abs_diff,
+            if r.bitwise_equal { "exact" } else { "DRIFTED" },
+            r.eager_gather_bytes,
+            r.fused_gather_bytes
+        ),
+    );
+    r
+}
+
+fn render(points: usize, cloud: &PointCloud, rows: &[ModelRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"edgepc-ir-smoke\",\n  \"schema_version\": 1,\n");
+    s.push_str(&format!(
+        "  \"points\": {points},\n  \"cloud_len\": {},\n  \"models\": [\n",
+        cloud.len()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"bitwise_equal\": {}, \"max_abs_diff\": {}, \
+             \"arena_f32\": {}, \"eager_gather_bytes\": {}, \"fused_gather_bytes\": {}}}{}\n",
+            r.name,
+            r.bitwise_equal,
+            r.max_abs_diff,
+            r.arena_f32,
+            r.eager_gather_bytes,
+            r.fused_gather_bytes,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -14,6 +14,11 @@ use edgepc::prelude::*;
 use edgepc::{compare, EdgePcConfig, Workload};
 use edgepc_bench::{banner, ms, pct, report, row, speedup};
 use edgepc_geom::rng::StdRng;
+use edgepc_geom::OpCounts;
+use edgepc_models::{
+    CompiledDgcnn, CompiledPointNetPp, DgcnnClassifier, DgcnnConfig, PipelineStrategy,
+    PointNetPpConfig, PointNetPpSeg,
+};
 
 fn main() {
     banner(
@@ -127,6 +132,46 @@ fn grouping_traffic() {
     );
     row("L2 traffic reduction", "53.9%", pct(l2_red));
     row("DRAM traffic reduction", "25.7%", pct(dram_red));
+
+    // Span the two replay orders so the results JSON records the gather
+    // traffic of each ordering as its own site instead of losing it to
+    // stdout only.
+    for (name, bytes) in [("gather(raw)", total_raw), ("gather(sorted)", total_sorted)] {
+        let mut sp = edgepc_trace::span(name, "group");
+        sp.set_ops(OpCounts {
+            gathered_bytes: bytes,
+            ..OpCounts::ZERO
+        });
+    }
+
+    // Fused-gather addendum: the same data-movement story on this repo's
+    // CPU path. The IR scheduler folds each grouping gather into the first
+    // fused MLP layer, so the materialized grouping traffic per site drops
+    // to the index + relative-coordinate stream; every site reports its own
+    // eager/fused byte counts (and its own span in the JSON).
+    println!("\n-- fused-gather grouping traffic per site (edgepc-ir) --");
+    let pnpp = PointNetPpSeg::new(&PointNetPpConfig::tiny(4, PipelineStrategy::baseline()), 4);
+    let dgcnn = DgcnnClassifier::new(&DgcnnConfig::tiny(PipelineStrategy::baseline_dgcnn(3)), 5);
+    let mut sites = CompiledPointNetPp::compile(&pnpp, 256).gather_sites();
+    sites.extend(CompiledDgcnn::classifier(&dgcnn, 256).gather_sites());
+    for site in sites {
+        let mut sp = edgepc_trace::span(site.label.clone(), "group");
+        sp.set_ops(OpCounts {
+            gathered_bytes: site.fused_bytes,
+            ..OpCounts::ZERO
+        });
+        drop(sp);
+        row(
+            &format!("{} fused/eager bytes", site.label),
+            "site-attributed",
+            format!(
+                "{} / {} (-{})",
+                site.fused_bytes,
+                site.eager_bytes,
+                pct(1.0 - site.fused_bytes as f64 / site.eager_bytes.max(1) as f64)
+            ),
+        );
+    }
     println!(
         "note: the trace-level cache model captures warp coalescing (the L2 \
          reduction) but touches an identical line set either way, so it \

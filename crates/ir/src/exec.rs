@@ -1,0 +1,436 @@
+//! The plan executor: a single arena, zero steady-state allocation.
+//!
+//! An [`Executor`] owns one `Vec<f32>` arena sized to the plan's
+//! liveness high-water mark. [`Executor::run`] grows the arena at most
+//! once per plan shape (cold path) and then interprets the step list
+//! inside `run_steps`, which is EP008-designated allocation-free: every
+//! step reads and writes disjoint arena regions through safe
+//! `split_at_mut` projections, and the fused linear steps call straight
+//! into `edgepc_nn::fused_linear`.
+//!
+//! Step semantics replicate the eager ops bit-for-bit: fused linears
+//! follow the eager matmul/bias/ReLU op order, `MaxPool` replays
+//! `max_pool_groups` (strict `>`, first-seen winner), `Concat2` is
+//! `hstack`, `Broadcast` the seg-head row replication.
+
+use crate::graph::GatherMode;
+use crate::schedule::{ASrc, Plan, Region, Src, Step};
+use edgepc_nn::RowSource;
+
+/// A dense runtime input (row-major borrow).
+#[derive(Clone, Copy)]
+pub struct InTensor<'a> {
+    /// Row-major values (`rows * cols`).
+    pub data: &'a [f32],
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+}
+
+/// Runtime feed for one gather slot: the source feature matrix, the
+/// flattened neighbor indices (one per gathered row;
+/// `edgepc_nn::EMPTY_SLOT` marks zero-padded slots), and — for SA
+/// grouping — the precomputed relative coordinates (`3 * rows` values,
+/// empty for edge-pair gathers).
+#[derive(Clone, Copy)]
+pub struct GatherIn<'a> {
+    /// Source features, row-major with the mode's `c` columns.
+    pub feats: &'a [f32],
+    /// Flattened neighbor indices.
+    pub idx: &'a [usize],
+    /// Relative coordinates (SA grouping only).
+    pub rel: &'a [f32],
+}
+
+/// Borrowed runtime inputs for one plan execution. Slot order matches
+/// the graph's `input`/`gather` declaration order. Both slices normally
+/// live on the caller's stack, so feeding a plan allocates nothing.
+#[derive(Clone, Copy)]
+pub struct Inputs<'a> {
+    /// Dense input tensors by slot.
+    pub tensors: &'a [InTensor<'a>],
+    /// Gather feeds by slot.
+    pub gathers: &'a [GatherIn<'a>],
+}
+
+impl Inputs<'_> {
+    /// An input set with no slots (plans over constants only).
+    pub const EMPTY: Inputs<'static> = Inputs {
+        tensors: &[],
+        gathers: &[],
+    };
+}
+
+/// Executes compiled [`Plan`]s over a reusable arena. One executor per
+/// worker thread; plans are shared.
+#[derive(Default)]
+pub struct Executor {
+    arena: Vec<f32>,
+}
+
+impl Executor {
+    /// Creates an executor with an empty arena (grown on first run).
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Runs `plan` over `inputs`. The first run for the largest plan
+    /// grows the arena; every later run is allocation-free (the step
+    /// interpreter is EP008-designated).
+    pub fn run(&mut self, plan: &Plan, inputs: &Inputs<'_>) {
+        let _sp = edgepc_trace::span(format!("ir.exec.{}", plan.label()), "exec");
+        validate_inputs(plan, inputs);
+        if self.arena.len() < plan.arena_len() {
+            self.arena.resize(plan.arena_len(), 0.0);
+        }
+        run_steps(&mut self.arena, plan, inputs);
+    }
+
+    /// Borrows the last run's output region (`out_rows * out_cols`
+    /// row-major values). Only valid right after `run` with the same
+    /// plan.
+    pub fn output(&self, plan: &Plan) -> &[f32] {
+        let r = plan.out;
+        &self.arena[r.off..r.off + r.len]
+    }
+
+    /// Current arena capacity in floats — pinned by the allocation-
+    /// freedom tests: once warm it must not move across runs.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+}
+
+fn validate_inputs(plan: &Plan, inputs: &Inputs<'_>) {
+    assert_eq!(
+        inputs.tensors.len(),
+        plan.input_shapes.len(),
+        "ir exec: input slot count"
+    );
+    for (t, &(rows, cols)) in inputs.tensors.iter().zip(&plan.input_shapes) {
+        assert_eq!(
+            (t.rows, t.cols),
+            (rows, cols),
+            "ir exec: input shape mismatch"
+        );
+        assert_eq!(t.data.len(), rows * cols, "ir exec: input length mismatch");
+    }
+    assert_eq!(
+        inputs.gathers.len(),
+        plan.gather_specs.len(),
+        "ir exec: gather slot count"
+    );
+    for (g, spec) in inputs.gathers.iter().zip(&plan.gather_specs) {
+        assert_eq!(
+            g.idx.len(),
+            spec.rows,
+            "ir exec: gather index count mismatch"
+        );
+        match spec.mode {
+            GatherMode::SaGroup { c, .. } => {
+                assert_eq!(
+                    g.rel.len(),
+                    3 * spec.rows,
+                    "ir exec: gather rel count mismatch"
+                );
+                assert_eq!(
+                    g.feats.len() % c,
+                    0,
+                    "ir exec: gather feature matrix ragged"
+                );
+            }
+            GatherMode::EdgePair { c, k } => {
+                assert!(
+                    k > 0 && spec.rows % k == 0,
+                    "ir exec: edge rows must tile by k"
+                );
+                assert_eq!(
+                    g.feats.len() % c,
+                    0,
+                    "ir exec: gather feature matrix ragged"
+                );
+            }
+        }
+    }
+}
+
+fn gather_source<'a>(plan: &Plan, inputs: &Inputs<'a>, slot: usize) -> RowSource<'a> {
+    let g = &inputs.gathers[slot];
+    match plan.gather_specs[slot].mode {
+        GatherMode::SaGroup { c, .. } => RowSource::SaGroup {
+            feats: g.feats,
+            c,
+            idx: g.idx,
+            rel: g.rel,
+        },
+        GatherMode::EdgePair { c, k } => RowSource::EdgePair {
+            feats: g.feats,
+            c,
+            k,
+            idx: g.idx,
+        },
+    }
+}
+
+/// The steady-state interpreter loop (EP008-designated together with
+/// the step helpers below: no allocation once the arena is warm).
+fn run_steps(arena: &mut [f32], plan: &Plan, inputs: &Inputs<'_>) {
+    for step in &plan.steps {
+        match *step {
+            Step::Fused {
+                src,
+                m,
+                w,
+                bias,
+                relu,
+                dst,
+            } => {
+                step_fused(arena, plan, inputs, src, m, w, bias, relu, dst);
+            }
+            Step::Gather { slot, rows, dst } => step_gather(arena, plan, inputs, slot, rows, dst),
+            Step::Bias { x, cols, b } => step_bias(arena, plan, x, cols, b),
+            Step::Relu { x } => step_relu(arena, x),
+            Step::MaxPool {
+                src,
+                rows,
+                cols,
+                group,
+                dst,
+            } => {
+                step_max_pool(arena, inputs, src, rows, cols, group, dst);
+            }
+            Step::Concat2 {
+                a,
+                b,
+                rows,
+                a_cols,
+                b_cols,
+                dst,
+            } => {
+                step_concat2(arena, inputs, a, b, rows, a_cols, b_cols, dst);
+            }
+            Step::Broadcast {
+                src,
+                cols,
+                rows_out,
+                dst,
+            } => {
+                step_broadcast(arena, inputs, src, cols, rows_out, dst);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step_fused(
+    arena: &mut [f32],
+    plan: &Plan,
+    inputs: &Inputs<'_>,
+    src: ASrc,
+    m: usize,
+    w: usize,
+    bias: Option<usize>,
+    relu: bool,
+    dst: Region,
+) {
+    let pw = &plan.weights[w];
+    let b = bias.map(|i| plan.biases[i].as_slice());
+    match src {
+        ASrc::Input(slot) => {
+            let rs = RowSource::Dense(inputs.tensors[slot].data);
+            let out = &mut arena[dst.off..dst.off + dst.len];
+            edgepc_nn::fused_linear(&rs, m, &pw.w, pw.packed.as_ref(), b, relu, out);
+        }
+        ASrc::Gather(slot) => {
+            let rs = gather_source(plan, inputs, slot);
+            let out = &mut arena[dst.off..dst.off + dst.len];
+            edgepc_nn::fused_linear(&rs, m, &pw.w, pw.packed.as_ref(), b, relu, out);
+        }
+        ASrc::Arena(r) => {
+            let (a, out) = split_src_dst(arena, r, dst);
+            let rs = RowSource::Dense(a);
+            edgepc_nn::fused_linear(&rs, m, &pw.w, pw.packed.as_ref(), b, relu, out);
+        }
+    }
+}
+
+fn step_gather(
+    arena: &mut [f32],
+    plan: &Plan,
+    inputs: &Inputs<'_>,
+    slot: usize,
+    rows: usize,
+    dst: Region,
+) {
+    let rs = gather_source(plan, inputs, slot);
+    let out = &mut arena[dst.off..dst.off + dst.len];
+    let width = dst.len / rows;
+    for (r, row) in out.chunks_exact_mut(width).enumerate() {
+        rs.stage_row(r, row);
+    }
+}
+
+fn step_bias(arena: &mut [f32], plan: &Plan, x: Region, cols: usize, b: usize) {
+    let bias = &plan.biases[b];
+    let buf = &mut arena[x.off..x.off + x.len];
+    for row in buf.chunks_exact_mut(cols) {
+        for (o, &bv) in row.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+}
+
+fn step_relu(arena: &mut [f32], x: Region) {
+    for v in arena[x.off..x.off + x.len].iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+fn step_max_pool(
+    arena: &mut [f32],
+    inputs: &Inputs<'_>,
+    src: Src,
+    rows: usize,
+    cols: usize,
+    group: usize,
+    dst: Region,
+) {
+    let (s, out) = resolve_src_dst(arena, inputs, src, dst);
+    let groups = rows / group;
+    for g in 0..groups {
+        for c in 0..cols {
+            // Strict `>` with NEG_INFINITY start: identical winner (and
+            // identical bits) to the eager `max_pool_groups`.
+            let mut best = f32::NEG_INFINITY;
+            for r in g * group..(g + 1) * group {
+                let v = s[r * cols + c];
+                if v > best {
+                    best = v;
+                }
+            }
+            out[g * cols + c] = best;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step_concat2(
+    arena: &mut [f32],
+    inputs: &Inputs<'_>,
+    a: Src,
+    b: Src,
+    rows: usize,
+    a_cols: usize,
+    b_cols: usize,
+    dst: Region,
+) {
+    match (a, b) {
+        (Src::Arena(ra), Src::Arena(rb)) => {
+            let (sa, sb, out) = split2_dst(arena, ra, rb, dst);
+            concat_rows(sa, sb, rows, a_cols, b_cols, out);
+        }
+        (Src::Arena(ra), Src::Input(ib)) => {
+            let (sa, out) = split_src_dst(arena, ra, dst);
+            concat_rows(sa, inputs.tensors[ib].data, rows, a_cols, b_cols, out);
+        }
+        (Src::Input(ia), Src::Arena(rb)) => {
+            let (sb, out) = split_src_dst(arena, rb, dst);
+            concat_rows(inputs.tensors[ia].data, sb, rows, a_cols, b_cols, out);
+        }
+        (Src::Input(ia), Src::Input(ib)) => {
+            let out = &mut arena[dst.off..dst.off + dst.len];
+            concat_rows(
+                inputs.tensors[ia].data,
+                inputs.tensors[ib].data,
+                rows,
+                a_cols,
+                b_cols,
+                out,
+            );
+        }
+    }
+}
+
+fn concat_rows(a: &[f32], b: &[f32], rows: usize, a_cols: usize, b_cols: usize, out: &mut [f32]) {
+    let w = a_cols + b_cols;
+    for r in 0..rows {
+        out[r * w..r * w + a_cols].copy_from_slice(&a[r * a_cols..(r + 1) * a_cols]);
+        out[r * w + a_cols..(r + 1) * w].copy_from_slice(&b[r * b_cols..(r + 1) * b_cols]);
+    }
+}
+
+fn step_broadcast(
+    arena: &mut [f32],
+    inputs: &Inputs<'_>,
+    src: Src,
+    cols: usize,
+    rows_out: usize,
+    dst: Region,
+) {
+    let (s, out) = resolve_src_dst(arena, inputs, src, dst);
+    for row in out.chunks_exact_mut(cols).take(rows_out) {
+        row.copy_from_slice(&s[..cols]);
+    }
+}
+
+/// Resolves a read operand and the destination region simultaneously
+/// (splitting the arena when the operand also lives there).
+fn resolve_src_dst<'t>(
+    arena: &'t mut [f32],
+    inputs: &Inputs<'t>,
+    src: Src,
+    dst: Region,
+) -> (&'t [f32], &'t mut [f32]) {
+    match src {
+        Src::Arena(r) => split_src_dst(arena, r, dst),
+        Src::Input(slot) => {
+            let out = &mut arena[dst.off..dst.off + dst.len];
+            (inputs.tensors[slot].data, out)
+        }
+    }
+}
+
+/// Disjoint (read, write) projection of two arena regions via
+/// `split_at_mut`; diverges if the scheduler ever produced overlapping
+/// regions (it allocates destinations before releasing sources).
+fn split_src_dst(arena: &mut [f32], src: Region, dst: Region) -> (&[f32], &mut [f32]) {
+    if src.off + src.len <= dst.off {
+        let (lo, hi) = arena.split_at_mut(dst.off);
+        (&lo[src.off..src.off + src.len], &mut hi[..dst.len])
+    } else if dst.off + dst.len <= src.off {
+        let (lo, hi) = arena.split_at_mut(src.off);
+        (&hi[..src.len], &mut lo[dst.off..dst.off + dst.len])
+    } else {
+        edgepc_geom::violation("ir exec: overlapping src/dst regions")
+    }
+}
+
+/// Disjoint (read, read, write) projection of three arena regions.
+fn split2_dst(
+    arena: &mut [f32],
+    a: Region,
+    b: Region,
+    dst: Region,
+) -> (&[f32], &[f32], &mut [f32]) {
+    let disjoint = |x: Region, y: Region| x.off + x.len <= y.off || y.off + y.len <= x.off;
+    if !(disjoint(a, dst) && disjoint(b, dst)) {
+        edgepc_geom::violation("ir exec: overlapping concat regions");
+    }
+    let (lo, rest) = arena.split_at_mut(dst.off);
+    let (out, hi) = rest.split_at_mut(dst.len);
+    let lo: &[f32] = lo;
+    let hi: &[f32] = hi;
+    let hi_base = dst.off + dst.len;
+    let ra = if a.off + a.len <= dst.off {
+        &lo[a.off..a.off + a.len]
+    } else {
+        &hi[a.off - hi_base..a.off - hi_base + a.len]
+    };
+    let rb = if b.off + b.len <= dst.off {
+        &lo[b.off..b.off + b.len]
+    } else {
+        &hi[b.off - hi_base..b.off - hi_base + b.len]
+    };
+    (ra, rb, out)
+}

@@ -1,0 +1,249 @@
+//! The op graph: a small, shape-checked SSA-style IR for the forward
+//! paths of the point-cloud models.
+//!
+//! A [`Graph`] is built in topological order (every operand must already
+//! exist), carries static shapes on every node, and owns snapshots of
+//! the layer parameters it references. Ops mirror exactly what the eager
+//! forward paths do — matmul, bias add, ReLU, neighborhood gather,
+//! channel concat, grouped max-pool, row broadcast — so a compiled plan
+//! can promise bit-identical results to the eager oracle.
+
+use edgepc_nn::{Sequential, Tensor2};
+
+/// Handle to a node in a [`Graph`] (index into the build order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeId(pub(crate) usize);
+
+/// Handle to a weight-matrix snapshot owned by the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightId(pub(crate) usize);
+
+/// Handle to a bias-vector snapshot owned by the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BiasId(pub(crate) usize);
+
+/// How a gather node assembles its rows from the runtime-provided
+/// feature matrix and index stream. Mirrors `edgepc_nn::RowSource`.
+#[derive(Clone, Copy, Debug)]
+pub enum GatherMode {
+    /// PointNet++ SA grouping rows `[feats[idx[r]] | rel[r]]`
+    /// (width `c + 3`, `EMPTY_SLOT` indices stage zero rows).
+    SaGroup {
+        /// Feature channels per point.
+        c: usize,
+        /// Neighbors per group.
+        k: usize,
+    },
+    /// DGCNN edge rows `[feats[i] | feats[idx[r]] - feats[i]]`
+    /// (width `2c`, center `i = r / k`).
+    EdgePair {
+        /// Feature channels per point.
+        c: usize,
+        /// Neighbors per center.
+        k: usize,
+    },
+}
+
+impl GatherMode {
+    /// Width of one gathered row.
+    pub fn row_width(&self) -> usize {
+        match self {
+            GatherMode::SaGroup { c, .. } => c + 3,
+            GatherMode::EdgePair { c, .. } => 2 * c,
+        }
+    }
+
+    /// Bytes the eager path materializes for `rows` gathered rows
+    /// (4 bytes per f32 — the accounting `OpCounts::gathered_bytes`
+    /// uses everywhere).
+    pub fn eager_bytes(&self, rows: usize) -> u64 {
+        (rows * self.row_width() * 4) as u64
+    }
+
+    /// Bytes the fused path streams instead: one 4-byte index per row
+    /// plus, for SA grouping, the three precomputed relative
+    /// coordinates. The feature rows themselves are read in place and
+    /// never written to a gathered intermediate.
+    pub fn fused_bytes(&self, rows: usize) -> u64 {
+        match self {
+            GatherMode::SaGroup { .. } => (rows * (4 + 12)) as u64,
+            GatherMode::EdgePair { .. } => (rows * 4) as u64,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    Input { slot: usize },
+    Gather { slot: usize, mode: GatherMode },
+    Matmul { a: NodeId, w: WeightId },
+    BiasAdd { x: NodeId, b: BiasId },
+    Relu { x: NodeId },
+    MaxPool { x: NodeId, group: usize },
+    Concat2 { a: NodeId, b: NodeId },
+    Broadcast { x: NodeId, rows: usize },
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+}
+
+/// A forward-path op graph under construction. Build nodes with the
+/// typed constructors, mark the result with [`Graph::set_output`], then
+/// hand the graph to `schedule::compile`.
+pub struct Graph {
+    pub(crate) label: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) weights: Vec<Tensor2>,
+    pub(crate) biases: Vec<Vec<f32>>,
+    pub(crate) input_shapes: Vec<(usize, usize)>,
+    pub(crate) gather_labels: Vec<String>,
+    pub(crate) output: Option<NodeId>,
+}
+
+impl Graph {
+    /// Starts an empty graph; `label` names the compiled plan's span.
+    pub fn new(label: impl Into<String>) -> Self {
+        Graph {
+            label: label.into(),
+            nodes: Vec::new(),
+            weights: Vec::new(),
+            biases: Vec::new(),
+            input_shapes: Vec::new(),
+            gather_labels: Vec::new(),
+            output: None,
+        }
+    }
+
+    fn push(&mut self, op: Op, rows: usize, cols: usize) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { op, rows, cols });
+        id
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Shape of a built node (rows, cols).
+    pub fn shape(&self, id: NodeId) -> (usize, usize) {
+        let n = self.node(id);
+        (n.rows, n.cols)
+    }
+
+    /// Declares a dense runtime input (`rows x cols`). Inputs occupy
+    /// slots in declaration order, matching `exec::Inputs::tensors`.
+    pub fn input(&mut self, rows: usize, cols: usize) -> NodeId {
+        let slot = self.input_shapes.len();
+        self.input_shapes.push((rows, cols));
+        self.push(Op::Input { slot }, rows, cols)
+    }
+
+    /// Declares an index-driven gather producing `rows` rows. Gathers
+    /// occupy slots in declaration order, matching
+    /// `exec::Inputs::gathers`; `site` names the gather site in the
+    /// plan's per-site traffic accounting.
+    pub fn gather(&mut self, rows: usize, mode: GatherMode, site: impl Into<String>) -> NodeId {
+        let slot = self.gather_labels.len();
+        self.gather_labels.push(site.into());
+        let cols = mode.row_width();
+        self.push(Op::Gather { slot, mode }, rows, cols)
+    }
+
+    /// Matrix product `a * w`, snapshotting `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols != w.rows`.
+    pub fn matmul(&mut self, a: NodeId, w: &Tensor2) -> NodeId {
+        let (rows, cols) = self.shape(a);
+        assert_eq!(cols, w.rows(), "ir matmul shape mismatch");
+        let wid = WeightId(self.weights.len());
+        self.weights.push(w.clone());
+        let n = w.cols();
+        self.push(Op::Matmul { a, w: wid }, rows, n)
+    }
+
+    /// Row-wise bias add, snapshotting `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != x.cols`.
+    pub fn bias_add(&mut self, x: NodeId, b: &[f32]) -> NodeId {
+        let (rows, cols) = self.shape(x);
+        assert_eq!(b.len(), cols, "ir bias width mismatch");
+        let bid = BiasId(self.biases.len());
+        self.biases.push(b.to_vec());
+        self.push(Op::BiasAdd { x, b: bid }, rows, cols)
+    }
+
+    /// Element-wise `max(0.0)`.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let (rows, cols) = self.shape(x);
+        self.push(Op::Relu { x }, rows, cols)
+    }
+
+    /// Grouped max-pool over `group` consecutive rows (the eager
+    /// `max_pool_groups` contract: first-seen winner on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows` is not a multiple of `group`.
+    pub fn max_pool(&mut self, x: NodeId, group: usize) -> NodeId {
+        let (rows, cols) = self.shape(x);
+        assert!(group > 0 && rows % group == 0, "ir max_pool group mismatch");
+        self.push(Op::MaxPool { x, group }, rows / group, cols)
+    }
+
+    /// Channel concatenation `[a | b]` (the eager `hstack`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn concat2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ar, br, "ir concat2 row mismatch");
+        self.push(Op::Concat2 { a, b }, ar, ac + bc)
+    }
+
+    /// Replicates a single row `rows` times (DGCNN-seg global-feature
+    /// broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has more than one row.
+    pub fn broadcast(&mut self, x: NodeId, rows: usize) -> NodeId {
+        let (xr, cols) = self.shape(x);
+        assert_eq!(xr, 1, "ir broadcast expects a single row");
+        self.push(Op::Broadcast { x, rows }, rows, cols)
+    }
+
+    /// Lowers a `Sequential` MLP (`Linear`/`ReLU` chain) onto `x`:
+    /// each `Linear` becomes matmul + bias nodes, each activation a
+    /// relu node. Layers that are neither diverge via `guard::violation`
+    /// — the models only build `Sequential::mlp` stacks.
+    pub fn mlp(&mut self, x: NodeId, seq: &Sequential) -> NodeId {
+        let mut cur = x;
+        for layer in seq.layers() {
+            if let Some(lin) = layer.as_linear() {
+                cur = self.matmul(cur, lin.weights());
+                cur = self.bias_add(cur, lin.bias());
+            } else if layer.is_activation() {
+                cur = self.relu(cur);
+            } else {
+                edgepc_geom::violation("ir lowering: unsupported layer kind in Sequential");
+            }
+        }
+        cur
+    }
+
+    /// Marks the graph's result node.
+    pub fn set_output(&mut self, id: NodeId) {
+        assert!(id.0 < self.nodes.len(), "ir output node out of range");
+        self.output = Some(id);
+    }
+}

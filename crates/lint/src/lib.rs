@@ -56,7 +56,7 @@ pub const ALL_RULES: &[&str] = &[
 /// Crates whose non-test code must be panic-free (EP001): everything on
 /// the inference hot path.
 pub const HOT_CRATES: &[&str] = &[
-    "geom", "morton", "par", "sample", "neighbor", "models", "core", "serve", "net",
+    "geom", "morton", "par", "sample", "neighbor", "ir", "models", "core", "serve", "net",
 ];
 
 /// Files whose public functions must open spans (EP003): the stage entry
@@ -66,6 +66,8 @@ pub const SPAN_COVERED_FILES: &[&str] = &[
     "crates/sample/src/morton_sampler.rs",
     "crates/sample/src/upsample.rs",
     "crates/neighbor/src/window.rs",
+    "crates/ir/src/schedule.rs",
+    "crates/ir/src/exec.rs",
     "crates/models/src/sa.rs",
     "crates/models/src/fp.rs",
     "crates/models/src/dgcnn.rs",

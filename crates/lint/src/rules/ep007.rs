@@ -29,7 +29,7 @@ use crate::syntax::{self, FileSyntax};
 /// Crates under the bit-identical-results contract. `serve`/`trace`/
 /// `perf` are exempt: they measure wall time by design.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
-    "geom", "morton", "par", "sample", "neighbor", "models", "core", "nn",
+    "geom", "morton", "par", "sample", "neighbor", "models", "core", "nn", "ir",
 ];
 
 const HASH_ITERATORS: &[&str] = &[

@@ -91,6 +91,14 @@ fn violating_fixture_pinpoints_the_planted_sites() {
         .violations
         .iter()
         .any(|d| d.rule == "EP008" && d.item.as_deref() == Some("render_cold")));
+    // EP008 in the fused-executor plant: the per-call buffer, the staged
+    // copy, and nothing from the undesignated plan constructor.
+    assert!(has("EP008", "crates/serve/src/fused.rs", "`vec!`"));
+    assert!(has("EP008", "crates/serve/src/fused.rs", "`.collect()`"));
+    assert!(!report
+        .violations
+        .iter()
+        .any(|d| d.rule == "EP008" && d.item.as_deref() == Some("plan_cold")));
 }
 
 #[test]

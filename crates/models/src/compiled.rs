@@ -1,0 +1,830 @@
+//! Compiled forward paths: the eager models lowered into `edgepc-ir`
+//! plans.
+//!
+//! [`CompiledPointNetPp`] and [`CompiledDgcnn`] snapshot a trained
+//! model's layer parameters into per-module op graphs (gather -> shared
+//! MLP -> pool, concat -> MLP, ...), compile them once with the fusing
+//! scheduler, and then execute every forward pass over a single reusable
+//! arena ([`ExecState`]). The data-dependent glue — sampling, neighbor
+//! search, interpolation planning — still runs the *same* eager code
+//! (`selection::select`, `fp::plan_interpolation`, the DGCNN searchers),
+//! so stage records and logits are bit-identical to the eager oracle at
+//! any thread budget.
+//!
+//! What changes is the tensor work: `matmul + bias + ReLU` chains run as
+//! single fused passes, and the grouping gather streams rows directly
+//! into the kernel's panel staging instead of materializing the
+//! `(n*k) x (C+3)` grouped matrix — the `.group` stage records the
+//! fused gather traffic (indices + relative coordinates only), which is
+//! the measurable `gathered_bytes` drop the scheduler buys.
+
+use edgepc_geom::{required, violation, OpCounts, Point3, PointCloud};
+use edgepc_ir::{
+    Executor, FuseConfig, GatherIn, GatherMode, GatherSite, Graph, InTensor, Inputs, Plan,
+};
+use edgepc_neighbor::{BruteKnn, MortonWindowSearcher, NeighborSearcher};
+use edgepc_nn::{Tensor2, EMPTY_SLOT};
+use edgepc_sim::StageKind;
+
+use crate::dgcnn::{feature_knn, DgcnnBackbone, DgcnnClassifier, DgcnnSeg};
+use crate::fp::{plan_interpolation, InterpSource};
+use crate::pointnetpp::{xyz_features, PointNetPpSeg};
+use crate::selection::{select, MortonContext};
+use crate::strategy::{SampleStrategy, SearchStrategy, StageRecord, UpsampleStrategy};
+
+/// Per-worker execution state: the executor's arena plus the reusable
+/// index/relative-coordinate staging buffers the grouping glue writes.
+/// After a warm-up run every buffer has reached its steady-state
+/// capacity and repeated inference stops allocating in the executor.
+#[derive(Default)]
+pub struct ExecState {
+    exec: Executor,
+    idx: Vec<usize>,
+    rel: Vec<f32>,
+}
+
+impl ExecState {
+    /// Creates an empty state (buffers grow on first run).
+    pub fn new() -> Self {
+        ExecState::default()
+    }
+
+    /// The executor arena capacity in floats — pinned by the
+    /// allocation-freedom tests.
+    pub fn arena_capacity(&self) -> usize {
+        self.exec.arena_capacity()
+    }
+}
+
+/// One compiled SA level: the fused gather->MLP->pool plan plus the
+/// strategy snapshot needed to drive the eager selection glue.
+struct SaPlan {
+    plan: Plan,
+    name: String,
+    n_out: usize,
+    /// Effective neighbor count after the deep-level clamp.
+    k: usize,
+    in_channels: usize,
+    out_channels: usize,
+    sample: SampleStrategy,
+    search: SearchStrategy,
+    seq_rounds: u64,
+    fused_gather_bytes: u64,
+}
+
+/// One compiled FP level: concat->MLP plan plus interpolation strategy.
+struct FpPlan {
+    plan: Plan,
+    name: String,
+    n_dense: usize,
+    sparse_channels: usize,
+    skip_channels: usize,
+    out_channels: usize,
+    strategy: UpsampleStrategy,
+    seq_rounds: u64,
+}
+
+/// A compiled head MLP (per-point or per-cloud).
+struct HeadPlan {
+    plan: Plan,
+    fc_k: usize,
+    seq_rounds: u64,
+}
+
+/// [`PointNetPpSeg`] lowered to `edgepc-ir` plans for a fixed input
+/// size. Compile once, run many times; the eager model stays the
+/// training/reference path.
+pub struct CompiledPointNetPp {
+    levels: Vec<SaPlan>,
+    fps: Vec<FpPlan>,
+    head: HeadPlan,
+    n_input: usize,
+    depth: usize,
+}
+
+impl CompiledPointNetPp {
+    /// Lowers `model`'s forward path for clouds of exactly `n_input`
+    /// points, snapshotting the current layer parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_input` is smaller than the first level's sample
+    /// count (same contract as the eager forward).
+    pub fn compile(model: &PointNetPpSeg, n_input: usize) -> Self {
+        let mut levels = Vec::with_capacity(model.depth);
+        let mut level_counts = vec![n_input];
+        for sa in &model.sa {
+            let n_in = *required(level_counts.last(), "level counts start non-empty");
+            // Same deep-level clamp as the eager forward.
+            let k = sa.k.min(n_in.saturating_sub(1)).max(1);
+            let c = sa.in_channels;
+            let mut g = Graph::new(format!("pointnetpp.{}", sa.name));
+            let gat = g.gather(
+                sa.n_out * k,
+                GatherMode::SaGroup { c, k },
+                format!("{}.group", sa.name),
+            );
+            let mlp = g.mlp(gat, &sa.mlp);
+            let pooled = g.max_pool(mlp, k);
+            g.set_output(pooled);
+            let plan = edgepc_ir::compile(&g, &FuseConfig::default());
+            let fused_gather_bytes =
+                required(plan.gather_sites().first(), "SA plan has a gather").fused_bytes;
+            levels.push(SaPlan {
+                plan,
+                name: sa.name.clone(),
+                n_out: sa.n_out,
+                k,
+                in_channels: c,
+                out_channels: sa.out_channels,
+                sample: sa.sample_strategy,
+                search: sa.search_strategy,
+                seq_rounds: 2 * sa.mlp.len() as u64,
+                fused_gather_bytes,
+            });
+            level_counts.push(sa.n_out);
+        }
+
+        let mut fps = Vec::with_capacity(model.depth);
+        for (j, fp) in model.fp.iter().enumerate() {
+            let n_dense = level_counts[model.depth - j - 1];
+            let mut g = Graph::new(format!("pointnetpp.{}", fp.name));
+            let interp = g.input(n_dense, fp.sparse_channels);
+            let skip = g.input(n_dense, fp.skip_channels);
+            let cat = g.concat2(interp, skip);
+            let out = g.mlp(cat, &fp.mlp);
+            g.set_output(out);
+            fps.push(FpPlan {
+                plan: edgepc_ir::compile(&g, &FuseConfig::default()),
+                name: fp.name.clone(),
+                n_dense,
+                sparse_channels: fp.sparse_channels,
+                skip_channels: fp.skip_channels,
+                out_channels: fp.out_channels,
+                strategy: fp.strategy,
+                seq_rounds: 2 * fp.mlp.len() as u64,
+            });
+        }
+
+        let carried = required(model.fp.last(), "at least one FP module").out_channels;
+        let mut g = Graph::new("pointnetpp.head");
+        let x = g.input(n_input, carried);
+        let out = g.mlp(x, &model.head);
+        g.set_output(out);
+        let head = HeadPlan {
+            plan: edgepc_ir::compile(&g, &FuseConfig::default()),
+            fc_k: carried,
+            seq_rounds: 2 * model.head.len() as u64,
+        };
+
+        CompiledPointNetPp {
+            levels,
+            fps,
+            head,
+            n_input,
+            depth: model.depth,
+        }
+    }
+
+    /// The input size the plans were compiled for.
+    pub fn n_input(&self) -> usize {
+        self.n_input
+    }
+
+    /// All gather sites across the compiled plans (for per-site
+    /// `gathered_bytes` reporting).
+    pub fn gather_sites(&self) -> Vec<GatherSite> {
+        self.levels
+            .iter()
+            .flat_map(|lv| lv.plan.gather_sites().iter().cloned())
+            .collect()
+    }
+
+    /// Compiled forward pass. Returns per-point logits and stage
+    /// records matching the eager forward record-for-record (the
+    /// `.group` stages carry the *fused* gather bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cloud.len() != n_input`.
+    pub fn run(&self, cloud: &PointCloud, state: &mut ExecState) -> (Tensor2, Vec<StageRecord>) {
+        assert_eq!(
+            cloud.len(),
+            self.n_input,
+            "plans are compiled for a fixed cloud size"
+        );
+        let _sp = edgepc_trace::span("pointnetpp.compiled", "model");
+        let ExecState { exec, idx, rel } = state;
+        let mut records = Vec::new();
+        let mut level_points: Vec<Vec<Point3>> = vec![cloud.points().to_vec()];
+        let mut level_feats: Vec<Tensor2> = vec![xyz_features(cloud.points())];
+        let mut contexts: Vec<Option<MortonContext>> = Vec::with_capacity(self.depth);
+
+        // --- SA stack: eager select, fused gather+MLP+pool ---
+        for lv in &self.levels {
+            let pts: &[Point3] = required(
+                level_points.last().map(Vec::as_slice),
+                "levels start non-empty",
+            );
+            let feats = required(level_feats.last(), "levels start non-empty");
+            let selection = select(
+                pts,
+                lv.n_out,
+                lv.k,
+                lv.sample,
+                lv.search,
+                &lv.name,
+                &mut records,
+            );
+
+            crate::observe::stage(
+                format!("{}.group", lv.name),
+                StageKind::Grouping,
+                None,
+                &mut records,
+                || {
+                    // Stage only indices + relative coordinates; the
+                    // gathered rows stream into the fused kernel.
+                    idx.clear();
+                    rel.clear();
+                    for (gi, nbrs) in selection.neighbor_indices.iter().enumerate() {
+                        let centroid = pts[selection.sample_indices[gi]];
+                        for slot in 0..lv.k {
+                            if let Some(&j) = nbrs.get(slot) {
+                                idx.push(j);
+                                let r = pts[j] - centroid;
+                                rel.extend_from_slice(&[r.x, r.y, r.z]);
+                            } else {
+                                // Short ball-query group: zero-padded row,
+                                // exactly like the eager zeroed scratch.
+                                idx.push(EMPTY_SLOT);
+                                rel.extend_from_slice(&[0.0; 3]);
+                            }
+                        }
+                    }
+                    (
+                        (),
+                        OpCounts {
+                            gathered_bytes: lv.fused_gather_bytes,
+                            seq_rounds: 1,
+                            ..OpCounts::ZERO
+                        },
+                    )
+                },
+            );
+
+            let out = crate::observe::stage(
+                format!("{}.fc", lv.name),
+                StageKind::FeatureCompute,
+                Some(lv.in_channels + 3),
+                &mut records,
+                || {
+                    let gathers = [GatherIn {
+                        feats: feats.as_slice(),
+                        idx,
+                        rel,
+                    }];
+                    exec.run(
+                        &lv.plan,
+                        &Inputs {
+                            tensors: &[],
+                            gathers: &gathers,
+                        },
+                    );
+                    let out = Tensor2::from_vec(
+                        exec.output(&lv.plan).to_vec(),
+                        lv.n_out,
+                        lv.out_channels,
+                    );
+                    let mut ops = lv.plan.ops();
+                    ops.seq_rounds = lv.seq_rounds;
+                    (out, ops)
+                },
+            );
+
+            let sampled: Vec<Point3> = selection.sample_indices.iter().map(|&i| pts[i]).collect();
+            contexts.push(selection.morton_context);
+            level_points.push(sampled);
+            level_feats.push(out);
+        }
+
+        // --- FP stack: eager interpolation, fused concat+MLP ---
+        let mut carried = level_feats[self.depth].clone();
+        for (j, fp) in self.fps.iter().enumerate() {
+            let dense_level = self.depth - j - 1;
+            let sparse_level = self.depth - j;
+            let skip = &level_feats[dense_level];
+            let source = match (&contexts[sparse_level - 1], fp.strategy) {
+                (Some(ctx), UpsampleStrategy::Morton) => InterpSource::Morton {
+                    dense: &level_points[dense_level],
+                    context: ctx,
+                },
+                _ => InterpSource::Exact {
+                    dense: &level_points[dense_level],
+                    sparse: &level_points[sparse_level],
+                },
+            };
+            let sparse_feats = &carried;
+            let sc = fp.sparse_channels;
+            let interpolated = crate::observe::stage(
+                format!("{}.upsample", fp.name),
+                StageKind::Sample,
+                None,
+                &mut records,
+                || {
+                    let plan = plan_interpolation(fp.strategy, source);
+                    let mut up_ops = plan.ops;
+                    up_ops.gathered_bytes += (plan.len() * 3 * sc * 4) as u64;
+                    let mut interpolated = Tensor2::zeros(plan.len(), sc);
+                    for (r, (srcs, w)) in plan.indices.iter().zip(&plan.weights).enumerate() {
+                        let row = interpolated.row_mut(r);
+                        for (&s, &wv) in srcs.iter().zip(w) {
+                            for (o, &f) in row.iter_mut().zip(sparse_feats.row(s)) {
+                                *o += wv * f;
+                            }
+                        }
+                    }
+                    (interpolated, up_ops)
+                },
+            );
+
+            carried = crate::observe::stage(
+                format!("{}.fc", fp.name),
+                StageKind::FeatureCompute,
+                Some(fp.sparse_channels + fp.skip_channels),
+                &mut records,
+                || {
+                    let xs = [
+                        InTensor {
+                            data: interpolated.as_slice(),
+                            rows: fp.n_dense,
+                            cols: fp.sparse_channels,
+                        },
+                        InTensor {
+                            data: skip.as_slice(),
+                            rows: fp.n_dense,
+                            cols: fp.skip_channels,
+                        },
+                    ];
+                    exec.run(
+                        &fp.plan,
+                        &Inputs {
+                            tensors: &xs,
+                            gathers: &[],
+                        },
+                    );
+                    let out = Tensor2::from_vec(
+                        exec.output(&fp.plan).to_vec(),
+                        fp.n_dense,
+                        fp.out_channels,
+                    );
+                    let mut ops = fp.plan.ops();
+                    ops.seq_rounds = fp.seq_rounds;
+                    (out, ops)
+                },
+            );
+        }
+
+        // --- Per-point head ---
+        let logits = crate::observe::stage(
+            "head.fc".to_string(),
+            StageKind::FeatureCompute,
+            Some(self.head.fc_k),
+            &mut records,
+            || {
+                let xs = [InTensor {
+                    data: carried.as_slice(),
+                    rows: self.n_input,
+                    cols: self.head.fc_k,
+                }];
+                exec.run(
+                    &self.head.plan,
+                    &Inputs {
+                        tensors: &xs,
+                        gathers: &[],
+                    },
+                );
+                let logits = Tensor2::from_vec(
+                    exec.output(&self.head.plan).to_vec(),
+                    self.head.plan.out_rows(),
+                    self.head.plan.out_cols(),
+                );
+                let mut ops = self.head.plan.ops();
+                ops.seq_rounds = self.head.seq_rounds;
+                (logits, ops)
+            },
+        );
+        (logits, records)
+    }
+}
+
+/// One compiled EdgeConv module.
+struct EcPlan {
+    plan: Plan,
+    name: String,
+    in_channels: usize,
+    out_channels: usize,
+    search: SearchStrategy,
+    seq_rounds: u64,
+    fused_gather_bytes: u64,
+}
+
+/// [`DgcnnClassifier`] / [`DgcnnSeg`] lowered to `edgepc-ir` plans for a
+/// fixed point count.
+pub struct CompiledDgcnn {
+    modules: Vec<EcPlan>,
+    head: HeadPlan,
+    span_label: &'static str,
+    n_points: usize,
+    k: usize,
+    head_rows: usize,
+    num_classes: usize,
+}
+
+impl CompiledDgcnn {
+    /// Lowers a classifier for clouds of exactly `n_points` points.
+    pub fn classifier(model: &DgcnnClassifier, n_points: usize) -> Self {
+        let modules = compile_backbone(&model.backbone, n_points);
+        let local: usize = modules.iter().map(|m| m.out_channels).sum();
+        let mut g = Graph::new("dgcnn_cls.head");
+        let cat = concat_module_outputs(&mut g, &modules, n_points);
+        let pooled = g.max_pool(cat, n_points);
+        let out = g.mlp(pooled, &model.head);
+        g.set_output(out);
+        CompiledDgcnn {
+            modules,
+            head: HeadPlan {
+                plan: edgepc_ir::compile(&g, &FuseConfig::default()),
+                fc_k: local,
+                seq_rounds: 2 * model.head.len() as u64,
+            },
+            span_label: "dgcnn_cls.compiled",
+            n_points,
+            k: model.backbone.k,
+            head_rows: 1,
+            num_classes: model.num_classes(),
+        }
+    }
+
+    /// Lowers a segmenter for clouds of exactly `n_points` points.
+    pub fn segmenter(model: &DgcnnSeg, n_points: usize) -> Self {
+        let modules = compile_backbone(&model.backbone, n_points);
+        let local: usize = modules.iter().map(|m| m.out_channels).sum();
+        let mut g = Graph::new("dgcnn_seg.head");
+        let cat = concat_module_outputs(&mut g, &modules, n_points);
+        let pooled = g.max_pool(cat, n_points);
+        let broadcast = g.broadcast(pooled, n_points);
+        let head_in = g.concat2(cat, broadcast);
+        let out = g.mlp(head_in, &model.head);
+        g.set_output(out);
+        CompiledDgcnn {
+            modules,
+            head: HeadPlan {
+                plan: edgepc_ir::compile(&g, &FuseConfig::default()),
+                fc_k: 2 * local,
+                seq_rounds: 2 * model.head.len() as u64,
+            },
+            span_label: "dgcnn_seg.compiled",
+            n_points,
+            k: model.backbone.k,
+            head_rows: n_points,
+            num_classes: model.num_classes(),
+        }
+    }
+
+    /// The point count the plans were compiled for.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// All gather sites across the compiled plans.
+    pub fn gather_sites(&self) -> Vec<GatherSite> {
+        self.modules
+            .iter()
+            .flat_map(|m| m.plan.gather_sites().iter().cloned())
+            .collect()
+    }
+
+    /// Compiled forward pass; logits and stage records are bit-identical
+    /// to the eager model (the `.group` stages carry fused gather bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cloud.len() != n_points`.
+    pub fn run(&self, cloud: &PointCloud, state: &mut ExecState) -> (Tensor2, Vec<StageRecord>) {
+        assert_eq!(
+            cloud.len(),
+            self.n_points,
+            "plans are compiled for a fixed cloud size"
+        );
+        let _sp = edgepc_trace::span(self.span_label, "model");
+        let ExecState { exec, idx, .. } = state;
+        let mut records = Vec::new();
+        let n = self.n_points;
+        let k = self.k;
+        let all: Vec<usize> = (0..n).collect();
+        let mut feats = xyz_features(cloud.points());
+        let mut outputs: Vec<Tensor2> = Vec::with_capacity(self.modules.len());
+        let mut prev_neighbors: Option<Vec<Vec<usize>>> = None;
+
+        for (i, m) in self.modules.iter().enumerate() {
+            // Graph construction: the same searcher stages as the eager
+            // backbone, record for record.
+            let neighbors = match m.search {
+                SearchStrategy::Knn => crate::observe::stage(
+                    format!("{}.search(knn)", m.name),
+                    StageKind::NeighborSearch,
+                    None,
+                    &mut records,
+                    || {
+                        let r = BruteKnn::new().search(cloud, &all, k);
+                        (r.neighbors, r.ops)
+                    },
+                ),
+                SearchStrategy::MortonWindow { window } => {
+                    assert_eq!(i, 0, "Morton window only applies to the xyz module");
+                    crate::observe::stage(
+                        format!("{}.search(window)", m.name),
+                        StageKind::NeighborSearch,
+                        None,
+                        &mut records,
+                        || {
+                            let r = MortonWindowSearcher::new(window, 10).search(cloud, &all, k);
+                            (r.neighbors, r.ops)
+                        },
+                    )
+                }
+                SearchStrategy::FeatureKnn => crate::observe::stage(
+                    format!("{}.search(feat-knn)", m.name),
+                    StageKind::NeighborSearch,
+                    None,
+                    &mut records,
+                    || feature_knn(&feats, k),
+                ),
+                SearchStrategy::Reuse => crate::observe::stage(
+                    format!("{}.search(reuse)", m.name),
+                    StageKind::NeighborSearch,
+                    None,
+                    &mut records,
+                    || {
+                        let nbrs = required(
+                            prev_neighbors.clone(),
+                            "Reuse requires a previous module's graph",
+                        );
+                        let ops = OpCounts {
+                            gathered_bytes: (n * k * 4) as u64,
+                            seq_rounds: 1,
+                            ..OpCounts::ZERO
+                        };
+                        (nbrs, ops)
+                    },
+                ),
+                SearchStrategy::BallQuery { .. } => {
+                    violation("DGCNN uses k-NN graphs, not ball query")
+                }
+            };
+
+            crate::observe::stage(
+                format!("{}.group", m.name),
+                StageKind::Grouping,
+                None,
+                &mut records,
+                || {
+                    idx.clear();
+                    for (pi, nbrs) in neighbors.iter().enumerate() {
+                        assert_eq!(nbrs.len(), k, "point {pi} has wrong neighbor count");
+                        idx.extend_from_slice(nbrs);
+                    }
+                    (
+                        (),
+                        OpCounts {
+                            gathered_bytes: m.fused_gather_bytes,
+                            seq_rounds: 1,
+                            ..OpCounts::ZERO
+                        },
+                    )
+                },
+            );
+
+            let out = crate::observe::stage(
+                format!("{}.fc", m.name),
+                StageKind::FeatureCompute,
+                Some(2 * m.in_channels),
+                &mut records,
+                || {
+                    let gathers = [GatherIn {
+                        feats: feats.as_slice(),
+                        idx,
+                        rel: &[],
+                    }];
+                    exec.run(
+                        &m.plan,
+                        &Inputs {
+                            tensors: &[],
+                            gathers: &gathers,
+                        },
+                    );
+                    let out = Tensor2::from_vec(exec.output(&m.plan).to_vec(), n, m.out_channels);
+                    let mut ops = m.plan.ops();
+                    ops.seq_rounds = m.seq_rounds;
+                    (out, ops)
+                },
+            );
+
+            prev_neighbors = Some(neighbors);
+            feats = out.clone();
+            outputs.push(out);
+        }
+
+        // --- Head: concat (+ pool/broadcast) + MLP in one plan ---
+        let logits = crate::observe::stage(
+            "head.fc".to_string(),
+            StageKind::FeatureCompute,
+            Some(self.head.fc_k),
+            &mut records,
+            || {
+                let xs: Vec<InTensor<'_>> = outputs
+                    .iter()
+                    .map(|t| InTensor {
+                        data: t.as_slice(),
+                        rows: n,
+                        cols: t.cols(),
+                    })
+                    .collect();
+                exec.run(
+                    &self.head.plan,
+                    &Inputs {
+                        tensors: &xs,
+                        gathers: &[],
+                    },
+                );
+                let logits = Tensor2::from_vec(
+                    exec.output(&self.head.plan).to_vec(),
+                    self.head_rows,
+                    self.num_classes,
+                );
+                let mut ops = self.head.plan.ops();
+                ops.seq_rounds = self.head.seq_rounds;
+                (logits, ops)
+            },
+        );
+        (logits, records)
+    }
+}
+
+/// Compiles each EdgeConv module into a fused gather->MLP->pool plan.
+fn compile_backbone(backbone: &DgcnnBackbone, n_points: usize) -> Vec<EcPlan> {
+    let mut modules = Vec::with_capacity(backbone.modules.len());
+    for (i, m) in backbone.modules.iter().enumerate() {
+        let c = m.in_channels;
+        let mut g = Graph::new(format!("dgcnn.{}", m.name));
+        let gat = g.gather(
+            n_points * m.k,
+            GatherMode::EdgePair { c, k: m.k },
+            format!("{}.group", m.name),
+        );
+        let mlp = g.mlp(gat, &m.mlp);
+        let pooled = g.max_pool(mlp, m.k);
+        g.set_output(pooled);
+        let plan = edgepc_ir::compile(&g, &FuseConfig::default());
+        let fused_gather_bytes =
+            required(plan.gather_sites().first(), "EdgeConv plan has a gather").fused_bytes;
+        modules.push(EcPlan {
+            plan,
+            name: m.name.clone(),
+            in_channels: c,
+            out_channels: m.out_channels,
+            search: backbone.strategy.search_at(i),
+            seq_rounds: 2 * m.mlp.len() as u64,
+            fused_gather_bytes,
+        });
+    }
+    modules
+}
+
+/// Declares one graph input per module output and left-folds them with
+/// `concat2`, mirroring the eager `hstack` chain.
+fn concat_module_outputs(g: &mut Graph, modules: &[EcPlan], n_points: usize) -> edgepc_ir::NodeId {
+    let mut nodes = Vec::with_capacity(modules.len());
+    for m in modules {
+        nodes.push(g.input(n_points, m.out_channels));
+    }
+    let mut iter = nodes.into_iter();
+    let mut cat = required(iter.next(), "at least one EdgeConv module");
+    for node in iter {
+        cat = g.concat2(cat, node);
+    }
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PipelineStrategy;
+    use crate::{DgcnnConfig, PointNetPpConfig};
+
+    fn scattered_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(17);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next()))
+            .collect()
+    }
+
+    #[test]
+    fn compiled_pointnetpp_matches_eager_bitwise() {
+        let cloud = scattered_cloud(256, 1);
+        for strategy in [
+            PipelineStrategy::baseline(),
+            PipelineStrategy::edgepc_pointnetpp(2, 16),
+        ] {
+            let mut model = PointNetPpSeg::new(&PointNetPpConfig::tiny(4, strategy), 4);
+            let compiled = CompiledPointNetPp::compile(&model, 256);
+            let (eager, eager_records) = model.forward(&cloud);
+            let mut state = ExecState::new();
+            let (fast, records) = compiled.run(&cloud, &mut state);
+            assert_eq!(
+                fast.as_slice(),
+                eager.as_slice(),
+                "logits must be bit-identical"
+            );
+            assert_eq!(records.len(), eager_records.len());
+            // Same stage names/kinds; identical ops except the fused
+            // grouping traffic, which must shrink.
+            for (a, b) in records.iter().zip(&eager_records) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.fc_k, b.fc_k);
+                if a.name.ends_with(".group") {
+                    assert!(
+                        a.ops.gathered_bytes < b.ops.gathered_bytes,
+                        "{}: fused {} !< eager {}",
+                        a.name,
+                        a.ops.gathered_bytes,
+                        b.ops.gathered_bytes
+                    );
+                } else {
+                    assert_eq!(a.ops, b.ops, "{}", a.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_dgcnn_cls_and_seg_match_eager_bitwise() {
+        let cloud = scattered_cloud(128, 2);
+        for strategy in [
+            PipelineStrategy::baseline_dgcnn(3),
+            PipelineStrategy::edgepc_dgcnn(3, 32),
+        ] {
+            let mut cls = DgcnnClassifier::new(&DgcnnConfig::tiny(strategy.clone()), 5);
+            let compiled = CompiledDgcnn::classifier(&cls, 128);
+            let (eager, eager_records) = cls.forward(&cloud);
+            let mut state = ExecState::new();
+            let (fast, records) = compiled.run(&cloud, &mut state);
+            assert_eq!(fast.as_slice(), eager.as_slice(), "cls logits bitwise");
+            assert_eq!(records.len(), eager_records.len());
+
+            let mut seg = DgcnnSeg::new(&DgcnnConfig::tiny(strategy), 4);
+            let compiled = CompiledDgcnn::segmenter(&seg, 128);
+            let (eager, _) = seg.forward(&cloud);
+            let (fast, _) = compiled.run(&cloud, &mut state);
+            assert_eq!(fast.as_slice(), eager.as_slice(), "seg logits bitwise");
+        }
+    }
+
+    #[test]
+    fn steady_state_runs_keep_arena_capacity_fixed() {
+        let cloud = scattered_cloud(256, 3);
+        let model = PointNetPpSeg::new(&PointNetPpConfig::tiny(4, PipelineStrategy::baseline()), 4);
+        let compiled = CompiledPointNetPp::compile(&model, 256);
+        let mut state = ExecState::new();
+        let _ = compiled.run(&cloud, &mut state);
+        let cap = state.arena_capacity();
+        assert!(cap > 0);
+        for _ in 0..10 {
+            let _ = compiled.run(&cloud, &mut state);
+        }
+        assert_eq!(state.arena_capacity(), cap, "warm arena must not move");
+    }
+
+    #[test]
+    fn compiled_gather_sites_report_fused_traffic() {
+        let model = PointNetPpSeg::new(&PointNetPpConfig::tiny(4, PipelineStrategy::baseline()), 4);
+        let compiled = CompiledPointNetPp::compile(&model, 256);
+        let sites = compiled.gather_sites();
+        assert_eq!(sites.len(), 2, "one site per SA level");
+        for site in &sites {
+            assert!(site.label.ends_with(".group"));
+            assert!(site.fused_bytes < site.eager_bytes);
+        }
+    }
+}

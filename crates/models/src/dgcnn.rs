@@ -20,11 +20,11 @@ use crate::strategy::{PipelineStrategy, SearchStrategy, StageRecord};
 /// One EdgeConv module: per point, gather `k` neighbors, build edge
 /// features `[f_i, f_j - f_i]`, shared MLP, max over neighbors.
 pub struct EdgeConv {
-    k: usize,
-    mlp: Sequential,
-    in_channels: usize,
-    out_channels: usize,
-    name: String,
+    pub(crate) k: usize,
+    pub(crate) mlp: Sequential,
+    pub(crate) in_channels: usize,
+    pub(crate) out_channels: usize,
+    pub(crate) name: String,
     cache: Option<EcCache>,
 }
 
@@ -243,10 +243,10 @@ impl DgcnnConfig {
 
 /// Shared EdgeConv backbone: computes the per-module neighbor graphs
 /// (honoring Morton / reuse strategies) and stacks module outputs.
-struct DgcnnBackbone {
-    modules: Vec<EdgeConv>,
-    strategy: PipelineStrategy,
-    k: usize,
+pub(crate) struct DgcnnBackbone {
+    pub(crate) modules: Vec<EdgeConv>,
+    pub(crate) strategy: PipelineStrategy,
+    pub(crate) k: usize,
 }
 
 impl DgcnnBackbone {
@@ -434,8 +434,8 @@ pub fn feature_knn(feats: &Tensor2, k: usize) -> (Vec<Vec<usize>>, OpCounts) {
 
 /// DGCNN(c): cloud-level classification (workload W3).
 pub struct DgcnnClassifier {
-    backbone: DgcnnBackbone,
-    head: Sequential,
+    pub(crate) backbone: DgcnnBackbone,
+    pub(crate) head: Sequential,
     num_classes: usize,
     cache: Option<ClsCache>,
     scratch: Scratch,
@@ -576,8 +576,8 @@ impl Layer for DgcnnClassifier {
 /// head input is its concatenated module features plus the broadcast
 /// global max feature.
 pub struct DgcnnSeg {
-    backbone: DgcnnBackbone,
-    head: Sequential,
+    pub(crate) backbone: DgcnnBackbone,
+    pub(crate) head: Sequential,
     num_classes: usize,
     cache: Option<SegCache>,
     scratch: Scratch,

@@ -36,12 +36,12 @@ pub enum InterpSource<'a> {
 
 /// One FeaturePropagation module with trainable shared MLP.
 pub struct FeaturePropagation {
-    mlp: Sequential,
-    sparse_channels: usize,
-    skip_channels: usize,
-    out_channels: usize,
-    strategy: UpsampleStrategy,
-    name: String,
+    pub(crate) mlp: Sequential,
+    pub(crate) sparse_channels: usize,
+    pub(crate) skip_channels: usize,
+    pub(crate) out_channels: usize,
+    pub(crate) strategy: UpsampleStrategy,
+    pub(crate) name: String,
     cache: Option<FpCache>,
 }
 
@@ -180,7 +180,10 @@ impl FeaturePropagation {
 
 /// Builds the interpolation plan for the given strategy/source pair (the
 /// body of [`FeaturePropagation::forward`]'s upsample stage).
-fn plan_interpolation(strategy: UpsampleStrategy, source: InterpSource<'_>) -> InterpPlan {
+pub(crate) fn plan_interpolation(
+    strategy: UpsampleStrategy,
+    source: InterpSource<'_>,
+) -> InterpPlan {
     match (strategy, source) {
         (UpsampleStrategy::Morton, InterpSource::Morton { dense, context }) => {
             // Interpolate in sorted space, then re-index the plan to

@@ -36,6 +36,7 @@
 //! assert!(!records.is_empty());
 //! ```
 
+pub mod compiled;
 pub mod delayed;
 pub mod dgcnn;
 pub mod fp;
@@ -46,6 +47,7 @@ pub mod selection;
 pub mod strategy;
 pub mod trainer;
 
+pub use compiled::{CompiledDgcnn, CompiledPointNetPp, ExecState};
 pub use dgcnn::{DgcnnClassifier, DgcnnConfig, DgcnnSeg, EdgeConv};
 /// Re-exported from `edgepc_nn`, where the pool moved so the blocked
 /// matmul kernel can recycle its pack buffers too.
@@ -78,5 +80,8 @@ mod send_safety {
         assert_send::<SetAbstraction>();
         assert_send::<EdgeConv>();
         assert_send::<Scratch>();
+        assert_send::<CompiledPointNetPp>();
+        assert_send::<CompiledDgcnn>();
+        assert_send::<ExecState>();
     }
 }

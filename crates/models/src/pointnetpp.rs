@@ -109,11 +109,11 @@ impl PointNetPpConfig {
 /// PointNet++ semantic segmentation: a stack of SA modules, a mirrored
 /// stack of FP modules with skip connections, and a per-point head.
 pub struct PointNetPpSeg {
-    sa: Vec<SetAbstraction>,
-    fp: Vec<FeaturePropagation>,
-    head: Sequential,
+    pub(crate) sa: Vec<SetAbstraction>,
+    pub(crate) fp: Vec<FeaturePropagation>,
+    pub(crate) head: Sequential,
     num_classes: usize,
-    depth: usize,
+    pub(crate) depth: usize,
     cache: Option<ForwardCache>,
     scratch: Scratch,
 }

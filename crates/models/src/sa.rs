@@ -16,14 +16,14 @@ use crate::strategy::{SampleStrategy, SearchStrategy, StageRecord};
 
 /// One SetAbstraction module with trainable shared MLP.
 pub struct SetAbstraction {
-    n_out: usize,
-    k: usize,
-    mlp: Sequential,
-    in_channels: usize,
-    out_channels: usize,
-    sample_strategy: SampleStrategy,
-    search_strategy: SearchStrategy,
-    name: String,
+    pub(crate) n_out: usize,
+    pub(crate) k: usize,
+    pub(crate) mlp: Sequential,
+    pub(crate) in_channels: usize,
+    pub(crate) out_channels: usize,
+    pub(crate) sample_strategy: SampleStrategy,
+    pub(crate) search_strategy: SearchStrategy,
+    pub(crate) name: String,
     cache: Option<SaCache>,
 }
 

@@ -1,0 +1,646 @@
+//! Fused dense kernels over the blocked 4x8-tile panel micro-kernel.
+//!
+//! This module is the single home of the workspace's matmul inner loops:
+//! `Tensor2::matmul` delegates here, and the `edgepc-ir` executor calls
+//! [`fused_linear`] directly to run a whole `matmul + bias + ReLU` chain
+//! as one pass over the output. The fusion contract is bit-exactness:
+//! for every output element the sequence of f32 operations (k-ascending
+//! multiply-accumulate, then `+ bias`, then `max(0.0)`) is identical to
+//! the eager `matmul` → `add_row_vector` → `ReLU` pipeline, so fused and
+//! eager paths produce bit-identical results at any thread budget.
+//!
+//! [`RowSource`] generalizes the A-operand: besides a dense row-major
+//! slice it supports the two gather shapes of the point-cloud models
+//! (PointNet++ SA grouping rows and DGCNN edge-pair rows). Gathered rows
+//! are staged into a stack buffer per register tile and stream straight
+//! into the panel micro-kernel — the grouped matrix is never
+//! materialized, which is what makes the `gathered_bytes` op-counter
+//! drop under the compiled plans.
+
+use crate::{Scratch, Tensor2};
+use std::cell::RefCell;
+
+/// Below this `m * k * n` work bound the simple triple loop beats the
+/// cache-blocked kernel (packing overhead dominates).
+pub(crate) const SMALL_MATMUL_WORK: usize = 32 * 1024;
+/// Register-tile rows (A rows per micro-kernel step).
+pub(crate) const MATMUL_MR: usize = 4;
+/// Register-tile columns (B columns per packed panel).
+pub(crate) const MATMUL_NR: usize = 8;
+/// Row-block size: each parallel chunk owns `MATMUL_MC` output rows.
+pub(crate) const MATMUL_MC: usize = 64;
+
+/// Largest reduction width (`k`) a gather-backed [`RowSource`] supports:
+/// gathered rows are staged on the stack, so the bound must be a
+/// compile-time constant. Covers the paper configs with headroom
+/// (PointNet++ SA4 gathers c+3 = 259, DGCNN edge pairs 2c = 256).
+pub const MAX_FUSED_K: usize = 512;
+
+/// Sentinel neighbor index marking an unfilled grouping slot (ball query
+/// can return fewer than `k` neighbors). Staged as an all-zero row, the
+/// exact representation the eager grouping buffer uses.
+pub const EMPTY_SLOT: usize = usize::MAX;
+
+thread_local! {
+    /// Per-thread pool for transient B-panel packing buffers (used only
+    /// when the caller did not pre-pack the weights).
+    static PACK_POOL: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// The A operand of a fused linear pass: either a dense row-major matrix
+/// or an index-driven gather producing rows on the fly.
+pub enum RowSource<'a> {
+    /// Dense `m x k` row-major slice.
+    Dense(&'a [f32]),
+    /// PointNet++ SA grouping rows: row `r` is
+    /// `[feats.row(idx[r]) | rel[3r..3r+3]]` (width `c + 3`), or all
+    /// zeros when `idx[r] == EMPTY_SLOT`.
+    SaGroup {
+        /// Source feature matrix, row-major with `c` columns.
+        feats: &'a [f32],
+        /// Feature channels per point.
+        c: usize,
+        /// Flattened neighbor index per grouped row (`EMPTY_SLOT` pads).
+        idx: &'a [usize],
+        /// Relative coordinates per grouped row (`3 * m` values).
+        rel: &'a [f32],
+    },
+    /// DGCNN EdgeConv rows: row `r` (center `i = r / k`, neighbor
+    /// `j = idx[r]`) is `[feats.row(i) | feats.row(j) - feats.row(i)]`
+    /// (width `2c`).
+    EdgePair {
+        /// Source feature matrix, row-major with `c` columns.
+        feats: &'a [f32],
+        /// Feature channels per point.
+        c: usize,
+        /// Neighbors per center point.
+        k: usize,
+        /// Flattened neighbor index per edge row (`m` values).
+        idx: &'a [usize],
+    },
+}
+
+impl RowSource<'_> {
+    /// Materialize row `r` into `dst` (`dst.len()` must equal the row
+    /// width). Element-for-element the same moves and subtractions the
+    /// eager grouping buffers perform, so staged rows are bit-identical
+    /// to materialized ones. Public for the IR executor's unfused
+    /// gather step; the fused paths call it internally per tile.
+    pub fn stage_row(&self, r: usize, dst: &mut [f32]) {
+        match self {
+            RowSource::Dense(a) => {
+                let w = dst.len();
+                dst.copy_from_slice(&a[r * w..(r + 1) * w]);
+            }
+            RowSource::SaGroup { feats, c, idx, rel } => {
+                let j = idx[r];
+                if j == EMPTY_SLOT {
+                    dst.fill(0.0);
+                } else {
+                    dst[..*c].copy_from_slice(&feats[j * c..j * c + c]);
+                    dst[*c..].copy_from_slice(&rel[3 * r..3 * r + 3]);
+                }
+            }
+            RowSource::EdgePair { feats, c, k, idx } => {
+                let i = r / k;
+                let j = idx[r];
+                let fi = &feats[i * c..(i + 1) * c];
+                let fj = &feats[j * c..(j + 1) * c];
+                dst[..*c].copy_from_slice(fi);
+                for (d, (&a, &b)) in dst[*c..].iter_mut().zip(fj.iter().zip(fi)) {
+                    *d = a - b;
+                }
+            }
+        }
+    }
+
+    fn validate(&self, m: usize, kk: usize) {
+        match self {
+            RowSource::Dense(a) => {
+                assert_eq!(a.len(), m * kk, "dense A operand size mismatch");
+            }
+            RowSource::SaGroup { feats, c, idx, rel } => {
+                assert_eq!(kk, c + 3, "SA group row width must be c + 3");
+                assert!(kk <= MAX_FUSED_K, "SA group row width exceeds MAX_FUSED_K");
+                assert_eq!(idx.len(), m, "SA group index count mismatch");
+                assert_eq!(rel.len(), 3 * m, "SA group rel-coord count mismatch");
+                assert_eq!(feats.len() % c, 0, "SA group feature matrix ragged");
+            }
+            RowSource::EdgePair { feats, c, k, idx } => {
+                assert_eq!(kk, 2 * c, "edge-pair row width must be 2c");
+                assert!(kk <= MAX_FUSED_K, "edge-pair row width exceeds MAX_FUSED_K");
+                assert_eq!(idx.len(), m, "edge-pair index count mismatch");
+                assert!(
+                    *k > 0 && m.is_multiple_of(*k),
+                    "edge-pair rows must tile by k"
+                );
+                assert_eq!(feats.len() % c, 0, "edge-pair feature matrix ragged");
+            }
+        }
+    }
+}
+
+/// B-operand panels packed once ahead of time (NR-column, k-major,
+/// zero-padded) so steady-state fused passes skip per-call packing.
+/// Packing is a pure data movement, so prepacked and on-the-fly panels
+/// hold identical bits.
+pub struct PackedPanels {
+    data: Vec<f32>,
+    kk: usize,
+    n: usize,
+}
+
+impl PackedPanels {
+    /// Pack weight matrix `w` (`k x n`) into NR-column panels.
+    pub fn pack(w: &Tensor2) -> Self {
+        let (kk, n) = (w.rows(), w.cols());
+        let n_panels = n.div_ceil(MATMUL_NR);
+        let mut data = vec![0.0f32; n_panels * kk * MATMUL_NR];
+        pack_panels(w, &mut data);
+        PackedPanels { data, kk, n }
+    }
+
+    /// Reduction width (`k`) of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.kk
+    }
+
+    /// Column count (`n`) of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+fn pack_panels(w: &Tensor2, packed: &mut [f32]) {
+    let (kk, n) = (w.rows(), w.cols());
+    let n_panels = n.div_ceil(MATMUL_NR);
+    for p in 0..n_panels {
+        let c0 = p * MATMUL_NR;
+        let width = MATMUL_NR.min(n - c0);
+        let base = p * kk * MATMUL_NR;
+        for k in 0..kk {
+            let at = base + k * MATMUL_NR;
+            packed[at..at + width].copy_from_slice(&w.row(k)[c0..c0 + width]);
+        }
+    }
+}
+
+/// Returns `true` if a `m x k` by `k x n` product dispatches to the
+/// cache-blocked kernel (as opposed to the naive small-product loop).
+/// Exposed so the IR scheduler can decide which weights to prepack.
+pub fn kernel_uses_blocked_path(m: usize, k: usize, n: usize) -> bool {
+    m * k * n >= SMALL_MATMUL_WORK
+}
+
+/// One fused `A * W (+ bias) (then ReLU)` pass into `out` (`m x n`,
+/// row-major, fully overwritten). Dispatches between the naive and
+/// blocked kernels with the same work-size gate `Tensor2::matmul` uses,
+/// so a fused call is bit-identical to the eager layer sequence it
+/// replaces. Pass `packed` to skip per-call panel packing (the compiled
+/// plans pack every blocked-path weight once at schedule time).
+pub fn fused_linear(
+    src: &RowSource<'_>,
+    m: usize,
+    w: &Tensor2,
+    packed: Option<&PackedPanels>,
+    bias: Option<&[f32]>,
+    relu: bool,
+    out: &mut [f32],
+) {
+    let (kk, n) = (w.rows(), w.cols());
+    src.validate(m, kk);
+    assert_eq!(out.len(), m * n, "fused_linear output size mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "fused_linear bias width mismatch");
+    }
+    if let Some(p) = packed {
+        assert!(p.kk == kk && p.n == n, "prepacked panel shape mismatch");
+    }
+    if m * kk * n < SMALL_MATMUL_WORK {
+        naive_into(src, m, w, bias, relu, out);
+    } else {
+        blocked_into(src, m, w, packed, bias, relu, out);
+    }
+}
+
+/// Simple triple loop with the exact-zero sparsity skip; per output
+/// element the accumulation order matches the blocked kernel's k-order.
+pub(crate) fn naive_into(
+    src: &RowSource<'_>,
+    m: usize,
+    w: &Tensor2,
+    bias: Option<&[f32]>,
+    relu: bool,
+    out: &mut [f32],
+) {
+    let (kk, n) = (w.rows(), w.cols());
+    out.fill(0.0);
+    let mut staged = [0.0f32; MAX_FUSED_K];
+    for i in 0..m {
+        let a_row: &[f32] = match src {
+            RowSource::Dense(a) => &a[i * kk..(i + 1) * kk],
+            other => {
+                other.stage_row(i, &mut staged[..kk]);
+                &staged[..kk]
+            }
+        };
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (k, &a) in a_row.iter().enumerate() {
+            // Exact-zero test on purpose: grouping buffers zero-pad
+            // unfilled neighbor slots, and a zero coefficient
+            // contributes exactly nothing (see the EP002 waiver).
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = w.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += a * b;
+            }
+        }
+        if let Some(b) = bias {
+            for (o, &bv) in out_row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        if relu {
+            for v in out_row.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    }
+}
+
+/// Abstraction over where a register tile's A rows come from, so the
+/// inner micro-kernel monomorphizes for the dense (read-in-place) and
+/// gathered (staged) cases without a per-element branch.
+trait ATile {
+    fn at(&self, ri: usize, k: usize) -> f32;
+}
+
+/// Dense A rows read in place (zero copies, identical to the original
+/// `matmul_blocked` inner loop).
+struct DenseTile<'a> {
+    a: &'a [f32],
+    kk: usize,
+    row0: usize,
+}
+
+impl ATile for DenseTile<'_> {
+    #[inline(always)]
+    fn at(&self, ri: usize, k: usize) -> f32 {
+        self.a[(self.row0 + ri) * self.kk + k]
+    }
+}
+
+/// Gathered rows staged once per register tile into a stack buffer.
+struct StagedTile<'a> {
+    buf: &'a [f32],
+    kk: usize,
+}
+
+impl ATile for StagedTile<'_> {
+    #[inline(always)]
+    fn at(&self, ri: usize, k: usize) -> f32 {
+        self.buf[ri * self.kk + k]
+    }
+}
+
+/// Cache-blocked kernel: rows are chunked `MATMUL_MC` at a time across
+/// the thread pool with fixed chunk boundaries (bit-identical recombination
+/// at any thread budget), and each chunk walks NR-wide packed B panels
+/// with an MR x NR register tile. Bias and ReLU run as chunk-local
+/// epilogues, preserving the eager per-element op order.
+pub(crate) fn blocked_into(
+    src: &RowSource<'_>,
+    m: usize,
+    w: &Tensor2,
+    packed: Option<&PackedPanels>,
+    bias: Option<&[f32]>,
+    relu: bool,
+    out: &mut [f32],
+) {
+    let (kk, n) = (w.rows(), w.cols());
+    assert_eq!(out.len(), m * n, "blocked_into output size mismatch");
+    let n_panels = n.div_ceil(MATMUL_NR);
+    let mut local_pack: Option<Vec<f32>> = None;
+    let panels: &[f32] = match packed {
+        Some(p) => &p.data,
+        None => {
+            let mut buf = PACK_POOL.with(|s| s.borrow_mut().take_zeroed(n_panels * kk * MATMUL_NR));
+            pack_panels(w, &mut buf);
+            &*local_pack.insert(buf)
+        }
+    };
+
+    edgepc_par::par_chunks_mut(out, MATMUL_MC * n, |ci, chunk| {
+        let r0 = ci * MATMUL_MC;
+        let rows_here = chunk.len() / n;
+        let mut staged = [0.0f32; MATMUL_MR * MAX_FUSED_K];
+        let mut r = 0;
+        while r < rows_here {
+            let mr = MATMUL_MR.min(rows_here - r);
+            match src {
+                RowSource::Dense(a) => {
+                    let tile = DenseTile {
+                        a,
+                        kk,
+                        row0: r0 + r,
+                    };
+                    tile_panels(&tile, mr, kk, n, n_panels, panels, r, chunk);
+                }
+                other => {
+                    for ri in 0..mr {
+                        other.stage_row(r0 + r + ri, &mut staged[ri * kk..(ri + 1) * kk]);
+                    }
+                    let tile = StagedTile { buf: &staged, kk };
+                    tile_panels(&tile, mr, kk, n, n_panels, panels, r, chunk);
+                }
+            }
+            r += mr;
+        }
+        if let Some(b) = bias {
+            for row in chunk.chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(b) {
+                    *o += bv;
+                }
+            }
+        }
+        if relu {
+            for v in chunk.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    });
+
+    if let Some(buf) = local_pack {
+        PACK_POOL.with(|s| s.borrow_mut().give(buf));
+    }
+}
+
+/// Walk every packed B panel for one MR-row register tile, accumulating
+/// k-ascending into an on-stack MR x NR accumulator and copying finished
+/// tiles into the chunk. This is the verbatim inner loop of the original
+/// `Tensor2::matmul_blocked`.
+#[allow(clippy::too_many_arguments)]
+fn tile_panels<A: ATile>(
+    tile: &A,
+    mr: usize,
+    kk: usize,
+    n: usize,
+    n_panels: usize,
+    panels: &[f32],
+    r: usize,
+    chunk: &mut [f32],
+) {
+    for p in 0..n_panels {
+        let c0 = p * MATMUL_NR;
+        let width = MATMUL_NR.min(n - c0);
+        let base = p * kk * MATMUL_NR;
+        let mut acc = [[0.0f32; MATMUL_NR]; MATMUL_MR];
+        for k in 0..kk {
+            let b = &panels[base + k * MATMUL_NR..base + (k + 1) * MATMUL_NR];
+            for (ri, acc_row) in acc.iter_mut().take(mr).enumerate() {
+                let av = tile.at(ri, k);
+                for (x, &bv) in acc_row.iter_mut().zip(b) {
+                    *x += av * bv;
+                }
+            }
+        }
+        for (ri, acc_row) in acc.iter().take(mr).enumerate() {
+            let at = (r + ri) * n + c0;
+            chunk[at..at + width].copy_from_slice(&acc_row[..width]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor2;
+
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor2 {
+        let mut state = seed | 1;
+        let mut t = Tensor2::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((state >> 33) as f32) / ((1u64 << 31) as f32) - 1.0;
+                t.set(r, c, v);
+            }
+        }
+        t
+    }
+
+    fn eager_reference(x: &Tensor2, w: &Tensor2, bias: Option<&[f32]>, relu: bool) -> Vec<f32> {
+        let mut y = x.matmul(w);
+        if let Some(b) = bias {
+            y.add_row_vector(b);
+        }
+        let mut out = y.into_vec();
+        if relu {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        out
+    }
+
+    fn materialize_sa(feats: &Tensor2, c: usize, idx: &[usize], rel: &[f32]) -> Tensor2 {
+        let m = idx.len();
+        let mut g = Tensor2::zeros(m, c + 3);
+        for (r, &j) in idx.iter().enumerate() {
+            if j == EMPTY_SLOT {
+                continue;
+            }
+            for cc in 0..c {
+                g.set(r, cc, feats.get(j, cc));
+            }
+            for d in 0..3 {
+                g.set(r, c + d, rel[3 * r + d]);
+            }
+        }
+        g
+    }
+
+    fn materialize_edge(feats: &Tensor2, c: usize, k: usize, idx: &[usize]) -> Tensor2 {
+        let m = idx.len();
+        let mut g = Tensor2::zeros(m, 2 * c);
+        for (r, &j) in idx.iter().enumerate() {
+            let i = r / k;
+            for cc in 0..c {
+                let fi = feats.get(i, cc);
+                g.set(r, cc, fi);
+                g.set(r, c + cc, feats.get(j, cc) - fi);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn fused_dense_matches_eager_both_paths() {
+        // (m, k, n) pairs straddling the naive/blocked dispatch gate.
+        for &(m, kk, n) in &[(7, 5, 9), (96, 37, 33), (160, 64, 24)] {
+            let x = random_tensor(m, kk, 0x1001);
+            let w = random_tensor(kk, n, 0x2002);
+            let bias: Vec<f32> = (0..n).map(|i| (i as f32) * 0.01 - 0.3).collect();
+            for &relu in &[false, true] {
+                let expect = eager_reference(&x, &w, Some(&bias), relu);
+                let mut got = vec![0.0f32; m * n];
+                fused_linear(
+                    &RowSource::Dense(x.as_slice()),
+                    m,
+                    &w,
+                    None,
+                    Some(&bias),
+                    relu,
+                    &mut got,
+                );
+                assert_eq!(got, expect, "fused dense mismatch m={m} k={kk} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_panels_match_on_the_fly_packing() {
+        let (m, kk, n) = (160, 64, 24);
+        let x = random_tensor(m, kk, 0x3003);
+        let w = random_tensor(kk, n, 0x4004);
+        let packed = PackedPanels::pack(&w);
+        let mut a = vec![0.0f32; m * n];
+        let mut b = vec![0.0f32; m * n];
+        fused_linear(
+            &RowSource::Dense(x.as_slice()),
+            m,
+            &w,
+            None,
+            None,
+            false,
+            &mut a,
+        );
+        fused_linear(
+            &RowSource::Dense(x.as_slice()),
+            m,
+            &w,
+            Some(&packed),
+            None,
+            false,
+            &mut b,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fused_sa_gather_matches_materialized_grouping() {
+        let (points, c, k, groups) = (50, 13, 8, 40);
+        let feats = random_tensor(points, c, 0x5005);
+        let m = groups * k;
+        let mut idx = Vec::new();
+        let mut rel = Vec::new();
+        let mut state = 0x77u64;
+        for g in 0..groups {
+            for slot in 0..k {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(97);
+                // Sprinkle empty (zero-padded) slots like a short ball query.
+                if slot > 0 && state.is_multiple_of(5) {
+                    idx.push(EMPTY_SLOT);
+                    rel.extend_from_slice(&[0.0, 0.0, 0.0]);
+                } else {
+                    idx.push((state as usize + g) % points);
+                    rel.extend_from_slice(&[
+                        (state % 17) as f32 * 0.05,
+                        (state % 11) as f32 * -0.03,
+                        (state % 7) as f32 * 0.02,
+                    ]);
+                }
+            }
+        }
+        // One small + one large n so both kernel paths are exercised.
+        for &(n, seed) in &[(6usize, 0x6006u64), (40, 0x6007)] {
+            let w = random_tensor(c + 3, n, seed);
+            let bias: Vec<f32> = (0..n).map(|i| (i as f32) * 0.02 - 0.1).collect();
+            let grouped = materialize_sa(&feats, c, &idx, &rel);
+            let expect = eager_reference(&grouped, &w, Some(&bias), true);
+            let mut got = vec![0.0f32; m * n];
+            fused_linear(
+                &RowSource::SaGroup {
+                    feats: feats.as_slice(),
+                    c,
+                    idx: &idx,
+                    rel: &rel,
+                },
+                m,
+                &w,
+                None,
+                Some(&bias),
+                true,
+                &mut got,
+            );
+            assert_eq!(got, expect, "fused SA gather mismatch n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_edge_gather_matches_materialized_pairs() {
+        let (points, c, k) = (60, 11, 6);
+        let feats = random_tensor(points, c, 0x7007);
+        let m = points * k;
+        let mut idx = Vec::new();
+        let mut state = 0x99u64;
+        for i in 0..points {
+            for _ in 0..k {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                idx.push((state as usize + i + 1) % points);
+            }
+        }
+        for &(n, seed) in &[(4usize, 0x8008u64), (36, 0x8009)] {
+            let w = random_tensor(2 * c, n, seed);
+            let grouped = materialize_edge(&feats, c, k, &idx);
+            let expect = eager_reference(&grouped, &w, None, true);
+            let mut got = vec![0.0f32; m * n];
+            fused_linear(
+                &RowSource::EdgePair {
+                    feats: feats.as_slice(),
+                    c,
+                    k,
+                    idx: &idx,
+                },
+                m,
+                &w,
+                None,
+                None,
+                true,
+                &mut got,
+            );
+            assert_eq!(got, expect, "fused edge gather mismatch n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_blocked_is_thread_count_independent() {
+        let (m, kk, n) = (256, 48, 32);
+        let x = random_tensor(m, kk, 0x9009);
+        let w = random_tensor(kk, n, 0xa00a);
+        let bias: Vec<f32> = (0..n).map(|i| (i as f32) * 0.01).collect();
+        let run = |threads: usize| {
+            edgepc_par::with_threads(threads, || {
+                let mut out = vec![0.0f32; m * n];
+                fused_linear(
+                    &RowSource::Dense(x.as_slice()),
+                    m,
+                    &w,
+                    None,
+                    Some(&bias),
+                    true,
+                    &mut out,
+                );
+                out
+            })
+        };
+        let base = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), base, "thread budget {t} diverged");
+        }
+    }
+}

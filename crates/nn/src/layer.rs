@@ -46,6 +46,19 @@ pub trait Layer: Send {
     /// Switches between training and inference behavior (only meaningful
     /// for layers like batch norm).
     fn set_training(&mut self, _training: bool) {}
+
+    /// Downcast hook for IR lowering: returns the layer as a [`Linear`]
+    /// if it is one. The `edgepc-ir` lowering walks a [`Sequential`] and
+    /// turns each `Linear` into a matmul + bias node pair.
+    fn as_linear(&self) -> Option<&Linear> {
+        None
+    }
+
+    /// Returns `true` for parameter-free activations (ReLU). IR lowering
+    /// folds these into the preceding fused linear pass.
+    fn is_activation(&self) -> bool {
+        false
+    }
 }
 
 /// A fully connected layer `y = x W + b`.
@@ -89,6 +102,17 @@ impl Linear {
     pub fn output_dim(&self) -> usize {
         self.w.cols()
     }
+
+    /// Borrows the weight matrix (`input_dim x output_dim`). Used by the
+    /// IR lowering to snapshot parameters into a compiled plan.
+    pub fn weights(&self) -> &Tensor2 {
+        &self.w
+    }
+
+    /// Borrows the bias vector (`output_dim` values).
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
 }
 
 impl Layer for Linear {
@@ -113,6 +137,10 @@ impl Layer for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(self.w.as_mut_slice(), self.gw.as_mut_slice());
         f(&mut self.b, &mut self.gb);
+    }
+
+    fn as_linear(&self) -> Option<&Linear> {
+        Some(self)
     }
 }
 
@@ -154,6 +182,10 @@ impl Layer for ReLU {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn is_activation(&self) -> bool {
+        true
+    }
 }
 
 /// Batch normalization over the row dimension with learnable scale/shift
@@ -421,6 +453,12 @@ impl Sequential {
     /// Returns `true` if the sequence has no layers.
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
+    }
+
+    /// Borrows the layer list in application order. Used by the IR
+    /// lowering to walk `Linear`/`ReLU` chains without executing them.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
     }
 }
 

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod gradcheck;
+pub mod kernel;
 pub mod layer;
 pub mod loss;
 pub mod optim;
@@ -54,6 +55,9 @@ pub mod pool;
 pub mod scratch;
 pub mod tensor;
 
+pub use kernel::{
+    fused_linear, kernel_uses_blocked_path, PackedPanels, RowSource, EMPTY_SLOT, MAX_FUSED_K,
+};
 pub use layer::{BatchNorm1d, Dropout, Layer, Linear, ReLU, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use scratch::Scratch;

@@ -1,17 +1,7 @@
 //! A minimal row-major 2-D tensor.
 
+use crate::kernel::{self, RowSource, SMALL_MATMUL_WORK};
 use std::fmt;
-
-/// Scalar-MAC threshold (`rows * K * cols`) below which [`Tensor2::matmul`]
-/// keeps the naive loop: packing overhead beats the cache savings on tiny
-/// products, and the tiny path preserves the historical zero-skip numerics.
-const SMALL_MATMUL_WORK: usize = 32 * 1024;
-/// Register-tile rows of the blocked micro-kernel.
-const MATMUL_MR: usize = 4;
-/// Register-tile columns = B panel width.
-const MATMUL_NR: usize = 8;
-/// Rows per parallel block (the `par_chunks_mut` chunk, in rows).
-const MATMUL_MC: usize = 64;
 
 /// A dense row-major `rows x cols` matrix of `f32`.
 ///
@@ -159,88 +149,43 @@ impl Tensor2 {
     }
 
     /// The original triple loop, kept for small shapes where packing
-    /// costs more than it saves. The `a == 0.0` skip exploits zero-padded
-    /// grouping slots (see LINT.toml's EP002 waiver).
+    /// costs more than it saves (the kernel's zero-skip exploits
+    /// zero-padded grouping slots; see LINT.toml's EP002 waiver on
+    /// `kernel::naive_into`). Delegates to `edgepc_nn::kernel` so the
+    /// eager path and the fused executor share one inner loop.
     fn matmul_naive(&self, other: &Tensor2) -> Tensor2 {
         let mut out = Tensor2::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernel::naive_into(
+            &RowSource::Dense(&self.data),
+            self.rows,
+            other,
+            None,
+            false,
+            &mut out.data,
+        );
         out
     }
 
-    /// Cache-blocked matmul: `B` is packed once on the calling thread
-    /// into [`MATMUL_NR`]-column panels (k-major inside each panel,
-    /// zero-padded tails) so the inner loop streams both operands
-    /// contiguously; output rows are computed in [`MATMUL_MR`] x
-    /// [`MATMUL_NR`] register tiles, parallelized over [`MATMUL_MC`]-row
-    /// blocks with `edgepc_par::par_chunks_mut`. Each output element is
-    /// written by exactly one worker with `k`-ascending accumulation, so
-    /// the result is bit-identical for every thread count.
+    /// Cache-blocked matmul: `B` is packed on the calling thread into
+    /// NR-column panels (k-major inside each panel, zero-padded tails)
+    /// so the inner loop streams both operands contiguously; output rows
+    /// are computed in MR x NR register tiles, parallelized over
+    /// MC-row blocks with `edgepc_par::par_chunks_mut`. Each output
+    /// element is written by exactly one worker with `k`-ascending
+    /// accumulation, so the result is bit-identical for every thread
+    /// count. Delegates to `edgepc_nn::kernel` so the eager path and the
+    /// fused executor share one inner loop.
     fn matmul_blocked(&self, other: &Tensor2) -> Tensor2 {
-        use std::cell::RefCell;
-        thread_local! {
-            /// Pack-buffer pool: reused across the many matmuls of one
-            /// forward pass without threading a `Scratch` through every
-            /// layer signature.
-            static PACK_POOL: RefCell<crate::Scratch> = RefCell::new(crate::Scratch::new());
-        }
-
-        let (m, kk, n) = (self.rows, self.cols, other.cols);
-        let n_panels = n.div_ceil(MATMUL_NR);
-        let mut packed = PACK_POOL.with(|s| s.borrow_mut().take_zeroed(n_panels * kk * MATMUL_NR));
-        for p in 0..n_panels {
-            let c0 = p * MATMUL_NR;
-            let w = MATMUL_NR.min(n - c0);
-            let base = p * kk * MATMUL_NR;
-            for k in 0..kk {
-                let at = base + k * MATMUL_NR;
-                packed[at..at + w].copy_from_slice(&other.row(k)[c0..c0 + w]);
-            }
-        }
-
-        let mut out = Tensor2::zeros(m, n);
-        let a = &self.data;
-        let packed_ref: &[f32] = &packed;
-        edgepc_par::par_chunks_mut(&mut out.data, MATMUL_MC * n, |ci, chunk| {
-            let r0 = ci * MATMUL_MC;
-            let rows_here = chunk.len() / n;
-            let mut r = 0;
-            while r < rows_here {
-                let mr = MATMUL_MR.min(rows_here - r);
-                for p in 0..n_panels {
-                    let c0 = p * MATMUL_NR;
-                    let w = MATMUL_NR.min(n - c0);
-                    let base = p * kk * MATMUL_NR;
-                    let mut acc = [[0.0f32; MATMUL_NR]; MATMUL_MR];
-                    for k in 0..kk {
-                        let b = &packed_ref[base + k * MATMUL_NR..base + (k + 1) * MATMUL_NR];
-                        for (ri, acc_row) in acc.iter_mut().take(mr).enumerate() {
-                            let av = a[(r0 + r + ri) * kk + k];
-                            for (x, &bv) in acc_row.iter_mut().zip(b) {
-                                *x += av * bv;
-                            }
-                        }
-                    }
-                    for (ri, acc_row) in acc.iter().take(mr).enumerate() {
-                        let at = (r + ri) * n + c0;
-                        chunk[at..at + w].copy_from_slice(&acc_row[..w]);
-                    }
-                }
-                r += mr;
-            }
-        });
-        PACK_POOL.with(|s| s.borrow_mut().give(packed));
+        let mut out = Tensor2::zeros(self.rows, other.cols);
+        kernel::blocked_into(
+            &RowSource::Dense(&self.data),
+            self.rows,
+            other,
+            None,
+            None,
+            false,
+            &mut out.data,
+        );
         out
     }
 

@@ -1,10 +1,10 @@
 //! The canonical benchmark scenario set, at the paper's configurations.
 //!
-//! Ten scenarios cover the pipeline bottom-up — samplers, the radix
-//! structurization sort, searchers, and the blocked matmul kernel in
-//! isolation, then full model forwards — at Table 1 scales, so the
-//! committed baseline tracks exactly the operating points the paper
-//! reports. Inputs come from the same workload datasets the figure
+//! Thirteen scenarios cover the pipeline bottom-up — samplers, the radix
+//! structurization sort, searchers, and the blocked and fused matmul
+//! kernels in isolation, then full model forwards both eager and through
+//! the compiled `edgepc-ir` plans — at Table 1 scales, so the committed
+//! baseline tracks exactly the operating points the paper reports. Inputs come from the same workload datasets the figure
 //! harnesses use (W2's scannet-like 8192-point scene, W3's modelnet-like
 //! 1024-point object).
 //!
@@ -16,12 +16,12 @@
 use edgepc::Workload;
 use edgepc_geom::{OpCounts, PointCloud};
 use edgepc_models::{
-    price_stages, DgcnnClassifier, DgcnnConfig, PipelineStrategy, PointNetPpConfig, PointNetPpSeg,
-    StageRecord,
+    price_stages, CompiledDgcnn, CompiledPointNetPp, DgcnnClassifier, DgcnnConfig, ExecState,
+    PipelineStrategy, PointNetPpConfig, PointNetPpSeg, StageRecord,
 };
 use edgepc_morton::{Structurized, Structurizer};
 use edgepc_neighbor::{BruteKnn, MortonWindowSearcher, NeighborSearcher};
-use edgepc_nn::Tensor2;
+use edgepc_nn::{fused_linear, PackedPanels, RowSource, Tensor2};
 use edgepc_sample::{FarthestPointSampler, MortonSampler, Sampler};
 use edgepc_sim::{EnergyModel, ExecMode, PowerState, StageKind, XavierModel};
 
@@ -86,7 +86,22 @@ fn sum_ops(records: &[StageRecord]) -> OpCounts {
     records.iter().map(|r| r.ops).sum()
 }
 
-/// The ten canonical scenarios, in pipeline order.
+/// Deterministic pseudo-random tensor for the kernel scenarios.
+fn fill_tensor(rows: usize, cols: usize, seed: u64) -> Tensor2 {
+    let mut s = seed;
+    Tensor2::from_vec(
+        (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 40) as f32) / (1 << 24) as f32 - 0.5
+            })
+            .collect(),
+        rows,
+        cols,
+    )
+}
+
+/// The thirteen canonical scenarios, in pipeline order.
 pub fn paper_scenarios() -> Vec<Scenario> {
     let mut scenarios = Vec::new();
 
@@ -175,25 +190,59 @@ pub fn paper_scenarios() -> Vec<Scenario> {
             4096,
             move || {
                 let (a, b) = state.get_or_insert_with(|| {
-                    let fill = |rows: usize, cols: usize, seed: u64| {
-                        let mut s = seed;
-                        Tensor2::from_vec(
-                            (0..rows * cols)
-                                .map(|_| {
-                                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                                    ((s >> 40) as f32) / (1 << 24) as f32 - 0.5
-                                })
-                                .collect(),
-                            rows,
-                            cols,
-                        )
-                    };
-                    (fill(4096, 64, 0xb10c), fill(64, 64, 0x9a57))
+                    (fill_tensor(4096, 64, 0xb10c), fill_tensor(64, 64, 0x9a57))
                 });
                 let c = a.matmul(b);
                 // Keep the result observable so the multiply cannot be
                 // optimized away.
                 assert!(c.norm().is_finite());
+                let ops = OpCounts {
+                    mac: (4096 * 64 * 64) as u64,
+                    seq_rounds: 1,
+                    ..OpCounts::ZERO
+                };
+                (ops, priced(StageKind::FeatureCompute, ops, false))
+            },
+        ));
+    }
+
+    // --- Fused MLP kernel (the IR scheduler's single-pass matmul + bias
+    // + ReLU with a prepacked weight) at the same SA1 shape, against the
+    // eager matmul scenario above. ---
+    {
+        struct FusedState {
+            a: Tensor2,
+            w: Tensor2,
+            packed: PackedPanels,
+            bias: Vec<f32>,
+            out: Vec<f32>,
+        }
+        let mut state: Option<FusedState> = None;
+        scenarios.push(Scenario::new(
+            "nn.fused_mlp.m4096.k64.n64".to_string(),
+            4096,
+            move || {
+                let s = state.get_or_insert_with(|| {
+                    let w = fill_tensor(64, 64, 0x9a57);
+                    let packed = PackedPanels::pack(&w);
+                    FusedState {
+                        a: fill_tensor(4096, 64, 0xb10c),
+                        w,
+                        packed,
+                        bias: (0..64).map(|i| i as f32 / 64.0 - 0.5).collect(),
+                        out: vec![0.0f32; 4096 * 64],
+                    }
+                });
+                fused_linear(
+                    &RowSource::Dense(s.a.as_slice()),
+                    4096,
+                    &s.w,
+                    Some(&s.packed),
+                    Some(&s.bias),
+                    true,
+                    &mut s.out,
+                );
+                assert!(s.out[0].is_finite());
                 let ops = OpCounts {
                     mac: (4096 * 64 * 64) as u64,
                     seq_rounds: 1,
@@ -228,6 +277,36 @@ pub fn paper_scenarios() -> Vec<Scenario> {
         ));
     }
 
+    // --- Compiled PointNet++: the same edgepc forward executed through
+    // cached edgepc-ir plans (fused MLP chains, fused grouping gather,
+    // arena reuse). Its op records carry the fused per-site
+    // gathered_bytes, so the BENCH.json ops column shows the gather
+    // reduction next to the eager counterpart. ---
+    {
+        let mut state: Option<(CompiledPointNetPp, ExecState, PointCloud)> = None;
+        scenarios.push(Scenario::new(
+            "model.compiled.pointnetpp.n8192".to_string(),
+            8192,
+            move || {
+                let (compiled, exec, cloud) = state.get_or_insert_with(|| {
+                    let ds = Workload::W2.dataset(0x0edc ^ 8192);
+                    let config = PointNetPpConfig::paper(
+                        8192,
+                        PipelineStrategy::edgepc_layers(4, 1, WINDOW),
+                    );
+                    let model = PointNetPpSeg::new(&config, ds.num_classes.max(2));
+                    (
+                        CompiledPointNetPp::compile(&model, 8192),
+                        ExecState::new(),
+                        ds.test[0].cloud.clone(),
+                    )
+                });
+                let (_, records) = compiled.run(cloud, exec);
+                (sum_ops(&records), priced_forward(&records, true))
+            },
+        ));
+    }
+
     // --- Full DGCNN forwards (W3 shape: 1024-point ModelNet object). ---
     for (variant, strategy) in [
         ("base", PipelineStrategy::baseline_dgcnn(4)),
@@ -252,6 +331,29 @@ pub fn paper_scenarios() -> Vec<Scenario> {
         ));
     }
 
+    // --- Compiled DGCNN: the edgepc classifier through its cached plans. ---
+    {
+        let mut state: Option<(CompiledDgcnn, ExecState, PointCloud)> = None;
+        scenarios.push(Scenario::new(
+            "model.compiled.dgcnn.n1024".to_string(),
+            1024,
+            move || {
+                let (compiled, exec, cloud) = state.get_or_insert_with(|| {
+                    let ds = Workload::W3.dataset(0x0edc ^ 1024);
+                    let config = DgcnnConfig::paper(PipelineStrategy::edgepc_dgcnn(4, 4 * 20));
+                    let model = DgcnnClassifier::new(&config, ds.num_classes.max(2));
+                    (
+                        CompiledDgcnn::classifier(&model, 1024),
+                        ExecState::new(),
+                        ds.test[0].cloud.clone(),
+                    )
+                });
+                let (_, records) = compiled.run(cloud, exec);
+                (sum_ops(&records), priced_forward(&records, true))
+            },
+        ));
+    }
+
     scenarios
 }
 
@@ -264,7 +366,7 @@ mod tests {
         // Construction must be cheap (lazy bodies) and ids stable: the
         // BENCH.json comparison is keyed on them.
         let scenarios = paper_scenarios();
-        assert_eq!(scenarios.len(), 10);
+        assert_eq!(scenarios.len(), 13);
         let ids: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(
             ids,
@@ -275,10 +377,13 @@ mod tests {
                 "search.knn.n8192.q2048.k32",
                 "search.window.w128.n8192.q2048.k32",
                 "nn.matmul.m4096.k64.n64",
+                "nn.fused_mlp.m4096.k64.n64",
                 "model.pointnetpp.base.n8192",
                 "model.pointnetpp.edgepc.n8192",
+                "model.compiled.pointnetpp.n8192",
                 "model.dgcnn.base.n1024",
                 "model.dgcnn.edgepc.n1024",
+                "model.compiled.dgcnn.n1024",
             ]
         );
         for s in &scenarios {

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use edgepc_geom::guard::ranked_with;
 use edgepc_geom::required;
-use edgepc_models::Scratch;
+use edgepc_models::{ExecState, Scratch};
 use edgepc_trace::{next_trace_id, span_in, with_registry, with_trace, Registry};
 
 use crate::config::EngineConfig;
@@ -32,6 +32,7 @@ use crate::flight::TelemetryPlane;
 use crate::lockrank;
 use crate::metrics;
 use crate::model::{ModelSpec, ServeModel};
+use crate::plans::PlanCache;
 use crate::queue::{Pop, SubmitQueue};
 use crate::request::{InferenceOutput, QueuedRequest, Request, Ticket};
 
@@ -69,6 +70,7 @@ impl Engine {
         let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
         let plane = TelemetryPlane::new(Arc::clone(&registry), config.flight.clone());
         let outstanding = Arc::new(AtomicUsize::new(0));
+        let plans = Arc::new(PlanCache::new(config.plan_cache));
         let mut handles = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let queue = Arc::clone(&queue);
@@ -76,11 +78,21 @@ impl Engine {
             let specs = Arc::clone(&specs);
             let plane = Arc::clone(&plane);
             let outstanding = Arc::clone(&outstanding);
+            let plans = Arc::clone(&plans);
             let cfg = config.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("serve-worker-{w}"))
                 .spawn(move || {
-                    worker_loop(w, &cfg, &specs, &queue, &registry, &plane, &outstanding)
+                    worker_loop(
+                        w,
+                        &cfg,
+                        &specs,
+                        &queue,
+                        &registry,
+                        &plane,
+                        &outstanding,
+                        &plans,
+                    )
                 });
             handles.push(required(spawned.ok(), "spawn serve worker"));
         }
@@ -210,6 +222,7 @@ impl Drop for Engine {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     cfg: &EngineConfig,
@@ -218,6 +231,7 @@ fn worker_loop(
     registry: &Arc<Registry>,
     plane: &Arc<TelemetryPlane>,
     outstanding: &AtomicUsize,
+    plans: &PlanCache,
 ) {
     // Install the engine's registry as this thread's current one so the
     // model-internal spans (structurize/sample/neighbor/fc) land beside
@@ -225,11 +239,21 @@ fn worker_loop(
     // budget to this thread (0 leaves the ambient resolution in place).
     with_registry(Arc::clone(registry), || {
         edgepc_par::with_threads(cfg.intra_threads, || {
-            worker_body(worker, cfg, specs, queue, registry, plane, outstanding);
+            worker_body(
+                worker,
+                cfg,
+                specs,
+                queue,
+                registry,
+                plane,
+                outstanding,
+                plans,
+            );
         });
     });
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_body(
     worker: usize,
     cfg: &EngineConfig,
@@ -238,9 +262,13 @@ fn worker_body(
     registry: &Arc<Registry>,
     plane: &TelemetryPlane,
     outstanding: &AtomicUsize,
+    plans: &PlanCache,
 ) {
     let mut replicas: Vec<ServeModel> = specs.iter().map(ServeModel::build).collect();
     let mut scratch = Scratch::new();
+    // Per-worker executor arena for the compiled plans; grows to its
+    // steady-state capacity on the first compiled batch and never after.
+    let mut exec_state = ExecState::new();
     loop {
         match queue.take_batch(cfg.max_batch, cfg.batch_linger) {
             Pop::Shutdown => break,
@@ -262,6 +290,8 @@ fn worker_body(
                         worker,
                         &mut replicas,
                         &mut scratch,
+                        &mut exec_state,
+                        plans,
                         registry,
                         plane,
                         outstanding,
@@ -293,10 +323,13 @@ fn cancel_expired(
         .send(Err(ServeError::DeadlineExpired { waited, deadline }));
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     worker: usize,
     replicas: &mut [ServeModel],
     scratch: &mut Scratch,
+    exec_state: &mut ExecState,
+    plans: &PlanCache,
     registry: &Registry,
     plane: &TelemetryPlane,
     outstanding: &AtomicUsize,
@@ -332,11 +365,18 @@ fn run_batch(
             continue;
         };
         plane.note_exec_begin(req.id, worker as u64, batch_size as u64);
+        // Compiled fast path: execute the cached plan for this exact
+        // (model, cloud size) if one exists or fits in the cache; the
+        // eager replica is the bit-identical fallback.
+        let compiled = plans.get_or_compile(req.model, req.cloud.len(), replica);
         // Ambient trace scope: the serve.exec span and every model-internal
         // span the forward opens inherit this request's trace id.
         let logits = with_trace(req.id, || {
             let _exec = edgepc_trace::span("serve.exec", "serve");
-            replica.infer(&req.cloud, scratch)
+            match compiled.as_deref() {
+                Some(plan) => plan.infer(&req.cloud, exec_state),
+                None => replica.infer(&req.cloud, scratch),
+            }
         });
         let total_us = req.enqueued.elapsed().as_micros() as u64;
         registry.observe_us_tagged(metrics::LATENCY_US, total_us, req.id);

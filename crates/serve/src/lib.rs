@@ -35,6 +35,7 @@
 mod batch;
 mod flight;
 mod lockrank;
+mod plans;
 mod queue;
 
 pub mod config;

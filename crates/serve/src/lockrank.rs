@@ -31,3 +31,9 @@ pub(crate) const SAMPLER: u16 = 50;
 
 /// `serve.telemetry` — the telemetry endpoint's quit flag.
 pub(crate) const TELEMETRY: u16 = 60;
+
+/// `serve.plan_cache` — the compiled-plan cache's lookup table. Ranks
+/// above every other serve lock because workers consult it with nothing
+/// held (compilation itself runs outside the lock), and below the trace
+/// locks so a cache hit recorded into the registry still ascends.
+pub(crate) const PLAN_CACHE: u16 = 65;

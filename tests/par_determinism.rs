@@ -64,6 +64,82 @@ fn dgcnn_forward_is_thread_count_invariant() {
 }
 
 #[test]
+fn compiled_pointnetpp_matches_eager_at_every_thread_budget() {
+    let cloud = bunny_cloud();
+    let config = PointNetPpConfig::tiny(3, PipelineStrategy::edgepc_pointnetpp(2, 16));
+    // Eager oracle and compiled plan built once; every budget must agree
+    // with the single-thread eager run bit for bit.
+    let mut eager_model = PointNetPpSeg::new(&config, 3);
+    let eager = edgepc_par::with_threads(1, || eager_model.forward(&cloud).0);
+    let model = PointNetPpSeg::new(&config, 3);
+    let compiled = edgepc_models::CompiledPointNetPp::compile(&model, cloud.len());
+    for t in [1usize, 2, 8] {
+        let logits = edgepc_par::with_threads(t, || {
+            let mut state = edgepc_models::ExecState::new();
+            compiled.run(&cloud, &mut state).0
+        });
+        assert_eq!(
+            logits.as_slice(),
+            eager.as_slice(),
+            "compiled pointnetpp diverged from eager at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn compiled_dgcnn_matches_eager_at_every_thread_budget() {
+    let cloud = bunny_cloud();
+    let config = DgcnnConfig::tiny(PipelineStrategy::edgepc_dgcnn(3, 24));
+    let mut eager_model = DgcnnClassifier::new(&config, 3);
+    let eager = edgepc_par::with_threads(1, || eager_model.forward(&cloud).0);
+    let model = DgcnnClassifier::new(&config, 3);
+    let compiled = edgepc_models::CompiledDgcnn::classifier(&model, cloud.len());
+    for t in [1usize, 2, 8] {
+        let logits = edgepc_par::with_threads(t, || {
+            let mut state = edgepc_models::ExecState::new();
+            compiled.run(&cloud, &mut state).0
+        });
+        assert_eq!(
+            logits.as_slice(),
+            eager.as_slice(),
+            "compiled dgcnn diverged from eager at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn compiled_executor_is_allocation_free_at_steady_state() {
+    let cloud = bunny_cloud();
+    let config = PointNetPpConfig::tiny(3, PipelineStrategy::edgepc_pointnetpp(2, 16));
+    let model = PointNetPpSeg::new(&config, 3);
+    // Planning twice must give byte-identical arena layouts (the plan is a
+    // pure function of the graph), and a warm executor must hold its arena
+    // capacity across many steady-state runs — the zero-allocation
+    // contract the EP008 lint scopes pin at the source level.
+    let a = edgepc_models::CompiledPointNetPp::compile(&model, cloud.len());
+    let b = edgepc_models::CompiledPointNetPp::compile(&model, cloud.len());
+    let mut state_a = edgepc_models::ExecState::new();
+    let mut state_b = edgepc_models::ExecState::new();
+    let _ = a.run(&cloud, &mut state_a);
+    let _ = b.run(&cloud, &mut state_b);
+    assert_eq!(
+        state_a.arena_capacity(),
+        state_b.arena_capacity(),
+        "replanning must reproduce the same arena layout"
+    );
+    let warm = state_a.arena_capacity();
+    assert!(warm > 0, "plans use the arena");
+    for i in 0..100 {
+        let _ = a.run(&cloud, &mut state_a);
+        assert_eq!(
+            state_a.arena_capacity(),
+            warm,
+            "arena reallocated on steady-state run {i}"
+        );
+    }
+}
+
+#[test]
 fn structurization_is_thread_count_invariant() {
     let cloud = bunny_cloud();
     assert_thread_count_invariant("structurization", || {
